@@ -1,0 +1,365 @@
+(* The benchmark harness: regenerates every figure of the paper's
+   evaluation plus the ablations called out in DESIGN.md.
+
+   Sections (all printed by a default run):
+
+     1. Bechamel microbenchmarks — one Test.make group per figure/ablation:
+          fig1-ops / fig4-ops      per-op latency on the paper's workloads
+          ablation-functor         functorised VBL vs hand-specialised VBL
+          ablation-marks           mark encodings (flag / AMR / tagged)
+          skiplist-ops / bst-ops   the extension families
+     2. Figure 1 — Lazy vs VBL thread sweep (simulated engine + real).
+     3. Figure 4 — the 3x4 workload grid (simulated engine).
+     4. Headlines — the 1.6x ratios quoted in the paper's prose.
+     5. Ablations — vbl vs vbl-postlock vs vbl-versioned (validation
+        strategies) on the Figure 1 workload.
+     6. Extended family — all eight list algorithms on one workload.
+     7. Extensions — skip lists and external BSTs (paper §5 future work).
+     8. Appendix — zipfian hot-key workload.
+
+   Flags: --quick (smaller sweeps), --full (paper-sized sweeps),
+          --machine amd (Opteron cost profile), --skip-micro,
+          --skip-figures.                                                *)
+
+open Bechamel
+open Toolkit
+
+let quick = Array.exists (( = ) "--quick") Sys.argv
+let full = Array.exists (( = ) "--full") Sys.argv
+let skip_micro = Array.exists (( = ) "--skip-micro") Sys.argv
+let skip_figures = Array.exists (( = ) "--skip-figures") Sys.argv
+
+let seed = 42L
+
+(* ------------------------------------------------------------------ *)
+(* 1. Bechamel microbenchmarks                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Per-op latency of each measured algorithm on a pre-populated list:
+   one insert+remove pair and one contains per "run", uniform keys. *)
+let ops_test ~range (impl : Vbl_lists.Registry.impl) =
+  let module S = (val impl) in
+  let t = S.create () in
+  let rng = Vbl_util.Rng.create ~seed () in
+  for v = 1 to range do
+    if Vbl_util.Rng.bool rng then ignore (S.insert t v)
+  done;
+  Test.make ~name:S.name
+    (Staged.stage (fun () ->
+         let v = 1 + Vbl_util.Rng.int rng range in
+         ignore (S.insert t v);
+         ignore (S.contains t (1 + Vbl_util.Rng.int rng range));
+         ignore (S.remove t v)))
+
+let contains_test ~range (impl : Vbl_lists.Registry.impl) =
+  let module S = (val impl) in
+  let t = S.create () in
+  let rng = Vbl_util.Rng.create ~seed () in
+  for v = 1 to range do
+    if Vbl_util.Rng.bool rng then ignore (S.insert t v)
+  done;
+  Test.make ~name:S.name
+    (Staged.stage (fun () -> ignore (S.contains t (1 + Vbl_util.Rng.int rng range))))
+
+let vbl_direct_test ~range =
+  let t = Vbl_direct.create () in
+  let rng = Vbl_util.Rng.create ~seed () in
+  for v = 1 to range do
+    if Vbl_util.Rng.bool rng then ignore (Vbl_direct.insert t v)
+  done;
+  Test.make ~name:"vbl-direct"
+    (Staged.stage (fun () ->
+         let v = 1 + Vbl_util.Rng.int rng range in
+         ignore (Vbl_direct.insert t v);
+         ignore (Vbl_direct.contains t (1 + Vbl_util.Rng.int rng range));
+         ignore (Vbl_direct.remove t v)))
+
+let micro_groups () =
+  let measured = Vbl_lists.Registry.measured in
+  let hm_amr = Vbl_lists.Registry.find_exn "harris-michael" in
+  let vbl = Vbl_lists.Registry.find_exn "vbl" in
+  let hm_tagged = Vbl_lists.Registry.find_exn "harris-michael-tagged" in
+  [
+    Test.make_grouped ~name:"fig1-ops" (List.map (ops_test ~range:50) measured);
+    Test.make_grouped ~name:"fig4-ops"
+      (List.map (ops_test ~range:2_000) (measured @ [ hm_amr ]));
+    Test.make_grouped ~name:"ablation-functor"
+      [ ops_test ~range:200 vbl; vbl_direct_test ~range:200 ];
+    Test.make_grouped ~name:"ablation-marks"
+      (List.map (contains_test ~range:200) [ vbl; hm_amr; hm_tagged ]);
+    Test.make_grouped ~name:"skiplist-ops"
+      (List.map (ops_test ~range:2_000) Vbl_skiplists.Registry.all
+      @ [ ops_test ~range:2_000 vbl ]);
+    Test.make_grouped ~name:"bst-ops"
+      (List.map (ops_test ~range:2_000) Vbl_trees.Registry.concurrent);
+  ]
+
+let run_micro () =
+  let quota = Time.second (if quick then 0.25 else 0.5) in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota ~kde:None () in
+  let instances = Instance.[ monotonic_clock ] in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  print_endline "== Microbenchmarks (Bechamel, ns/op, single thread, real backend) ==";
+  List.iter
+    (fun group ->
+      let raw = Benchmark.all cfg instances group in
+      let results = Analyze.all ols Instance.monotonic_clock raw in
+      let rows =
+        Hashtbl.fold
+          (fun name ols acc ->
+            let est =
+              match Analyze.OLS.estimates ols with Some (e :: _) -> e | _ -> nan
+            in
+            (name, est) :: acc)
+          results []
+      in
+      List.iter
+        (fun (name, est) -> Printf.printf "  %-40s %12.1f ns/op\n" name est)
+        (List.sort compare rows);
+      print_newline ())
+    (micro_groups ())
+
+(* ------------------------------------------------------------------ *)
+(* 2-5. Figure harness                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* --machine amd switches the coherence profile to the paper's Opteron
+   testbed (its tech-report results); default is the Intel profile. *)
+let machine =
+  let rec find i =
+    if i + 1 >= Array.length Sys.argv then "intel"
+    else if Sys.argv.(i) = "--machine" then Sys.argv.(i + 1)
+    else find (i + 1)
+  in
+  find 1
+
+let sim_engine =
+  Vbl_harness.Sweep.simulated
+    ~costs:(Vbl_sim.Coherence.profile_exn machine)
+    ~horizon:(if quick then 30_000. else if full then 200_000. else 50_000.)
+    ~trials:(if quick then 2 else if full then 5 else 2)
+    ()
+
+let real_engine =
+  Vbl_harness.Sweep.Real
+    {
+      duration_s = (if quick then 0.2 else if full then 5.0 else 0.5);
+      warmup_s = (if quick then 0.1 else if full then 5.0 else 0.25);
+      trials = (if quick then 2 else if full then 5 else 3);
+    }
+
+let sim_threads =
+  if quick then [ 1; 8; 24; 48; 72 ] else [ 1; 4; 8; 16; 24; 32; 40; 48; 56; 64; 72 ]
+
+let real_threads =
+  let cores = Domain.recommended_domain_count () in
+  List.sort_uniq compare (List.filter (fun t -> t <= max 2 (2 * cores)) [ 1; 2; 4; 8 ])
+
+let figure1 () =
+  print_endline "== Figure 1: throughput, 20% updates, key range 50 ==";
+  print_newline ();
+  let sim = Vbl_harness.Sweep.figure1 ~thread_counts:sim_threads sim_engine ~seed in
+  print_endline (Vbl_harness.Report.render_figure1 sim_engine sim);
+  print_newline ();
+  let real = Vbl_harness.Sweep.figure1 ~thread_counts:real_threads real_engine ~seed in
+  print_endline (Vbl_harness.Report.render_figure1 real_engine real);
+  Printf.printf "\n(real engine bounded by %d physical cores on this host)\n\n"
+    (Domain.recommended_domain_count ())
+
+let figure4 () =
+  print_endline "== Figure 4: the 3-ratio x 4-range grid (simulated engine) ==";
+  print_newline ();
+  (* The two large ranges cost O(range) simulated steps per operation;
+     the default sweep keeps them to three thread counts so a full default
+     run stays under an hour on one core.  --full restores the dense
+     sweep. *)
+  let thread_counts =
+    if quick then [ 1; 24; 72 ] else if full then [ 1; 8; 24; 48; 72 ] else [ 1; 24; 72 ]
+  in
+  let key_ranges =
+    if quick then [ 50; 2_000 ] else Vbl_harness.Workload.paper_key_ranges
+  in
+  let panels =
+    Vbl_harness.Sweep.figure4 ~thread_counts ~key_ranges sim_engine ~seed
+  in
+  print_endline (Vbl_harness.Report.render_figure4 sim_engine panels);
+  print_newline ()
+
+let headlines () =
+  print_endline "== Headline ratios ==";
+  print_endline
+    (Vbl_harness.Report.render_headlines
+       (Vbl_harness.Sweep.headlines ~threads:72 sim_engine ~seed));
+  print_newline ()
+
+(* The whole list family on one contended workload: where each synchroni-
+   sation strategy lands between coarse locking and VBL. *)
+let family_sweep () =
+  print_endline "== Extended family: every list algorithm, 20% updates, range 50 ==";
+  print_newline ();
+  let points =
+    Vbl_harness.Sweep.series sim_engine
+      ~algorithms:
+        [
+          "coarse";
+          "hand-over-hand";
+          "optimistic";
+          "lazy";
+          "harris-michael";
+          "harris-michael-tagged";
+          "fomitchev-ruppert";
+          "vbl";
+        ]
+      ~thread_counts:(if quick then [ 1; 24 ] else [ 1; 8; 24; 48; 72 ])
+      ~update_percent:20 ~key_range:50 ~seed
+  in
+  print_endline
+    (Vbl_harness.Report.render_panel ~engine:sim_engine ~title:"20% updates, key range 50"
+       points);
+  print_newline ()
+
+(* The paper's future-work direction: does value-aware validation help a
+   skip list the way it helps a list?  (See lib/skiplists/vbl_skiplist.ml
+   for why the expected gap is small.) *)
+let skiplist_sweep () =
+  print_endline "== Extension: skip lists (paper §5 future work) ==";
+  print_newline ();
+  List.iter
+    (fun (update, range) ->
+      let points =
+        Vbl_harness.Sweep.series sim_engine
+          ~algorithms:[ "lazy-skiplist"; "vbl-skiplist"; "lockfree-skiplist"; "vbl" ]
+          ~thread_counts:(if quick then [ 1; 24 ] else [ 1; 8; 24; 48; 72 ])
+          ~update_percent:update ~key_range:range ~seed
+      in
+      print_endline
+        (Vbl_harness.Report.render_panel ~engine:sim_engine
+           ~title:(Printf.sprintf "%d%% updates, key range %d" update range)
+           points);
+      print_newline ())
+    [ (20, 50); (100, 50); (20, 2_000) ]
+
+(* The other future-work direction: the external BST with VBL-style
+   value-aware synchronisation vs its coarse-locked anchor. *)
+let tree_sweep () =
+  print_endline "== Extension: external BSTs (paper §5 future work) ==";
+  print_newline ();
+  List.iter
+    (fun (update, range) ->
+      let points =
+        Vbl_harness.Sweep.series sim_engine
+          ~algorithms:[ "coarse-bst"; "vbl-bst"; "vbl-skiplist"; "vbl" ]
+          ~thread_counts:(if quick then [ 1; 24 ] else [ 1; 8; 24; 48; 72 ])
+          ~update_percent:update ~key_range:range ~seed
+      in
+      print_endline
+        (Vbl_harness.Report.render_panel ~engine:sim_engine
+           ~title:(Printf.sprintf "%d%% updates, key range %d" update range)
+           points);
+      print_newline ())
+    [ (20, 200); (100, 200) ]
+
+(* Hot-key appendix: zipfian keys concentrate traffic on the list prefix,
+   recreating small-range contention inside a large range — a synchrobench
+   workload family the paper leaves on the table. *)
+let zipf_sweep () =
+  print_endline "== Appendix: zipfian keys (s = 1.0), 20% updates, key range 2000 ==";
+  print_newline ();
+  let threads_list = if quick then [ 1; 24 ] else [ 1; 8; 24; 48; 72 ] in
+  let table =
+    Vbl_util.Table.create
+      [ "threads"; "lazy (ops/kcycle)"; "hm-tagged (ops/kcycle)"; "vbl (ops/kcycle)" ]
+  in
+  List.iter
+    (fun threads ->
+      let run name =
+        let impl = Vbl_harness.Sweep.find_instrumented name in
+        let r =
+          Vbl_sim.Sim_run.run impl
+            {
+              Vbl_sim.Sim_run.threads;
+              update_percent = 20;
+              key_range = 2_000;
+              horizon = (if quick then 120_000. else 250_000.);
+              seed;
+              zipf = Some 1.0;
+            }
+        in
+        Vbl_util.Table.si_cell r.Vbl_sim.Sim_run.throughput
+      in
+      Vbl_util.Table.add_row table
+        [ string_of_int threads; run "lazy"; run "harris-michael-tagged"; run "vbl" ])
+    threads_list;
+  print_endline (Vbl_util.Table.render table);
+  print_newline ()
+
+(* NUMA appendix: the same Figure 1 point under the paper's 4-socket
+   topology — cross-socket penalties hit the lock-handoff-heavy algorithms
+   hardest. *)
+let numa_sweep () =
+  print_endline "== Appendix: 4-socket NUMA topology, 20% updates, range 50 ==";
+  print_newline ();
+  let table =
+    Vbl_util.Table.create
+      [ "threads"; "topology"; "lazy (ops/kcycle)"; "vbl (ops/kcycle)" ]
+  in
+  let horizon = if quick then 30_000. else 60_000. in
+  List.iter
+    (fun threads ->
+      List.iter
+        (fun (tname, topology) ->
+          let run name =
+            let impl = Vbl_harness.Sweep.find_instrumented name in
+            let r =
+              Vbl_sim.Sim_run.run
+                ~costs:(Vbl_sim.Coherence.profile_exn machine)
+                ~topology impl
+                {
+                  Vbl_sim.Sim_run.threads;
+                  update_percent = 20;
+                  key_range = 50;
+                  horizon;
+                  seed;
+                  zipf = None;
+                }
+            in
+            Vbl_util.Table.si_cell r.Vbl_sim.Sim_run.throughput
+          in
+          Vbl_util.Table.add_row table
+            [ string_of_int threads; tname; run "lazy"; run "vbl" ])
+        [ ("flat", Vbl_sim.Coherence.flat); ("4-socket", Vbl_sim.Coherence.intel_topology) ])
+    (if quick then [ 24 ] else [ 24; 72 ]);
+  print_endline (Vbl_util.Table.render table);
+  print_newline ()
+
+let ablation_sweep () =
+  print_endline "== Ablation: value-aware pre-lock validation (vbl vs vbl-postlock) ==";
+  print_newline ();
+  let points =
+    Vbl_harness.Sweep.series sim_engine
+      ~algorithms:[ "vbl"; "vbl-postlock"; "vbl-versioned"; "lazy" ]
+      ~thread_counts:(if quick then [ 1; 24; 72 ] else [ 1; 8; 24; 48; 72 ])
+      ~update_percent:20 ~key_range:50 ~seed
+  in
+  print_endline
+    (Vbl_harness.Report.render_panel ~engine:sim_engine
+       ~title:"20% updates, key range 50" points);
+  print_newline ()
+
+let () =
+  Printf.printf "vbl benchmark harness (%s mode)\n\n"
+    (if quick then "quick" else if full then "full" else "default");
+  if not skip_micro then run_micro ();
+  if not skip_figures then begin
+    figure1 ();
+    figure4 ();
+    headlines ();
+    ablation_sweep ();
+    family_sweep ();
+    skiplist_sweep ();
+    tree_sweep ();
+    zipf_sweep ();
+    numa_sweep ()
+  end

@@ -1,0 +1,112 @@
+(* Ablation baseline: the VBL algorithm hand-specialised to Atomic.t, with
+   no memory-backend functor in the way.  Comparing this against
+   Vbl_lists.Registry.Vbl in the microbenchmarks quantifies the overhead of
+   the functor-over-MEM architecture (DESIGN.md §5) — the indirection is
+   uniform across algorithms, but it should also be small in absolute
+   terms, and this measures it. *)
+
+type node =
+  | Node of {
+      value : int;
+      next : node Atomic.t;
+      deleted : bool Atomic.t;
+      lock : Vbl_sync.Try_lock.t;
+    }
+  | Tail
+
+type t = { head : node }
+
+let node_value = function Node n -> n.value | Tail -> max_int
+let node_deleted = function Node n -> Atomic.get n.deleted | Tail -> false
+let node_lock = function Node n -> n.lock | Tail -> assert false
+let next_atomic = function Node n -> n.next | Tail -> assert false
+
+let create () =
+  {
+    head =
+      Node
+        {
+          value = min_int;
+          next = Atomic.make Tail;
+          deleted = Atomic.make false;
+          lock = Vbl_sync.Try_lock.create ();
+        };
+  }
+
+let waitfree_traversal t v prev =
+  let prev = if node_deleted prev then t.head else prev in
+  let rec loop prev curr =
+    if node_value curr < v then loop curr (Atomic.get (next_atomic curr)) else (prev, curr)
+  in
+  loop prev (Atomic.get (next_atomic prev))
+
+let lock_next_at node at =
+  Vbl_sync.Try_lock.lock (node_lock node);
+  if (not (node_deleted node)) && Atomic.get (next_atomic node) == at then true
+  else begin
+    Vbl_sync.Try_lock.unlock (node_lock node);
+    false
+  end
+
+let lock_next_at_value node v =
+  Vbl_sync.Try_lock.lock (node_lock node);
+  if (not (node_deleted node)) && node_value (Atomic.get (next_atomic node)) = v then true
+  else begin
+    Vbl_sync.Try_lock.unlock (node_lock node);
+    false
+  end
+
+let insert t v =
+  let rec attempt prev =
+    let prev, curr = waitfree_traversal t v prev in
+    if node_value curr = v then false
+    else begin
+      let x =
+        Node
+          {
+            value = v;
+            next = Atomic.make curr;
+            deleted = Atomic.make false;
+            lock = Vbl_sync.Try_lock.create ();
+          }
+      in
+      if lock_next_at prev curr then begin
+        Atomic.set (next_atomic prev) x;
+        Vbl_sync.Try_lock.unlock (node_lock prev);
+        true
+      end
+      else attempt prev
+    end
+  in
+  attempt t.head
+
+let remove t v =
+  let rec attempt prev =
+    let prev, curr = waitfree_traversal t v prev in
+    if node_value curr <> v then false
+    else begin
+      let next = Atomic.get (next_atomic curr) in
+      if not (lock_next_at_value prev v) then attempt prev
+      else begin
+        let curr = Atomic.get (next_atomic prev) in
+        if not (lock_next_at curr next) then begin
+          Vbl_sync.Try_lock.unlock (node_lock prev);
+          attempt prev
+        end
+        else begin
+          (match curr with Node n -> Atomic.set n.deleted true | Tail -> assert false);
+          Atomic.set (next_atomic prev) (Atomic.get (next_atomic curr));
+          Vbl_sync.Try_lock.unlock (node_lock curr);
+          Vbl_sync.Try_lock.unlock (node_lock prev);
+          true
+        end
+      end
+    end
+  in
+  attempt t.head
+
+let contains t v =
+  let rec loop curr =
+    if node_value curr < v then loop (Atomic.get (next_atomic curr)) else node_value curr = v
+  in
+  loop t.head

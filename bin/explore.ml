@@ -1,0 +1,75 @@
+(* explore — bounded model checking of an algorithm from the command line.
+
+     explore -a vbl --ops "insert 1, remove 2" --initial "2" [--preemptions 3]
+
+   Explores interleavings of the given operations on the instrumented
+   backend, checking every complete execution for linearizability (with the
+   sigma-bar contains-extension) and structural invariants.             *)
+
+let usage =
+  "usage: explore [-a ALGO] [--initial \"v1, v2\"] [--ops \"insert 1, remove 2\"]\n\
+  \               [--preemptions N|none] [--max-executions N]"
+
+let parse_ops s =
+  s |> String.split_on_char ','
+  |> List.filter_map (fun chunk ->
+         match String.split_on_char ' ' (String.trim chunk) with
+         | [ "" ] -> None
+         | [ "insert"; v ] -> Some (Vbl_sched.Ll_abstract.insert (int_of_string v))
+         | [ "remove"; v ] -> Some (Vbl_sched.Ll_abstract.remove (int_of_string v))
+         | [ "contains"; v ] -> Some (Vbl_sched.Ll_abstract.contains (int_of_string v))
+         | _ -> failwith ("cannot parse operation: " ^ chunk))
+
+let parse_ints s =
+  s |> String.split_on_char ','
+  |> List.filter_map (fun x ->
+         let x = String.trim x in
+         if x = "" then None else Some (int_of_string x))
+
+let () =
+  let algo = ref "vbl" in
+  let initial = ref "" in
+  let ops = ref "insert 1, insert 2" in
+  let preemptions = ref "3" in
+  let max_executions = ref 200_000 in
+  let spec =
+    [
+      ("-a", Arg.Set_string algo, "algorithm (default vbl)");
+      ("--initial", Arg.Set_string initial, "initial values, comma-separated");
+      ("--ops", Arg.Set_string ops, "operations, e.g. \"insert 1, remove 2\"");
+      ("--preemptions", Arg.Set_string preemptions, "preemption bound, or 'none'");
+      ("--max-executions", Arg.Set_int max_executions, "execution cap");
+    ]
+  in
+  Arg.parse spec (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) usage;
+  let impl = Vbl_harness.Sweep.find_instrumented !algo in
+  let ops = parse_ops !ops in
+  let initial = parse_ints !initial in
+  let config =
+    {
+      Vbl_sched.Explore.max_executions = !max_executions;
+      preemption_bound = (if !preemptions = "none" then None else Some (int_of_string !preemptions));
+      max_steps = 20_000;
+    }
+  in
+  Format.printf "exploring %s: initial {%s}, ops [%a], preemption bound %s@." !algo
+    (String.concat ", " (List.map string_of_int initial))
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+       Vbl_sched.Ll_abstract.pp_opspec)
+    ops !preemptions;
+  let scenario = Vbl_sched.Drive.explore_scenario impl ~initial ~ops in
+  let started = Unix.gettimeofday () in
+  let report = Vbl_sched.Explore.run ~config scenario in
+  let dt = Unix.gettimeofday () -. started in
+  Printf.printf "executions explored : %d%s  (%.2fs)\n" report.Vbl_sched.Explore.executions
+    (if report.Vbl_sched.Explore.truncated then " (truncated)" else "")
+    dt;
+  match report.Vbl_sched.Explore.failure with
+  | None -> print_endline "verdict             : all explored executions linearizable"
+  | Some f ->
+      Format.printf "verdict             : FAILURE@.%a@." Vbl_sched.Explore.pp_failure f;
+      Printf.printf "schedule            : [%s]\n"
+        (String.concat "; "
+           (List.map string_of_int (Vbl_sched.Explore.failure_schedule f)));
+      exit 1

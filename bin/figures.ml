@@ -1,0 +1,112 @@
+(* figures — regenerate the paper's evaluation figures as tables.
+
+     figures fig1                     simulated engine, paper thread sweep
+     figures fig4                     simulated engine, full 3x4 grid
+     figures headlines                the 1.6x ratios the paper quotes
+     figures all                      everything above
+     figures fig1 --engine real       real domains on this host instead
+
+   Options: --engine real|sim, --quick (coarser sweep), --csv (raw points),
+   --seed N.                                                              *)
+
+let parse_flags argv =
+  let engine = ref `Sim and quick = ref false and csv = ref false and seed = ref 42 in
+  let machine = ref "intel" in
+  let rest = ref [] in
+  let i = ref 1 in
+  let n = Array.length argv in
+  while !i < n do
+    (match argv.(!i) with
+    | "--engine" when !i + 1 < n ->
+        incr i;
+        engine := (match argv.(!i) with "real" -> `Real | "sim" -> `Sim | _ -> `Sim)
+    | "--machine" when !i + 1 < n ->
+        incr i;
+        machine := argv.(!i)
+    | "--quick" -> quick := true
+    | "--csv" -> csv := true
+    | "--seed" when !i + 1 < n ->
+        incr i;
+        seed := int_of_string argv.(!i)
+    | other -> rest := other :: !rest);
+    incr i
+  done;
+  (!engine, !quick, !csv, Int64.of_int !seed, !machine, List.rev !rest)
+
+let engine_of machine = function
+  | `Sim, quick ->
+      Vbl_harness.Sweep.simulated
+        ~costs:(Vbl_sim.Coherence.profile_exn machine)
+        ~horizon:(if quick then 40_000. else 100_000.)
+        ~trials:(if quick then 2 else 5)
+        ()
+  | `Real, quick ->
+      Vbl_harness.Sweep.Real
+        {
+          duration_s = (if quick then 0.3 else 1.0);
+          warmup_s = (if quick then 0.1 else 0.5);
+          trials = (if quick then 2 else 5);
+        }
+
+let thread_sweep engine quick =
+  match engine with
+  | Vbl_harness.Sweep.Real _ ->
+      (* Real scaling is bounded by this host's cores. *)
+      let cores = Domain.recommended_domain_count () in
+      List.sort_uniq compare (List.filter (fun t -> t <= max 2 (2 * cores)) [ 1; 2; 4; 8 ])
+  | Vbl_harness.Sweep.Simulated _ ->
+      if quick then [ 1; 8; 24; 48; 72 ] else [ 1; 4; 8; 16; 24; 32; 40; 48; 56; 64; 72 ]
+
+let fig1 engine quick csv seed =
+  let points = Vbl_harness.Sweep.figure1 ~thread_counts:(thread_sweep engine quick) engine ~seed in
+  if csv then print_endline (Vbl_harness.Report.points_csv points)
+  else begin
+    print_endline (Vbl_harness.Report.render_figure1 engine points);
+    print_newline ()
+  end
+
+let fig4 engine quick csv seed =
+  let thread_counts =
+    match engine with
+    | Vbl_harness.Sweep.Real _ -> thread_sweep engine quick
+    | Vbl_harness.Sweep.Simulated _ -> if quick then [ 1; 24; 72 ] else [ 1; 8; 24; 48; 72 ]
+  in
+  let key_ranges =
+    if quick then [ 50; 2_000 ] else Vbl_harness.Workload.paper_key_ranges
+  in
+  let panels = Vbl_harness.Sweep.figure4 ~thread_counts ~key_ranges engine ~seed in
+  if csv then
+    print_endline (Vbl_harness.Report.points_csv (List.concat_map snd panels))
+  else begin
+    print_endline (Vbl_harness.Report.render_figure4 engine panels);
+    print_newline ()
+  end
+
+let headlines engine _quick _csv seed =
+  let threads =
+    match engine with
+    | Vbl_harness.Sweep.Real _ -> max 2 (Domain.recommended_domain_count ())
+    | Vbl_harness.Sweep.Simulated _ -> 72
+  in
+  print_endline (Vbl_harness.Report.render_headlines (Vbl_harness.Sweep.headlines ~threads engine ~seed));
+  print_newline ()
+
+let () =
+  let engine_kind, quick, csv, seed, machine, targets = parse_flags Sys.argv in
+  let engine = engine_of machine (engine_kind, quick) in
+  if machine <> "intel" then Printf.printf "(machine profile: %s)\n\n" machine;
+  let targets = if targets = [] then [ "all" ] else targets in
+  List.iter
+    (fun target ->
+      match target with
+      | "fig1" -> fig1 engine quick csv seed
+      | "fig4" -> fig4 engine quick csv seed
+      | "headlines" -> headlines engine quick csv seed
+      | "all" ->
+          fig1 engine quick csv seed;
+          fig4 engine quick csv seed;
+          headlines engine quick csv seed
+      | other ->
+          Printf.eprintf "unknown target %S (fig1|fig4|headlines|all)\n" other;
+          exit 2)
+    targets

@@ -1,0 +1,112 @@
+(* synchrobench — benchmark one list algorithm under one workload, in the
+   style of the Synchrobench suite the paper uses (gramoli/synchrobench):
+
+     synchrobench -a vbl -t 8 -u 20 -r 2000 -d 2 -n 5
+     synchrobench --engine sim -a lazy -t 72 -u 20 -r 50
+
+   The real engine uses OCaml domains on this host; the sim engine runs the
+   same algorithm on the deterministic coherence-model multicore, which is
+   how thread counts beyond the physical core count stay meaningful. *)
+
+open Cmdliner
+
+let algorithms () =
+  List.map Vbl_lists.Registry.name Vbl_lists.Registry.all
+  @ List.map
+      (fun i ->
+        let module S = (val i : Vbl_lists.Set_intf.S) in
+        S.name)
+      (Vbl_skiplists.Registry.all @ Vbl_trees.Registry.all)
+
+let algo_arg =
+  let doc =
+    Printf.sprintf "Algorithm to benchmark. One of: %s."
+      (String.concat ", " (algorithms ()))
+  in
+  Arg.(value & opt string "vbl" & info [ "a"; "algorithm" ] ~docv:"ALGO" ~doc)
+
+let threads_arg =
+  Arg.(value & opt int 2 & info [ "t"; "threads" ] ~docv:"N" ~doc:"Number of threads.")
+
+let update_arg =
+  Arg.(
+    value & opt int 20
+    & info [ "u"; "update" ] ~docv:"PCT"
+        ~doc:"Update percentage: PCT/2 inserts, PCT/2 removes, rest contains.")
+
+let range_arg =
+  Arg.(
+    value & opt int 200
+    & info [ "r"; "range" ] ~docv:"RANGE" ~doc:"Keys are uniform in [1, RANGE].")
+
+let duration_arg =
+  Arg.(
+    value & opt float 1.0
+    & info [ "d"; "duration" ] ~docv:"SECONDS" ~doc:"Measured duration per trial (real engine).")
+
+let warmup_arg =
+  Arg.(value & opt float 0.5 & info [ "w"; "warmup" ] ~docv:"SECONDS" ~doc:"Warm-up time.")
+
+let trials_arg =
+  Arg.(value & opt int 5 & info [ "n"; "trials" ] ~docv:"N" ~doc:"Number of measured trials.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Deterministic workload seed.")
+
+let horizon_arg =
+  Arg.(
+    value & opt float 100_000.
+    & info [ "horizon" ] ~docv:"CYCLES" ~doc:"Simulated duration in cycles (sim engine).")
+
+let engine_arg =
+  let e = Arg.enum [ ("real", `Real); ("sim", `Sim) ] in
+  Arg.(
+    value & opt e `Real
+    & info [ "engine" ] ~docv:"ENGINE" ~doc:"Measurement engine: $(b,real) domains or $(b,sim).")
+
+let csv_arg = Arg.(value & flag & info [ "csv" ] ~doc:"Emit a CSV row instead of prose.")
+
+let run algo threads update range duration warmup trials seed horizon engine csv =
+  if not (List.mem algo (algorithms ())) then begin
+    Printf.eprintf "unknown algorithm %S; known: %s\n" algo
+      (String.concat ", " (algorithms ()));
+    exit 2
+  end;
+  let seed = Int64.of_int seed in
+  let engine_v =
+    match engine with
+    | `Real -> Vbl_harness.Sweep.Real { duration_s = duration; warmup_s = warmup; trials }
+    | `Sim -> Vbl_harness.Sweep.simulated ~horizon ~trials ()
+  in
+  let point =
+    Vbl_harness.Sweep.measure engine_v ~algorithm:algo ~threads ~update_percent:update
+      ~key_range:range ~seed
+  in
+  let s = point.Vbl_harness.Sweep.throughput in
+  if csv then
+    Printf.printf "%s,%d,%d,%d,%s,%.4f,%.4f\n" algo threads update range
+      (Vbl_harness.Report.engine_name engine_v)
+      s.Vbl_util.Stats.mean s.Vbl_util.Stats.stddev
+  else begin
+    Printf.printf "algorithm        : %s\n" algo;
+    Printf.printf "engine           : %s\n" (Vbl_harness.Report.engine_name engine_v);
+    Printf.printf "threads          : %d\n" threads;
+    Printf.printf "workload         : %d%% updates, key range %d\n" update range;
+    Printf.printf "trials           : %d\n" s.Vbl_util.Stats.n;
+    Printf.printf "throughput       : %s %s (stddev %s, min %s, max %s)\n"
+      (Vbl_util.Table.si_cell s.Vbl_util.Stats.mean)
+      (Vbl_harness.Report.engine_unit engine_v)
+      (Vbl_util.Table.si_cell s.Vbl_util.Stats.stddev)
+      (Vbl_util.Table.si_cell s.Vbl_util.Stats.min)
+      (Vbl_util.Table.si_cell s.Vbl_util.Stats.max)
+  end
+
+let cmd =
+  let doc = "synchrobench-style benchmark for the list-based set family" in
+  Cmd.v
+    (Cmd.info "synchrobench" ~doc)
+    Term.(
+      const run $ algo_arg $ threads_arg $ update_arg $ range_arg $ duration_arg $ warmup_arg
+      $ trials_arg $ seed_arg $ horizon_arg $ engine_arg $ csv_arg)
+
+let () = exit (Cmd.eval cmd)

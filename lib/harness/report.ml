@@ -1,0 +1,94 @@
+(** Rendering sweep results as the tables the paper's figures plot.
+
+    Each figure panel becomes one table: rows are thread counts, one
+    throughput column per algorithm, plus the VBL-over-baseline ratios that
+    the paper's prose quotes. *)
+
+let engine_unit = function
+  | Sweep.Real _ -> "ops/s"
+  | Sweep.Simulated _ -> "ops/kcycle"
+
+let engine_name = function
+  | Sweep.Real _ -> "real-domains"
+  | Sweep.Simulated _ -> "simulated-multicore"
+
+(** Pivot a series into a table: one row per thread count. *)
+let panel_table ~unit (points : Sweep.point list) =
+  let algorithms =
+    List.sort_uniq compare (List.map (fun p -> p.Sweep.algorithm) points)
+  in
+  let thread_counts = List.sort_uniq compare (List.map (fun p -> p.Sweep.threads) points) in
+  let headers =
+    "threads"
+    :: List.concat_map (fun a -> [ a ^ " (" ^ unit ^ ")"; a ^ " ±" ]) algorithms
+  in
+  let table = Vbl_util.Table.create headers in
+  List.iter
+    (fun threads ->
+      let cells =
+        List.concat_map
+          (fun a ->
+            match
+              List.find_opt
+                (fun p -> p.Sweep.algorithm = a && p.Sweep.threads = threads)
+                points
+            with
+            | Some p ->
+                [
+                  Vbl_util.Table.si_cell p.Sweep.throughput.Vbl_util.Stats.mean;
+                  Vbl_util.Table.si_cell p.Sweep.throughput.Vbl_util.Stats.stddev;
+                ]
+            | None -> [ "-"; "-" ])
+          algorithms
+      in
+      Vbl_util.Table.add_row table (string_of_int threads :: cells))
+    thread_counts;
+  table
+
+let render_panel ~engine ~title points =
+  let table = panel_table ~unit:(engine_unit engine) points in
+  Printf.sprintf "%s [%s]\n%s" title (engine_name engine) (Vbl_util.Table.render table)
+
+let render_figure1 engine points = render_panel ~engine ~title:"Figure 1: 20% updates, key range 50" points
+
+let render_figure4 engine panels =
+  String.concat "\n\n"
+    (List.map
+       (fun ((update, range), points) ->
+         render_panel ~engine
+           ~title:(Printf.sprintf "Figure 4 panel: %d%% updates, key range %d" update range)
+           points)
+       panels)
+
+let render_headlines (h : Sweep.headlines) =
+  String.concat "\n"
+    [
+      Printf.sprintf "Headline ratios at %d threads:" h.Sweep.threads_used;
+      Printf.sprintf
+        "  VBL / Lazy            (20%% updates, range 50): %.2fx   (paper: 1.6x)"
+        h.Sweep.vbl_over_lazy_fig1;
+      Printf.sprintf
+        "  VBL / Harris-M. (AMR) (read-only,   range 200): %.2fx   (paper: up to 1.6x)"
+        h.Sweep.vbl_over_hm_amr_readonly;
+    ]
+
+(** CSV export of raw points for external plotting. *)
+let points_csv points =
+  let table =
+    Vbl_util.Table.create
+      [ "algorithm"; "threads"; "update_percent"; "key_range"; "mean"; "stddev"; "n" ]
+  in
+  List.iter
+    (fun (p : Sweep.point) ->
+      Vbl_util.Table.add_row table
+        [
+          p.Sweep.algorithm;
+          string_of_int p.Sweep.threads;
+          string_of_int p.Sweep.update_percent;
+          string_of_int p.Sweep.key_range;
+          Printf.sprintf "%.4f" p.Sweep.throughput.Vbl_util.Stats.mean;
+          Printf.sprintf "%.4f" p.Sweep.throughput.Vbl_util.Stats.stddev;
+          string_of_int p.Sweep.throughput.Vbl_util.Stats.n;
+        ])
+    points;
+  Vbl_util.Table.render_csv table

@@ -1,0 +1,20 @@
+(** Rendering sweep results as the tables the paper's figures plot: one
+    table per panel, rows = thread counts, one throughput (± stddev)
+    column pair per algorithm; plus CSV export for external plotting. *)
+
+val engine_unit : Sweep.engine -> string
+(** ["ops/s"] or ["ops/kcycle"]. *)
+
+val engine_name : Sweep.engine -> string
+
+val panel_table : unit:string -> Sweep.point list -> Vbl_util.Table.t
+
+val render_panel : engine:Sweep.engine -> title:string -> Sweep.point list -> string
+
+val render_figure1 : Sweep.engine -> Sweep.point list -> string
+
+val render_figure4 : Sweep.engine -> ((int * int) * Sweep.point list) list -> string
+
+val render_headlines : Sweep.headlines -> string
+
+val points_csv : Sweep.point list -> string

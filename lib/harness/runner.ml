@@ -1,0 +1,90 @@
+(** Real-thread benchmark runner: OCaml domains hammering one list instance
+    for a fixed wall-clock duration, synchrobench style.
+
+    The paper runs 5-second trials after a 5-second warm-up, five times.
+    Those defaults are kept but configurable — CI and the bundled bench use
+    shorter runs.  NOTE: this host may expose far fewer cores than the
+    paper's 72; real-thread scaling curves are then flat by construction,
+    which is why the bench harness pairs this runner with the simulated
+    engine (see {!Sweep}). *)
+
+type params = {
+  threads : int;
+  spec : Workload.spec;
+  duration_s : float;  (** measured run length per trial *)
+  warmup_s : float;  (** one warm-up before the trials *)
+  trials : int;
+  seed : int64;
+}
+
+let default_params =
+  {
+    threads = 2;
+    spec = Workload.uniform ~update_percent:20 ~key_range:200;
+    duration_s = 1.0;
+    warmup_s = 0.5;
+    trials = 5;
+    seed = 42L;
+  }
+
+type trial = { ops : int; elapsed_s : float; throughput : float }
+
+type result = {
+  params : params;
+  trials_run : trial list;
+  throughput : Vbl_util.Stats.summary;  (** ops per second across trials *)
+  final_size : int;
+  invariants : (unit, string) Stdlib.result;
+}
+
+(* One timed phase: [threads] domains run ops until the stop flag flips. *)
+let timed_phase (type s) (module S : Vbl_lists.Set_intf.S with type t = s) (t : s) ~threads
+    ~spec ~duration_s ~rngs =
+  let stop = Atomic.make false in
+  let counts = Array.make threads 0 in
+  let worker i () =
+    let rng = rngs.(i) in
+    let n = ref 0 in
+    while not (Atomic.get stop) do
+      ignore (Workload.apply (module S) t (Workload.next rng spec));
+      incr n
+    done;
+    counts.(i) <- !n
+  in
+  let started = Unix.gettimeofday () in
+  let domains = List.init threads (fun i -> Domain.spawn (worker i)) in
+  Unix.sleepf duration_s;
+  Atomic.set stop true;
+  List.iter Domain.join domains;
+  let elapsed = Unix.gettimeofday () -. started in
+  (Array.fold_left ( + ) 0 counts, elapsed)
+
+let run (module S : Vbl_lists.Set_intf.S) params : result =
+  Workload.validate params.spec;
+  if params.threads < 1 then invalid_arg "Runner.run: threads must be >= 1";
+  if params.trials < 1 then invalid_arg "Runner.run: trials must be >= 1";
+  let master = Vbl_util.Rng.create ~seed:params.seed () in
+  let t = S.create () in
+  Workload.prepopulate (module S) t master params.spec;
+  let rngs = Array.init params.threads (fun _ -> Vbl_util.Rng.split master) in
+  if params.warmup_s > 0. then
+    ignore
+      (timed_phase (module S) t ~threads:params.threads ~spec:params.spec
+         ~duration_s:params.warmup_s ~rngs);
+  let trials_run =
+    List.init params.trials (fun _ ->
+        let ops, elapsed_s =
+          timed_phase (module S) t ~threads:params.threads ~spec:params.spec
+            ~duration_s:params.duration_s ~rngs
+        in
+        { ops; elapsed_s; throughput = float_of_int ops /. elapsed_s })
+  in
+  {
+    params;
+    trials_run;
+    throughput =
+      Vbl_util.Stats.summarize
+        (Array.of_list (List.map (fun (tr : trial) -> tr.throughput) trials_run));
+    final_size = S.size t;
+    invariants = S.check_invariants t;
+  }

@@ -1,0 +1,28 @@
+(** Real-thread benchmark runner: OCaml domains hammering one shared
+    instance for fixed wall-clock durations (the paper's 5 s × 5 trials
+    after a 5 s warm-up, durations configurable).  Scaling is bounded by
+    this host's physical cores — pair with the simulated engine for
+    thread sweeps (see {!Sweep}). *)
+
+type params = {
+  threads : int;
+  spec : Workload.spec;
+  duration_s : float;
+  warmup_s : float;
+  trials : int;
+  seed : int64;
+}
+
+val default_params : params
+
+type trial = { ops : int; elapsed_s : float; throughput : float }
+
+type result = {
+  params : params;
+  trials_run : trial list;
+  throughput : Vbl_util.Stats.summary;  (** ops/second across trials *)
+  final_size : int;
+  invariants : (unit, string) Stdlib.result;
+}
+
+val run : (module Vbl_lists.Set_intf.S) -> params -> result

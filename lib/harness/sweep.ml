@@ -1,0 +1,152 @@
+(** Parameter sweeps that regenerate the paper's figures.
+
+    Two engines produce the same series shape:
+    - [Real]: OCaml domains on this host (honest numbers, but scaling is
+      bounded by the physical core count);
+    - [Simulated]: the coherence-model multicore of [lib/sim], which is how
+      the 72-thread curves of Figures 1 and 4 are reproduced on small
+      hosts.  Simulated trials vary the seed. *)
+
+type engine =
+  | Real of { duration_s : float; warmup_s : float; trials : int }
+  | Simulated of { horizon : float; trials : int; costs : Vbl_sim.Coherence.costs }
+
+let simulated ?(costs = Vbl_sim.Coherence.default_costs) ~horizon ~trials () =
+  Simulated { horizon; trials; costs }
+
+type point = {
+  algorithm : string;
+  threads : int;
+  update_percent : int;
+  key_range : int;
+  throughput : Vbl_util.Stats.summary;
+      (** ops/second for [Real]; ops per 1000 simulated cycles for
+          [Simulated].  Units differ; only within-engine comparisons are
+          meaningful. *)
+}
+
+let point_mean p = p.throughput.Vbl_util.Stats.mean
+
+(* Algorithms may come from the list family or the skip-list/tree
+   extensions. *)
+let lookup registries algorithm =
+  List.find_opt
+    (fun i ->
+      let module S = (val i : Vbl_lists.Set_intf.S) in
+      S.name = algorithm)
+    (List.concat registries)
+
+let find_real algorithm =
+  match Vbl_lists.Registry.find algorithm with
+  | Some impl -> impl
+  | None -> (
+      match lookup [ Vbl_skiplists.Registry.all; Vbl_trees.Registry.all ] algorithm with
+      | Some impl -> impl
+      | None -> invalid_arg ("Sweep.find_real: unknown algorithm " ^ algorithm))
+
+let find_instrumented algorithm =
+  match
+    lookup
+      [ Vbl_skiplists.Registry.instrumented; Vbl_trees.Registry.instrumented ]
+      algorithm
+  with
+  | Some impl -> impl
+  | None -> Vbl_sched.Drive.find_instrumented algorithm
+
+let measure engine ~algorithm ~threads ~update_percent ~key_range ~seed =
+  let spec = Workload.uniform ~update_percent ~key_range in
+  let throughput =
+    match engine with
+    | Real { duration_s; warmup_s; trials } ->
+        let impl = find_real algorithm in
+        let r =
+          Runner.run impl
+            { Runner.threads; spec; duration_s; warmup_s; trials; seed }
+        in
+        r.Runner.throughput
+    | Simulated { horizon; trials; costs } ->
+        let impl = find_instrumented algorithm in
+        (* A traversal costs O(key_range) cycles, so a fixed horizon would
+           leave large-range runs with a handful of operations; stretch it
+           with the range (capped to keep simulation time sane).  Only
+           within-panel comparisons are meaningful anyway. *)
+        let horizon =
+          horizon *. Float.min 8. (Float.max 1. (float_of_int key_range /. 250.))
+        in
+        let samples =
+          Array.init trials (fun k ->
+              let r =
+                Vbl_sim.Sim_run.run ~costs impl
+                  {
+                    Vbl_sim.Sim_run.threads;
+                    update_percent;
+                    key_range;
+                    horizon;
+                    seed = Int64.add seed (Int64.of_int (k * 1009));
+                    zipf = None;
+                  }
+              in
+              r.Vbl_sim.Sim_run.throughput)
+        in
+        Vbl_util.Stats.summarize samples
+  in
+  { algorithm; threads; update_percent; key_range; throughput }
+
+(** One figure panel: every algorithm at every thread count, fixed
+    workload. *)
+let series engine ~algorithms ~thread_counts ~update_percent ~key_range ~seed =
+  List.concat_map
+    (fun algorithm ->
+      List.map
+        (fun threads ->
+          measure engine ~algorithm ~threads ~update_percent ~key_range ~seed)
+        thread_counts)
+    algorithms
+
+(* The algorithms the paper's figures plot. *)
+let paper_algorithms = [ "lazy"; "harris-michael-tagged"; "vbl" ]
+
+(** Figure 1: 20% updates, key range 50, Lazy vs VBL across the thread
+    sweep.  [thread_counts] defaults to the paper's x-axis up to 72. *)
+let figure1 ?(thread_counts = [ 1; 4; 8; 16; 24; 32; 40; 48; 56; 64; 72 ]) engine ~seed =
+  series engine
+    ~algorithms:[ "lazy"; "vbl" ]
+    ~thread_counts ~update_percent:20 ~key_range:50 ~seed
+
+(** Figure 4: the full 3-ratio x 4-range grid over the three measured
+    algorithms.  Returns one series per (update, range) panel. *)
+let figure4 ?(thread_counts = [ 1; 8; 24; 48; 72 ]) ?(update_ratios = Workload.paper_update_ratios)
+    ?(key_ranges = Workload.paper_key_ranges) engine ~seed =
+  List.concat_map
+    (fun update_percent ->
+      List.map
+        (fun key_range ->
+          ( (update_percent, key_range),
+            series engine ~algorithms:paper_algorithms ~thread_counts ~update_percent
+              ~key_range ~seed ))
+        key_ranges)
+    update_ratios
+
+(** Headline numbers the paper quotes: the VBL/Lazy ratio at the largest
+    thread count of Figure 1 (paper: 1.6x at 72 threads), and the
+    VBL/Harris-Michael-AMR ratio on the read-only workload (paper: up to
+    1.6x). *)
+type headlines = {
+  vbl_over_lazy_fig1 : float;
+  vbl_over_hm_amr_readonly : float;
+  threads_used : int;
+}
+
+let headlines ?(threads = 72) engine ~seed =
+  let at alg ~update ~range =
+    point_mean (measure engine ~algorithm:alg ~threads ~update_percent:update ~key_range:range ~seed)
+  in
+  let vbl_fig1 = at "vbl" ~update:20 ~range:50
+  and lazy_fig1 = at "lazy" ~update:20 ~range:50
+  and vbl_ro = at "vbl" ~update:0 ~range:200
+  and hm_ro = at "harris-michael" ~update:0 ~range:200 in
+  {
+    vbl_over_lazy_fig1 = vbl_fig1 /. lazy_fig1;
+    vbl_over_hm_amr_readonly = vbl_ro /. hm_ro;
+    threads_used = threads;
+  }

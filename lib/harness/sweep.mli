@@ -1,0 +1,72 @@
+(** Parameter sweeps regenerating the paper's figures, over two engines:
+    real domains on this host, or the coherence-model multicore (how the
+    72-thread curves are reproduced on small hosts).  Units differ between
+    engines; only within-engine comparisons are meaningful. *)
+
+type engine =
+  | Real of { duration_s : float; warmup_s : float; trials : int }
+  | Simulated of { horizon : float; trials : int; costs : Vbl_sim.Coherence.costs }
+
+val simulated :
+  ?costs:Vbl_sim.Coherence.costs -> horizon:float -> trials:int -> unit -> engine
+
+type point = {
+  algorithm : string;
+  threads : int;
+  update_percent : int;
+  key_range : int;
+  throughput : Vbl_util.Stats.summary;
+      (** ops/s for [Real]; ops per 1000 simulated cycles for [Simulated] *)
+}
+
+val point_mean : point -> float
+
+val find_real : string -> (module Vbl_lists.Set_intf.S)
+(** Algorithm lookup across the list family and the skip-list extension
+    (real backend). *)
+
+val find_instrumented : string -> (module Vbl_lists.Set_intf.S)
+
+val measure :
+  engine ->
+  algorithm:string ->
+  threads:int ->
+  update_percent:int ->
+  key_range:int ->
+  seed:int64 ->
+  point
+(** One data point.  Simulated horizons are stretched with the key range
+    (capped at 8x) so large-range points retain enough operations. *)
+
+val series :
+  engine ->
+  algorithms:string list ->
+  thread_counts:int list ->
+  update_percent:int ->
+  key_range:int ->
+  seed:int64 ->
+  point list
+(** One figure panel. *)
+
+val paper_algorithms : string list
+(** The three algorithms the paper's figures plot. *)
+
+val figure1 : ?thread_counts:int list -> engine -> seed:int64 -> point list
+(** Figure 1: lazy vs vbl, 20% updates, key range 50. *)
+
+val figure4 :
+  ?thread_counts:int list ->
+  ?update_ratios:int list ->
+  ?key_ranges:int list ->
+  engine ->
+  seed:int64 ->
+  ((int * int) * point list) list
+(** Figure 4: one series per (update ratio, key range) panel. *)
+
+type headlines = {
+  vbl_over_lazy_fig1 : float;  (** paper: 1.6x at 72 threads *)
+  vbl_over_hm_amr_readonly : float;  (** paper: up to 1.6x *)
+  threads_used : int;
+}
+
+val headlines : ?threads:int -> engine -> seed:int64 -> headlines

@@ -1,0 +1,60 @@
+(** Synchrobench workload specification (paper §4, "Experimental
+    methodology").
+
+    A workload of x% updates issues x/2% inserts, x/2% removes and
+    (100-x)% contains, with keys drawn uniformly from [1, key_range].
+    Under this mix the list's steady-state size is about half the range,
+    matching a pre-population that includes each key with probability ½. *)
+
+type distribution = Uniform | Zipfian of Vbl_util.Zipf.t
+
+type spec = { update_percent : int; key_range : int; distribution : distribution }
+
+(** The paper's workloads: uniform keys. *)
+let uniform ~update_percent ~key_range = { update_percent; key_range; distribution = Uniform }
+
+(** Synchrobench-style skewed keys: P(k) proportional to 1/k^s. *)
+let zipfian ?s ~update_percent ~key_range () =
+  {
+    update_percent;
+    key_range;
+    distribution = Zipfian (Vbl_util.Zipf.create ?s ~n:key_range ());
+  }
+
+let validate { update_percent; key_range; _ } =
+  if update_percent < 0 || update_percent > 100 then
+    invalid_arg "Workload: update_percent must be in [0, 100]";
+  if key_range < 1 then invalid_arg "Workload: key_range must be >= 1"
+
+type op = Insert of int | Remove of int | Contains of int
+
+let draw_key rng spec =
+  match spec.distribution with
+  | Uniform -> 1 + Vbl_util.Rng.int rng spec.key_range
+  | Zipfian z -> Vbl_util.Zipf.sample z rng
+
+(** Draw the next operation.  The update split uses the parity of the same
+    roll, so insert/remove stay balanced at every update ratio. *)
+let next rng spec =
+  let v = draw_key rng spec in
+  let roll = Vbl_util.Rng.int rng 100 in
+  if roll < spec.update_percent then if roll mod 2 = 0 then Insert v else Remove v
+  else Contains v
+
+(** Pre-populate [t]: each key present with probability ½, inserted in a
+    shuffled order — ascending insertion would hand the unbalanced
+    external BST a degenerate spine and bias the comparison. *)
+let prepopulate (type s) (module S : Vbl_lists.Set_intf.S with type t = s) (t : s) rng spec =
+  let keys = Array.init spec.key_range (fun i -> i + 1) in
+  Vbl_util.Rng.shuffle rng keys;
+  Array.iter (fun v -> if Vbl_util.Rng.bool rng then ignore (S.insert t v)) keys
+
+let apply (type s) (module S : Vbl_lists.Set_intf.S with type t = s) (t : s) = function
+  | Insert v -> S.insert t v
+  | Remove v -> S.remove t v
+  | Contains v -> S.contains t v
+
+(** The paper's grid: update ratios 0/20/100, key ranges 50/200/2e3/2e4. *)
+let paper_update_ratios = [ 0; 20; 100 ]
+
+let paper_key_ranges = [ 50; 200; 2_000; 20_000 ]

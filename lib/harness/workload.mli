@@ -1,0 +1,35 @@
+(** Synchrobench workload specification (paper §4): x% updates split into
+    x/2 inserts and x/2 removes, the rest contains; uniform keys. *)
+
+type distribution = Uniform | Zipfian of Vbl_util.Zipf.t
+
+type spec = { update_percent : int; key_range : int; distribution : distribution }
+
+val uniform : update_percent:int -> key_range:int -> spec
+(** The paper's workloads: keys uniform over [1, key_range]. *)
+
+val zipfian : ?s:float -> update_percent:int -> key_range:int -> unit -> spec
+(** Synchrobench-style skewed keys, P(k) proportional to 1/k^s
+    (default s = 1). *)
+
+val validate : spec -> unit
+(** [Invalid_argument] on percentages outside [0,100] or ranges < 1. *)
+
+type op = Insert of int | Remove of int | Contains of int
+
+val draw_key : Vbl_util.Rng.t -> spec -> int
+
+val next : Vbl_util.Rng.t -> spec -> op
+(** Draw the next operation; insert/remove stay balanced at every ratio. *)
+
+val prepopulate :
+  (module Vbl_lists.Set_intf.S with type t = 's) -> 's -> Vbl_util.Rng.t -> spec -> unit
+(** Insert each key of the range with probability ½. *)
+
+val apply : (module Vbl_lists.Set_intf.S with type t = 's) -> 's -> op -> bool
+
+val paper_update_ratios : int list
+(** [0; 20; 100]. *)
+
+val paper_key_ranges : int list
+(** [50; 200; 2000; 20000]. *)

@@ -1,0 +1,29 @@
+(** Coarse-grained locking: the sequential list behind one global lock.
+
+    Not measured in the paper, but it is the zero-concurrency anchor of the
+    synchrobench family and gives the benchmark harness a lower bound:
+    every algorithm in this library should beat it as soon as there is any
+    parallelism to exploit. *)
+
+module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
+  module Seq = Seq_list.Make (M)
+
+  let name = "coarse"
+
+  type t = { lock : M.lock; inner : Seq.t }
+
+  let create () =
+    let line = M.fresh_line () in
+    { lock = M.make_lock ~name:"global.lock" ~line (); inner = Seq.create () }
+
+  let critical t f =
+    M.lock t.lock;
+    Fun.protect ~finally:(fun () -> M.unlock t.lock) f
+
+  let insert t v = critical t (fun () -> Seq.insert t.inner v)
+  let remove t v = critical t (fun () -> Seq.remove t.inner v)
+  let contains t v = critical t (fun () -> Seq.contains t.inner v)
+  let to_list t = Seq.to_list t.inner
+  let size t = Seq.size t.inner
+  let check_invariants t = Seq.check_invariants t.inner
+end

@@ -1,0 +1,4 @@
+(** Coarse-grained locking: the sequential list behind one global lock —
+    the zero-concurrency anchor of the family. *)
+
+module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S

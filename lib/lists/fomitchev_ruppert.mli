@@ -1,0 +1,5 @@
+(** The lock-free list of Fomitchev & Ruppert (PODC 2004), cited in the
+    paper's §5: flag/mark/backlink deletion protocol; failed operations
+    recover via backlinks instead of restarting from the head. *)
+
+module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S

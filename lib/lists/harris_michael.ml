@@ -1,0 +1,181 @@
+(** Harris-Michael lock-free list, AtomicMarkableReference variant.
+
+    This mirrors the Java implementation from Herlihy & Shavit ch. 9 that
+    the paper measures: each node's successor pointer and its logical
+    deletion mark live together in a separate immutable pair object (Java's
+    [AtomicMarkableReference]), swapped wholesale by CAS.  Reading the
+    successor therefore costs {e two} dependent loads — the cell, then the
+    pair — which is exactly the traversal overhead the paper blames for
+    Harris-Michael losing read-only workloads by up to 1.6x (§4,
+    "Comparison against Harris-Michael").  The instrumented backend charges
+    the second load via [M.touch] on the pair's own line.
+
+    Progress: lock-free updates, wait-free [contains].  A failed physical
+    unlink during [remove] is abandoned (the node stays logically deleted
+    and is reclaimed by a later traversal's helping), which is the behaviour
+    the paper's Figure 3 schedule exposes as concurrency-suboptimal. *)
+
+module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
+  let name = "harris-michael"
+
+  type node =
+    | Node of { value : int M.cell; amr : pair M.cell }
+    | Tail of { value : int M.cell }
+
+  (* The AtomicMarkableReference payload: immutable, one allocation per
+     link-state change, on its own coherence line. *)
+  and pair = { p_next : node; p_marked : bool; p_line : int }
+
+  type t = { head : node }
+
+  let amr_cell_exn = function Node n -> n.amr | Tail _ -> assert false
+
+  let make_pair next marked = { p_next = next; p_marked = marked; p_line = M.fresh_line () }
+
+  let make_node value next =
+    let nm = Naming.node value in
+    let line = M.fresh_line () in
+    M.new_node ~name:nm ~line;
+    Node
+      {
+        value = M.make ~name:(Naming.value_cell nm) ~line value;
+        amr = M.make ~name:(Naming.amr_cell nm) ~line (make_pair next false);
+      }
+
+  let create () =
+    let tl = M.fresh_line () in
+    let tail = Tail { value = M.make ~name:(Naming.value_cell Naming.tail) ~line:tl max_int } in
+    let hl = M.fresh_line () in
+    let head =
+      Node
+        {
+          value = M.make ~name:(Naming.value_cell Naming.head) ~line:hl min_int;
+          amr =
+            M.make ~name:(Naming.amr_cell Naming.head) ~line:hl
+              (make_pair tail false);
+        }
+    in
+    { head }
+
+  let check_key v =
+    if v = min_int || v = max_int then
+      invalid_arg "list-based set: key must be strictly between min_int and max_int"
+
+  (* Michael's find: locate the first unmarked node with value >= v,
+     physically unlinking every marked node encountered on the way; a failed
+     helping CAS restarts from the head.  Returns
+     (prev, prev_pair-as-read, curr, curr value). *)
+  let rec find t v =
+    let rec advance prev prev_pair curr =
+      match curr with
+      | Tail _ -> (prev, prev_pair, curr, max_int)
+      | Node n ->
+          let curr_pair = M.get n.amr in
+          M.touch ~line:curr_pair.p_line ~name:"pair";
+          if curr_pair.p_marked then begin
+            (* Help unlink the logically deleted [curr]. *)
+            let replacement = make_pair curr_pair.p_next false in
+            if M.cas (amr_cell_exn prev) prev_pair replacement then
+              advance prev replacement curr_pair.p_next
+            else find t v
+          end
+          else begin
+            let cv = M.get n.value in
+            if cv >= v then (prev, prev_pair, curr, cv)
+            else advance curr curr_pair curr_pair.p_next
+          end
+    in
+    let head_pair = M.get (amr_cell_exn t.head) in
+    M.touch ~line:head_pair.p_line ~name:"pair";
+    advance t.head head_pair head_pair.p_next
+
+  let rec insert t v =
+    check_key v;
+    let prev, prev_pair, curr, cv = find t v in
+    if cv = v then false
+    else begin
+      let x = make_node v curr in
+      let linked = make_pair x false in
+      if M.cas (amr_cell_exn prev) prev_pair linked then true else insert t v
+    end
+
+  let rec remove t v =
+    check_key v;
+    let prev, prev_pair, curr, cv = find t v in
+    if cv <> v then false
+    else begin
+      let curr_pair = M.get (amr_cell_exn curr) in
+      M.touch ~line:curr_pair.p_line ~name:"pair";
+      if curr_pair.p_marked then remove t v
+      else begin
+        let marked = make_pair curr_pair.p_next true in
+        if not (M.cas (amr_cell_exn curr) curr_pair marked) then
+          (* Logical deletion failed (concurrent insert after curr or a
+             concurrent remove of curr): restart the operation. *)
+          remove t v
+        else begin
+          (* Physical unlink is best-effort; on failure the node is left for
+             a future traversal's helping step. *)
+          let unlinked = make_pair curr_pair.p_next false in
+          ignore (M.cas (amr_cell_exn prev) prev_pair unlinked);
+          true
+        end
+      end
+    end
+
+  (* Wait-free contains: traverse without helping, check the final mark. *)
+  let contains t v =
+    check_key v;
+    let rec loop curr =
+      match curr with
+      | Tail _ -> false
+      | Node n ->
+          let pair = M.get n.amr in
+          M.touch ~line:pair.p_line ~name:"pair";
+          let cv = M.get n.value in
+          if cv < v then loop pair.p_next else cv = v && not pair.p_marked
+    in
+    match t.head with
+    | Node n ->
+        let head_pair = M.get n.amr in
+        M.touch ~line:head_pair.p_line ~name:"pair";
+        loop head_pair.p_next
+    | Tail _ -> assert false
+
+  let fold f init t =
+    let rec loop acc node =
+      match node with
+      | Tail _ -> acc
+      | Node n ->
+          let pair = M.get n.amr in
+          let v = M.get n.value in
+          let keep = v <> min_int && not pair.p_marked in
+          let acc = if keep then f acc v else acc in
+          loop acc pair.p_next
+    in
+    loop init t.head
+
+  let to_list t = List.rev (fold (fun acc v -> v :: acc) [] t)
+  let size t = fold (fun acc _ -> acc + 1) 0 t
+
+  let check_invariants t =
+    let rec loop last node steps =
+      if steps > 10_000_000 then Error "traversal did not terminate (cycle?)"
+      else
+        match node with
+        | Tail n ->
+            if M.get n.value = max_int then Ok ()
+            else Error "tail sentinel does not store max_int"
+        | Node n ->
+            let v = M.get n.value in
+            let pair = M.get n.amr in
+            (* Marked nodes may legitimately remain linked (deferred
+               unlinking), but sortedness must hold across them. *)
+            if v <= last && steps > 0 then
+              Error (Printf.sprintf "values not strictly increasing at %d" v)
+            else loop v pair.p_next (steps + 1)
+    in
+    match t.head with
+    | Node n when M.get n.value = min_int -> loop min_int t.head 0
+    | _ -> Error "head sentinel does not store min_int"
+end

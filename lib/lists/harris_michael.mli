@@ -1,0 +1,6 @@
+(** Harris-Michael lock-free list, AtomicMarkableReference variant: the
+    successor pointer and deletion mark live in a separate immutable pair
+    object, costing an extra dependent load per hop — the traversal
+    overhead the paper measures against (§4). *)
+
+module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S

@@ -1,0 +1,160 @@
+(** Harris-Michael lock-free list, tagged-link variant (the "RTTI"
+    optimisation of §4).
+
+    The paper's fastest Harris-Michael build avoids the
+    AtomicMarkableReference indirection by letting run-time type information
+    carry the mark: the successor reference is an instance of either the
+    unmarked or the marked node subclass, so one load yields both the
+    successor and the logical-deletion state.  The OCaml analogue is a
+    two-constructor link type, [Live of node | Marked of node], in a single
+    CAS-able cell: one [M.get] per hop, no [touch], no separate pair line.
+
+    Algorithmically identical to {!Harris_michael}; only the link encoding
+    differs, which is exactly the ablation the paper performs. *)
+
+module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
+  let name = "harris-michael-tagged"
+
+  type node =
+    | Node of { value : int M.cell; link : link M.cell }
+    | Tail of { value : int M.cell }
+
+  (* [Live succ] — this node is present, successor is [succ].
+     [Marked succ] — this node is logically deleted; same successor. *)
+  and link = Live of node | Marked of node
+
+  type t = { head : node }
+
+  let link_cell_exn = function Node n -> n.link | Tail _ -> assert false
+
+  let make_node value next =
+    let nm = Naming.node value in
+    let line = M.fresh_line () in
+    M.new_node ~name:nm ~line;
+    Node
+      {
+        value = M.make ~name:(Naming.value_cell nm) ~line value;
+        link = M.make ~name:(Naming.next_cell nm) ~line (Live next);
+      }
+
+  let create () =
+    let tl = M.fresh_line () in
+    let tail = Tail { value = M.make ~name:(Naming.value_cell Naming.tail) ~line:tl max_int } in
+    let hl = M.fresh_line () in
+    let head =
+      Node
+        {
+          value = M.make ~name:(Naming.value_cell Naming.head) ~line:hl min_int;
+          link = M.make ~name:(Naming.next_cell Naming.head) ~line:hl (Live tail);
+        }
+    in
+    { head }
+
+  let check_key v =
+    if v = min_int || v = max_int then
+      invalid_arg "list-based set: key must be strictly between min_int and max_int"
+
+  (* Michael's find over tagged links; same structure as the AMR variant,
+     one load per hop. *)
+  let rec find t v =
+    let rec advance prev prev_link curr =
+      match curr with
+      | Tail _ -> (prev, prev_link, curr, max_int)
+      | Node n -> begin
+          match M.get n.link with
+          | Marked succ ->
+              let replacement = Live succ in
+              if M.cas (link_cell_exn prev) prev_link replacement then
+                advance prev replacement succ
+              else find t v
+          | Live succ as curr_link ->
+              let cv = M.get n.value in
+              if cv >= v then (prev, prev_link, curr, cv) else advance curr curr_link succ
+        end
+    in
+    match M.get (link_cell_exn t.head) with
+    | Live first as head_link -> advance t.head head_link first
+    | Marked _ -> assert false (* the head sentinel is never deleted *)
+
+  let rec insert t v =
+    check_key v;
+    let prev, prev_link, curr, cv = find t v in
+    if cv = v then false
+    else begin
+      let x = make_node v curr in
+      if M.cas (link_cell_exn prev) prev_link (Live x) then true else insert t v
+    end
+
+  let rec remove t v =
+    check_key v;
+    let prev, prev_link, curr, cv = find t v in
+    if cv <> v then false
+    else begin
+      match M.get (link_cell_exn curr) with
+      | Marked _ -> remove t v
+      | Live succ as curr_link ->
+          if not (M.cas (link_cell_exn curr) curr_link (Marked succ)) then remove t v
+          else begin
+            (* Best-effort physical unlink, as in the AMR variant. *)
+            ignore (M.cas (link_cell_exn prev) prev_link (Live succ));
+            true
+          end
+    end
+
+  let contains t v =
+    check_key v;
+    let rec loop curr =
+      match curr with
+      | Tail _ -> false
+      | Node n -> begin
+          match M.get n.link with
+          | Live succ ->
+              let cv = M.get n.value in
+              if cv < v then loop succ else cv = v
+          | Marked succ ->
+              (* A marked node is absent whatever its value. *)
+              let cv = M.get n.value in
+              if cv < v then loop succ else false
+        end
+    in
+    match M.get (link_cell_exn t.head) with
+    | Live first -> loop first
+    | Marked _ -> assert false
+
+  let link_parts = function Live succ -> (succ, false) | Marked succ -> (succ, true)
+
+  let fold f init t =
+    let rec loop acc node =
+      match node with
+      | Tail _ -> acc
+      | Node n ->
+          let succ, marked = link_parts (M.get n.link) in
+          let v = M.get n.value in
+          let keep = v <> min_int && not marked in
+          let acc = if keep then f acc v else acc in
+          loop acc succ
+    in
+    loop init t.head
+
+  let to_list t = List.rev (fold (fun acc v -> v :: acc) [] t)
+  let size t = fold (fun acc _ -> acc + 1) 0 t
+
+  let check_invariants t =
+    let rec loop last node steps =
+      if steps > 10_000_000 then Error "traversal did not terminate (cycle?)"
+      else
+        match node with
+        | Tail n ->
+            if M.get n.value = max_int then Ok ()
+            else Error "tail sentinel does not store max_int"
+        | Node n ->
+            let succ, _ = link_parts (M.get n.link) in
+            let v = M.get n.value in
+            if v <= last && steps > 0 then
+              Error (Printf.sprintf "values not strictly increasing at %d" v)
+            else loop v succ (steps + 1)
+    in
+    match t.head with
+    | Node n when M.get n.value = min_int -> loop min_int t.head 0
+    | _ -> Error "head sentinel does not store min_int"
+end

@@ -1,0 +1,5 @@
+(** Harris-Michael lock-free list, tagged-link variant — the OCaml
+    analogue of the paper's RTTI optimisation: one load per hop yields
+    both the successor and the logical-deletion state. *)
+
+module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S

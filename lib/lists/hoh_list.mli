@@ -1,0 +1,5 @@
+(** Fine-grained hand-over-hand (lock-coupling) list: every traversal
+    holds at most two locks, acquiring ahead before releasing behind
+    (Herlihy & Shavit ch. 9.5). *)
+
+module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S

@@ -1,0 +1,163 @@
+(** The Lazy Linked List of Heller et al. (OPODIS 2006) — the paper's main
+    lock-based baseline.
+
+    Removal is split into a logical step (setting the node's [marked] flag)
+    and a physical unlink, which buys an O(1) validation — [prev] and
+    [curr] unmarked and still adjacent — instead of the optimistic list's
+    re-traversal, and a wait-free [contains].
+
+    The concurrency-suboptimality the paper exploits (its Figure 2) is kept
+    faithfully: {e both} update operations lock [prev] and [curr] {e before}
+    checking whether the value is even present, so an [insert] of an
+    already-present value and a [remove] of an absent value still contend on
+    the locks.  The traversal restarts from the head on every validation
+    failure, also as in the original algorithm. *)
+
+module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
+  let name = "lazy"
+
+  type node =
+    | Node of {
+        value : int M.cell;
+        next : node M.cell;
+        marked : bool M.cell;
+        lock : M.lock;
+      }
+    | Tail of { value : int M.cell; marked : bool M.cell; lock : M.lock }
+
+  type t = { head : node }
+
+  let node_value = function Node n -> M.get n.value | Tail n -> M.get n.value
+  let node_marked = function Node n -> M.get n.marked | Tail n -> M.get n.marked
+  let node_lock = function Node n -> n.lock | Tail n -> n.lock
+  let next_cell_exn = function Node n -> n.next | Tail _ -> assert false
+
+  let make_node value next =
+    let nm = Naming.node value in
+    let line = M.fresh_line () in
+    M.new_node ~name:nm ~line;
+    Node
+      {
+        value = M.make ~name:(Naming.value_cell nm) ~line value;
+        next = M.make ~name:(Naming.next_cell nm) ~line next;
+        marked = M.make ~name:(Naming.deleted_cell nm) ~line false;
+        lock = M.make_lock ~name:(Naming.lock_cell nm) ~line ();
+      }
+
+  let make_sentinel value =
+    let nm = Naming.node value in
+    let line = M.fresh_line () in
+    ( line,
+      M.make ~name:(Naming.value_cell nm) ~line value,
+      M.make ~name:(Naming.deleted_cell nm) ~line false,
+      M.make_lock ~name:(Naming.lock_cell nm) ~line () )
+
+  let create () =
+    let _, tv, tm, tlk = make_sentinel max_int in
+    let tail = Tail { value = tv; marked = tm; lock = tlk } in
+    let hl, hv, hm, hlk = make_sentinel min_int in
+    let head =
+      Node
+        {
+          value = hv;
+          next = M.make ~name:(Naming.next_cell Naming.head) ~line:hl tail;
+          marked = hm;
+          lock = hlk;
+        }
+    in
+    { head }
+
+  let check_key v =
+    if v = min_int || v = max_int then
+      invalid_arg "list-based set: key must be strictly between min_int and max_int"
+
+  (* Wait-free traversal: ignores locks and marks entirely. *)
+  let locate t v =
+    let rec loop prev curr =
+      if node_value curr < v then loop curr (M.get (next_cell_exn curr)) else (prev, curr)
+    in
+    loop t.head (M.get (next_cell_exn t.head))
+
+  (* O(1) validation under both locks (Heller et al. fig. 4). *)
+  let validate prev curr =
+    (not (node_marked prev)) && (not (node_marked curr)) && M.get (next_cell_exn prev) == curr
+
+  (* Post-locking discipline, kept faithful: locks are taken before the
+     operation knows whether it will modify the list. *)
+  let rec with_locked_pair t v (k : node -> node -> int -> bool) =
+    let prev, curr = locate t v in
+    M.lock (node_lock prev);
+    M.lock (node_lock curr);
+    if validate prev curr then begin
+      let result = k prev curr (node_value curr) in
+      M.unlock (node_lock curr);
+      M.unlock (node_lock prev);
+      result
+    end
+    else begin
+      M.unlock (node_lock curr);
+      M.unlock (node_lock prev);
+      with_locked_pair t v k
+    end
+
+  let insert t v =
+    check_key v;
+    with_locked_pair t v (fun prev curr tval ->
+        if tval = v then false
+        else begin
+          M.set (next_cell_exn prev) (make_node v curr);
+          true
+        end)
+
+  let remove t v =
+    check_key v;
+    with_locked_pair t v (fun prev curr tval ->
+        if tval <> v then false
+        else begin
+          (match curr with Node n -> M.set n.marked true | Tail _ -> assert false);
+          M.set (next_cell_exn prev) (M.get (next_cell_exn curr));
+          true
+        end)
+
+  let contains t v =
+    check_key v;
+    let _, curr = locate t v in
+    node_value curr = v && not (node_marked curr)
+
+  let fold f init t =
+    let rec loop acc node =
+      match node with
+      | Tail _ -> acc
+      | Node n ->
+          let v = M.get n.value in
+          let keep = v <> min_int && not (M.get n.marked) in
+          let acc = if keep then f acc v else acc in
+          loop acc (M.get n.next)
+    in
+    loop init t.head
+
+  let to_list t = List.rev (fold (fun acc v -> v :: acc) [] t)
+  let size t = fold (fun acc _ -> acc + 1) 0 t
+
+  let check_invariants t =
+    let rec loop last node steps =
+      if steps > 10_000_000 then Error "traversal did not terminate (cycle?)"
+      else
+        match node with
+        | Tail n ->
+            if M.get n.value <> max_int then Error "tail sentinel does not store max_int"
+            else if M.get n.marked then Error "tail sentinel is marked"
+            else Ok ()
+        | Node n ->
+            let v = M.get n.value in
+            if v <= last && steps > 0 then
+              Error (Printf.sprintf "values not strictly increasing at %d" v)
+            else if steps > 0 && M.get n.marked then
+              (* At quiescence every marked node has also been unlinked. *)
+              Error (Printf.sprintf "marked node %d still reachable" v)
+            else loop v (M.get n.next) (steps + 1)
+    in
+    match t.head with
+    | Node n when M.get n.value = min_int -> loop min_int t.head 0
+    | _ -> Error "head sentinel does not store min_int"
+end

@@ -1,0 +1,6 @@
+(** The Lazy Linked List of Heller et al. (OPODIS 2006): logical deletion
+    + O(1) post-lock validation + wait-free contains.  The paper's main
+    lock-based baseline, kept faithful including the discipline its
+    Figure 2 faults: updates lock before checking value presence. *)
+
+module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S

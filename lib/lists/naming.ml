@@ -1,0 +1,22 @@
+(** Step-name conventions shared by all instrumented list algorithms.
+
+    The paper's schedule figures write [h] for the head sentinel, [X_i] for
+    the node storing value [i], and [new(X_i)] for node creation.  Every
+    algorithm names its cells with these helpers so schedule scripts
+    (lib/sched) can refer to implementation steps in the paper's own
+    vocabulary. *)
+
+let head = "h"
+let tail = "t"
+
+let node value =
+  if value = min_int then head
+  else if value = max_int then tail
+  else "X" ^ string_of_int value
+
+let value_cell n = n ^ ".val"
+let next_cell n = n ^ ".next"
+let deleted_cell n = n ^ ".del"
+let lock_cell n = n ^ ".lock"
+let amr_cell n = n ^ ".amr"
+let amr_pair n = n ^ ".pair"

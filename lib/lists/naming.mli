@@ -1,0 +1,16 @@
+(** Step-name conventions shared by all instrumented list algorithms: the
+    paper writes [h] for the head, [X_i] for the node storing value [i].
+    Schedule scripts refer to implementation steps through these names. *)
+
+val head : string
+val tail : string
+
+val node : int -> string
+(** ["h"], ["t"], or ["X<value>"]. *)
+
+val value_cell : string -> string
+val next_cell : string -> string
+val deleted_cell : string -> string
+val lock_cell : string -> string
+val amr_cell : string -> string
+val amr_pair : string -> string

@@ -1,0 +1,5 @@
+(** Optimistic locking list (Herlihy & Shavit ch. 9.6): lock-free
+    traversal, lock the candidate pair, validate by re-traversal from the
+    head. *)
+
+module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S

@@ -1,0 +1,56 @@
+(** First-class-module registry of every algorithm instantiated on the real
+    (Atomic) backend.  This is what the CLI, the examples and the benchmark
+    harness select implementations from. *)
+
+module R = Vbl_memops.Real_mem
+
+module Sequential = Seq_list.Make (R)
+module Coarse = Coarse_list.Make (R)
+module Hand_over_hand = Hoh_list.Make (R)
+module Optimistic = Optimistic_list.Make (R)
+module Lazy = Lazy_list.Make (R)
+module Harris_michael_amr = Harris_michael.Make (R)
+module Harris_michael_rtti = Harris_michael_tagged.Make (R)
+module Fomitchev_ruppert_list = Fomitchev_ruppert.Make (R)
+module Vbl = Vbl_list.Make (R)
+module Vbl_postlock_ablation = Vbl_postlock.Make (R)
+module Vbl_versioned_variant = Vbl_versioned.Make (R)
+
+type impl = (module Set_intf.S)
+
+(* Concurrency-safe implementations, in roughly increasing concurrency
+   order.  The sequential list is deliberately excluded: it is only correct
+   single-threaded (it exists to define schedules, §2.2). *)
+let concurrent : impl list =
+  [
+    (module Coarse);
+    (module Hand_over_hand);
+    (module Optimistic);
+    (module Lazy);
+    (module Harris_michael_amr);
+    (module Harris_michael_rtti);
+    (module Fomitchev_ruppert_list);
+    (module Vbl_postlock_ablation);
+    (module Vbl_versioned_variant);
+    (module Vbl);
+  ]
+
+let all : impl list = (module Sequential : Set_intf.S) :: concurrent
+
+(* The three algorithms the paper's Figures 1 and 4 measure. *)
+let measured : impl list =
+  [ (module Lazy); (module Harris_michael_rtti); (module Vbl) ]
+
+let name (impl : impl) =
+  let module I = (val impl) in
+  I.name
+
+let find nm : impl option = List.find_opt (fun i -> name i = nm) all
+
+let find_exn nm =
+  match find nm with
+  | Some i -> i
+  | None ->
+      invalid_arg
+        (Printf.sprintf "unknown algorithm %S (known: %s)" nm
+           (String.concat ", " (List.map name all)))

@@ -1,0 +1,34 @@
+(** First-class-module registry of every algorithm instantiated on the
+    real (Atomic) backend — what the CLI, examples and benchmarks select
+    implementations from. *)
+
+module Sequential : Set_intf.S
+module Coarse : Set_intf.S
+module Hand_over_hand : Set_intf.S
+module Optimistic : Set_intf.S
+module Lazy : Set_intf.S
+module Harris_michael_amr : Set_intf.S
+module Harris_michael_rtti : Set_intf.S
+module Fomitchev_ruppert_list : Set_intf.S
+module Vbl : Set_intf.S
+module Vbl_postlock_ablation : Set_intf.S
+module Vbl_versioned_variant : Set_intf.S
+
+type impl = (module Set_intf.S)
+
+val concurrent : impl list
+(** Every concurrency-safe implementation, in roughly increasing
+    concurrency order.  Excludes the sequential list. *)
+
+val all : impl list
+(** [concurrent] plus the sequential list. *)
+
+val measured : impl list
+(** The three algorithms the paper's figures measure. *)
+
+val name : impl -> string
+
+val find : string -> impl option
+
+val find_exn : string -> impl
+(** [Invalid_argument] listing known names on failure. *)

@@ -1,0 +1,5 @@
+(** The sequential sorted linked list [LL] (paper Algorithm 1) — the
+    reference implementation whose interleavings define schedules (§2.2).
+    Not safe for concurrent use; that is the point. *)
+
+module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S

@@ -1,0 +1,50 @@
+(** The list-based set interface shared by every algorithm in this library.
+
+    All implementations store integers strictly between [min_int] and
+    [max_int]; the two extremes are reserved for the head and tail sentinels
+    (the paper's -inf / +inf).  Operations follow the sequential
+    specification of the paper's §2.1:
+
+    - [insert t v] returns [true] iff [v] was absent, and makes it present;
+    - [remove t v] returns [true] iff [v] was present, and makes it absent;
+    - [contains t v] returns [true] iff [v] is present.
+
+    [to_list], [size] and [check_invariants] are test/diagnostic helpers and
+    are only meaningful at quiescence (no concurrent operations). *)
+
+module type S = sig
+  type t
+
+  val name : string
+  (** Short identifier used by the CLI, the registry and benchmark output,
+      e.g. ["vbl"], ["lazy"], ["harris-michael"]. *)
+
+  val create : unit -> t
+  (** A fresh empty set: head and tail sentinels only. *)
+
+  val insert : t -> int -> bool
+
+  val remove : t -> int -> bool
+
+  val contains : t -> int -> bool
+
+  val to_list : t -> int list
+  (** Present values in ascending order.  Quiescent use only: the traversal
+      takes no locks and applies the algorithm's own notion of presence
+      (e.g. it skips logically deleted nodes). *)
+
+  val size : t -> int
+  (** [List.length (to_list t)], computed without building the list. *)
+
+  val check_invariants : t -> (unit, string) result
+  (** Structural sanity at quiescence: sentinel values intact, strictly
+      sorted reachable values, termination at the tail sentinel, and
+      algorithm-specific conditions (e.g. VBL: no reachable node is marked
+      deleted; lazy/Harris lists tolerate reachable marked nodes only where
+      their semantics allow it).  [Error msg] pinpoints the violation. *)
+end
+
+(** All algorithms are functors over the memory backend, so the same source
+    runs under benchmarks ({!Real_mem}) and under deterministic schedule
+    control ({!Instr_mem}). *)
+module type MAKER = functor (M : Vbl_memops.Mem_intf.S) -> S

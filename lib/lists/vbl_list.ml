@@ -1,0 +1,208 @@
+(** The Value-Based List (VBL) — the paper's contribution (§3, Algorithm 2).
+
+    Ingredients, each kept faithful to the pseudo-code:
+
+    - {b wait-free traversal} ([waitfreeTraversal]) that ignores locks and
+      marks, restarts from its own [prev] rather than the head, and falls
+      back to the head only if [prev] itself got deleted (lines 14-21);
+    - {b value checks before any locking}: an [insert] of a present value
+      and a [remove] of an absent value return without touching a lock
+      (lines 25 and 36) — the property that makes the algorithm accept the
+      schedules the lazy list rejects;
+    - the {b value-aware try-lock} of §3.1: [lock_next_at] validates
+      adjacency by {e identity} and [lock_next_at_value] by {e value}, both
+      after acquiring the node's lock and both releasing it on failure;
+    - {b logical deletion} ([deleted] flag, separate from the [next]
+      pointer as the paper advocates) followed by immediate physical unlink
+      under both locks (lines 44-45).
+
+    Progress: deadlock-free (locks are acquired in list order; an update
+    that keeps restarting implies other updates completed).  [contains] is
+    wait-free and, per the paper's pseudo-code (lines 9-13), does {e not}
+    consult the [deleted] flag: a logically deleted node still being
+    unlinked counts as present, which linearizes the [contains] before the
+    concurrent [remove]. *)
+
+module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
+  let name = "vbl"
+
+  type node =
+    | Node of {
+        value : int M.cell;
+        next : node M.cell;
+        deleted : bool M.cell;
+        lock : M.lock;
+      }
+    | Tail of { value : int M.cell; deleted : bool M.cell; lock : M.lock }
+
+  type t = { head : node }
+
+  let node_value = function Node n -> M.get n.value | Tail n -> M.get n.value
+  let node_deleted = function Node n -> M.get n.deleted | Tail n -> M.get n.deleted
+  let node_lock = function Node n -> n.lock | Tail n -> n.lock
+  let next_cell_exn = function Node n -> n.next | Tail _ -> assert false
+
+  let make_node value next =
+    let nm = Naming.node value in
+    let line = M.fresh_line () in
+    M.new_node ~name:nm ~line;
+    Node
+      {
+        value = M.make ~name:(Naming.value_cell nm) ~line value;
+        next = M.make ~name:(Naming.next_cell nm) ~line next;
+        deleted = M.make ~name:(Naming.deleted_cell nm) ~line false;
+        lock = M.make_lock ~name:(Naming.lock_cell nm) ~line ();
+      }
+
+  let create () =
+    let tl = M.fresh_line () in
+    let tail =
+      Tail
+        {
+          value = M.make ~name:(Naming.value_cell Naming.tail) ~line:tl max_int;
+          deleted = M.make ~name:(Naming.deleted_cell Naming.tail) ~line:tl false;
+          lock = M.make_lock ~name:(Naming.lock_cell Naming.tail) ~line:tl ();
+        }
+    in
+    let hl = M.fresh_line () in
+    let head =
+      Node
+        {
+          value = M.make ~name:(Naming.value_cell Naming.head) ~line:hl min_int;
+          next = M.make ~name:(Naming.next_cell Naming.head) ~line:hl tail;
+          deleted = M.make ~name:(Naming.deleted_cell Naming.head) ~line:hl false;
+          lock = M.make_lock ~name:(Naming.lock_cell Naming.head) ~line:hl ();
+        }
+    in
+    { head }
+
+  let check_key v =
+    if v = min_int || v = max_int then
+      invalid_arg "list-based set: key must be strictly between min_int and max_int"
+
+  (* Lines 14-21.  Restartable wait-free traversal: resumes from the
+     caller's previous position unless that node has since been deleted. *)
+  let waitfree_traversal t v prev =
+    let prev = if node_deleted prev then t.head else prev in
+    let rec loop prev curr =
+      if node_value curr < v then loop curr (M.get (next_cell_exn curr)) else (prev, curr)
+    in
+    loop prev (M.get (next_cell_exn prev))
+
+  (* §3.1 (1): lock [node], then require it undeleted and still pointing at
+     [at]; release and fail otherwise. *)
+  let lock_next_at node at =
+    M.lock (node_lock node);
+    if (not (node_deleted node)) && M.get (next_cell_exn node) == at then true
+    else begin
+      M.unlock (node_lock node);
+      false
+    end
+
+  (* §3.1 (2): lock [node], then require it undeleted and the {e value} of
+     its successor to still be [v]; release and fail otherwise. *)
+  let lock_next_at_value node v =
+    M.lock (node_lock node);
+    if (not (node_deleted node)) && node_value (M.get (next_cell_exn node)) = v then true
+    else begin
+      M.unlock (node_lock node);
+      false
+    end
+
+  (* Lines 22-32. *)
+  let insert t v =
+    check_key v;
+    let rec attempt prev =
+      let prev, curr = waitfree_traversal t v prev in
+      if node_value curr = v then false
+      else begin
+        let x = make_node v curr in
+        if lock_next_at prev curr then begin
+          M.set (next_cell_exn prev) x;
+          M.unlock (node_lock prev);
+          true
+        end
+        else attempt prev (* goto line 24 *)
+      end
+    in
+    attempt t.head
+
+  (* Lines 33-48. *)
+  let remove t v =
+    check_key v;
+    let rec attempt prev =
+      let prev, curr = waitfree_traversal t v prev in
+      if node_value curr <> v then false
+      else begin
+        let next = M.get (next_cell_exn curr) in
+        if not (lock_next_at_value prev v) then attempt prev (* goto line 35 *)
+        else begin
+          (* Line 40: re-read the successor under the lock; a concurrent
+             remove+insert of [v] may have replaced the node. *)
+          let curr = M.get (next_cell_exn prev) in
+          if not (lock_next_at curr next) then begin
+            M.unlock (node_lock prev);
+            attempt prev (* goto line 35 *)
+          end
+          else begin
+            (match curr with
+            | Node n -> M.set n.deleted true
+            | Tail _ -> assert false);
+            M.set (next_cell_exn prev) (M.get (next_cell_exn curr));
+            M.unlock (node_lock curr);
+            M.unlock (node_lock prev);
+            true
+          end
+        end
+      end
+    in
+    attempt t.head
+
+  (* Lines 9-13: value-only wait-free membership test. *)
+  let contains t v =
+    check_key v;
+    let rec loop curr =
+      if node_value curr < v then loop (M.get (next_cell_exn curr)) else node_value curr = v
+    in
+    loop t.head
+
+  let fold f init t =
+    let rec loop acc node =
+      match node with
+      | Tail _ -> acc
+      | Node n ->
+          let v = M.get n.value in
+          let keep = v <> min_int && not (M.get n.deleted) in
+          let acc = if keep then f acc v else acc in
+          loop acc (M.get n.next)
+    in
+    loop init t.head
+
+  let to_list t = List.rev (fold (fun acc v -> v :: acc) [] t)
+  let size t = fold (fun acc _ -> acc + 1) 0 t
+
+  let check_invariants t =
+    let rec loop last node steps =
+      if steps > 10_000_000 then Error "traversal did not terminate (cycle?)"
+      else
+        match node with
+        | Tail n ->
+            if M.get n.value <> max_int then Error "tail sentinel does not store max_int"
+            else if M.get n.deleted then Error "tail sentinel is marked deleted"
+            else Ok ()
+        | Node n ->
+            let v = M.get n.value in
+            if v <= last && steps > 0 then
+              Error (Printf.sprintf "values not strictly increasing at %d" v)
+            else if steps > 0 && M.get n.deleted then
+              (* VBL unlinks under the same lock pair that marks, so at
+                 quiescence no deleted node is reachable. *)
+              Error (Printf.sprintf "deleted node %d still reachable" v)
+            else if M.lock_held (node_lock node) then
+              Error (Printf.sprintf "node %d left locked" v)
+            else loop v (M.get n.next) (steps + 1)
+    in
+    match t.head with
+    | Node n when M.get n.value = min_int -> loop min_int t.head 0
+    | _ -> Error "head sentinel does not store min_int"
+end

@@ -1,0 +1,8 @@
+(** The Value-Based List (VBL) — the paper's contribution (§3,
+    Algorithm 2): wait-free traversal resuming from [prev], value checks
+    before any locking, the §3.1 value-aware try-lock
+    ([lockNextAt]/[lockNextAtValue]), and logical deletion with immediate
+    unlink.  Concurrency-optimal (Theorems 1-3); the executable evidence
+    lives in the sched test suite. *)
+
+module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S

@@ -1,0 +1,5 @@
+(** Ablation: VBL with the lazy list's post-locking validation — updates
+    acquire the predecessor lock before knowing whether the value is even
+    present.  Benchmarked against {!Vbl_list} to isolate §3.1. *)
+
+module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S

@@ -1,0 +1,6 @@
+(** Variant: VBL validating by per-node version counters instead of
+    pointer identity / successor value (the "versions" its §5 mentions).
+    More conservative than {!Vbl_list} (an ABA forces a retry) and one
+    extra write per update; the validation-strategy ablation. *)
+
+module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S

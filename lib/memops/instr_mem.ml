@@ -1,0 +1,142 @@
+(** The instrumented backend: every shared-memory access performs an effect
+    before it takes effect, so a single-domain handler can interleave
+    threads deterministically.
+
+    Atomicity model: the handler resumes exactly one thread at a time, and a
+    resumed thread executes until its next effect.  Because each [get],
+    [set], [cas], [touch], [new_node] and lock attempt performs its effect
+    {e before} touching memory, every inter-effect interval contains at most
+    one shared access, i.e. schedule points and shared accesses coincide —
+    precisely the granularity at which the paper's schedules are defined.
+
+    Two exceptions are handled specially:
+
+    - a blocking {!lock} that finds the lock held performs {!Lock_busy};
+      the handler is expected to park the thread and resume it only when the
+      lock is (observed) free, so waiters consume no schedule steps;
+    - {!unlock} performs {!Release} and the {e handler} applies the store,
+      so a release is atomic with its schedule point.
+
+    This module is deliberately not thread-safe: all instrumented execution
+    happens cooperatively inside one domain. *)
+
+type access_kind =
+  | Read
+  | Write
+  | Cas
+  | Touch
+  | New_node
+  | Lock_try
+  | Lock_release
+      (** Synthesized by schedulers for pending {!Release} effects; the
+          instrumented code itself never performs an [Access] with this
+          kind. *)
+
+type access = { line : int; name : string; kind : access_kind }
+
+type lock = { l_line : int; l_name : string; mutable held : bool }
+
+type _ Effect.t +=
+  | Access : access -> unit Effect.t
+      (** Scheduling point announcing the access about to happen. *)
+  | Lock_busy : lock -> unit Effect.t
+      (** The performer wants [lock] but it is held; park me until free. *)
+  | Release : lock -> unit Effect.t
+      (** The handler must set [held <- false] before resuming anyone. *)
+
+let pp_kind ppf = function
+  | Read -> Format.pp_print_string ppf "R"
+  | Write -> Format.pp_print_string ppf "W"
+  | Cas -> Format.pp_print_string ppf "CAS"
+  | Touch -> Format.pp_print_string ppf "touch"
+  | New_node -> Format.pp_print_string ppf "new"
+  | Lock_try -> Format.pp_print_string ppf "trylock"
+  | Lock_release -> Format.pp_print_string ppf "unlock"
+
+let pp_access ppf a = Format.fprintf ppf "%a(%s)" pp_kind a.kind a.name
+
+type 'a cell = { mutable v : 'a; c_line : int; c_name : string }
+
+let line_counter = ref 0
+
+let fresh_line () =
+  incr line_counter;
+  !line_counter
+
+let make ?(name = "") ~line v = { v; c_line = line; c_name = name }
+
+let yield ~line ~name kind = Effect.perform (Access { line; name; kind })
+
+let get c =
+  yield ~line:c.c_line ~name:c.c_name Read;
+  c.v
+
+let set c v =
+  yield ~line:c.c_line ~name:c.c_name Write;
+  c.v <- v
+
+(* Result of the most recent [cas], readable by the scheduler that resumed
+   it: schedule scripts distinguish effective writes from failed CAS
+   attempts (e.g. the failed physical removal in the paper's Figure 3).
+   Single-domain cooperative execution makes the singleton safe. *)
+let last_cas_result = ref true
+
+let cas c expected desired =
+  yield ~line:c.c_line ~name:c.c_name Cas;
+  let success = c.v == expected in
+  if success then c.v <- desired;
+  last_cas_result := success;
+  success
+
+let touch ~line ~name = yield ~line ~name Touch
+
+let new_node ~name ~line = yield ~line ~name New_node
+
+let make_lock ?(name = "") ~line () = { l_line = line; l_name = name; held = false }
+
+let try_lock l =
+  yield ~line:l.l_line ~name:l.l_name Lock_try;
+  let success = not l.held in
+  if success then l.held <- true;
+  last_cas_result := success;
+  success
+
+let rec lock l =
+  if try_lock l then ()
+  else begin
+    Effect.perform (Lock_busy l);
+    lock l
+  end
+
+let unlock l = Effect.perform (Release l)
+
+let lock_held l = l.held
+
+(* Handlers must apply the release themselves; this helper keeps that logic
+   in one place. *)
+let apply_release l = l.held <- false
+
+(** Run instrumented code single-threaded, resuming every effect
+    immediately.  Used to build initial list states (pre-population) before
+    handing control to a real scheduler.  A [Lock_busy] here means a lock
+    was left held by earlier setup code — a bug — so it raises. *)
+let run_sequential (type r) (f : unit -> r) : r =
+  Effect.Deep.match_with f ()
+    {
+      retc = Fun.id;
+      exnc = raise;
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Access _ -> Some (fun (k : (a, r) Effect.Deep.continuation) -> Effect.Deep.continue k ())
+          | Release l ->
+              Some
+                (fun (k : (a, r) Effect.Deep.continuation) ->
+                  apply_release l;
+                  Effect.Deep.continue k ())
+          | Lock_busy l ->
+              Some
+                (fun (_ : (a, r) Effect.Deep.continuation) ->
+                  failwith ("Instr_mem.run_sequential: deadlock on " ^ l.l_name))
+          | _ -> None);
+    }

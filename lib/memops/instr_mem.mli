@@ -1,0 +1,82 @@
+(** The instrumented memory backend: every shared access performs an
+    effect before taking effect, so a single-domain handler can interleave
+    threads deterministically.
+
+    Atomicity model: a resumed thread executes until its next effect, and
+    every inter-effect interval contains at most one shared access, so
+    schedule points and shared accesses coincide — the granularity the
+    paper's schedules are defined at.  Two special cases: a blocking
+    {!lock} that finds the lock held performs {!Lock_busy} (handlers park
+    the thread), and {!unlock} performs {!Release} (the {e handler}
+    applies the store via {!apply_release}, atomically with the schedule
+    point).
+
+    This module implements {!Mem_intf.S} but deliberately exposes its
+    representation: handlers (the conductor in [vbl.sched], the cost
+    simulator in [vbl.sim]) need the effect payloads and lock state. *)
+
+type access_kind =
+  | Read
+  | Write
+  | Cas
+  | Touch
+  | New_node
+  | Lock_try
+  | Lock_release
+      (** Synthesized by schedulers for pending {!Release} effects; the
+          instrumented code itself never performs an [Access] with this
+          kind. *)
+
+type access = { line : int; name : string; kind : access_kind }
+
+type lock = { l_line : int; l_name : string; mutable held : bool }
+
+type _ Effect.t +=
+  | Access : access -> unit Effect.t  (** announces the access about to happen *)
+  | Lock_busy : lock -> unit Effect.t  (** performer wants a held lock: park me *)
+  | Release : lock -> unit Effect.t  (** handler must {!apply_release} before resuming anyone *)
+
+val pp_kind : Format.formatter -> access_kind -> unit
+
+val pp_access : Format.formatter -> access -> unit
+
+type 'a cell
+
+val fresh_line : unit -> int
+
+val make : ?name:string -> line:int -> 'a -> 'a cell
+
+val get : 'a cell -> 'a
+
+val set : 'a cell -> 'a -> unit
+
+val cas : 'a cell -> 'a -> 'a -> bool
+
+val last_cas_result : bool ref
+(** Result of the most recent [cas] or [try_lock], readable by the
+    scheduler that resumed it (schedule scripts distinguish effective
+    writes from failed attempts).  Single-domain cooperative execution
+    makes the singleton safe. *)
+
+val touch : line:int -> name:string -> unit
+
+val new_node : name:string -> line:int -> unit
+
+val make_lock : ?name:string -> line:int -> unit -> lock
+
+val try_lock : lock -> bool
+
+val lock : lock -> unit
+
+val unlock : lock -> unit
+
+val lock_held : lock -> bool
+
+val apply_release : lock -> unit
+(** Handlers must apply the release themselves on {!Release}. *)
+
+val run_sequential : (unit -> 'r) -> 'r
+(** Run instrumented code single-threaded, resuming every effect
+    immediately; used to build initial states before a scheduler takes
+    over.  [Lock_busy] here means setup code deadlocked itself and
+    fails. *)

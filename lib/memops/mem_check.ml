@@ -1,0 +1,6 @@
+(* Compile-time check that both backends implement the shared signature.
+   No code is generated; a mismatch is a build error here rather than a
+   confusing one inside a list functor application. *)
+
+module _ : Mem_intf.S = Real_mem
+module _ : Mem_intf.S = Instr_mem

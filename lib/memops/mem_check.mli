@@ -1,0 +1,2 @@
+(** Compile-time check that both backends implement {!Mem_intf.S}; exports
+    nothing. *)

@@ -1,0 +1,68 @@
+(** Shared-memory operations, abstracted.
+
+    Every list-based set in this repository is a functor over {!S}, so a
+    single source per algorithm serves three clients:
+
+    - {!Real_mem}: plain [Atomic.t] cells — what benchmarks and the example
+      applications run on;
+    - {!Instr_mem}: cells whose every access performs an effect, so a
+      single-domain handler can interleave threads deterministically — what
+      the schedule framework (paper §2), the bounded-exploration checker and
+      the multicore cost simulator run on.
+
+    The vocabulary matches what the paper's schedules are made of: [get] /
+    [set] / [cas] on node fields, node-creation events, and per-node locks.
+    Lines tag the coherence granule an access belongs to: all cells of one
+    list node share the node's line, mirroring the fact that a node's
+    [val]/[next]/[deleted]/lock metadata share a cache line on the paper's
+    testbeds.  The real backend ignores lines and names entirely. *)
+
+module type S = sig
+  type 'a cell
+  (** A shared mutable location holding an ['a]. *)
+
+  val fresh_line : unit -> int
+  (** Allocate a new coherence-granule identifier.  Each list node calls
+      this once and tags all its cells with the result. *)
+
+  val make : ?name:string -> line:int -> 'a -> 'a cell
+  (** [make ?name ~line v] allocates a cell on [line] with initial value
+      [v].  [name] only matters to instrumented backends (it is how schedule
+      scripts refer to steps, e.g. ["X1.next"]). *)
+
+  val get : 'a cell -> 'a
+
+  val set : 'a cell -> 'a -> unit
+
+  val cas : 'a cell -> 'a -> 'a -> bool
+  (** [cas c expected desired] — single-word compare-and-set on physical
+      equality, as with [Atomic.compare_and_set]. *)
+
+  val touch : line:int -> name:string -> unit
+  (** Record a read of an immutable allocation living on [line].  Used by
+      the Harris-Michael AMR variant, whose mark/pointer pair is a separate
+      allocation: the extra dependent load the paper blames for its slower
+      traversals.  No-op on the real backend (the actual dependent load
+      happens in the OCaml code itself). *)
+
+  val new_node : name:string -> line:int -> unit
+  (** Record a node-creation step (the [new(X)] events of the paper's
+      schedules, e.g. Figure 2).  No-op on the real backend. *)
+
+  type lock
+  (** A per-node mutex. *)
+
+  val make_lock : ?name:string -> line:int -> unit -> lock
+
+  val try_lock : lock -> bool
+  (** One acquisition attempt; never waits. *)
+
+  val lock : lock -> unit
+  (** Blocking acquire.  On the instrumented backend a waiter parks until a
+      release on the same lock rather than consuming schedule steps. *)
+
+  val unlock : lock -> unit
+
+  val lock_held : lock -> bool
+  (** Racy observation, for validation-under-lock and tests. *)
+end

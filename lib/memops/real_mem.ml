@@ -1,0 +1,31 @@
+(** The production backend: cells are [Atomic.t], locks are CAS try-locks
+    with exponential backoff, instrumentation hooks are no-ops.  See
+    {!Mem_intf.S} for the contract. *)
+
+type 'a cell = 'a Atomic.t
+
+let fresh_line () = 0
+
+let make ?name:_ ~line:_ v = Atomic.make v
+
+let get = Atomic.get
+
+let set = Atomic.set
+
+let cas c expected desired = Atomic.compare_and_set c expected desired
+
+let touch ~line:_ ~name:_ = ()
+
+let new_node ~name:_ ~line:_ = ()
+
+type lock = Vbl_sync.Try_lock.t
+
+let make_lock ?name:_ ~line:_ () = Vbl_sync.Try_lock.create ()
+
+let try_lock = Vbl_sync.Try_lock.try_lock
+
+let lock = Vbl_sync.Try_lock.lock
+
+let unlock = Vbl_sync.Try_lock.unlock
+
+let lock_held = Vbl_sync.Try_lock.is_locked

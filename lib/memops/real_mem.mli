@@ -1,0 +1,5 @@
+(** The production memory backend: cells are [Atomic.t], locks are CAS
+    try-locks with exponential backoff, instrumentation hooks are no-ops.
+    See {!Mem_intf.S} for the contract. *)
+
+include Mem_intf.S

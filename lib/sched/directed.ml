@@ -1,0 +1,177 @@
+(** Directed schedule driving: does implementation I accept schedule σ?
+
+    A script pins the ordering of the steps that matter (the ones the
+    paper's figures draw); the driver realises it against a real
+    implementation instance running on the instrumented backend.  To
+    realise [Step (tid, pat)] the driver advances thread [tid], silently
+    executing its non-matching steps, until a step matching [pat] executes
+    {e effectively} (a CAS or lock attempt matched by a success-requiring
+    pattern must succeed).  [Ret (tid, r)] advances the thread to
+    completion and checks its recorded result.
+
+    Rejection reasons map exactly onto the paper's arguments:
+    - [Thread_blocked] — the thread parked on a lock another operation
+      holds (the lazy list on Figure 2);
+    - [Step_failed] — the matching CAS executed but did not take effect,
+      and the thread moved on or restarted (Harris-Michael on Figure 3);
+    - [Completed_early] / [No_matching_step] — the thread finished or
+      wandered off (restarted traversal) without ever producing the
+      scripted step. *)
+
+module Instr = Vbl_memops.Instr_mem
+
+type directive =
+  | Step of int * Pattern.t  (** thread [tid] performs a step matching the pattern *)
+  | Ret of int * bool  (** thread [tid] completes, returning the given result *)
+
+type rejection =
+  | Thread_blocked of { tid : int; lock : string }
+  | Step_failed of { tid : int; pattern : string }
+  | Completed_early of { tid : int; pattern : string }
+  | No_matching_step of { tid : int; pattern : string; took : string list }
+  | Wrong_result of { tid : int; expected : bool; got : bool option }
+
+type outcome =
+  | Accepted of { trace : (int * Instr.access) list }
+  | Rejected of { at : int; reason : rejection; trace : (int * Instr.access) list }
+
+let pp_rejection ppf = function
+  | Thread_blocked { tid; lock } ->
+      Format.fprintf ppf "thread %d blocked on lock %s" tid lock
+  | Step_failed { tid; pattern } ->
+      Format.fprintf ppf "thread %d: step %s executed but did not take effect" tid pattern
+  | Completed_early { tid; pattern } ->
+      Format.fprintf ppf "thread %d completed before performing %s" tid pattern
+  | No_matching_step { tid; pattern; took } ->
+      Format.fprintf ppf "thread %d never performed %s (took: %s)" tid pattern
+        (String.concat ", " took)
+  | Wrong_result { tid; expected; got } ->
+      Format.fprintf ppf "thread %d returned %s, script expected %b" tid
+        (match got with Some b -> string_of_bool b | None -> "nothing")
+        expected
+
+(* Cap on silently skipped steps per directive: prevents livelock when a
+   script sends a thread into an unbounded retry loop. *)
+let skip_budget = 10_000
+
+let run ~(bodies : (unit -> unit) list) ~(results : bool option array)
+    ~(script : directive list) : outcome =
+  let exec = Exec.create bodies in
+  let trace = ref [] in
+  let record tid access = trace := (tid, access) :: !trace in
+  let exec_step tid =
+    (match Exec.pending exec tid with
+    | Exec.Access a -> record tid a
+    | Exec.Blocked _ | Exec.Done -> ());
+    Exec.step exec tid
+  in
+  let reject at reason = Rejected { at; reason; trace = List.rev !trace } in
+  (* Exported schedules (§2.2) contain only the steps that take effect on
+     data; unlocks, deleted-flag writes and pair touches are invisible.  So
+     when the scripted thread waits on a lock, other threads may advance
+     through such invisible steps (typically: the holder finishing its
+     unlocks) without perturbing the scripted data-step order.  Lock
+     acquisitions are NOT invisible here — advancing one could steal the
+     very lock the scripted thread needs. *)
+  let is_invisible (a : Instr.access) =
+    match a.kind with
+    | Instr.Lock_release | Instr.Touch -> true
+    | Instr.Write | Instr.Cas -> Pattern.field_of_cell a.name = "del"
+    | Instr.Read | Instr.New_node | Instr.Lock_try -> false
+  in
+  let unblock_via_metadata lock =
+    let n = List.length bodies in
+    let rec go budget =
+      (not (Instr.lock_held lock))
+      ||
+      if budget = 0 then false
+      else begin
+        let progressed = ref false in
+        for j = 0 to n - 1 do
+          match Exec.pending exec j with
+          | Exec.Access a when is_invisible a ->
+              exec_step j;
+              progressed := true
+          | Exec.Access _ | Exec.Blocked _ | Exec.Done -> ()
+        done;
+        !progressed && go (budget - 1)
+      end
+    in
+    go 1_000
+  in
+  (* Advance [tid] until a step matching [pat] has executed effectively.
+     Returns None on success or Some rejection. *)
+  let realize_step at tid pat =
+    let took = ref [] in
+    let rec advance budget =
+      if budget = 0 then
+        Some
+          (reject at
+             (No_matching_step
+                { tid; pattern = Pattern.to_string pat; took = List.rev !took }))
+      else
+        match Exec.pending exec tid with
+        | Exec.Done ->
+            Some (reject at (Completed_early { tid; pattern = Pattern.to_string pat }))
+        | Exec.Blocked lock ->
+            if Instr.lock_held lock && not (unblock_via_metadata lock) then
+              Some (reject at (Thread_blocked { tid; lock = lock.Instr.l_name }))
+            else begin
+              exec_step tid (* unpark; the retry becomes the pending step *)
+              ;
+              advance (budget - 1)
+            end
+        | Exec.Access a ->
+            if Pattern.matches pat a then begin
+              let was_cas = a.kind = Instr.Cas || a.kind = Instr.Lock_try in
+              exec_step tid;
+              if Pattern.requires_success pat && was_cas && not !Instr.last_cas_result
+              then Some (reject at (Step_failed { tid; pattern = Pattern.to_string pat }))
+              else None
+            end
+            else begin
+              took := Format.asprintf "%a" Instr.pp_access a :: !took;
+              exec_step tid;
+              advance (budget - 1)
+            end
+    in
+    advance skip_budget
+  in
+  let realize_ret at tid expected =
+    let rec advance budget =
+      if budget = 0 then
+        Some
+          (reject at
+             (No_matching_step { tid; pattern = "return"; took = [ "step budget exhausted" ] }))
+      else
+        match Exec.pending exec tid with
+        | Exec.Done ->
+            if results.(tid) = Some expected then None
+            else Some (reject at (Wrong_result { tid; expected; got = results.(tid) }))
+        | Exec.Blocked lock ->
+            if Instr.lock_held lock && not (unblock_via_metadata lock) then
+              Some (reject at (Thread_blocked { tid; lock = lock.Instr.l_name }))
+            else begin
+              exec_step tid;
+              advance (budget - 1)
+            end
+        | Exec.Access _ ->
+            exec_step tid;
+            advance (budget - 1)
+    in
+    advance skip_budget
+  in
+  let rec drive at = function
+    | [] -> Accepted { trace = List.rev !trace }
+    | d :: rest -> begin
+        let failure =
+          match d with
+          | Step (tid, pat) -> realize_step at tid pat
+          | Ret (tid, expected) -> realize_ret at tid expected
+        in
+        match failure with Some r -> r | None -> drive (at + 1) rest
+      end
+  in
+  drive 0 script
+
+let accepted = function Accepted _ -> true | Rejected _ -> false

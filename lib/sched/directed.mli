@@ -1,0 +1,44 @@
+(** Directed schedule driving: does implementation I {e accept} schedule σ
+    (paper §2.2)?
+
+    A script pins the order of the steps that matter; the driver realises
+    it against an implementation on the instrumented backend.  For
+    [Step (tid, pat)] it advances thread [tid], silently executing
+    non-matching steps, until a step matching [pat] executes effectively;
+    [Ret (tid, r)] drives the thread to completion and checks its result.
+    While the scripted thread waits on a lock, other threads may advance
+    through {e invisible} metadata steps only (unlocks, deleted-flag
+    writes, touches) — exported schedules do not contain those.
+
+    Rejection reasons map onto the paper's arguments: [Thread_blocked] is
+    the lazy list on Figure 2; [Step_failed] is Harris-Michael's failed
+    helping CAS on Figure 3. *)
+
+type directive =
+  | Step of int * Pattern.t  (** thread [tid] performs a matching step *)
+  | Ret of int * bool  (** thread [tid] completes with the given result *)
+
+type rejection =
+  | Thread_blocked of { tid : int; lock : string }
+  | Step_failed of { tid : int; pattern : string }
+  | Completed_early of { tid : int; pattern : string }
+  | No_matching_step of { tid : int; pattern : string; took : string list }
+  | Wrong_result of { tid : int; expected : bool; got : bool option }
+
+type outcome =
+  | Accepted of { trace : (int * Vbl_memops.Instr_mem.access) list }
+  | Rejected of {
+      at : int;  (** 0-based index of the failed directive *)
+      reason : rejection;
+      trace : (int * Vbl_memops.Instr_mem.access) list;
+    }
+
+val pp_rejection : Format.formatter -> rejection -> unit
+
+val run :
+  bodies:(unit -> unit) list ->
+  results:bool option array ->
+  script:directive list ->
+  outcome
+
+val accepted : outcome -> bool

@@ -1,0 +1,163 @@
+(** Glue between the schedule machinery and concrete list implementations
+    running on the instrumented backend.
+
+    [prepare] builds a fresh instance of an algorithm, pre-populates it
+    sequentially (outside the measured schedule, like the paper's warm-up
+    population), and wraps the requested operations as thread bodies whose
+    results are captured — ready for {!Directed.run} or {!Explore.run}. *)
+
+module Instr = Vbl_memops.Instr_mem
+
+(* The measured algorithms, instantiated on the instrumented backend. *)
+module Vbl_i = Vbl_lists.Vbl_list.Make (Instr)
+module Lazy_i = Vbl_lists.Lazy_list.Make (Instr)
+module Hm_i = Vbl_lists.Harris_michael.Make (Instr)
+module Hm_tagged_i = Vbl_lists.Harris_michael_tagged.Make (Instr)
+module Seq_i = Vbl_lists.Seq_list.Make (Instr)
+module Coarse_i = Vbl_lists.Coarse_list.Make (Instr)
+module Hoh_i = Vbl_lists.Hoh_list.Make (Instr)
+module Optimistic_i = Vbl_lists.Optimistic_list.Make (Instr)
+module Vbl_postlock_i = Vbl_lists.Vbl_postlock.Make (Instr)
+module Fr_i = Vbl_lists.Fomitchev_ruppert.Make (Instr)
+module Vbl_versioned_i = Vbl_lists.Vbl_versioned.Make (Instr)
+
+type impl = (module Vbl_lists.Set_intf.S)
+
+let instrumented : impl list =
+  [
+    (module Seq_i);
+    (module Coarse_i);
+    (module Hoh_i);
+    (module Optimistic_i);
+    (module Lazy_i);
+    (module Hm_i);
+    (module Hm_tagged_i);
+    (module Fr_i);
+    (module Vbl_postlock_i);
+    (module Vbl_versioned_i);
+    (module Vbl_i);
+  ]
+
+let find_instrumented nm : impl =
+  match
+    List.find_opt
+      (fun i ->
+        let module S = (val i : Vbl_lists.Set_intf.S) in
+        S.name = nm)
+      instrumented
+  with
+  | Some i -> i
+  | None -> invalid_arg ("Drive.find_instrumented: unknown algorithm " ^ nm)
+
+type prepared = {
+  bodies : (unit -> unit) list;
+  results : bool option array;
+  invariants : unit -> (unit, string) result;
+  contents : unit -> int list;
+}
+
+let run_op (type s) (module S : Vbl_lists.Set_intf.S with type t = s) (t : s)
+    (spec : Ll_abstract.opspec) =
+  match spec.Ll_abstract.kind with
+  | Ll_abstract.Insert -> S.insert t spec.Ll_abstract.v
+  | Ll_abstract.Remove -> S.remove t spec.Ll_abstract.v
+  | Ll_abstract.Contains -> S.contains t spec.Ll_abstract.v
+
+let prepare (module S : Vbl_lists.Set_intf.S) ~initial ~(ops : Ll_abstract.opspec list) :
+    prepared =
+  let t =
+    Instr.run_sequential (fun () ->
+        let t = S.create () in
+        List.iter (fun v -> ignore (S.insert t v)) initial;
+        t)
+  in
+  let results = Array.make (List.length ops) None in
+  let bodies =
+    List.mapi
+      (fun i spec () -> results.(i) <- Some (run_op (module S) t spec))
+      ops
+  in
+  {
+    bodies;
+    results;
+    invariants = (fun () -> Instr.run_sequential (fun () -> S.check_invariants t));
+    contents = (fun () -> Instr.run_sequential (fun () -> S.to_list t));
+  }
+
+(** Drive a script against a fresh instance; the returned [prepared] gives
+    access to the instance's final contents and invariants. *)
+let run_script_full (module S : Vbl_lists.Set_intf.S) ~initial ~ops script =
+  let p = prepare (module S) ~initial ~ops in
+  (Directed.run ~bodies:p.bodies ~results:p.results ~script, p)
+
+let run_script impl ~initial ~ops script = fst (run_script_full impl ~initial ~ops script)
+
+(** An exploration scenario over a fresh instance per execution.  The
+    checked history is seeded with one completed [insert] per initial value
+    so that linearizability is judged from the empty set, matching the
+    specification. *)
+let explore_scenario (module S : Vbl_lists.Set_intf.S) ~initial ~(ops : Ll_abstract.opspec list)
+    : Explore.scenario =
+  let make () =
+    let p = prepare (module S) ~initial ~ops in
+    let recorder = Vbl_spec.History.Recorder.create () in
+    let bodies =
+      List.mapi
+        (fun i spec () ->
+          let id =
+            Vbl_spec.History.Recorder.invoke recorder ~thread:i (Ll_abstract.spec_to_model spec)
+          in
+          let body = List.nth p.bodies i in
+          body ();
+          let result = Option.get p.results.(i) in
+          Vbl_spec.History.Recorder.return recorder id result)
+        ops
+    in
+    let history () =
+      let recorded = Vbl_spec.History.Recorder.history recorder in
+      let seed =
+        List.mapi
+          (fun k v ->
+            ( 1000 + k,
+              0,
+              Vbl_spec.Set_model.Insert v,
+              -2 * (List.length initial - k),
+              Vbl_spec.History.Returned true,
+              (-2 * (List.length initial - k)) + 1 ))
+          (List.sort_uniq compare initial)
+      in
+      let recorded_entries =
+        List.map
+          (fun (o : Vbl_spec.History.operation) ->
+            (o.thread, o.index, o.op, o.invoked_at, o.completion, o.returned_at))
+          (Vbl_spec.History.operations recorded)
+      in
+      (* The sigma-bar extension of §2.2: probe every relevant key with a
+         trailing contains reflecting the actual final contents — this is
+         what exposes lost updates, which leave the raw history
+         linearizable. *)
+      let final = p.contents () in
+      let horizon =
+        1 + List.fold_left (fun acc (_, _, _, _, _, r) -> max acc r) 0 recorded_entries
+      in
+      let keys =
+        List.sort_uniq compare
+          (List.map (fun (spec : Ll_abstract.opspec) -> spec.Ll_abstract.v) ops
+          @ initial @ final)
+      in
+      let probes =
+        List.mapi
+          (fun k v ->
+            ( 2000 + k,
+              0,
+              Vbl_spec.Set_model.Contains v,
+              horizon + (2 * k) + 1,
+              Vbl_spec.History.Returned (List.mem v final),
+              horizon + (2 * k) + 2 ))
+          keys
+      in
+      Vbl_spec.History.of_list (seed @ recorded_entries @ probes)
+    in
+    { Explore.bodies; history; invariants = p.invariants }
+  in
+  { Explore.make }

@@ -1,0 +1,63 @@
+(** Glue between the schedule machinery and concrete implementations on
+    the instrumented backend: fresh pre-populated instances wrapped as
+    thread bodies for {!Directed} and {!Explore}. *)
+
+(** The algorithm family instantiated on {!Vbl_memops.Instr_mem}. *)
+module Vbl_i : Vbl_lists.Set_intf.S
+
+module Lazy_i : Vbl_lists.Set_intf.S
+module Hm_i : Vbl_lists.Set_intf.S
+module Hm_tagged_i : Vbl_lists.Set_intf.S
+module Seq_i : Vbl_lists.Set_intf.S
+module Coarse_i : Vbl_lists.Set_intf.S
+module Hoh_i : Vbl_lists.Set_intf.S
+module Optimistic_i : Vbl_lists.Set_intf.S
+module Vbl_postlock_i : Vbl_lists.Set_intf.S
+module Fr_i : Vbl_lists.Set_intf.S
+module Vbl_versioned_i : Vbl_lists.Set_intf.S
+
+type impl = (module Vbl_lists.Set_intf.S)
+
+val instrumented : impl list
+
+val find_instrumented : string -> impl
+(** Lookup by [S.name]; raises [Invalid_argument] on unknown names. *)
+
+type prepared = {
+  bodies : (unit -> unit) list;
+  results : bool option array;
+  invariants : unit -> (unit, string) result;
+  contents : unit -> int list;
+}
+
+val prepare :
+  (module Vbl_lists.Set_intf.S) ->
+  initial:int list ->
+  ops:Ll_abstract.opspec list ->
+  prepared
+(** Fresh instance, sequentially pre-populated with [initial]; one body
+    per operation, results captured by index. *)
+
+val run_script_full :
+  (module Vbl_lists.Set_intf.S) ->
+  initial:int list ->
+  ops:Ll_abstract.opspec list ->
+  Directed.directive list ->
+  Directed.outcome * prepared
+
+val run_script :
+  (module Vbl_lists.Set_intf.S) ->
+  initial:int list ->
+  ops:Ll_abstract.opspec list ->
+  Directed.directive list ->
+  Directed.outcome
+
+val explore_scenario :
+  (module Vbl_lists.Set_intf.S) ->
+  initial:int list ->
+  ops:Ll_abstract.opspec list ->
+  Explore.scenario
+(** Fresh instance per execution; the checked history seeds the initial
+    values as completed inserts and appends one contains probe per
+    relevant key reflecting the final contents (the paper's σ̄
+    extension — this is what catches lost updates). *)

@@ -1,0 +1,124 @@
+(** Cooperative multi-thread conductor over the instrumented memory backend.
+
+    Threads are ordinary OCaml functions whose shared accesses go through
+    {!Vbl_memops.Instr_mem}; each access performs an effect, the conductor
+    captures the continuation, and a scheduler (the directed driver of
+    {!Directed}, the model checker of {!Explore}, or the cost simulator in
+    [lib/sim]) decides who moves next.  Everything runs in one domain;
+    determinism comes for free.
+
+    Invariant: between two conductor decisions a thread executes exactly one
+    shared access (the one that was pending), so scheduling points and the
+    paper's schedule steps coincide. *)
+
+module Instr = Vbl_memops.Instr_mem
+
+type pending =
+  | Access of Instr.access  (** next shared access, not yet applied *)
+  | Blocked of Instr.lock  (** parked on a held lock *)
+  | Done  (** the thread body returned *)
+
+type cont = (unit, unit) Effect.Deep.continuation
+
+type status =
+  | St_paused of { k : cont; access : Instr.access }
+  | St_release of { k : cont; lock : Instr.lock }
+  | St_parked of { k : cont; lock : Instr.lock }
+  | St_done
+
+type t = { statuses : status array; mutable steps : int }
+
+exception Stuck of string
+
+let handler t i =
+  {
+    Effect.Deep.retc = (fun () -> t.statuses.(i) <- St_done);
+    exnc = raise;
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+        match eff with
+        | Instr.Access access ->
+            Some
+              (fun (k : (a, unit) Effect.Deep.continuation) ->
+                t.statuses.(i) <- St_paused { k; access })
+        | Instr.Lock_busy lock ->
+            Some (fun k -> t.statuses.(i) <- St_parked { k; lock })
+        | Instr.Release lock -> Some (fun k -> t.statuses.(i) <- St_release { k; lock })
+        | _ -> None);
+  }
+
+let create bodies =
+  let n = List.length bodies in
+  let t = { statuses = Array.make n St_done; steps = 0 } in
+  List.iteri
+    (fun i body ->
+      (* Run each thread up to its first shared access. *)
+      Effect.Deep.match_with body () (handler t i))
+    bodies;
+  t
+
+let n_threads t = Array.length t.statuses
+
+let pending t i =
+  match t.statuses.(i) with
+  | St_paused { access; _ } -> Access access
+  | St_release { lock; _ } ->
+      Access { line = lock.Instr.l_line; name = lock.Instr.l_name; kind = Instr.Lock_release }
+  | St_parked { lock; _ } -> Blocked lock
+  | St_done -> Done
+
+(* A parked thread is only resumable once the lock it waits for is free;
+   resuming it earlier would just burn a retry step. *)
+let runnable t i =
+  match t.statuses.(i) with
+  | St_paused _ | St_release _ -> true
+  | St_parked { lock; _ } -> not (Instr.lock_held lock)
+  | St_done -> false
+
+let finished t = Array.for_all (fun s -> s = St_done) t.statuses
+
+let runnable_threads t =
+  List.filter (runnable t) (List.init (n_threads t) Fun.id)
+
+(** Execute thread [i]'s pending access and run it to its next one.
+    Raises {!Stuck} on a non-runnable thread. *)
+let step t i =
+  t.steps <- t.steps + 1;
+  match t.statuses.(i) with
+  | St_paused { k; _ } -> Effect.Deep.continue k ()
+  | St_release { k; lock } ->
+      Instr.apply_release lock;
+      Effect.Deep.continue k ()
+  | St_parked { k; lock } ->
+      if Instr.lock_held lock then
+        raise (Stuck (Printf.sprintf "thread %d resumed while %s still held" i lock.Instr.l_name));
+      Effect.Deep.continue k ()
+  | St_done -> raise (Stuck (Printf.sprintf "thread %d already finished" i))
+
+let steps_taken t = t.steps
+
+(** True when no thread can move but some are not done: every remaining
+    thread is parked on a lock held by ... another parked thread.  With
+    deadlock-free algorithms this indicates a bug (or a deliberately
+    adversarial script). *)
+let deadlocked t = (not (finished t)) && runnable_threads t = []
+
+(** Run everything to completion round-robin; used to drain threads after a
+    directed script has been fully consumed. *)
+let drain ?(max_steps = 1_000_000) t =
+  let n = n_threads t in
+  let budget = ref max_steps in
+  let rec go i =
+    if finished t then ()
+    else if !budget <= 0 then raise (Stuck "drain exceeded its step budget")
+    else if deadlocked t then raise (Stuck "deadlock while draining")
+    else begin
+      let j = (i + 1) mod n in
+      if runnable t i then begin
+        decr budget;
+        step t i
+      end;
+      go j
+    end
+  in
+  go 0

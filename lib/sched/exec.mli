@@ -1,0 +1,44 @@
+(** Cooperative multi-thread conductor over the instrumented memory
+    backend ({!Vbl_memops.Instr_mem}).
+
+    Threads are plain functions whose shared accesses perform effects; the
+    conductor captures continuations and lets a scheduler (directed driver,
+    model checker, cost simulator) decide who moves.  Between two
+    decisions a thread executes exactly one shared access, so scheduling
+    points and the paper's schedule steps coincide.  Single-domain only. *)
+
+type pending =
+  | Access of Vbl_memops.Instr_mem.access  (** next shared access, not yet applied *)
+  | Blocked of Vbl_memops.Instr_mem.lock  (** parked on a held lock *)
+  | Done
+
+type t
+
+exception Stuck of string
+(** Raised on scheduling errors: stepping a finished or still-blocked
+    thread, or a drain that deadlocks or exhausts its budget. *)
+
+val create : (unit -> unit) list -> t
+(** Start every thread and run it to its first shared access. *)
+
+val n_threads : t -> int
+
+val pending : t -> int -> pending
+
+val runnable : t -> int -> bool
+(** A parked thread is runnable only once its lock is observed free. *)
+
+val finished : t -> bool
+
+val runnable_threads : t -> int list
+
+val step : t -> int -> unit
+(** Execute thread [i]'s pending access and run it to its next one. *)
+
+val steps_taken : t -> int
+
+val deadlocked : t -> bool
+(** No thread can move, but some are not done. *)
+
+val drain : ?max_steps:int -> t -> unit
+(** Round-robin everything to completion; {!Stuck} on deadlock/budget. *)

@@ -1,0 +1,149 @@
+(** Bounded exhaustive exploration of interleavings (dscheck-style).
+
+    Executions are deterministic functions of the scheduling choice
+    sequence, so the explorer needs no state snapshots: to branch it simply
+    re-executes a fresh scenario instance along the choice prefix and
+    diverges at the last decision.  Every complete execution's high-level
+    history is checked for linearizability against the set specification
+    and the structure is checked via the scenario's invariant hook — an
+    executable, bounded version of the paper's Theorem 1.
+
+    Exploration is optionally {e preemption-bounded}: switching away from a
+    thread that could still run costs one unit of budget.  Most concurrency
+    bugs need very few preemptions, and the bound keeps the schedule count
+    polynomial instead of factorial. *)
+
+type scenario = {
+  make : unit -> instance;
+      (** Fresh, fully independent instance: list, recorder, thread bodies.
+          Called once per explored execution. *)
+}
+
+and instance = {
+  bodies : (unit -> unit) list;
+  history : unit -> Vbl_spec.History.t;  (** called after all threads finish *)
+  invariants : unit -> (unit, string) result;  (** structural check at quiescence *)
+}
+
+type config = {
+  max_executions : int;  (** hard cap on explored executions *)
+  preemption_bound : int option;  (** [None] = full exhaustive exploration *)
+  max_steps : int;  (** per-execution step cap (guards against livelock) *)
+}
+
+let default_config = { max_executions = 50_000; preemption_bound = Some 3; max_steps = 5_000 }
+
+type failure =
+  | Not_linearizable of { schedule : int list; history : string }
+  | Invariant_broken of { schedule : int list; msg : string }
+  | Deadlock of { schedule : int list }
+  | Step_limit of { schedule : int list }
+  | Crashed of { schedule : int list; exn : string }
+
+type report = {
+  executions : int;  (** completed executions checked *)
+  truncated : bool;  (** true if the execution cap stopped exploration early *)
+  failure : failure option;  (** first failure found, if any *)
+}
+
+let pp_failure ppf = function
+  | Not_linearizable { history; _ } ->
+      Format.fprintf ppf "non-linearizable history:@,%s" history
+  | Invariant_broken { msg; _ } -> Format.fprintf ppf "invariant broken: %s" msg
+  | Deadlock _ -> Format.fprintf ppf "deadlock"
+  | Step_limit _ -> Format.fprintf ppf "step limit exceeded (livelock?)"
+  | Crashed { exn; _ } -> Format.fprintf ppf "exception: %s" exn
+
+let failure_schedule = function
+  | Not_linearizable { schedule; _ }
+  | Invariant_broken { schedule; _ }
+  | Deadlock { schedule }
+  | Step_limit { schedule }
+  | Crashed { schedule; _ } -> schedule
+
+(* A branch left to explore: re-run along [prefix], then choose [choice]. *)
+type branch = { prefix : int list (* reversed *); choice : int; preemptions : int }
+
+let run ?(config = default_config) scenario =
+  let executions = ref 0 in
+  let truncated = ref false in
+  let failure = ref None in
+  let worklist = Stack.create () in
+  (* Execute one run: follow [prefix] (reversed choice list), then continue
+     with the default policy (keep running the last thread; at each decision
+     point push the untried alternatives).  Returns unit; failures land in
+     [failure]. *)
+  let execute prefix0 preemptions0 =
+    incr executions;
+    let inst = scenario.make () in
+    let exec = Exec.create inst.bodies in
+    let schedule = ref [] in
+    let prefix = List.rev prefix0 in
+    let fail f = failure := Some (f (List.rev !schedule)) in
+    let step_choice c =
+      schedule := c :: !schedule;
+      Exec.step exec c
+    in
+    try
+      (* Replay the committed prefix. *)
+      List.iter step_choice prefix;
+      (* Extend: default policy runs the lowest-numbered enabled thread,
+         preferring the previously running one (no preemption); alternatives
+         are pushed for later exploration. *)
+      let rec extend last preemptions steps =
+        if steps > config.max_steps then fail (fun s -> Step_limit { schedule = s })
+        else if Exec.finished exec then begin
+          let h = inst.history () in
+          if not (Vbl_spec.Linearizability.check h) then
+            fail (fun s ->
+                Not_linearizable { schedule = s; history = Vbl_spec.History.to_string h })
+          else
+            match inst.invariants () with
+            | Ok () -> ()
+            | Error msg -> fail (fun s -> Invariant_broken { schedule = s; msg })
+        end
+        else begin
+          let enabled = Exec.runnable_threads exec in
+          match enabled with
+          | [] -> fail (fun s -> Deadlock { schedule = s })
+          | _ ->
+              let continue_last = List.mem last enabled in
+              let chosen = if continue_last then last else List.hd enabled in
+              (* Alternatives: switching to [c] preempts iff the previous
+                 thread could have continued. *)
+              List.iter
+                (fun c ->
+                  if c <> chosen then begin
+                    let cost = if continue_last then 1 else 0 in
+                    let p = preemptions + cost in
+                    let within =
+                      match config.preemption_bound with None -> true | Some b -> p <= b
+                    in
+                    if within then
+                      Stack.push { prefix = !schedule; choice = c; preemptions = p } worklist
+                  end)
+                enabled;
+              let preemptions' = preemptions in
+              step_choice chosen;
+              extend chosen preemptions' (steps + 1)
+        end
+      in
+      let last = match prefix with [] -> -1 | _ -> List.hd (List.rev prefix) in
+      extend last preemptions0 (List.length prefix)
+    with
+    | Exec.Stuck msg -> fail (fun s -> Crashed { schedule = s; exn = msg })
+    | e -> fail (fun s -> Crashed { schedule = s; exn = Printexc.to_string e })
+  in
+  execute [] 0;
+  let rec drain () =
+    if !failure <> None then ()
+    else if Stack.is_empty worklist then ()
+    else if !executions >= config.max_executions then truncated := true
+    else begin
+      let b = Stack.pop worklist in
+      execute (b.choice :: b.prefix) b.preemptions;
+      drain ()
+    end
+  in
+  drain ();
+  { executions = !executions; truncated = !truncated; failure = !failure }

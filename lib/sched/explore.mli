@@ -1,0 +1,46 @@
+(** Bounded exhaustive exploration of interleavings (dscheck-style
+    re-execution DFS), checking every complete execution for
+    linearizability and structural invariants — the executable counterpart
+    of the paper's Theorem 1 on bounded configurations.
+
+    Optionally preemption-bounded: switching away from a thread that could
+    continue costs one unit; most concurrency bugs need very few
+    preemptions and the bound keeps schedule counts polynomial. *)
+
+type scenario = { make : unit -> instance }
+(** Called once per explored execution; must return fully independent
+    state. *)
+
+and instance = {
+  bodies : (unit -> unit) list;
+  history : unit -> Vbl_spec.History.t;  (** read after all threads finish *)
+  invariants : unit -> (unit, string) result;
+}
+
+type config = {
+  max_executions : int;
+  preemption_bound : int option;  (** [None] = full exploration *)
+  max_steps : int;  (** per-execution cap (guards against livelock) *)
+}
+
+val default_config : config
+
+type failure =
+  | Not_linearizable of { schedule : int list; history : string }
+  | Invariant_broken of { schedule : int list; msg : string }
+  | Deadlock of { schedule : int list }
+  | Step_limit of { schedule : int list }
+  | Crashed of { schedule : int list; exn : string }
+
+type report = {
+  executions : int;
+  truncated : bool;  (** the execution cap stopped exploration early *)
+  failure : failure option;  (** first failure found *)
+}
+
+val pp_failure : Format.formatter -> failure -> unit
+
+val failure_schedule : failure -> int list
+(** The thread-choice sequence reproducing the failure. *)
+
+val run : ?config:config -> scenario -> report

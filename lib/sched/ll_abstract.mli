@@ -1,0 +1,82 @@
+(** Abstract schedules of the sequential list [LL] (paper §2.2): one step
+    machine per operation executing Algorithm 1 against a shared abstract
+    list, with {e no} synchronization — the very object Definitions 1 and 2
+    quantify over.
+
+    Workflow: build or {!enumerate} schedules, classify them with
+    {!correct} (Definition 1), translate with {!to_script} and drive them
+    against an implementation ({!Directed}) to decide acceptance
+    (Definition 2). *)
+
+type kind = Insert | Remove | Contains
+
+type opspec = { kind : kind; v : int }
+
+val insert : int -> opspec
+val remove : int -> opspec
+val contains : int -> opspec
+
+type node = { id : int; value : int; mutable next : node }
+(** Abstract list node; values immutable, [next] the only shared field. *)
+
+type step =
+  | S_read_next of { op : int; node : node; seen : node }
+  | S_read_val of { op : int; node : node; seen : int }
+  | S_new of { op : int; node : node; init_next : node; consistent : bool }
+      (** [consistent]: line 13 re-reads [prev.next] into the new node; in
+          any sequential execution that equals the traversal's [curr].
+          Local serializability requires the flag. *)
+  | S_write_next of { op : int; node : node; target : node }
+  | S_return of { op : int; result : bool }
+
+type t
+
+val create : initial:int list -> ops:opspec list -> t
+
+val n_ops : t -> int
+
+val enabled : t -> int -> bool
+
+val enabled_ops : t -> int list
+
+val finished : t -> bool
+
+val step : t -> int -> unit
+(** Run one shared access (or the return) of operation [i]. *)
+
+val results : t -> bool option array
+
+val schedule : t -> step list
+
+val final_values : t -> int list
+(** Contents by traversal from the head; terminates even on corrupted
+    lists (next pointers always lead to strictly larger values). *)
+
+val locally_serializable : t -> bool
+(** Definition 1(1), via the two data conditions that can fail (see the
+    implementation for the argument that they are exactly enough). *)
+
+val history : t -> Vbl_spec.History.t
+(** High-level history with pre-populated values seeded as completed
+    inserts before time zero. *)
+
+val correct : t -> bool
+(** Definition 1: locally serializable and every contains-extension
+    linearizable.  Requires [finished]. *)
+
+val enumerate :
+  initial:int list -> ops:opspec list -> ?max:int -> (t -> unit) -> bool
+(** Call the function on every complete interleaving; [false] if [max]
+    truncated the enumeration. *)
+
+val node_name : node -> string
+(** The paper's naming: [h], [t], or [X<value>]. *)
+
+val to_script : t -> Directed.directive list
+(** Cell-exact directed script realising this schedule's data steps. *)
+
+val spec_to_model : opspec -> Vbl_spec.Set_model.op
+
+val pp_step : Format.formatter -> step -> unit
+
+val pp_opspec : Format.formatter -> opspec -> unit

@@ -1,0 +1,17 @@
+(** The simulated multicore: per-thread virtual clocks over the
+    cooperative conductor, advanced by the coherence cost model.
+
+    Scheduling rule: the runnable thread with the smallest clock moves
+    next; lock waiters' clocks are pulled up to the release time when they
+    wake (lock-handoff latency). *)
+
+type t
+
+val create : coherence:Coherence.t -> (unit -> unit) list -> t
+
+val run : t -> horizon:float -> int
+(** Run until every thread is done or past [horizon] virtual cycles;
+    returns the number of conductor steps executed. *)
+
+val clock : t -> int -> float
+(** Thread [i]'s virtual clock, in cycles. *)

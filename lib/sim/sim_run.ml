@@ -1,0 +1,85 @@
+(** Synchrobench-style workload runs on the simulated multicore.
+
+    Methodology mirrors the paper's §4: a workload is x% updates (x/2
+    inserts, x/2 removes) and (100-x)% contains, keys uniform over a fixed
+    range, list pre-populated with each key present with probability ½.
+    Here "time" is virtual cycles from the coherence model, so thread
+    counts far beyond the host's physical cores behave as they would on the
+    paper's 72-core machine — modulo the model's idealisations, which is
+    why EXPERIMENTS.md compares shapes, not absolute numbers. *)
+
+type params = {
+  threads : int;
+  update_percent : int;  (** 0, 20, 100, ... *)
+  key_range : int;  (** keys drawn from [1, key_range] *)
+  horizon : float;  (** simulated duration in cycles *)
+  seed : int64;
+  zipf : float option;  (** [Some s]: zipfian keys with skew [s]; [None]: uniform *)
+}
+
+type result = {
+  ops_completed : int;
+  throughput : float;  (** operations per 1000 simulated cycles *)
+  steps : int;  (** conductor steps executed (simulator work) *)
+  final_size : int;
+}
+
+let default_horizon = 100_000.
+
+(* Per-thread op budget: merely a loop bound for the body — the horizon is
+   what actually stops a run.  It must be generous enough that no thread
+   can exhaust it before the horizon even when every operation is cheap
+   (e.g. zipfian traffic on keys next to the head), or finished threads
+   would silently flatten the measurement. *)
+let op_budget params = int_of_float (params.horizon /. 2.) + 64
+
+let run ?(costs = Coherence.default_costs) ?(topology = Coherence.flat)
+    (module S : Vbl_lists.Set_intf.S) params : result =
+  if params.threads < 1 then invalid_arg "Sim_run.run: threads must be >= 1";
+  if params.update_percent < 0 || params.update_percent > 100 then
+    invalid_arg "Sim_run.run: update_percent must be in [0, 100]";
+  let master = Vbl_util.Rng.create ~seed:params.seed () in
+  (* Pre-population: each key present with probability 1/2, in shuffled
+     order (ascending order would degenerate the unbalanced BST). *)
+  let t =
+    Vbl_memops.Instr_mem.run_sequential (fun () ->
+        let t = S.create () in
+        let keys = Array.init params.key_range (fun i -> i + 1) in
+        Vbl_util.Rng.shuffle master keys;
+        Array.iter (fun v -> if Vbl_util.Rng.bool master then ignore (S.insert t v)) keys;
+        t)
+  in
+  let ops_done = Array.make params.threads 0 in
+  let budget = op_budget params in
+  let zipf = Option.map (fun s -> Vbl_util.Zipf.create ~s ~n:params.key_range ()) params.zipf in
+  let draw rng =
+    match zipf with
+    | None -> 1 + Vbl_util.Rng.int rng params.key_range
+    | Some z -> Vbl_util.Zipf.sample z rng
+  in
+  let body i =
+    let rng = Vbl_util.Rng.split master in
+    fun () ->
+      for _ = 1 to budget do
+        let v = draw rng in
+        let roll = Vbl_util.Rng.int rng 100 in
+        (if roll < params.update_percent then
+           if roll mod 2 = 0 then ignore (S.insert t v) else ignore (S.remove t v)
+         else ignore (S.contains t v));
+        ops_done.(i) <- ops_done.(i) + 1
+      done
+  in
+  let bodies = List.init params.threads body in
+  let coherence = Coherence.create ~costs ~topology ~n_threads:params.threads () in
+  let machine = Machine.create ~coherence bodies in
+  let steps = Machine.run machine ~horizon:params.horizon in
+  let ops_completed = Array.fold_left ( + ) 0 ops_done in
+  let final_size =
+    Vbl_memops.Instr_mem.run_sequential (fun () -> S.size t)
+  in
+  {
+    ops_completed;
+    throughput = float_of_int ops_completed /. params.horizon *. 1000.;
+    steps;
+    final_size;
+  }

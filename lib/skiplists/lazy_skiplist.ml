@@ -1,0 +1,312 @@
+(** The lazy (lock-based) skip list of Herlihy, Lev, Luchangco & Shavit, as
+    presented in Herlihy & Shavit ch. 14.3 — the skip-list analogue of the
+    Lazy Linked List, and the baseline for the paper's concluding-remarks
+    conjecture that its list-level optimizations generalise upwards.
+
+    Per node: a lock, a [marked] flag (logical deletion) and a
+    [fully_linked] flag (the linearization point of insert, set once the
+    node is linked at every level).  Traversals are wait-free; updates lock
+    the predecessors at every level of the affected tower and validate
+    after locking — including for updates that end up not modifying
+    anything, exactly the discipline the paper's Figure 2 faults in the
+    list version. *)
+
+module Make (M : Vbl_memops.Mem_intf.S) : Vbl_lists.Set_intf.S = struct
+  let name = "lazy-skiplist"
+
+  let max_level = Level_gen.max_level
+
+  type node =
+    | Node of {
+        value : int M.cell;
+        next : node M.cell array;  (** length = tower height *)
+        marked : bool M.cell;
+        fully_linked : bool M.cell;
+        lock : M.lock;
+      }
+    | Tail of { value : int M.cell }
+
+  type t = { head : node; levels : Level_gen.t }
+
+  let node_value = function Node n -> M.get n.value | Tail n -> M.get n.value
+  let node_marked = function Node n -> M.get n.marked | Tail _ -> false
+  let node_fully_linked = function Node n -> M.get n.fully_linked | Tail _ -> true
+  let node_lock = function Node n -> n.lock | Tail _ -> assert false
+  let height = function Node n -> Array.length n.next | Tail _ -> 0
+
+  let next_cell node level =
+    match node with
+    | Node n -> n.next.(level)
+    | Tail _ -> assert false (* the tail's +inf value stops every traversal *)
+
+  let make_node value next_targets =
+    let nm = Vbl_lists.Naming.node value in
+    let line = M.fresh_line () in
+    M.new_node ~name:nm ~line;
+    Node
+      {
+        value = M.make ~name:(Vbl_lists.Naming.value_cell nm) ~line value;
+        next =
+          Array.mapi
+            (fun lvl succ ->
+              M.make ~name:(Printf.sprintf "%s.next%d" nm lvl) ~line succ)
+            next_targets;
+        marked = M.make ~name:(Vbl_lists.Naming.deleted_cell nm) ~line false;
+        fully_linked = M.make ~name:(nm ^ ".linked") ~line false;
+        lock = M.make_lock ~name:(Vbl_lists.Naming.lock_cell nm) ~line ();
+      }
+
+  let create () =
+    let tl = M.fresh_line () in
+    let tail =
+      Tail { value = M.make ~name:(Vbl_lists.Naming.value_cell Vbl_lists.Naming.tail) ~line:tl max_int }
+    in
+    let hl = M.fresh_line () in
+    let head =
+      Node
+        {
+          value = M.make ~name:(Vbl_lists.Naming.value_cell Vbl_lists.Naming.head) ~line:hl min_int;
+          next =
+            Array.init max_level (fun lvl ->
+                M.make ~name:(Printf.sprintf "h.next%d" lvl) ~line:hl tail);
+          marked = M.make ~name:(Vbl_lists.Naming.deleted_cell Vbl_lists.Naming.head) ~line:hl false;
+          fully_linked = M.make ~name:"h.linked" ~line:hl true;
+          lock = M.make_lock ~name:(Vbl_lists.Naming.lock_cell Vbl_lists.Naming.head) ~line:hl ();
+        }
+    in
+    { head; levels = Level_gen.create () }
+
+  let check_key v =
+    if v = min_int || v = max_int then
+      invalid_arg "skip list: key must be strictly between min_int and max_int"
+
+  (* The wait-free multi-level locate: fills [preds]/[succs] and returns
+     the highest level at which a node with value [v] was found. *)
+  let find t v preds succs =
+    let lfound = ref (-1) in
+    let pred = ref t.head in
+    for level = max_level - 1 downto 0 do
+      let curr = ref (M.get (next_cell !pred level)) in
+      while node_value !curr < v do
+        pred := !curr;
+        curr := M.get (next_cell !pred level)
+      done;
+      if !lfound = -1 && node_value !curr = v then lfound := level;
+      preds.(level) <- !pred;
+      succs.(level) <- !curr
+    done;
+    !lfound
+
+  let contains t v =
+    check_key v;
+    let preds = Array.make max_level t.head and succs = Array.make max_level t.head in
+    let lfound = find t v preds succs in
+    lfound <> -1
+    && node_fully_linked succs.(lfound)
+    && not (node_marked succs.(lfound))
+
+  (* A predecessor may appear at several consecutive levels; lock/unlock
+     each distinct node once. *)
+  let unlock_distinct preds highest =
+    let last = ref None in
+    for lvl = 0 to highest do
+      let p = preds.(lvl) in
+      let same = match !last with Some q -> q == p | None -> false in
+      if not same then M.unlock (node_lock p);
+      last := Some p
+    done
+
+  let insert t v =
+    check_key v;
+    let top_level = Level_gen.next_level t.levels in
+    let preds = Array.make max_level t.head and succs = Array.make max_level t.head in
+    let rec attempt () =
+      let lfound = find t v preds succs in
+      if lfound <> -1 then begin
+        let found = succs.(lfound) in
+        if not (node_marked found) then begin
+          (* Busy-wait for the in-flight insert to complete, as in the
+             original: the value is already decided present. *)
+          while not (node_fully_linked found) do
+            Domain.cpu_relax ()
+          done;
+          false
+        end
+        else attempt () (* found a corpse: retry until its removal finishes *)
+      end
+      else begin
+        (* Lock all predecessors up to top_level, then validate. *)
+        let highest_locked = ref (-1) in
+        let valid = ref true in
+        let level = ref 0 in
+        let prev_pred = ref None in
+        while !valid && !level < top_level do
+          let pred = preds.(!level) and succ = succs.(!level) in
+          let same = match !prev_pred with Some q -> q == pred | None -> false in
+          if not same then begin
+            M.lock (node_lock pred);
+            prev_pred := Some pred
+          end;
+          highest_locked := !level;
+          valid :=
+            (not (node_marked pred))
+            && (not (node_marked succ))
+            && M.get (next_cell pred !level) == succ;
+          incr level
+        done;
+        if not !valid then begin
+          unlock_distinct preds !highest_locked;
+          attempt ()
+        end
+        else begin
+          let x = make_node v (Array.init top_level (fun lvl -> succs.(lvl))) in
+          for lvl = 0 to top_level - 1 do
+            M.set (next_cell preds.(lvl) lvl) x
+          done;
+          (match x with Node n -> M.set n.fully_linked true | Tail _ -> ());
+          unlock_distinct preds !highest_locked;
+          true
+        end
+      end
+    in
+    attempt ()
+
+  let remove t v =
+    check_key v;
+    let preds = Array.make max_level t.head and succs = Array.make max_level t.head in
+    let victim_marked_by_us = ref false in
+    let victim = ref t.head in
+    let rec attempt () =
+      let lfound = find t v preds succs in
+      if !victim_marked_by_us || (lfound <> -1 && removable succs.(lfound) lfound) then begin
+        if not !victim_marked_by_us then begin
+          victim := succs.(lfound);
+          M.lock (node_lock !victim);
+          if node_marked !victim then begin
+            M.unlock (node_lock !victim);
+            false
+          end
+          else begin
+            (match !victim with
+            | Node n -> M.set n.marked true
+            | Tail _ -> assert false);
+            victim_marked_by_us := true;
+            finish ()
+          end
+        end
+        else finish ()
+      end
+      else false
+    and removable candidate lfound =
+      node_fully_linked candidate
+      && height candidate - 1 = lfound
+      && not (node_marked candidate)
+    and finish () =
+      let top_level = height !victim in
+      let highest_locked = ref (-1) in
+      let valid = ref true in
+      let level = ref 0 in
+      let last = ref None in
+      while !valid && !level < top_level do
+        let pred = preds.(!level) in
+        let same = match !last with Some q -> q == pred | None -> false in
+        if not same then begin
+          M.lock (node_lock pred);
+          last := Some pred
+        end;
+        highest_locked := !level;
+        valid := (not (node_marked pred)) && M.get (next_cell pred !level) == !victim;
+        incr level
+      done;
+      if not !valid then begin
+        unlock_distinct preds !highest_locked;
+        attempt ()
+      end
+      else begin
+        for lvl = top_level - 1 downto 0 do
+          M.set (next_cell preds.(lvl) lvl) (M.get (next_cell !victim lvl))
+        done;
+        M.unlock (node_lock !victim);
+        unlock_distinct preds !highest_locked;
+        true
+      end
+    in
+    attempt ()
+
+  let fold f init t =
+    let rec loop acc node =
+      match node with
+      | Tail _ -> acc
+      | Node n ->
+          let v = M.get n.value in
+          let keep = v <> min_int && (not (M.get n.marked)) && M.get n.fully_linked in
+          let acc = if keep then f acc v else acc in
+          loop acc (M.get n.next.(0))
+    in
+    loop init t.head
+
+  let to_list t = List.rev (fold (fun acc v -> v :: acc) [] t)
+  let size t = fold (fun acc _ -> acc + 1) 0 t
+
+  let check_invariants t =
+    (* Tower consistency: every node reachable at an upper level must also
+       be reachable at the bottom level (upper levels are index sublists). *)
+    let sublist_check () =
+      let bottom = ref [] in
+      let rec collect node =
+        match node with
+        | Tail _ -> ()
+        | Node n ->
+            bottom := node :: !bottom;
+            collect (M.get n.next.(0))
+      in
+      collect t.head;
+      let rec check_upper level node =
+        match node with
+        | Tail _ -> Ok ()
+        | Node n ->
+            if not (List.memq node !bottom) then
+              Error
+                (Printf.sprintf "level %d: node %d not present at bottom level" level
+                   (M.get n.value))
+            else check_upper level (M.get n.next.(level))
+      in
+      let rec levels level =
+        if level >= max_level then Ok ()
+        else
+          match check_upper level t.head with
+          | Ok () -> levels (level + 1)
+          | Error _ as e -> e
+      in
+      levels 1
+    in
+    (* Bottom level sorted and clean; every level a sublist of level 0;
+       towers internally consistent. *)
+    let rec check_level level last node steps =
+      if steps > 10_000_000 then Error "traversal did not terminate (cycle?)"
+      else
+        match node with
+        | Tail n ->
+            if M.get n.value = max_int then Ok ()
+            else Error "tail sentinel does not store max_int"
+        | Node n ->
+            let v = M.get n.value in
+            if v <= last && steps > 0 then
+              Error (Printf.sprintf "level %d: values not strictly increasing at %d" level v)
+            else if steps > 0 && M.get n.marked then
+              Error (Printf.sprintf "level %d: marked node %d still reachable" level v)
+            else if steps > 0 && not (M.get n.fully_linked) then
+              Error (Printf.sprintf "level %d: partially linked node %d at quiescence" level v)
+            else if steps > 0 && Array.length n.next <= level then
+              Error (Printf.sprintf "level %d: node %d tower too short" level v)
+            else check_level level v (M.get n.next.(level)) (steps + 1)
+    in
+    let rec all_levels level =
+      if level >= max_level then Ok ()
+      else
+        match check_level level min_int t.head 0 with
+        | Ok () -> all_levels (level + 1)
+        | Error _ as e -> e
+    in
+    match all_levels 0 with Ok () -> sublist_check () | Error _ as e -> e
+end

@@ -1,0 +1,6 @@
+(** The lazy (lock-based) skip list of Herlihy, Lev, Luchangco & Shavit
+    (Herlihy & Shavit ch. 14.3): per-node lock, [marked] and
+    [fully_linked] flags, wait-free contains, multi-level lock+validate
+    updates.  Baseline for the paper's future-work conjecture. *)
+
+module Make (M : Vbl_memops.Mem_intf.S) : Vbl_lists.Set_intf.S

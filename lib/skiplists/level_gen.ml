@@ -1,0 +1,25 @@
+(** Geometric tower-height generation for skip lists.
+
+    Heights follow the classic p = 1/2 geometric distribution, capped at
+    {!max_level}.  Randomness comes from splitmix64 applied to a private
+    monotonic counter, which keeps runs deterministic under the
+    instrumented backend (heights depend only on the order in which
+    inserts draw them) and contention-cheap under the real one (a single
+    fetch-and-add, no shared RNG state beyond it). *)
+
+let max_level = 16
+
+type t = { counter : int Atomic.t }
+
+let create () = { counter = Atomic.make 1 }
+
+let next_level t =
+  let n = Atomic.fetch_and_add t.counter 1 in
+  let z = Vbl_util.Rng.Splitmix.next (Vbl_util.Rng.Splitmix.create (Int64.of_int n)) in
+  (* Count trailing ones of the mixed word: P(level > k) = 2^-k. *)
+  let rec count k z =
+    if k + 1 >= max_level then k
+    else if Int64.logand z 1L = 1L then count (k + 1) (Int64.shift_right_logical z 1)
+    else k
+  in
+  1 + count 0 z

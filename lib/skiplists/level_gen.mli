@@ -1,0 +1,12 @@
+(** Geometric tower heights (p = 1/2, capped) for skip lists, from
+    splitmix64 over a private counter: deterministic under the
+    instrumented backend, contention-cheap under the real one. *)
+
+val max_level : int
+
+type t
+
+val create : unit -> t
+
+val next_level : t -> int
+(** In [1, max_level]. *)

@@ -1,0 +1,6 @@
+(** Lock-free skip list (Herlihy & Shavit ch. 14.4, after Fraser/Harris):
+    Harris-marked links per level, bottom-level linearization, snipping
+    finds, wait-free contains.  The lock-free baseline of the skip-list
+    family. *)
+
+module Make (M : Vbl_memops.Mem_intf.S) : Vbl_lists.Set_intf.S

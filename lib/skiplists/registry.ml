@@ -1,0 +1,31 @@
+(** Skip-list registry, mirroring {!Vbl_lists.Registry}: real-backend
+    instantiations for benchmarks/examples, instrumented ones for the
+    schedule machinery. *)
+
+module R = Vbl_memops.Real_mem
+module I = Vbl_memops.Instr_mem
+
+module Lazy_skip = Lazy_skiplist.Make (R)
+module Vbl_skip = Vbl_skiplist.Make (R)
+module Lockfree_skip = Lockfree_skiplist.Make (R)
+module Lazy_skip_i = Lazy_skiplist.Make (I)
+module Vbl_skip_i = Vbl_skiplist.Make (I)
+module Lockfree_skip_i = Lockfree_skiplist.Make (I)
+
+type impl = (module Vbl_lists.Set_intf.S)
+
+let all : impl list = [ (module Lazy_skip); (module Vbl_skip); (module Lockfree_skip) ]
+
+let instrumented : impl list =
+  [ (module Lazy_skip_i); (module Vbl_skip_i); (module Lockfree_skip_i) ]
+
+let find_exn nm : impl =
+  match
+    List.find_opt
+      (fun i ->
+        let module S = (val i : Vbl_lists.Set_intf.S) in
+        S.name = nm)
+      all
+  with
+  | Some i -> i
+  | None -> invalid_arg ("Vbl_skiplists.Registry.find_exn: unknown algorithm " ^ nm)

@@ -1,0 +1,16 @@
+(** Skip-list registry: real-backend instantiations for benchmarks, and
+    instrumented ones for the schedule machinery. *)
+
+module Lazy_skip : Vbl_lists.Set_intf.S
+module Vbl_skip : Vbl_lists.Set_intf.S
+module Lockfree_skip : Vbl_lists.Set_intf.S
+module Lazy_skip_i : Vbl_lists.Set_intf.S
+module Vbl_skip_i : Vbl_lists.Set_intf.S
+module Lockfree_skip_i : Vbl_lists.Set_intf.S
+
+type impl = (module Vbl_lists.Set_intf.S)
+
+val all : impl list
+val instrumented : impl list
+
+val find_exn : string -> impl

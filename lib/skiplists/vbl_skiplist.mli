@@ -1,0 +1,6 @@
+(** A VBL-style skip list (the paper's concluding-remarks direction):
+    relaxed, value-aware validation — adjacency-only checks, no unmarked-
+    successor requirement, victim selection by bottom-level value.  See
+    the implementation header for what provably cannot be relaxed. *)
+
+module Make (M : Vbl_memops.Mem_intf.S) : Vbl_lists.Set_intf.S

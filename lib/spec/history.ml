@@ -1,0 +1,144 @@
+(** Concurrent histories: sequences of invocation and response events
+    (paper §2.1, "high-level histories").
+
+    A history is built by a recorder (one per test/exploration run) that
+    timestamps events with a global sequence number; real-time order is the
+    order of those numbers.  Operations are identified by the pair
+    (thread, per-thread index), so a thread's operations are totally
+    ordered as required of well-formed histories. *)
+
+type completion = Returned of bool | Pending
+
+type operation = {
+  thread : int;
+  index : int;  (** per-thread sequence number, from 0 *)
+  op : Set_model.op;
+  invoked_at : int;  (** global timestamp of the invocation *)
+  completion : completion;
+  returned_at : int;  (** global timestamp of the response; [max_int] if pending *)
+}
+
+type t = { operations : operation list }
+
+let operations t = t.operations
+
+let is_complete t =
+  List.for_all (fun o -> o.completion <> Pending) t.operations
+
+(** [precedes a b] — [a]'s response occurs before [b]'s invocation
+    (the real-time order ->_H of the paper). *)
+let precedes a b = a.returned_at < b.invoked_at
+
+let pp_operation ppf o =
+  match o.completion with
+  | Returned r ->
+      Format.fprintf ppf "T%d: %a -> %b [%d,%d]" o.thread Set_model.pp_op o.op r
+        o.invoked_at o.returned_at
+  | Pending -> Format.fprintf ppf "T%d: %a -> ? [%d,..]" o.thread Set_model.pp_op o.op o.invoked_at
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%a@]" (Format.pp_print_list pp_operation) t.operations
+
+let to_string t = Format.asprintf "%a" pp t
+
+(** Imperative recorder used by stress tests and the explorer. *)
+module Recorder = struct
+  type entry = {
+    r_thread : int;
+    r_index : int;
+    r_op : Set_model.op;
+    r_invoked : int;
+    mutable r_completion : completion;
+    mutable r_returned : int;
+  }
+
+  type r = {
+    clock : int Atomic.t;
+    entries : (int * int, entry) Hashtbl.t;
+    mutex : Mutex.t;
+    next_index : (int, int) Hashtbl.t;
+  }
+
+  let create () =
+    {
+      clock = Atomic.make 0;
+      entries = Hashtbl.create 64;
+      mutex = Mutex.create ();
+      next_index = Hashtbl.create 8;
+    }
+
+  let tick r = Atomic.fetch_and_add r.clock 1
+
+  let invoke r ~thread op =
+    Mutex.lock r.mutex;
+    let index = Option.value ~default:0 (Hashtbl.find_opt r.next_index thread) in
+    Hashtbl.replace r.next_index thread (index + 1);
+    Mutex.unlock r.mutex;
+    let e =
+      {
+        r_thread = thread;
+        r_index = index;
+        r_op = op;
+        r_invoked = tick r;
+        r_completion = Pending;
+        r_returned = max_int;
+      }
+    in
+    Mutex.lock r.mutex;
+    Hashtbl.replace r.entries (thread, index) e;
+    Mutex.unlock r.mutex;
+    (thread, index)
+
+  let return r id result =
+    Mutex.lock r.mutex;
+    let e = Hashtbl.find r.entries id in
+    Mutex.unlock r.mutex;
+    e.r_returned <- tick r;
+    e.r_completion <- Returned result
+
+  (** Run [op] against implementation function [f], recording both ends. *)
+  let record r ~thread op f =
+    let id = invoke r ~thread op in
+    let result = f op in
+    return r id result;
+    result
+
+  let history r =
+    Mutex.lock r.mutex;
+    let ops =
+      Hashtbl.fold
+        (fun _ e acc ->
+          {
+            thread = e.r_thread;
+            index = e.r_index;
+            op = e.r_op;
+            invoked_at = e.r_invoked;
+            completion = e.r_completion;
+            returned_at = e.r_returned;
+          }
+          :: acc)
+        r.entries []
+    in
+    Mutex.unlock r.mutex;
+    let ops = List.sort (fun a b -> compare a.invoked_at b.invoked_at) ops in
+    { operations = ops }
+end
+
+(** Build a history directly from a per-thread script of (op, result) with
+    explicit timestamps; used heavily in unit tests of the checker. *)
+let of_list entries =
+  let ops =
+    List.map
+      (fun (thread, index, op, invoked_at, completion, returned_at) ->
+        { thread; index; op; invoked_at; completion; returned_at })
+      entries
+  in
+  { operations = List.sort (fun a b -> compare a.invoked_at b.invoked_at) ops }
+
+(** A sequential history from an op/result list: operation k occupies the
+    time slot [2k, 2k+1]. *)
+let sequential ops_with_results =
+  of_list
+    (List.mapi
+       (fun i (op, r) -> (0, i, op, 2 * i, Returned r, (2 * i) + 1))
+       ops_with_results)

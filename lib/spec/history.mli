@@ -1,0 +1,63 @@
+(** Concurrent histories: invocation/response records of high-level
+    operations (paper §2.1), plus a thread-safe recorder for building them
+    from live runs.
+
+    Real-time order is carried by integer timestamps: operation [a]
+    precedes [b] iff [a.returned_at < b.invoked_at].  Pending operations
+    carry [returned_at = max_int]. *)
+
+type completion = Returned of bool | Pending
+
+type operation = {
+  thread : int;
+  index : int;  (** per-thread sequence number, from 0 *)
+  op : Set_model.op;
+  invoked_at : int;
+  completion : completion;
+  returned_at : int;
+}
+
+type t
+
+val operations : t -> operation list
+(** In invocation order. *)
+
+val is_complete : t -> bool
+(** No pending operations. *)
+
+val precedes : operation -> operation -> bool
+(** The real-time order ->_H of the paper. *)
+
+val pp_operation : Format.formatter -> operation -> unit
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+(** Imperative, thread-safe recorder used by stress tests and the
+    explorer: one global logical clock, events timestamped on invoke and
+    return. *)
+module Recorder : sig
+  type r
+
+  val create : unit -> r
+
+  val invoke : r -> thread:int -> Set_model.op -> int * int
+  (** [invoke r ~thread op] records the invocation and returns the
+      operation's id (thread, per-thread index) to pass to {!return}. *)
+
+  val return : r -> int * int -> bool -> unit
+
+  val record : r -> thread:int -> Set_model.op -> (Set_model.op -> bool) -> bool
+  (** [record r ~thread op f] brackets [f op] with invoke/return and
+      passes the result through. *)
+
+  val history : r -> t
+end
+
+val of_list : (int * int * Set_model.op * int * completion * int) list -> t
+(** [(thread, index, op, invoked_at, completion, returned_at)] tuples, in
+    any order; sorted by invocation time. *)
+
+val sequential : (Set_model.op * bool) list -> t
+(** A single-thread history where operation k occupies time [2k, 2k+1]. *)

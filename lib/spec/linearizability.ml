@@ -1,0 +1,126 @@
+(** Linearizability checking of set histories (paper §2.1).
+
+    The checker exploits the compositionality theorem of Herlihy & Wing: a
+    history is linearizable iff each per-object subhistory is.  For the set
+    type each key is an independent one-bit object ([insert]/[remove]/
+    [contains] of [v] only touch [v]'s membership), so the history is split
+    by key and each partition is checked with a Wing-Gong-style depth-first
+    search over linearization prefixes, memoised on (linearized-set,
+    membership-bit).  Candidates at each step are the unlinearized
+    operations invoked no later than the earliest unlinearized response, so
+    the branching factor is bounded by the number of threads rather than
+    the history length.
+
+    Pending (incomplete) operations may either take effect — with an
+    unconstrained response — or be dropped, per the completion rule for
+    linearizability. *)
+
+type verdict = Linearizable | Not_linearizable of { key : int }
+
+(* One partition: all operations on a single key, as parallel arrays for
+   cache-friendly DFS. *)
+type partition = {
+  p_ops : History.operation array; (* sorted by invocation time *)
+  p_complete : int; (* number of non-pending ops *)
+}
+
+let partition_by_key history =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (o : History.operation) ->
+      let k = Set_model.key o.op in
+      let prev = Option.value ~default:[] (Hashtbl.find_opt tbl k) in
+      Hashtbl.replace tbl k (o :: prev))
+    (History.operations history);
+  Hashtbl.fold
+    (fun key ops acc ->
+      let arr = Array.of_list (List.rev ops) in
+      Array.sort (fun (a : History.operation) b -> compare a.invoked_at b.invoked_at) arr;
+      let complete =
+        Array.fold_left
+          (fun n (o : History.operation) -> if o.completion = History.Pending then n else n + 1)
+          0 arr
+      in
+      (key, { p_ops = arr; p_complete = complete }) :: acc)
+    tbl []
+
+(* The one-bit object semantics of a single key. *)
+let apply_bit present (op : Set_model.op) =
+  match op with
+  | Set_model.Insert _ -> (true, not present)
+  | Set_model.Remove _ -> (false, present)
+  | Set_model.Contains _ -> (present, present)
+
+exception Found
+
+let check_partition { p_ops; p_complete } =
+  let n = Array.length p_ops in
+  if n = 0 then true
+  else begin
+    let nbytes = (n + 7) / 8 in
+    let visited = Hashtbl.create 256 in
+    let mask = Bytes.make nbytes '\000' in
+    let in_mask i = Char.code (Bytes.get mask (i / 8)) land (1 lsl (i mod 8)) <> 0 in
+    let set_mask i b =
+      let byte = Char.code (Bytes.get mask (i / 8)) in
+      let bit = 1 lsl (i mod 8) in
+      Bytes.set mask (i / 8) (Char.chr (if b then byte lor bit else byte land lnot bit))
+    in
+    let rec dfs present remaining_complete =
+      if remaining_complete = 0 then raise Found;
+      let memo_key = Bytes.to_string mask ^ if present then "1" else "0" in
+      if not (Hashtbl.mem visited memo_key) then begin
+        Hashtbl.add visited memo_key ();
+        (* Earliest response among unlinearized ops bounds the candidates:
+           an op invoked after some unlinearized op returned cannot be
+           linearized yet. *)
+        let min_ret = ref max_int in
+        for i = 0 to n - 1 do
+          if not (in_mask i) then min_ret := min !min_ret p_ops.(i).returned_at
+        done;
+        (try
+           for i = 0 to n - 1 do
+             let o = p_ops.(i) in
+             if o.invoked_at > !min_ret then raise Exit (* sorted: no candidates beyond *)
+             else if not (in_mask i) then begin
+               let present', response = apply_bit present o.op in
+               let ok =
+                 match o.completion with
+                 | History.Returned expected -> response = expected
+                 | History.Pending -> true
+               in
+               if ok then begin
+                 set_mask i true;
+                 let remaining' =
+                   if o.completion = History.Pending then remaining_complete
+                   else remaining_complete - 1
+                 in
+                 dfs present' remaining';
+                 set_mask i false
+               end
+             end
+           done
+         with Exit -> ())
+      end
+    in
+    try
+      dfs false p_complete;
+      false
+    with Found -> true
+  end
+
+let verdict history =
+  let rec loop = function
+    | [] -> Linearizable
+    | (key, part) :: rest ->
+        if check_partition part then loop rest else Not_linearizable { key }
+  in
+  loop (partition_by_key history)
+
+let check history = verdict history = Linearizable
+
+let find_violation history =
+  match verdict history with
+  | Linearizable -> None
+  | Not_linearizable { key } ->
+      Some (Printf.sprintf "operations on key %d admit no linearization" key)

@@ -1,0 +1,18 @@
+(** Linearizability checking of set histories against {!Set_model}.
+
+    Compositional by key (each key is an independent one-bit object), then
+    Wing-Gong-style DFS per partition, memoised on (linearized-set,
+    membership-bit); candidates at each step are bounded by the earliest
+    unlinearized response, so the branching factor tracks the number of
+    threads, not the history length.  Pending operations may take effect
+    with any response or be dropped. *)
+
+type verdict = Linearizable | Not_linearizable of { key : int }
+
+val verdict : History.t -> verdict
+
+val check : History.t -> bool
+(** [check h] — is [h] linearizable with respect to the set type? *)
+
+val find_violation : History.t -> string option
+(** [None] if linearizable; otherwise a message naming the offending key. *)

@@ -1,0 +1,45 @@
+(** The sequential specification of the integer-set type (paper §2.1).
+
+    This is the ground truth every concurrent execution is judged against:
+    [insert v] succeeds iff [v] was absent, [remove v] succeeds iff [v] was
+    present, [contains v] reports presence, starting from the empty set. *)
+
+module IntSet = Set.Make (Int)
+
+type op = Insert of int | Remove of int | Contains of int
+
+type state = IntSet.t
+
+let empty : state = IntSet.empty
+
+let key = function Insert v | Remove v | Contains v -> v
+
+let is_update = function Insert _ | Remove _ -> true | Contains _ -> false
+
+(** [apply state op] returns the post-state and the specified boolean
+    response of running [op] against [state]. *)
+let apply state = function
+  | Insert v -> (IntSet.add v state, not (IntSet.mem v state))
+  | Remove v -> (IntSet.remove v state, IntSet.mem v state)
+  | Contains v -> (state, IntSet.mem v state)
+
+(** [run ops] runs a whole sequence from the empty set, returning the final
+    state and the responses in order. *)
+let run ops =
+  let state, rev_results =
+    List.fold_left
+      (fun (state, acc) op ->
+        let state, r = apply state op in
+        (state, r :: acc))
+      (empty, []) ops
+  in
+  (state, List.rev rev_results)
+
+let pp_op ppf = function
+  | Insert v -> Format.fprintf ppf "insert(%d)" v
+  | Remove v -> Format.fprintf ppf "remove(%d)" v
+  | Contains v -> Format.fprintf ppf "contains(%d)" v
+
+let op_to_string op = Format.asprintf "%a" pp_op op
+
+let equal_op (a : op) (b : op) = a = b

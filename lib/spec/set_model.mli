@@ -1,0 +1,31 @@
+(** The sequential specification of the integer-set type (paper §2.1).
+
+    Ground truth for every correctness check in this repository: [insert v]
+    succeeds iff [v] was absent, [remove v] succeeds iff [v] was present,
+    [contains v] reports presence; the initial set is empty. *)
+
+module IntSet : Set.S with type elt = int
+
+type op = Insert of int | Remove of int | Contains of int
+
+type state = IntSet.t
+
+val empty : state
+
+val key : op -> int
+(** The key an operation touches ([Insert]/[Remove]/[Contains] argument). *)
+
+val is_update : op -> bool
+(** [true] for [Insert] and [Remove]. *)
+
+val apply : state -> op -> state * bool
+(** [apply state op] is the post-state and the specified response. *)
+
+val run : op list -> state * bool list
+(** [run ops] runs a whole sequence from the empty set. *)
+
+val pp_op : Format.formatter -> op -> unit
+
+val op_to_string : op -> string
+
+val equal_op : op -> op -> bool

@@ -1,0 +1,14 @@
+type t = { min_wait : int; max_wait : int; mutable wait : int }
+
+let create ?(min_wait = 16) ?(max_wait = 4096) () =
+  if min_wait <= 0 || min_wait > max_wait then
+    invalid_arg "Backoff.create: need 0 < min_wait <= max_wait";
+  { min_wait; max_wait; wait = min_wait }
+
+let once t =
+  for _ = 1 to t.wait do
+    Domain.cpu_relax ()
+  done;
+  t.wait <- min t.max_wait (t.wait * 2)
+
+let reset t = t.wait <- t.min_wait

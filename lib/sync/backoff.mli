@@ -1,0 +1,19 @@
+(** Truncated exponential backoff for contended retry loops.
+
+    Synchrobench-style microbenchmarks are extremely sensitive to retry
+    storms; every CAS loop in this repository that can fail under contention
+    takes a [Backoff.t] and calls {!once} on failure. *)
+
+type t
+
+val create : ?min_wait:int -> ?max_wait:int -> unit -> t
+(** [create ?min_wait ?max_wait ()] builds a backoff whose spin window starts
+    at [min_wait] iterations (default 16) and doubles up to [max_wait]
+    (default 4096).  Raises [Invalid_argument] unless
+    [0 < min_wait <= max_wait]. *)
+
+val once : t -> unit
+(** Spin for the current window (with [Domain.cpu_relax]) and double it. *)
+
+val reset : t -> unit
+(** Return the window to [min_wait]; call after a successful acquisition. *)

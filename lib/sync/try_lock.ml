@@ -1,0 +1,15 @@
+type t = bool Atomic.t
+
+let create () = Atomic.make false
+
+let try_lock t = (not (Atomic.get t)) && Atomic.compare_and_set t false true
+
+let lock t =
+  let b = Backoff.create () in
+  while not (try_lock t) do
+    Backoff.once b
+  done
+
+let unlock t = Atomic.set t false
+
+let is_locked t = Atomic.get t

@@ -1,0 +1,23 @@
+type t = bool Atomic.t
+
+let create () = Atomic.make false
+
+let try_acquire t = (not (Atomic.get t)) && Atomic.compare_and_set t false true
+
+let acquire t =
+  let b = Backoff.create () in
+  let rec loop () =
+    if Atomic.get t then begin
+      Domain.cpu_relax ();
+      loop ()
+    end
+    else if not (Atomic.compare_and_set t false true) then begin
+      Backoff.once b;
+      loop ()
+    end
+  in
+  loop ()
+
+let release t = Atomic.set t false
+
+let is_locked t = Atomic.get t

@@ -1,0 +1,23 @@
+(** Test-and-test-and-set spin lock.
+
+    This is the mutex the Lazy list baseline hangs off each node: cheap when
+    uncontended, reads the lock word locally while waiting so the waiting
+    traffic stays in the cache until a release invalidates it. *)
+
+type t
+
+val create : unit -> t
+
+val acquire : t -> unit
+(** Spin (TTAS with backoff) until the lock is held by the caller. *)
+
+val try_acquire : t -> bool
+(** One attempt; [true] iff the lock was free and is now held. *)
+
+val release : t -> unit
+(** Release.  The implementation does not check ownership: releasing a lock
+    you do not hold is a programming error with undefined behaviour, exactly
+    as with the Java intrinsic locks used by the paper's implementation. *)
+
+val is_locked : t -> bool
+(** Racy observation, for assertions and tests only. *)

@@ -1,0 +1,24 @@
+type t = Try_lock.t
+
+let create () = Try_lock.create ()
+
+let lock_when t ~validate =
+  Try_lock.lock t;
+  if validate () then true
+  else begin
+    Try_lock.unlock t;
+    false
+  end
+
+let try_lock_when t ~validate =
+  Try_lock.try_lock t
+  && (validate ()
+     ||
+     begin
+       Try_lock.unlock t;
+       false
+     end)
+
+let unlock t = Try_lock.unlock t
+
+let is_locked t = Try_lock.is_locked t

@@ -1,0 +1,35 @@
+(** The value-aware try-lock pattern of §3.1.
+
+    The paper attaches two operations to every list node:
+
+    - [lockNextAt node'] — take the node's lock, then check that the node is
+      not logically deleted and that its [next] field still points at
+      [node']; release and fail otherwise.
+    - [lockNextAtValue v] — take the node's lock, then check that the node is
+      not logically deleted and that the {e value} stored in the next node is
+      still [v]; release and fail otherwise.
+
+    Both are instances of one pattern: {e acquire, validate under the lock,
+    keep the lock only if validation passes}.  The node-specific validation
+    predicates live with the node type (see [Vbl_lists.Vbl_list]); this
+    module provides the pattern itself so it is testable in isolation and
+    reusable by the ablation variants. *)
+
+type t
+
+val create : unit -> t
+
+val lock_when : t -> validate:(unit -> bool) -> bool
+(** [lock_when t ~validate] acquires [t] (spinning if needed), then runs
+    [validate ()].  On [true] the lock stays held and the call returns
+    [true]; on [false] the lock is released and the call returns [false].
+    [validate] therefore always runs under the lock. *)
+
+val try_lock_when : t -> validate:(unit -> bool) -> bool
+(** Like {!lock_when} but makes a single acquisition attempt; an already-held
+    lock yields [false] without running [validate]. *)
+
+val unlock : t -> unit
+
+val is_locked : t -> bool
+(** Racy observation, for assertions and tests only. *)

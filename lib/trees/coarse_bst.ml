@@ -1,0 +1,26 @@
+(** Coarse-grained locking BST: the sequential external tree behind one
+    global lock — the zero-concurrency anchor for the tree family, like
+    {!Vbl_lists.Coarse_list} for lists. *)
+
+module Make (M : Vbl_memops.Mem_intf.S) : Vbl_lists.Set_intf.S = struct
+  module Seq = Seq_bst.Make (M)
+
+  let name = "coarse-bst"
+
+  type t = { lock : M.lock; inner : Seq.t }
+
+  let create () =
+    let line = M.fresh_line () in
+    { lock = M.make_lock ~name:"bst.lock" ~line (); inner = Seq.create () }
+
+  let critical t f =
+    M.lock t.lock;
+    Fun.protect ~finally:(fun () -> M.unlock t.lock) f
+
+  let insert t v = critical t (fun () -> Seq.insert t.inner v)
+  let remove t v = critical t (fun () -> Seq.remove t.inner v)
+  let contains t v = critical t (fun () -> Seq.contains t.inner v)
+  let to_list t = Seq.to_list t.inner
+  let size t = Seq.size t.inner
+  let check_invariants t = Seq.check_invariants t.inner
+end

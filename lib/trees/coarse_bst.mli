@@ -1,0 +1,4 @@
+(** The sequential external BST behind one global lock: the
+    zero-concurrency anchor of the tree family. *)
+
+module Make (M : Vbl_memops.Mem_intf.S) : Vbl_lists.Set_intf.S

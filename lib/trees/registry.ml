@@ -1,0 +1,32 @@
+(** Tree registry, mirroring {!Vbl_lists.Registry}. *)
+
+module R = Vbl_memops.Real_mem
+module I = Vbl_memops.Instr_mem
+
+module Sequential_bst = Seq_bst.Make (R)
+module Coarse_bst_impl = Coarse_bst.Make (R)
+module Vbl_bst_impl = Vbl_bst.Make (R)
+module Seq_bst_i = Seq_bst.Make (I)
+module Coarse_bst_i = Coarse_bst.Make (I)
+module Vbl_bst_i = Vbl_bst.Make (I)
+
+type impl = (module Vbl_lists.Set_intf.S)
+
+(* The sequential tree is single-threaded only, like the sequential list. *)
+let concurrent : impl list = [ (module Coarse_bst_impl); (module Vbl_bst_impl) ]
+
+let all : impl list = (module Sequential_bst : Vbl_lists.Set_intf.S) :: concurrent
+
+let instrumented : impl list =
+  [ (module Seq_bst_i); (module Coarse_bst_i); (module Vbl_bst_i) ]
+
+let find_exn nm : impl =
+  match
+    List.find_opt
+      (fun i ->
+        let module S = (val i : Vbl_lists.Set_intf.S) in
+        S.name = nm)
+      all
+  with
+  | Some i -> i
+  | None -> invalid_arg ("Vbl_trees.Registry.find_exn: unknown algorithm " ^ nm)

@@ -1,0 +1,16 @@
+(** Tree registry: real-backend instantiations for benchmarks,
+    instrumented ones for the schedule machinery. *)
+
+module Sequential_bst : Vbl_lists.Set_intf.S
+module Coarse_bst_impl : Vbl_lists.Set_intf.S
+module Vbl_bst_impl : Vbl_lists.Set_intf.S
+module Seq_bst_i : Vbl_lists.Set_intf.S
+module Coarse_bst_i : Vbl_lists.Set_intf.S
+module Vbl_bst_i : Vbl_lists.Set_intf.S
+
+type impl = (module Vbl_lists.Set_intf.S)
+
+val concurrent : impl list
+val all : impl list
+val instrumented : impl list
+val find_exn : string -> impl

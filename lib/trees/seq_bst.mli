@@ -1,0 +1,6 @@
+(** Sequential external (leaf-oriented) BST: routers route, leaves hold
+    the elements; two sentinel routers guarantee every real leaf a parent
+    and grandparent.  Single-threaded only — the tree-shaped analogue of
+    the sequential list [LL]. *)
+
+module Make (M : Vbl_memops.Mem_intf.S) : Vbl_lists.Set_intf.S

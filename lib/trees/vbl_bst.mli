@@ -1,0 +1,8 @@
+(** VBL-style external BST (the paper's future-work direction for
+    tree-based dictionaries): wait-free descents, value checks before any
+    locking, identity validation under one (insert) or two (remove)
+    router locks taken in ancestor order, logical deletion of spliced
+    routers.  See the implementation header for the one list-side trick
+    that does not transfer. *)
+
+module Make (M : Vbl_memops.Mem_intf.S) : Vbl_lists.Set_intf.S

@@ -1,0 +1,54 @@
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+}
+
+let mean samples =
+  if Array.length samples = 0 then invalid_arg "Stats.mean: empty";
+  Array.fold_left ( +. ) 0. samples /. float_of_int (Array.length samples)
+
+let stddev samples =
+  let n = Array.length samples in
+  if n = 0 then invalid_arg "Stats.stddev: empty";
+  if n < 2 then 0.
+  else begin
+    let m = mean samples in
+    let ss = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0. samples in
+    sqrt (ss /. float_of_int (n - 1))
+  end
+
+let percentile samples p =
+  let n = Array.length samples in
+  if n = 0 then invalid_arg "Stats.percentile: empty";
+  if p < 0. || p > 100. then invalid_arg "Stats.percentile: p out of range";
+  let sorted = Array.copy samples in
+  Array.sort compare sorted;
+  let rank = p /. 100. *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor rank) in
+  let hi = int_of_float (Float.ceil rank) in
+  if lo = hi then sorted.(lo)
+  else begin
+    let w = rank -. float_of_int lo in
+    (sorted.(lo) *. (1. -. w)) +. (sorted.(hi) *. w)
+  end
+
+let summarize samples =
+  if Array.length samples = 0 then invalid_arg "Stats.summarize: empty";
+  let sorted = Array.copy samples in
+  Array.sort compare sorted;
+  {
+    n = Array.length samples;
+    mean = mean samples;
+    stddev = stddev samples;
+    min = sorted.(0);
+    max = sorted.(Array.length sorted - 1);
+    median = percentile samples 50.;
+  }
+
+let speedup ~baseline x =
+  if baseline = 0. then invalid_arg "Stats.speedup: zero baseline";
+  x /. baseline

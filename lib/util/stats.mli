@@ -1,0 +1,28 @@
+(** Summary statistics over benchmark samples.
+
+    The paper reports throughput averaged over 5 runs; we additionally keep
+    the spread so EXPERIMENTS.md can report run-to-run noise. *)
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;  (** sample standard deviation (n-1 denominator); 0 if n < 2 *)
+  min : float;
+  max : float;
+  median : float;
+}
+
+val summarize : float array -> summary
+(** [summarize samples] computes the summary.  Raises [Invalid_argument] on
+    an empty array. *)
+
+val mean : float array -> float
+val stddev : float array -> float
+
+val percentile : float array -> float -> float
+(** [percentile samples p] for [p] in [\[0, 100\]], linear interpolation
+    between closest ranks.  Raises [Invalid_argument] on an empty array or
+    out-of-range [p]. *)
+
+val speedup : baseline:float -> float -> float
+(** [speedup ~baseline x] is [x /. baseline]; how many times faster [x] is. *)

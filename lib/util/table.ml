@@ -1,0 +1,63 @@
+type t = { headers : string list; mutable rows : string list list }
+
+let create headers = { headers; rows = [] }
+
+let add_row t cells =
+  let ncols = List.length t.headers in
+  let n = List.length cells in
+  if n > ncols then invalid_arg "Table.add_row: more cells than headers";
+  let padded =
+    if n = ncols then cells else cells @ List.init (ncols - n) (fun _ -> "")
+  in
+  t.rows <- t.rows @ [ padded ]
+
+let widths t =
+  let update acc row =
+    List.map2 (fun w cell -> max w (String.length cell)) acc row
+  in
+  List.fold_left update (List.map String.length t.headers) t.rows
+
+let render t =
+  let ws = widths t in
+  let pad w s = s ^ String.make (w - String.length s) ' ' in
+  let line row = String.concat "  " (List.map2 pad ws row) in
+  let sep = String.concat "  " (List.map (fun w -> String.make w '-') ws) in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (line t.headers);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf sep;
+  List.iter
+    (fun row ->
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (line row))
+    t.rows;
+  Buffer.contents buf
+
+let csv_escape cell =
+  let needs_quote =
+    String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell
+  in
+  if not needs_quote then cell
+  else begin
+    let buf = Buffer.create (String.length cell + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      cell;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+
+let render_csv t =
+  let line row = String.concat "," (List.map csv_escape row) in
+  String.concat "\n" (line t.headers :: List.map line t.rows)
+
+let float_cell ?(decimals = 2) x = Printf.sprintf "%.*f" decimals x
+
+let si_cell x =
+  let abs = Float.abs x in
+  if abs >= 1e9 then Printf.sprintf "%.2fG" (x /. 1e9)
+  else if abs >= 1e6 then Printf.sprintf "%.2fM" (x /. 1e6)
+  else if abs >= 1e3 then Printf.sprintf "%.2fk" (x /. 1e3)
+  else Printf.sprintf "%.2f" x

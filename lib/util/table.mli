@@ -1,0 +1,27 @@
+(** Plain-text and CSV rendering of result tables.
+
+    Benchmark output must be diffable and greppable, so rendering is pure
+    string production: no terminal control, fixed column layout. *)
+
+type t
+(** A table under construction: a header row plus data rows. *)
+
+val create : string list -> t
+(** [create headers] starts a table with the given column headers. *)
+
+val add_row : t -> string list -> unit
+(** [add_row t cells] appends a row.  Rows shorter than the header are
+    right-padded with empty cells; longer rows raise [Invalid_argument]. *)
+
+val render : t -> string
+(** Aligned plain-text rendering with a header separator line. *)
+
+val render_csv : t -> string
+(** RFC-4180-ish CSV (quotes cells containing commas, quotes or newlines). *)
+
+val float_cell : ?decimals:int -> float -> string
+(** Format a float for a cell, default 2 decimals. *)
+
+val si_cell : float -> string
+(** Format with an SI suffix: [12.3M], [456.7k], [89.0].  Used for
+    throughput (operations per second) columns. *)

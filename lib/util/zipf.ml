@@ -1,0 +1,32 @@
+type t = { n : int; s : float; cdf : float array }
+
+let create ?(s = 1.0) ~n () =
+  if n < 1 then invalid_arg "Zipf.create: n must be >= 1";
+  if s < 0. then invalid_arg "Zipf.create: s must be >= 0";
+  let cdf = Array.make n 0. in
+  let acc = ref 0. in
+  for k = 1 to n do
+    acc := !acc +. (1. /. Float.pow (float_of_int k) s);
+    cdf.(k - 1) <- !acc
+  done;
+  let total = !acc in
+  for i = 0 to n - 1 do
+    cdf.(i) <- cdf.(i) /. total
+  done;
+  { n; s; cdf }
+
+let sample t rng =
+  let u = Rng.float rng in
+  (* First index with cdf >= u. *)
+  let rec search lo hi =
+    if lo >= hi then lo + 1
+    else begin
+      let mid = (lo + hi) / 2 in
+      if t.cdf.(mid) >= u then search lo mid else search (mid + 1) hi
+    end
+  in
+  search 0 (t.n - 1)
+
+let n t = t.n
+
+let skew t = t.s

@@ -1,0 +1,20 @@
+(** Zipfian sampling over [\[1, n\]]: P(k) proportional to 1/k^s.
+
+    Synchrobench-style suites use skewed key distributions to model
+    hot-key workloads; the paper itself measures uniform keys only, so
+    this is harness generality, not reproduction.  Sampling is by binary
+    search over a precomputed CDF — O(n) setup, O(log n) per draw,
+    deterministic given the RNG stream. *)
+
+type t
+
+val create : ?s:float -> n:int -> unit -> t
+(** [create ?s ~n ()] with skew exponent [s] (default 1.0, the classic
+    Zipf).  Raises [Invalid_argument] if [n < 1] or [s < 0]. *)
+
+val sample : t -> Rng.t -> int
+(** A draw in [\[1, n\]]. *)
+
+val n : t -> int
+
+val skew : t -> float

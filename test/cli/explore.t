@@ -1,0 +1,9 @@
+Bounded model checking from the command line (times stripped):
+
+  $ vbl-explore -a vbl --initial "2" --ops "insert 1, remove 2" | sed 's/([0-9.]*s)//'
+  exploring vbl: initial {2}, ops [insert(1); remove(2)], preemption bound 3
+  executions explored : 1286  
+  verdict             : all explored executions linearizable
+
+  $ vbl-explore -a sequential --ops "insert 1, insert 2" > /dev/null 2>&1; echo "exit=$?"
+  exit=1

@@ -1,0 +1,43 @@
+The Figure 2 demonstration is fully deterministic:
+
+  $ vbl-schedules fig2
+  === Figure 2: a correct schedule the Lazy Linked List rejects ===
+  
+  Initial list {X1=1}; insert(1) is thread 0, insert(2) is thread 1.
+  The schedule lets insert(1) read X1 and return false while insert(2)
+  holds X1 between creating X2 and linking it.
+  
+  Script (in the paper's step vocabulary):
+     1. thread 0: R(h)
+     2. thread 1: R(h)
+     3. thread 1: R(X1)
+     4. thread 1: new(X2)
+     5. thread 0: R(X1)
+     6. thread 0: return false
+     7. thread 1: W(X1)
+     8. thread 1: return true
+  
+  Correct per Definition 1 (checked on sequential LL): true
+  Final abstract list: {1, 2}
+  
+  Driving the schedule against each implementation:
+    vbl                      ACCEPTS  (realised in 16 steps)
+    lazy                     rejects at script step 6: thread 0 blocked on lock X1.lock
+  
+So is Figure 3:
+
+  $ vbl-schedules fig3 | tail -n 8
+  Driving the schedule against the Harris-Michael variants:
+    harris-michael (AMR)     rejects at script step 19: thread 3: step W(X1) executed but did not take effect
+    harris-michael (RTTI)    rejects at script step 19: thread 3: step W(X1) executed but did not take effect
+  
+  The same four-operation scenario under VBL (remove(2) unlinks X2
+  immediately, so phase B interleaves freely with no restarts):
+    vbl                      ACCEPTS  (realised in 54 steps)
+  
+And the remove+reinsert scenario behind the value-aware try-lock:
+
+  $ vbl-schedules aba | grep steps
+    vbl               15 steps  (remove returned true)
+    vbl-versioned     25 steps  (remove returned true)
+    vbl-postlock      17 steps  (remove returned true)

@@ -1,0 +1,4 @@
+One simulated data point, deterministic for a fixed seed:
+
+  $ vbl-synchrobench --engine sim -a vbl -t 4 -u 20 -r 64 -n 2 --horizon 20000 --csv
+  vbl,4,20,64,simulated-multicore,63.9750,2.6517

@@ -1,0 +1,119 @@
+(* Tests for the memory backends: Real_mem semantics, Instr_mem semantics
+   under a sequential handler, and the exactness of the instrumentation
+   (every access yields exactly one effect, in program order). *)
+
+module Real = Vbl_memops.Real_mem
+module Instr = Vbl_memops.Instr_mem
+
+let real_tests =
+  [
+    Alcotest.test_case "cells hold values" `Quick (fun () ->
+        let c = Real.make ~line:(Real.fresh_line ()) 7 in
+        Alcotest.(check int) "get" 7 (Real.get c);
+        Real.set c 9;
+        Alcotest.(check int) "after set" 9 (Real.get c));
+    Alcotest.test_case "cas uses physical equality" `Quick (fun () ->
+        let a = ref 1 and b = ref 1 in
+        let c = Real.make ~line:0 a in
+        Alcotest.(check bool) "wrong witness" false (Real.cas c b a);
+        Alcotest.(check bool) "right witness" true (Real.cas c a b);
+        Alcotest.(check bool) "stale witness" false (Real.cas c a a));
+    Alcotest.test_case "locks exclude" `Quick (fun () ->
+        let l = Real.make_lock ~line:0 () in
+        Alcotest.(check bool) "free" false (Real.lock_held l);
+        Alcotest.(check bool) "try" true (Real.try_lock l);
+        Alcotest.(check bool) "held" true (Real.lock_held l);
+        Alcotest.(check bool) "try again" false (Real.try_lock l);
+        Real.unlock l;
+        Alcotest.(check bool) "released" false (Real.lock_held l));
+    Alcotest.test_case "instrumentation hooks are no-ops" `Quick (fun () ->
+        Real.touch ~line:3 ~name:"x";
+        Real.new_node ~name:"x" ~line:3);
+  ]
+
+let instr_tests =
+  [
+    Alcotest.test_case "run_sequential resumes every access" `Quick (fun () ->
+        let r =
+          Instr.run_sequential (fun () ->
+              let c = Instr.make ~name:"c" ~line:(Instr.fresh_line ()) 1 in
+              Instr.set c 2;
+              let read = Instr.get c in
+              let cas_bonus = if Instr.cas c 2 5 then 10 else 0 in
+              read + cas_bonus)
+        in
+        Alcotest.(check int) "result" 12 r);
+    Alcotest.test_case "cas semantics mirror the real backend" `Quick (fun () ->
+        Instr.run_sequential (fun () ->
+            let a = ref 1 and b = ref 1 in
+            let c = Instr.make ~name:"c" ~line:0 a in
+            Alcotest.(check bool) "wrong witness" false (Instr.cas c b a);
+            Alcotest.(check bool) "right witness" true (Instr.cas c a b)));
+    Alcotest.test_case "locks work sequentially" `Quick (fun () ->
+        Instr.run_sequential (fun () ->
+            let l = Instr.make_lock ~name:"l" ~line:0 () in
+            Instr.lock l;
+            Alcotest.(check bool) "held" true (Instr.lock_held l);
+            Alcotest.(check bool) "try fails" false (Instr.try_lock l);
+            Instr.unlock l;
+            Alcotest.(check bool) "free" false (Instr.lock_held l);
+            Alcotest.(check bool) "retake" true (Instr.try_lock l);
+            Instr.unlock l));
+    Alcotest.test_case "fresh lines are distinct" `Quick (fun () ->
+        let a = Instr.fresh_line () and b = Instr.fresh_line () in
+        Alcotest.(check bool) "distinct" true (a <> b));
+    Alcotest.test_case "effects arrive in program order with names" `Quick (fun () ->
+        (* Collect the access stream of a tiny program via a deep handler. *)
+        let log = ref [] in
+        Effect.Deep.match_with
+          (fun () ->
+            let line = Instr.fresh_line () in
+            let c = Instr.make ~name:"x.val" ~line 1 in
+            ignore (Instr.get c);
+            Instr.set c 2;
+            ignore (Instr.cas c 2 3);
+            Instr.touch ~line ~name:"x.pair";
+            Instr.new_node ~name:"x" ~line)
+          ()
+          {
+            retc = Fun.id;
+            exnc = raise;
+            effc =
+              (fun (type a) (eff : a Effect.t) ->
+                match eff with
+                | Instr.Access a ->
+                    Some
+                      (fun (k : (a, unit) Effect.Deep.continuation) ->
+                        log := (a.Instr.kind, a.Instr.name) :: !log;
+                        Effect.Deep.continue k ())
+                | _ -> None);
+          };
+        Alcotest.(check (list (pair string string)))
+          "stream"
+          [
+            ("R", "x.val");
+            ("W", "x.val");
+            ("CAS", "x.val");
+            ("touch", "x.pair");
+            ("new", "x");
+          ]
+          (List.rev_map
+             (fun (k, n) -> (Format.asprintf "%a" Instr.pp_kind k, n))
+             !log));
+    Alcotest.test_case "last_cas_result tracks success" `Quick (fun () ->
+        Instr.run_sequential (fun () ->
+            let c = Instr.make ~name:"c" ~line:0 1 in
+            ignore (Instr.cas c 1 2);
+            Alcotest.(check bool) "success" true !Instr.last_cas_result;
+            ignore (Instr.cas c 1 2);
+            Alcotest.(check bool) "failure" false !Instr.last_cas_result));
+    Alcotest.test_case "run_sequential propagates exceptions" `Quick (fun () ->
+        Alcotest.check_raises "raises" Exit (fun () ->
+            Instr.run_sequential (fun () ->
+                let c = Instr.make ~name:"c" ~line:0 0 in
+                Instr.set c 1;
+                raise Exit)));
+  ]
+
+let () =
+  Alcotest.run "memops" [ ("real", real_tests); ("instr", instr_tests) ]

@@ -1,0 +1,523 @@
+(* Tests for the schedule framework: the conductor, the bounded explorer
+   (Theorem 1 on bounded configurations), the abstract LL schedule machine
+   (Definitions 1-2), and the paper's Figure 2 / Figure 3 claims. *)
+
+open Vbl_sched
+module Instr = Vbl_memops.Instr_mem
+
+(* ------------------------------------------------------------------ *)
+(* Exec: the cooperative conductor.                                    *)
+(* ------------------------------------------------------------------ *)
+
+let exec_tests =
+  [
+    Alcotest.test_case "threads pause at their first access" `Quick (fun () ->
+        let cell = Instr.make ~name:"c" ~line:(Instr.fresh_line ()) 0 in
+        let exec = Exec.create [ (fun () -> Instr.set cell 1) ] in
+        (match Exec.pending exec 0 with
+        | Exec.Access a ->
+            Alcotest.(check string) "name" "c" a.Instr.name;
+            Alcotest.(check bool) "is write" true (a.Instr.kind = Instr.Write)
+        | _ -> Alcotest.fail "expected pending access");
+        Alcotest.(check bool) "value unchanged before step" true
+          (Instr.run_sequential (fun () -> Instr.get cell) = 0);
+        Exec.step exec 0;
+        Alcotest.(check bool) "finished" true (Exec.finished exec);
+        Alcotest.(check bool) "value written" true
+          (Instr.run_sequential (fun () -> Instr.get cell) = 1));
+    Alcotest.test_case "interleaving is scheduler-controlled" `Quick (fun () ->
+        let line = Instr.fresh_line () in
+        let cell = Instr.make ~name:"c" ~line 0 in
+        let log = ref [] in
+        let body tag () =
+          let v = Instr.get cell in
+          Instr.set cell (v + 1);
+          log := tag :: !log
+        in
+        (* Step both reads before both writes: the classic lost update. *)
+        let exec = Exec.create [ body "a"; body "b" ] in
+        Exec.step exec 0 (* a reads 0 *);
+        Exec.step exec 1 (* b reads 0 *);
+        Exec.step exec 0 (* a writes 1 *);
+        Exec.step exec 1 (* b writes 1 *);
+        Alcotest.(check bool) "both finished" true (Exec.finished exec);
+        Alcotest.(check int) "lost update observed" 1
+          (Instr.run_sequential (fun () -> Instr.get cell)));
+    Alcotest.test_case "lock blocks a second acquirer" `Quick (fun () ->
+        let line = Instr.fresh_line () in
+        let lock = Instr.make_lock ~name:"l" ~line () in
+        let exec =
+          Exec.create
+            [
+              (fun () -> Instr.lock lock);
+              (fun () ->
+                Instr.lock lock;
+                Instr.unlock lock);
+            ]
+        in
+        Exec.step exec 0 (* t0 takes the lock *);
+        Alcotest.(check bool) "t0 done" true (Exec.pending exec 0 = Exec.Done);
+        Exec.step exec 1 (* t1 tries, fails, parks *);
+        (match Exec.pending exec 1 with
+        | Exec.Blocked l -> Alcotest.(check string) "lock name" "l" l.Instr.l_name
+        | _ -> Alcotest.fail "expected t1 blocked");
+        Alcotest.(check bool) "t1 not runnable" false (Exec.runnable exec 1);
+        Alcotest.(check bool) "deadlock detected" true (Exec.deadlocked exec));
+    Alcotest.test_case "release wakes the waiter" `Quick (fun () ->
+        let line = Instr.fresh_line () in
+        let lock = Instr.make_lock ~name:"l" ~line () in
+        let exec =
+          Exec.create
+            [
+              (fun () ->
+                Instr.lock lock;
+                Instr.unlock lock);
+              (fun () ->
+                Instr.lock lock;
+                Instr.unlock lock);
+            ]
+        in
+        Exec.step exec 0 (* t0 acquires *);
+        Exec.step exec 1 (* t1 parks *);
+        Alcotest.(check bool) "t1 parked" false (Exec.runnable exec 1);
+        Exec.step exec 0 (* t0 releases *);
+        Alcotest.(check bool) "t0 done" true (Exec.pending exec 0 = Exec.Done);
+        Alcotest.(check bool) "t1 runnable again" true (Exec.runnable exec 1);
+        Exec.drain exec;
+        Alcotest.(check bool) "all done" true (Exec.finished exec));
+    Alcotest.test_case "drain completes a three-thread workout" `Quick (fun () ->
+        let line = Instr.fresh_line () in
+        let cell = Instr.make ~name:"c" ~line 0 in
+        let lock = Instr.make_lock ~name:"l" ~line () in
+        let body () =
+          Instr.lock lock;
+          Instr.set cell (Instr.get cell + 1);
+          Instr.unlock lock
+        in
+        let exec = Exec.create [ body; body; body ] in
+        Exec.drain exec;
+        Alcotest.(check int) "all increments kept" 3
+          (Instr.run_sequential (fun () -> Instr.get cell)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Explore: bounded model checking.                                    *)
+(* ------------------------------------------------------------------ *)
+
+let ops2 = [ Ll_abstract.insert 1; Ll_abstract.insert 2 ]
+
+(* Preemption-bounded: 3 preemptions suffice for every known bug pattern in
+   these algorithms while keeping the schedule count tractable for the
+   lock-heavy scenarios (two VBL removes take ~25 steps each). *)
+let explore_config =
+  { Explore.max_executions = 200_000; preemption_bound = Some 3; max_steps = 5_000 }
+
+let explore_tests =
+  let lin_ok name impl initial ops =
+    Alcotest.test_case (name ^ ": all interleavings linearizable") `Slow (fun () ->
+        let scenario = Drive.explore_scenario impl ~initial ~ops in
+        let r = Explore.run ~config:explore_config scenario in
+        Alcotest.(check bool) "not truncated" false r.Explore.truncated;
+        (match r.Explore.failure with
+        | None -> ()
+        | Some f -> Alcotest.failf "%a" Explore.pp_failure f);
+        Alcotest.(check bool) "explored some executions" true (r.Explore.executions > 1))
+  in
+  [
+    Alcotest.test_case "sequential list caught violating linearizability" `Slow
+      (fun () ->
+        (* The unsynchronised list MUST exhibit a lost update under full
+           exploration of two concurrent inserts at the same position:
+           this validates the whole detection pipeline. *)
+        let scenario =
+          Drive.explore_scenario (module Drive.Seq_i) ~initial:[] ~ops:ops2
+        in
+        let r = Explore.run ~config:explore_config scenario in
+        match r.Explore.failure with
+        | Some (Explore.Not_linearizable _) | Some (Explore.Invariant_broken _) -> ()
+        | Some f -> Alcotest.failf "unexpected failure kind: %a" Explore.pp_failure f
+        | None -> Alcotest.fail "expected the sequential list to fail");
+    lin_ok "vbl" (module Drive.Vbl_i) [] ops2;
+    lin_ok "vbl contended remove"
+      (module Drive.Vbl_i)
+      [ 1; 2 ]
+      [ Ll_abstract.remove 1; Ll_abstract.remove 2 ];
+    lin_ok "vbl insert vs remove"
+      (module Drive.Vbl_i)
+      [ 2 ]
+      [ Ll_abstract.insert 1; Ll_abstract.remove 2 ];
+    lin_ok "vbl same-key insert/remove"
+      (module Drive.Vbl_i)
+      [ 1 ]
+      [ Ll_abstract.remove 1; Ll_abstract.insert 1 ];
+    lin_ok "vbl contains during remove"
+      (module Drive.Vbl_i)
+      [ 1 ]
+      [ Ll_abstract.remove 1; Ll_abstract.contains 1 ];
+    lin_ok "lazy" (module Drive.Lazy_i) [] ops2;
+    lin_ok "lazy remove race"
+      (module Drive.Lazy_i)
+      [ 1 ]
+      [ Ll_abstract.remove 1; Ll_abstract.insert 1 ];
+    lin_ok "harris-michael" (module Drive.Hm_i) [] ops2;
+    lin_ok "harris-michael remove race"
+      (module Drive.Hm_i)
+      [ 1 ]
+      [ Ll_abstract.remove 1; Ll_abstract.insert 1 ];
+    lin_ok "harris-michael-tagged" (module Drive.Hm_tagged_i) [] ops2;
+    lin_ok "harris-michael-tagged deferred unlink"
+      (module Drive.Hm_tagged_i)
+      [ 1; 2 ]
+      [ Ll_abstract.remove 1; Ll_abstract.remove 2 ];
+    lin_ok "fomitchev-ruppert" (module Drive.Fr_i) [] ops2;
+    lin_ok "fomitchev-ruppert remove race"
+      (module Drive.Fr_i)
+      [ 1 ]
+      [ Ll_abstract.remove 1; Ll_abstract.insert 1 ];
+    lin_ok "fomitchev-ruppert concurrent removes"
+      (module Drive.Fr_i)
+      [ 1; 2 ]
+      [ Ll_abstract.remove 1; Ll_abstract.remove 2 ];
+    lin_ok "vbl-postlock" (module Drive.Vbl_postlock_i) [] ops2;
+    lin_ok "vbl-postlock remove race"
+      (module Drive.Vbl_postlock_i)
+      [ 1 ]
+      [ Ll_abstract.remove 1; Ll_abstract.insert 1 ];
+    lin_ok "coarse" (module Drive.Coarse_i) [] ops2;
+    lin_ok "hand-over-hand" (module Drive.Hoh_i) [] ops2;
+    lin_ok "optimistic" (module Drive.Optimistic_i) [] ops2;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Abstract LL schedules: Definition 1.                                *)
+(* ------------------------------------------------------------------ *)
+
+let ll_tests =
+  [
+    Alcotest.test_case "sequential execution is a correct schedule" `Quick (fun () ->
+        let t = Ll_abstract.create ~initial:[ 2 ] ~ops:[ Ll_abstract.insert 1 ] in
+        while not (Ll_abstract.finished t) do
+          Ll_abstract.step t 0
+        done;
+        Alcotest.(check bool) "locally serializable" true (Ll_abstract.locally_serializable t);
+        Alcotest.(check bool) "correct" true (Ll_abstract.correct t);
+        Alcotest.(check (list int)) "final" [ 1; 2 ] (Ll_abstract.final_values t));
+    Alcotest.test_case "lost update is incorrect (paper §2.2 example)" `Quick
+      (fun () ->
+        (* insert(1) and insert(2) on the empty list: both read head, both
+           create, then both write head.next — the second write erases the
+           first insert. *)
+        let t = Ll_abstract.create ~initial:[] ~ops:ops2 in
+        (* op0: R(h.next), R(t.val), new(X1) ; op1: R(h.next), R(t.val), new(X2) *)
+        List.iter (Ll_abstract.step t) [ 0; 0; 0; 1; 1; 1 ];
+        (* op0 writes, then op1 overwrites; both return true. *)
+        List.iter (Ll_abstract.step t) [ 0; 0; 1; 1 ];
+        Alcotest.(check bool) "finished" true (Ll_abstract.finished t);
+        Alcotest.(check (list int)) "insert(1) lost" [ 2 ] (Ll_abstract.final_values t);
+        Alcotest.(check bool) "locally serializable" true
+          (Ll_abstract.locally_serializable t);
+        Alcotest.(check bool) "but not correct" false (Ll_abstract.correct t));
+    Alcotest.test_case "stale new-node link breaks local serializability" `Quick
+      (fun () ->
+        (* insert(2) then insert(3) at the same position: insert(3) creates
+           its node after insert(2)'s write, so line 13 re-reads a
+           different successor than its traversal saw. *)
+        let t =
+          Ll_abstract.create ~initial:[ 1 ]
+            ~ops:[ Ll_abstract.insert 2; Ll_abstract.insert 3 ]
+        in
+        (* both traverse fully: R(h.next) R(X1.val) R(X1.next) R(t.val) *)
+        List.iter (Ll_abstract.step t) [ 0; 0; 0; 0; 1; 1; 1; 1 ];
+        (* op0: new(X2), W(X1.next), ret *)
+        List.iter (Ll_abstract.step t) [ 0; 0; 0 ];
+        (* op1: new(X3) — re-reads X1.next = X2 != curr(tail) *)
+        List.iter (Ll_abstract.step t) [ 1; 1; 1 ];
+        Alcotest.(check bool) "finished" true (Ll_abstract.finished t);
+        Alcotest.(check bool) "not locally serializable" false
+          (Ll_abstract.locally_serializable t));
+    Alcotest.test_case "Figure 2 schedule is correct" `Quick (fun () ->
+        let t = Paper_figures.Fig2.abstract () in
+        Alcotest.(check bool) "finished" true (Ll_abstract.finished t);
+        Alcotest.(check bool) "locally serializable" true
+          (Ll_abstract.locally_serializable t);
+        Alcotest.(check bool) "correct per Definition 1" true (Ll_abstract.correct t);
+        Alcotest.(check (list int)) "final list" [ 1; 2 ] (Ll_abstract.final_values t);
+        let results = Ll_abstract.results t in
+        Alcotest.(check (option bool)) "insert(1)" (Some false) results.(0);
+        Alcotest.(check (option bool)) "insert(2)" (Some true) results.(1));
+    Alcotest.test_case "enumeration visits every interleaving" `Quick (fun () ->
+        (* contains(1) (3 steps) vs contains(2) (5 steps) on {1}: the number
+           of interleavings is C(8,3) = 56. *)
+        let count = ref 0 in
+        let complete =
+          Ll_abstract.enumerate ~initial:[ 1 ]
+            ~ops:[ Ll_abstract.contains 1; Ll_abstract.contains 2 ]
+            (fun _ -> incr count)
+        in
+        Alcotest.(check bool) "complete" true complete;
+        Alcotest.(check int) "count" 56 !count);
+    Alcotest.test_case "read-only schedules are all correct" `Quick (fun () ->
+        let all_correct = ref true in
+        ignore
+          (Ll_abstract.enumerate ~initial:[ 1 ]
+             ~ops:[ Ll_abstract.contains 1; Ll_abstract.contains 2 ]
+             (fun t -> if not (Ll_abstract.correct t) then all_correct := false));
+        Alcotest.(check bool) "all correct" true !all_correct);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Figures 2 and 3: acceptance and rejection.                          *)
+(* ------------------------------------------------------------------ *)
+
+let outcome = Alcotest.testable (fun ppf o ->
+    match o with
+    | Directed.Accepted _ -> Format.pp_print_string ppf "Accepted"
+    | Directed.Rejected { at; reason; _ } ->
+        Format.fprintf ppf "Rejected at %d: %a" at Directed.pp_rejection reason)
+    (fun a b -> Directed.accepted a = Directed.accepted b)
+
+let accepted_outcome = Directed.Accepted { trace = [] }
+
+let figure_tests =
+  [
+    Alcotest.test_case "Fig2: VBL accepts" `Quick (fun () ->
+        Alcotest.check outcome "vbl" accepted_outcome
+          (Paper_figures.Fig2.run (module Drive.Vbl_i)));
+    Alcotest.test_case "Fig2: Lazy rejects (blocked on X1's lock)" `Quick (fun () ->
+        match Paper_figures.Fig2.run (module Drive.Lazy_i) with
+        | Directed.Rejected { reason = Directed.Thread_blocked { tid = 0; lock }; _ } ->
+            Alcotest.(check string) "which lock" "X1.lock" lock
+        | o -> Alcotest.failf "expected Thread_blocked for insert(1), got %a"
+                 (Alcotest.pp outcome) o);
+    Alcotest.test_case "Fig3: Harris-Michael (tagged) rejects at insert(4)'s unlink"
+      `Quick (fun () ->
+        match Paper_figures.Fig3.run (module Drive.Hm_tagged_i) with
+        | Directed.Rejected { reason = Directed.Step_failed { tid = 3; _ }; _ } -> ()
+        | o -> Alcotest.failf "expected Step_failed for insert(4), got %a"
+                 (Alcotest.pp outcome) o);
+    Alcotest.test_case "Fig3: Harris-Michael (AMR) rejects at insert(4)'s unlink"
+      `Quick (fun () ->
+        match Paper_figures.Fig3.run (module Drive.Hm_i) with
+        | Directed.Rejected { reason = Directed.Step_failed { tid = 3; _ }; _ } -> ()
+        | o -> Alcotest.failf "expected Step_failed for insert(4), got %a"
+                 (Alcotest.pp outcome) o);
+    Alcotest.test_case "Fig3 essence: VBL accepts the four-op scenario" `Quick
+      (fun () ->
+        Alcotest.check outcome "vbl" accepted_outcome (Paper_figures.Fig3.run_vbl ()));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Concurrency-optimality (Theorem 3, bounded): every correct abstract *)
+(* schedule of small scenarios is accepted by VBL, and schedules VBL   *)
+(* cannot export faithfully are exactly the incorrect ones.            *)
+(* ------------------------------------------------------------------ *)
+
+(* VBL accepts a schedule iff the directed driver realises its script AND
+   the resulting execution has the schedule's outcome: results are enforced
+   by the Ret directives, final contents are compared explicitly. *)
+let vbl_exports t = Ll_abstract.to_script t
+
+let optimality_scenarios =
+  [
+    ("fig2 family", [ 1 ], [ Ll_abstract.insert 1; Ll_abstract.insert 2 ]);
+    ("insert vs remove", [ 2 ], [ Ll_abstract.insert 1; Ll_abstract.remove 2 ]);
+    ("two removes", [ 1; 2 ], [ Ll_abstract.remove 1; Ll_abstract.remove 2 ]);
+    ("contains vs remove", [ 2 ], [ Ll_abstract.contains 2; Ll_abstract.remove 2 ]);
+    ("insert vs contains", [], [ Ll_abstract.insert 1; Ll_abstract.contains 1 ]);
+    ("disjoint inserts", [ 5 ], [ Ll_abstract.insert 1; Ll_abstract.insert 9 ]);
+  ]
+
+let optimality_tests =
+  List.map
+    (fun (name, initial, ops) ->
+      Alcotest.test_case ("VBL accepts all correct schedules: " ^ name) `Slow
+        (fun () ->
+          let correct_total = ref 0 and incorrect_total = ref 0 in
+          let failures = ref [] in
+          let complete =
+            Ll_abstract.enumerate ~initial ~ops (fun t ->
+                let script = vbl_exports t in
+                if Ll_abstract.correct t then begin
+                  incr correct_total;
+                  let outcome, p =
+                    Drive.run_script_full (module Drive.Vbl_i) ~initial ~ops script
+                  in
+                  let ok =
+                    Directed.accepted outcome
+                    && p.Drive.contents () = Ll_abstract.final_values t
+                  in
+                  if not ok then
+                    failures :=
+                      Format.asprintf "@[<v>schedule:@,%a@]"
+                        (Format.pp_print_list Ll_abstract.pp_step)
+                        (Ll_abstract.schedule t)
+                      :: !failures
+                end
+                else incr incorrect_total)
+          in
+          Alcotest.(check bool) "enumeration complete" true complete;
+          Alcotest.(check bool) "found correct schedules" true (!correct_total > 0);
+          (match !failures with
+          | [] -> ()
+          | f :: _ ->
+              Alcotest.failf "%d/%d correct schedules rejected; first:@.%s"
+                (List.length !failures) !correct_total f);
+          ignore !incorrect_total))
+    optimality_scenarios
+
+(* Randomised generalisation of the fixed scenarios: generate small random
+   scenarios, enumerate all their schedules, and require (a) VBL exports
+   every correct one, (b) VBL exports no incorrect one.  Scenarios that
+   would create a node with the same value as an initial node are skipped:
+   step names would be ambiguous ("X2" could denote two nodes), making the
+   script-level check unreliable in both directions. *)
+let random_scenario rng =
+  let initial =
+    List.filter (fun _ -> Vbl_util.Rng.bool rng) [ 1; 2; 3 ]
+  in
+  let op () =
+    let v = 1 + Vbl_util.Rng.int rng 4 in
+    match Vbl_util.Rng.int rng 3 with
+    | 0 -> Ll_abstract.insert v
+    | 1 -> Ll_abstract.remove v
+    | _ -> Ll_abstract.contains v
+  in
+  let ops = [ op (); op () ] in
+  let creates_duplicate_name =
+    List.exists
+      (fun (o : Ll_abstract.opspec) ->
+        o.Ll_abstract.kind = Ll_abstract.Insert
+        && (List.mem o.Ll_abstract.v initial
+           || List.exists
+                (fun (p : Ll_abstract.opspec) ->
+                  p != o && p.Ll_abstract.v = o.Ll_abstract.v
+                  && p.Ll_abstract.kind = Ll_abstract.Insert)
+                ops))
+      ops
+  in
+  if creates_duplicate_name then None else Some (initial, ops)
+
+let random_optimality_test =
+  Alcotest.test_case "random scenarios: VBL exports exactly the correct schedules"
+    `Slow (fun () ->
+      let rng = Vbl_util.Rng.create ~seed:2027L () in
+      let scenarios_checked = ref 0 in
+      let correct_checked = ref 0 and incorrect_checked = ref 0 in
+      while !scenarios_checked < 25 do
+        match random_scenario rng with
+        | None -> ()
+        | Some (initial, ops) ->
+            incr scenarios_checked;
+            ignore
+              (Ll_abstract.enumerate ~initial ~ops ~max:3_000 (fun t ->
+                   let script = Ll_abstract.to_script t in
+                   let outcome, p =
+                     Drive.run_script_full (module Drive.Vbl_i) ~initial ~ops script
+                   in
+                   let exported =
+                     Directed.accepted outcome
+                     && p.Drive.contents () = Ll_abstract.final_values t
+                   in
+                   if Ll_abstract.correct t then begin
+                     incr correct_checked;
+                     if not exported then
+                       Alcotest.failf
+                         "correct schedule rejected (initial {%s}):@.%s"
+                         (String.concat "," (List.map string_of_int initial))
+                         (String.concat "\n"
+                            (List.map
+                               (Format.asprintf "%a" Ll_abstract.pp_step)
+                               (Ll_abstract.schedule t)))
+                   end
+                   else begin
+                     incr incorrect_checked;
+                     if exported then
+                       Alcotest.failf
+                         "incorrect schedule exported (initial {%s}):@.%s"
+                         (String.concat "," (List.map string_of_int initial))
+                         (String.concat "\n"
+                            (List.map
+                               (Format.asprintf "%a" Ll_abstract.pp_step)
+                               (Ll_abstract.schedule t)))
+                   end))
+      done;
+      Alcotest.(check bool) "exercised correct schedules" true (!correct_checked > 100);
+      ignore !incorrect_checked)
+
+(* The paper's §3 motivation for lockNextAtValue: thread A's remove(2)
+   falls asleep after locating (X1, X2); meanwhile 2 is removed and
+   re-inserted.  A's value-aware validation then succeeds on the NEW node
+   with no re-traversal, whereas version- (or identity-) based validation
+   must restart.  Measured here as post-wake step counts. *)
+let aba_wakeup_steps (module S : Vbl_lists.Set_intf.S) =
+  let t =
+    Instr.run_sequential (fun () ->
+        let t = S.create () in
+        ignore (S.insert t 1);
+        ignore (S.insert t 2);
+        t)
+  in
+  let result_a = ref None in
+  let bodies =
+    [
+      (fun () -> result_a := Some (S.remove t 2));
+      (fun () ->
+        ignore (S.remove t 2);
+        ignore (S.insert t 2));
+    ]
+  in
+  let exec = Exec.create bodies in
+  (* Advance A to just after its traversal reads X2's value. *)
+  let rec advance_a () =
+    match Exec.pending exec 0 with
+    | Exec.Access a when a.Instr.name = "X2.val" && a.Instr.kind = Instr.Read ->
+        Exec.step exec 0
+    | Exec.Access _ ->
+        Exec.step exec 0;
+        advance_a ()
+    | Exec.Blocked _ | Exec.Done -> Alcotest.fail "remove(2) ended before locating X2"
+  in
+  advance_a ();
+  (* Run B (remove 2; insert 2) to completion while A sleeps. *)
+  while Exec.pending exec 1 <> Exec.Done do
+    Exec.step exec 1
+  done;
+  (* Wake A and count its remaining steps. *)
+  let steps = ref 0 in
+  while Exec.pending exec 0 <> Exec.Done do
+    Exec.step exec 0;
+    incr steps
+  done;
+  Alcotest.(check (option bool)) "remove(2) succeeded" (Some true) !result_a;
+  !steps
+
+let aba_test =
+  Alcotest.test_case "value-aware validation survives remove+reinsert (§3)" `Quick
+    (fun () ->
+      let vbl_steps = aba_wakeup_steps (module Drive.Vbl_i) in
+      let versioned_steps = aba_wakeup_steps (module Drive.Vbl_versioned_i) in
+      let postlock_steps = aba_wakeup_steps (module Drive.Vbl_postlock_i) in
+      (* VBL needs no re-traversal: its post-wake work is bounded by the
+         lock/validate/unlink sequence, well under one list traversal. *)
+      Alcotest.(check bool)
+        (Printf.sprintf "vbl wakes in few steps (%d)" vbl_steps)
+        true (vbl_steps < 20);
+      Alcotest.(check bool)
+        (Printf.sprintf "versioned restarts (%d > vbl %d)" versioned_steps vbl_steps)
+        true
+        (versioned_steps > vbl_steps);
+      Alcotest.(check bool)
+        (Printf.sprintf "identity validation restarts too (%d > vbl %d)" postlock_steps
+           vbl_steps)
+        true
+        (postlock_steps > vbl_steps))
+
+let () =
+  Alcotest.run "sched"
+    [
+      ("exec", exec_tests);
+      ("explore", explore_tests);
+      ("ll-abstract", ll_tests);
+      ("figures", figure_tests);
+      ("optimality", optimality_tests @ [ random_optimality_test; aba_test ]);
+    ]

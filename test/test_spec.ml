@@ -1,0 +1,251 @@
+(* Tests for the sequential set model, history plumbing, and the
+   linearizability checker — including the paper's own examples: the
+   "lost update" schedule of §2.2 must be caught once extended with the
+   discriminating contains. *)
+
+open Vbl_spec
+
+let op_ins v = Set_model.Insert v
+let op_rem v = Set_model.Remove v
+let op_ctn v = Set_model.Contains v
+
+let model_tests =
+  [
+    Alcotest.test_case "insert into empty returns true" `Quick (fun () ->
+        let _, r = Set_model.apply Set_model.empty (op_ins 1) in
+        Alcotest.(check bool) "r" true r);
+    Alcotest.test_case "insert duplicate returns false" `Quick (fun () ->
+        let s, _ = Set_model.apply Set_model.empty (op_ins 1) in
+        let _, r = Set_model.apply s (op_ins 1) in
+        Alcotest.(check bool) "r" false r);
+    Alcotest.test_case "remove present/absent" `Quick (fun () ->
+        let s, _ = Set_model.apply Set_model.empty (op_ins 2) in
+        let s, r1 = Set_model.apply s (op_rem 2) in
+        let _, r2 = Set_model.apply s (op_rem 2) in
+        Alcotest.(check bool) "first" true r1;
+        Alcotest.(check bool) "second" false r2);
+    Alcotest.test_case "contains reflects state" `Quick (fun () ->
+        let s, _ = Set_model.apply Set_model.empty (op_ins 3) in
+        let _, r1 = Set_model.apply s (op_ctn 3) in
+        let _, r2 = Set_model.apply s (op_ctn 4) in
+        Alcotest.(check bool) "present" true r1;
+        Alcotest.(check bool) "absent" false r2);
+    Alcotest.test_case "run threads state through" `Quick (fun () ->
+        let _, rs = Set_model.run [ op_ins 1; op_ins 1; op_rem 1; op_ctn 1 ] in
+        Alcotest.(check (list bool)) "results" [ true; false; true; false ] rs);
+    Alcotest.test_case "key and is_update" `Quick (fun () ->
+        Alcotest.(check int) "key" 7 (Set_model.key (op_rem 7));
+        Alcotest.(check bool) "update" true (Set_model.is_update (op_ins 1));
+        Alcotest.(check bool) "not update" false (Set_model.is_update (op_ctn 1)));
+  ]
+
+(* entry: (thread, index, op, invoked_at, completion, returned_at) *)
+let history entries = History.of_list entries
+
+let returned b = History.Returned b
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let lin_tests =
+  [
+    Alcotest.test_case "empty history is linearizable" `Quick (fun () ->
+        Alcotest.(check bool) "lin" true (Linearizability.check (history [])));
+    Alcotest.test_case "sequential correct run" `Quick (fun () ->
+        let h =
+          History.sequential
+            [ (op_ins 1, true); (op_ctn 1, true); (op_rem 1, true); (op_ctn 1, false) ]
+        in
+        Alcotest.(check bool) "lin" true (Linearizability.check h));
+    Alcotest.test_case "sequential wrong response rejected" `Quick (fun () ->
+        let h = History.sequential [ (op_ins 1, true); (op_ctn 1, false) ] in
+        Alcotest.(check bool) "not lin" false (Linearizability.check h));
+    Alcotest.test_case "concurrent inserts, one wins" `Quick (fun () ->
+        (* Two overlapping insert(5): exactly one may return true. *)
+        let h =
+          history
+            [
+              (0, 0, op_ins 5, 0, returned true, 3);
+              (1, 0, op_ins 5, 1, returned false, 2);
+            ]
+        in
+        Alcotest.(check bool) "lin" true (Linearizability.check h));
+    Alcotest.test_case "concurrent inserts, both true, rejected" `Quick (fun () ->
+        let h =
+          history
+            [
+              (0, 0, op_ins 5, 0, returned true, 3);
+              (1, 0, op_ins 5, 1, returned true, 2);
+            ]
+        in
+        Alcotest.(check bool) "not lin" false (Linearizability.check h));
+    Alcotest.test_case "lost update caught via extension (paper §2.2)" `Quick
+      (fun () ->
+        (* insert(1) and insert(2) both report true, then contains(2) sees
+           false: the extension exposes the overwritten insert. *)
+        let h =
+          history
+            [
+              (0, 0, op_ins 1, 0, returned true, 3);
+              (1, 0, op_ins 2, 1, returned true, 2);
+              (0, 1, op_ctn 2, 4, returned false, 5);
+            ]
+        in
+        Alcotest.(check bool) "not lin" false (Linearizability.check h));
+    Alcotest.test_case "real-time order enforced" `Quick (fun () ->
+        (* insert(1) completes before contains(1) starts, so contains must
+           see it. *)
+        let h =
+          history
+            [
+              (0, 0, op_ins 1, 0, returned true, 1);
+              (1, 0, op_ctn 1, 2, returned false, 3);
+            ]
+        in
+        Alcotest.(check bool) "not lin" false (Linearizability.check h));
+    Alcotest.test_case "concurrent contains may see either state" `Quick (fun () ->
+        let see_true =
+          history
+            [
+              (0, 0, op_ins 1, 0, returned true, 3);
+              (1, 0, op_ctn 1, 1, returned true, 2);
+            ]
+        and see_false =
+          history
+            [
+              (0, 0, op_ins 1, 0, returned true, 3);
+              (1, 0, op_ctn 1, 1, returned false, 2);
+            ]
+        in
+        Alcotest.(check bool) "true ok" true (Linearizability.check see_true);
+        Alcotest.(check bool) "false ok" true (Linearizability.check see_false));
+    Alcotest.test_case "remove/insert race admits both orders" `Quick (fun () ->
+        (* {1} initially built by a prior insert; then concurrent remove(1)
+           and contains(1). *)
+        let h =
+          history
+            [
+              (0, 0, op_ins 1, 0, returned true, 1);
+              (0, 1, op_rem 1, 2, returned true, 5);
+              (1, 0, op_ctn 1, 3, returned true, 4);
+            ]
+        in
+        Alcotest.(check bool) "lin" true (Linearizability.check h));
+    Alcotest.test_case "pending op may take effect" `Quick (fun () ->
+        (* insert(1) never returns, but a later contains sees 1: the pending
+           insert must be allowed to have taken effect. *)
+        let h =
+          history
+            [
+              (0, 0, op_ins 1, 0, History.Pending, max_int);
+              (1, 0, op_ctn 1, 2, returned true, 3);
+            ]
+        in
+        Alcotest.(check bool) "lin" true (Linearizability.check h));
+    Alcotest.test_case "pending op may be dropped" `Quick (fun () ->
+        let h =
+          history
+            [
+              (0, 0, op_ins 1, 0, History.Pending, max_int);
+              (1, 0, op_ctn 1, 2, returned false, 3);
+            ]
+        in
+        Alcotest.(check bool) "lin" true (Linearizability.check h));
+    Alcotest.test_case "cross-key independence" `Quick (fun () ->
+        (* Interleaved ops on different keys, each key individually fine. *)
+        let h =
+          history
+            [
+              (0, 0, op_ins 1, 0, returned true, 5);
+              (1, 0, op_ins 2, 1, returned true, 2);
+              (1, 1, op_ctn 1, 3, returned true, 4);
+            ]
+        in
+        Alcotest.(check bool) "lin" true (Linearizability.check h));
+    Alcotest.test_case "violation names the key" `Quick (fun () ->
+        let h =
+          history
+            [
+              (0, 0, op_ins 9, 0, returned true, 1);
+              (1, 0, op_ctn 9, 2, returned false, 3);
+            ]
+        in
+        match Linearizability.find_violation h with
+        | Some msg -> Alcotest.(check bool) "mentions key" true (contains_sub msg "9")
+        | None -> Alcotest.fail "expected violation");
+  ]
+
+(* Property: the checker accepts every history generated by actually
+   running ops sequentially against the model, and rejects it if we flip
+   one response of an update that the rest of the history depends on. *)
+let gen_ops =
+  QCheck2.Gen.(
+    list_size (int_range 1 12)
+      (let* v = int_range 0 3 in
+       oneofl [ op_ins v; op_rem v; op_ctn v ]))
+
+let prop_sequential_accepted =
+  QCheck2.Test.make ~count:500 ~name:"sequentially generated histories accepted"
+    ~print:(fun ops -> String.concat ";" (List.map Set_model.op_to_string ops))
+    gen_ops
+    (fun ops ->
+      let _, results = Set_model.run ops in
+      let h = History.sequential (List.combine ops results) in
+      Linearizability.check h)
+
+let prop_flipped_rejected =
+  QCheck2.Test.make ~count:500 ~name:"flipping a contains response rejected"
+    ~print:(fun ops -> String.concat ";" (List.map Set_model.op_to_string ops))
+    gen_ops
+    (fun ops ->
+      (* Append a contains per key and flip its response: must reject. *)
+      let _, results = Set_model.run ops in
+      let keys = List.sort_uniq compare (List.map Set_model.key ops) in
+      List.for_all
+        (fun k ->
+          let probe = op_ctn k in
+          let _, probe_results = Set_model.run (ops @ [ probe ]) in
+          let flipped = not (List.nth probe_results (List.length ops)) in
+          let h =
+            History.sequential (List.combine ops results @ [ (probe, flipped) ])
+          in
+          not (Linearizability.check h))
+        keys)
+
+(* Interval spreading: run ops sequentially for their specified results,
+   then widen each operation's interval around its linearization point
+   (point of op k = time 10k).  Any such history is linearizable by
+   construction — the original order is a witness — however the intervals
+   overlap. *)
+let prop_spread_accepted =
+  QCheck2.Test.make ~count:500 ~name:"interval-spread histories accepted"
+    ~print:(fun (ops, _) -> String.concat ";" (List.map Set_model.op_to_string ops))
+    QCheck2.Gen.(pair gen_ops (int_range 0 1_000_000))
+    (fun (ops, salt) ->
+      let rng = Vbl_util.Rng.create ~seed:(Int64.of_int salt) () in
+      let _, results = Set_model.run ops in
+      let entries =
+        List.mapi
+          (fun i (op, r) ->
+            let point = 10 * (i + 1) in
+            let inv = point - Vbl_util.Rng.int rng 10 in
+            let ret = point + Vbl_util.Rng.int rng 10 in
+            (i, 0, op, inv, returned r, ret))
+          (List.combine ops results)
+      in
+      Linearizability.check (history entries))
+
+let () =
+  Alcotest.run "spec"
+    [
+      ("model", model_tests);
+      ("linearizability", lin_tests);
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_sequential_accepted;
+          QCheck_alcotest.to_alcotest prop_flipped_rejected;
+          QCheck_alcotest.to_alcotest prop_spread_accepted;
+        ] );
+    ]

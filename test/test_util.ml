@@ -1,0 +1,208 @@
+(* Unit and property tests for the util library: RNG determinism and
+   distribution sanity, statistics, table rendering. *)
+
+module Rng = Vbl_util.Rng
+module Stats = Vbl_util.Stats
+module Table = Vbl_util.Table
+
+let rng_tests =
+  [
+    Alcotest.test_case "same seed, same stream" `Quick (fun () ->
+        let a = Rng.create ~seed:42L () and b = Rng.create ~seed:42L () in
+        for _ = 1 to 100 do
+          Alcotest.(check int64) "lockstep" (Rng.next_int64 a) (Rng.next_int64 b)
+        done);
+    Alcotest.test_case "different seeds diverge" `Quick (fun () ->
+        let a = Rng.create ~seed:1L () and b = Rng.create ~seed:2L () in
+        let same = ref 0 in
+        for _ = 1 to 64 do
+          if Rng.next_int64 a = Rng.next_int64 b then incr same
+        done;
+        Alcotest.(check bool) "mostly different" true (!same < 4));
+    Alcotest.test_case "split streams are independent of parent use" `Quick (fun () ->
+        let parent1 = Rng.create ~seed:7L () in
+        let child1 = Rng.split parent1 in
+        let first = Rng.next_int64 child1 in
+        let parent2 = Rng.create ~seed:7L () in
+        let child2 = Rng.split parent2 in
+        Alcotest.(check int64) "same child stream" first (Rng.next_int64 child2));
+    Alcotest.test_case "int respects bound" `Quick (fun () ->
+        let r = Rng.create ~seed:3L () in
+        for _ = 1 to 10_000 do
+          let v = Rng.int r 17 in
+          if v < 0 || v >= 17 then Alcotest.failf "out of range: %d" v
+        done);
+    Alcotest.test_case "int bound=1 always 0" `Quick (fun () ->
+        let r = Rng.create ~seed:3L () in
+        for _ = 1 to 100 do
+          Alcotest.(check int) "zero" 0 (Rng.int r 1)
+        done);
+    Alcotest.test_case "int rejects non-positive bound" `Quick (fun () ->
+        let r = Rng.create ~seed:3L () in
+        Alcotest.check_raises "zero bound"
+          (Invalid_argument "Rng.int: bound must be positive") (fun () ->
+            ignore (Rng.int r 0)));
+    Alcotest.test_case "in_range covers range" `Quick (fun () ->
+        let r = Rng.create ~seed:5L () in
+        let seen = Array.make 10 false in
+        for _ = 1 to 5_000 do
+          let v = Rng.in_range r ~lo:5 ~hi:15 in
+          if v < 5 || v >= 15 then Alcotest.failf "out of range: %d" v;
+          seen.(v - 5) <- true
+        done;
+        Alcotest.(check bool) "all values hit" true (Array.for_all Fun.id seen));
+    Alcotest.test_case "float in unit interval" `Quick (fun () ->
+        let r = Rng.create ~seed:9L () in
+        for _ = 1 to 10_000 do
+          let f = Rng.float r in
+          if f < 0. || f >= 1. then Alcotest.failf "out of range: %f" f
+        done);
+    Alcotest.test_case "int roughly uniform" `Quick (fun () ->
+        let r = Rng.create ~seed:13L () in
+        let buckets = Array.make 10 0 in
+        let n = 100_000 in
+        for _ = 1 to n do
+          let v = Rng.int r 10 in
+          buckets.(v) <- buckets.(v) + 1
+        done;
+        Array.iteri
+          (fun i c ->
+            let expected = n / 10 in
+            if abs (c - expected) > expected / 5 then
+              Alcotest.failf "bucket %d count %d too far from %d" i c expected)
+          buckets);
+    Alcotest.test_case "bool is balanced" `Quick (fun () ->
+        let r = Rng.create ~seed:17L () in
+        let trues = ref 0 in
+        let n = 100_000 in
+        for _ = 1 to n do
+          if Rng.bool r then incr trues
+        done;
+        Alcotest.(check bool) "near half" true (abs (!trues - (n / 2)) < n / 20));
+  ]
+
+let stats_tests =
+  let feq = Alcotest.float 1e-9 in
+  [
+    Alcotest.test_case "mean" `Quick (fun () ->
+        Alcotest.check feq "mean" 2.5 (Stats.mean [| 1.; 2.; 3.; 4. |]));
+    Alcotest.test_case "stddev of constant is zero" `Quick (fun () ->
+        Alcotest.check feq "stddev" 0. (Stats.stddev [| 5.; 5.; 5. |]));
+    Alcotest.test_case "stddev sample formula" `Quick (fun () ->
+        (* var of 2,4,4,4,5,5,7,9 is 32/7 with n-1 denominator *)
+        let s = Stats.stddev [| 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. |] in
+        Alcotest.check (Alcotest.float 1e-6) "stddev" (sqrt (32. /. 7.)) s);
+    Alcotest.test_case "stddev singleton is zero" `Quick (fun () ->
+        Alcotest.check feq "stddev" 0. (Stats.stddev [| 1.0 |]));
+    Alcotest.test_case "percentile endpoints" `Quick (fun () ->
+        let xs = [| 10.; 20.; 30.; 40. |] in
+        Alcotest.check feq "p0" 10. (Stats.percentile xs 0.);
+        Alcotest.check feq "p100" 40. (Stats.percentile xs 100.));
+    Alcotest.test_case "percentile interpolates" `Quick (fun () ->
+        Alcotest.check feq "p50" 25. (Stats.percentile [| 10.; 20.; 30.; 40. |] 50.));
+    Alcotest.test_case "median odd length" `Quick (fun () ->
+        Alcotest.check feq "p50" 20. (Stats.percentile [| 30.; 10.; 20. |] 50.));
+    Alcotest.test_case "summarize" `Quick (fun () ->
+        let s = Stats.summarize [| 3.; 1.; 2. |] in
+        Alcotest.(check int) "n" 3 s.Stats.n;
+        Alcotest.check feq "mean" 2. s.Stats.mean;
+        Alcotest.check feq "min" 1. s.Stats.min;
+        Alcotest.check feq "max" 3. s.Stats.max;
+        Alcotest.check feq "median" 2. s.Stats.median);
+    Alcotest.test_case "empty input rejected" `Quick (fun () ->
+        Alcotest.check_raises "mean" (Invalid_argument "Stats.mean: empty")
+          (fun () -> ignore (Stats.mean [||])));
+    Alcotest.test_case "speedup" `Quick (fun () ->
+        Alcotest.check feq "2x" 2. (Stats.speedup ~baseline:5. 10.));
+  ]
+
+let table_tests =
+  [
+    Alcotest.test_case "render aligns columns" `Quick (fun () ->
+        let t = Table.create [ "name"; "value" ] in
+        Table.add_row t [ "a"; "1" ];
+        Table.add_row t [ "long-name"; "22" ];
+        let lines = String.split_on_char '\n' (Table.render t) in
+        Alcotest.(check int) "4 lines" 4 (List.length lines);
+        (* all lines equally wide (right-padded) *)
+        let widths = List.map String.length lines in
+        Alcotest.(check bool) "uniform width" true
+          (List.for_all (fun w -> w = List.hd widths) widths));
+    Alcotest.test_case "short rows padded" `Quick (fun () ->
+        let t = Table.create [ "a"; "b"; "c" ] in
+        Table.add_row t [ "x" ];
+        let csv = Table.render_csv t in
+        Alcotest.(check string) "csv" "a,b,c\nx,," csv);
+    Alcotest.test_case "over-long row rejected" `Quick (fun () ->
+        let t = Table.create [ "a" ] in
+        Alcotest.check_raises "too many"
+          (Invalid_argument "Table.add_row: more cells than headers") (fun () ->
+            Table.add_row t [ "1"; "2" ]));
+    Alcotest.test_case "csv quotes specials" `Quick (fun () ->
+        let t = Table.create [ "h" ] in
+        Table.add_row t [ "a,b" ];
+        Table.add_row t [ "say \"hi\"" ];
+        Alcotest.(check string) "csv" "h\n\"a,b\"\n\"say \"\"hi\"\"\""
+          (Table.render_csv t));
+    Alcotest.test_case "si cells" `Quick (fun () ->
+        Alcotest.(check string) "millions" "12.30M" (Table.si_cell 12.3e6);
+        Alcotest.(check string) "thousands" "4.50k" (Table.si_cell 4500.);
+        Alcotest.(check string) "units" "89.00" (Table.si_cell 89.);
+        Alcotest.(check string) "billions" "1.20G" (Table.si_cell 1.2e9));
+    Alcotest.test_case "float cells" `Quick (fun () ->
+        Alcotest.(check string) "default" "3.14" (Table.float_cell 3.14159);
+        Alcotest.(check string) "decimals" "3.1416" (Table.float_cell ~decimals:4 3.14159));
+  ]
+
+let zipf_tests =
+  [
+    Alcotest.test_case "samples stay in range" `Quick (fun () ->
+        let z = Vbl_util.Zipf.create ~n:100 () in
+        let r = Rng.create ~seed:3L () in
+        for _ = 1 to 10_000 do
+          let v = Vbl_util.Zipf.sample z r in
+          if v < 1 || v > 100 then Alcotest.failf "out of range: %d" v
+        done);
+    Alcotest.test_case "skew concentrates on low keys" `Quick (fun () ->
+        let z = Vbl_util.Zipf.create ~s:1.0 ~n:1000 () in
+        let r = Rng.create ~seed:4L () in
+        let low = ref 0 in
+        let n = 50_000 in
+        for _ = 1 to n do
+          if Vbl_util.Zipf.sample z r <= 10 then incr low
+        done;
+        (* With s=1, n=1000: P(k<=10) = H(10)/H(1000) ~ 0.39. *)
+        let frac = float_of_int !low /. float_of_int n in
+        Alcotest.(check bool)
+          (Printf.sprintf "top-10 mass %.2f in [0.3, 0.5]" frac)
+          true
+          (frac > 0.3 && frac < 0.5));
+    Alcotest.test_case "s=0 degenerates to uniform" `Quick (fun () ->
+        let z = Vbl_util.Zipf.create ~s:0. ~n:10 () in
+        let r = Rng.create ~seed:5L () in
+        let counts = Array.make 11 0 in
+        let n = 50_000 in
+        for _ = 1 to n do
+          let v = Vbl_util.Zipf.sample z r in
+          counts.(v) <- counts.(v) + 1
+        done;
+        for k = 1 to 10 do
+          let expected = n / 10 in
+          if abs (counts.(k) - expected) > expected / 4 then
+            Alcotest.failf "key %d count %d too far from uniform %d" k counts.(k) expected
+        done);
+    Alcotest.test_case "invalid parameters rejected" `Quick (fun () ->
+        Alcotest.check_raises "n" (Invalid_argument "Zipf.create: n must be >= 1")
+          (fun () -> ignore (Vbl_util.Zipf.create ~n:0 ()));
+        Alcotest.check_raises "s" (Invalid_argument "Zipf.create: s must be >= 0")
+          (fun () -> ignore (Vbl_util.Zipf.create ~s:(-1.) ~n:5 ())));
+  ]
+
+let () =
+  Alcotest.run "util"
+    [
+      ("rng", rng_tests);
+      ("stats", stats_tests);
+      ("table", table_tests);
+      ("zipf", zipf_tests);
+    ]
