@@ -19,7 +19,12 @@
 
    Flags: --quick (smaller sweeps), --full (paper-sized sweeps),
           --machine amd (Opteron cost profile), --skip-micro,
-          --skip-figures.                                                *)
+          --skip-figures.
+
+   Observability modes (run instead of the figure suite):
+          --metrics [--json FILE]  per-algorithm counter + latency tables
+          --trace                  event-trace dump from a short sim run
+          --smoke                  tiny metrics+trace exercise for CI      *)
 
 open Bechamel
 open Toolkit
@@ -28,6 +33,19 @@ let quick = Array.exists (( = ) "--quick") Sys.argv
 let full = Array.exists (( = ) "--full") Sys.argv
 let skip_micro = Array.exists (( = ) "--skip-micro") Sys.argv
 let skip_figures = Array.exists (( = ) "--skip-figures") Sys.argv
+let metrics_mode = Array.exists (( = ) "--metrics") Sys.argv
+let trace_mode = Array.exists (( = ) "--trace") Sys.argv
+let smoke = Array.exists (( = ) "--smoke") Sys.argv
+
+let flag_value name =
+  let rec find i =
+    if i + 1 >= Array.length Sys.argv then None
+    else if Sys.argv.(i) = name then Some Sys.argv.(i + 1)
+    else find (i + 1)
+  in
+  find 1
+
+let json_file = flag_value "--json"
 
 let seed = 42L
 
@@ -348,18 +366,117 @@ let ablation_sweep () =
        ~title:"20% updates, key range 50" points);
   print_newline ()
 
+(* ------------------------------------------------------------------ *)
+(* Observability modes                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Counter + latency tables for a few algorithms on one workload: the
+   numbers that explain the throughput gaps — restarts, lock failures
+   split by field, traversal length, p50/p99 latency per op kind. *)
+let metrics_section ~algorithms ~threads ~update_percent ~key_range ~engine () =
+  let points =
+    List.map
+      (fun algorithm ->
+        Vbl_harness.Sweep.measure ~metrics:true engine ~algorithm ~threads
+          ~update_percent ~key_range ~seed)
+      algorithms
+  in
+  print_endline
+    (Vbl_harness.Report.render_metrics
+       ~title:
+         (Printf.sprintf
+            "== Per-operation counters: %d threads, %d%% updates, range %d [%s] =="
+            threads update_percent key_range
+            (Vbl_harness.Report.engine_name engine))
+       points);
+  print_newline ();
+  if List.exists (fun p -> p.Vbl_harness.Sweep.latency <> []) points then begin
+    print_endline
+      (Vbl_harness.Report.render_latency ~title:"== Per-operation latency (ns) ==" points);
+    print_newline ()
+  end;
+  print_endline "-- counters as CSV --";
+  print_string (Vbl_harness.Report.metrics_csv points);
+  print_newline ();
+  (match json_file with
+  | Some file ->
+      let oc = open_out file in
+      output_string oc (Vbl_harness.Report.points_json ~engine points);
+      output_string oc "\n";
+      close_out oc;
+      Printf.printf "(wrote %s)\n" file
+  | None -> ());
+  points
+
+(* A short deterministic simulated run with the trace sink installed:
+   every conductor step becomes one event line, schedule-replay style. *)
+let trace_section ~events () =
+  print_endline "== Event trace: vbl, 2 threads, 50% updates, range 8 (simulated) ==";
+  print_newline ();
+  let tr = Vbl_obs.Trace.create () in
+  Vbl_obs.Probe.install (Vbl_obs.Probe.tracer tr);
+  let engine = Vbl_harness.Sweep.simulated ~horizon:600. ~trials:1 () in
+  ignore
+    (Vbl_harness.Sweep.measure engine ~algorithm:"vbl" ~threads:2 ~update_percent:50
+       ~key_range:8 ~seed);
+  Vbl_obs.Probe.uninstall ();
+  let all = Vbl_obs.Trace.events tr in
+  let shown = List.filteri (fun i _ -> i < events) all in
+  List.iter (fun e -> print_endline ("  " ^ Vbl_obs.Trace.event_to_string e)) shown;
+  Printf.printf "\n(%d events emitted, %d dropped from the ring, first %d shown)\n\n"
+    (Vbl_obs.Trace.emitted tr) (Vbl_obs.Trace.dropped tr) (List.length shown)
+
+let metrics_threads = max 2 (min 4 (Domain.recommended_domain_count ()))
+
+let run_metrics_mode () =
+  let algorithms =
+    match flag_value "--algos" with
+    | Some s -> String.split_on_char ',' s
+    | None -> [ "vbl"; "lazy"; "harris-michael-tagged" ]
+  in
+  ignore
+    (metrics_section ~algorithms ~threads:metrics_threads ~update_percent:20
+       ~key_range:200 ~engine:real_engine ())
+
+(* Tiny end-to-end exercise of the metrics/trace path, cheap enough for
+   `dune runtest` (the smoke alias in bench/dune). *)
+let run_smoke () =
+  ignore
+    (metrics_section ~algorithms:[ "vbl"; "lazy" ] ~threads:2 ~update_percent:20
+       ~key_range:64
+       ~engine:(Vbl_harness.Sweep.Real { duration_s = 0.05; warmup_s = 0.02; trials = 1 })
+       ());
+  (* And the same counters through the simulated engine: the probes live in
+     the shared functor code, so both engines must produce them. *)
+  ignore
+    (metrics_section ~algorithms:[ "vbl" ] ~threads:2 ~update_percent:20 ~key_range:64
+       ~engine:(Vbl_harness.Sweep.simulated ~horizon:2_000. ~trials:1 ())
+       ());
+  trace_section ~events:12 ()
+
 let () =
-  Printf.printf "vbl benchmark harness (%s mode)\n\n"
-    (if quick then "quick" else if full then "full" else "default");
-  if not skip_micro then run_micro ();
-  if not skip_figures then begin
-    figure1 ();
-    figure4 ();
-    headlines ();
-    ablation_sweep ();
-    family_sweep ();
-    skiplist_sweep ();
-    tree_sweep ();
-    zipf_sweep ();
-    numa_sweep ()
+  if smoke then begin
+    print_endline "vbl benchmark harness (smoke mode)\n";
+    run_smoke ()
+  end
+  else if metrics_mode || trace_mode then begin
+    Printf.printf "vbl benchmark harness (observability mode)\n\n";
+    if metrics_mode then run_metrics_mode ();
+    if trace_mode then trace_section ~events:30 ()
+  end
+  else begin
+    Printf.printf "vbl benchmark harness (%s mode)\n\n"
+      (if quick then "quick" else if full then "full" else "default");
+    if not skip_micro then run_micro ();
+    if not skip_figures then begin
+      figure1 ();
+      figure4 ();
+      headlines ();
+      ablation_sweep ();
+      family_sweep ();
+      skiplist_sweep ();
+      tree_sweep ();
+      zipf_sweep ();
+      numa_sweep ()
+    end
   end

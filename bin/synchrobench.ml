@@ -66,21 +66,46 @@ let engine_arg =
 
 let csv_arg = Arg.(value & flag & info [ "csv" ] ~doc:"Emit a CSV row instead of prose.")
 
-let run algo threads update range duration warmup trials seed horizon engine csv =
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:
+          "Collect per-operation counters (restarts, lock failures, traversal \
+           steps, ...) and, on the real engine, per-op latency percentiles.")
+
+let metrics_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-json" ] ~docv:"FILE"
+        ~doc:"Write the measured point (throughput + counters + latency) as JSON to $(docv). Implies $(b,--metrics).")
+
+let trace_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "trace" ] ~docv:"N"
+        ~doc:
+          "Dump the first $(docv) events of a short deterministic run on the \
+           simulated engine (one line per schedule step).")
+
+let run algo threads update range duration warmup trials seed horizon engine csv metrics
+    metrics_json trace_n =
   if not (List.mem algo (algorithms ())) then begin
     Printf.eprintf "unknown algorithm %S; known: %s\n" algo
       (String.concat ", " (algorithms ()));
     exit 2
   end;
   let seed = Int64.of_int seed in
+  let metrics = metrics || metrics_json <> None in
   let engine_v =
     match engine with
     | `Real -> Vbl_harness.Sweep.Real { duration_s = duration; warmup_s = warmup; trials }
     | `Sim -> Vbl_harness.Sweep.simulated ~horizon ~trials ()
   in
   let point =
-    Vbl_harness.Sweep.measure engine_v ~algorithm:algo ~threads ~update_percent:update
-      ~key_range:range ~seed
+    Vbl_harness.Sweep.measure ~metrics engine_v ~algorithm:algo ~threads
+      ~update_percent:update ~key_range:range ~seed
   in
   let s = point.Vbl_harness.Sweep.throughput in
   if csv then
@@ -99,6 +124,40 @@ let run algo threads update range duration warmup trials seed horizon engine csv
       (Vbl_util.Table.si_cell s.Vbl_util.Stats.stddev)
       (Vbl_util.Table.si_cell s.Vbl_util.Stats.min)
       (Vbl_util.Table.si_cell s.Vbl_util.Stats.max)
+  end;
+  if metrics && not csv then begin
+    print_newline ();
+    print_endline (Vbl_harness.Report.render_metrics ~title:"per-operation counters:" [ point ]);
+    if point.Vbl_harness.Sweep.latency <> [] then begin
+      print_newline ();
+      print_endline
+        (Vbl_harness.Report.render_latency ~title:"per-operation latency (ns):" [ point ])
+    end
+  end;
+  (match metrics_json with
+  | Some file ->
+      let oc = open_out file in
+      output_string oc (Vbl_harness.Report.points_json ~engine:engine_v [ point ]);
+      output_string oc "\n";
+      close_out oc;
+      if not csv then Printf.printf "\n(wrote %s)\n" file
+  | None -> ());
+  if trace_n > 0 then begin
+    (* Tracing hooks live in the schedule conductor, so the dump always
+       comes from a short deterministic run on the simulated engine,
+       whatever --engine was used for the measurement above. *)
+    let tr = Vbl_obs.Trace.create () in
+    Vbl_obs.Probe.install (Vbl_obs.Probe.tracer tr);
+    ignore
+      (Vbl_harness.Sweep.measure
+         (Vbl_harness.Sweep.simulated ~horizon:600. ~trials:1 ())
+         ~algorithm:algo ~threads ~update_percent:update ~key_range:range ~seed);
+    Vbl_obs.Probe.uninstall ();
+    Printf.printf "\nevent trace (simulated engine, first %d of %d steps):\n" trace_n
+      (Vbl_obs.Trace.emitted tr);
+    List.iteri
+      (fun i e -> if i < trace_n then print_endline ("  " ^ Vbl_obs.Trace.event_to_string e))
+      (Vbl_obs.Trace.events tr)
   end
 
 let cmd =
@@ -107,6 +166,7 @@ let cmd =
     (Cmd.info "synchrobench" ~doc)
     Term.(
       const run $ algo_arg $ threads_arg $ update_arg $ range_arg $ duration_arg $ warmup_arg
-      $ trials_arg $ seed_arg $ horizon_arg $ engine_arg $ csv_arg)
+      $ trials_arg $ seed_arg $ horizon_arg $ engine_arg $ csv_arg $ metrics_arg
+      $ metrics_json_arg $ trace_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -72,6 +72,127 @@ let render_headlines (h : Sweep.headlines) =
         h.Sweep.vbl_over_hm_amr_readonly;
     ]
 
+(* ------------------------------------------------------------------ *)
+(* Observability: per-algorithm counter and latency reporting          *)
+(* ------------------------------------------------------------------ *)
+
+module Obs = Vbl_obs
+
+(* Points that actually carry a metrics snapshot, keyed by algorithm. *)
+let with_metrics (points : Sweep.point list) =
+  List.filter_map
+    (fun (p : Sweep.point) ->
+      Option.map (fun m -> (p.Sweep.algorithm, p.Sweep.ops, m)) p.Sweep.metrics)
+    points
+
+(** One row per counter, one column per algorithm, plus a derived
+    traversal-length row (steps per operation) — the quantities the
+    paper's rejected-schedule argument is made of. *)
+let metrics_table (points : Sweep.point list) =
+  let rows = with_metrics points in
+  let headers = "counter" :: List.map (fun (a, _, _) -> a) rows in
+  let table = Vbl_util.Table.create headers in
+  List.iter
+    (fun c ->
+      Vbl_util.Table.add_row table
+        (Obs.Metrics.label c
+        :: List.map (fun (_, _, m) -> string_of_int (Obs.Metrics.get m c)) rows))
+    Obs.Metrics.all;
+  Vbl_util.Table.add_row table
+    ("traversal_steps/op"
+    :: List.map
+         (fun (_, ops, m) ->
+           if ops = 0 then "-"
+           else
+             Printf.sprintf "%.2f"
+               (float_of_int (Obs.Metrics.get m Obs.Metrics.Traversal_steps)
+               /. float_of_int ops))
+         rows);
+  Vbl_util.Table.add_row table
+    ("ops" :: List.map (fun (_, ops, _) -> string_of_int ops) rows);
+  table
+
+let render_metrics ~title (points : Sweep.point list) =
+  Printf.sprintf "%s\n%s" title (Vbl_util.Table.render (metrics_table points))
+
+let metrics_csv points = Vbl_util.Table.render_csv (metrics_table points)
+
+(** One row per (algorithm, operation type): count, mean and tail
+    latencies in nanoseconds.  Only points measured on the real engine
+    carry latency. *)
+let latency_table (points : Sweep.point list) =
+  let table =
+    Vbl_util.Table.create
+      [ "algorithm"; "op"; "n"; "mean_ns"; "p50_ns"; "p90_ns"; "p99_ns"; "max_ns" ]
+  in
+  List.iter
+    (fun (p : Sweep.point) ->
+      List.iter
+        (fun (op, (s : Obs.Histogram.summary)) ->
+          Vbl_util.Table.add_row table
+            [
+              p.Sweep.algorithm;
+              op;
+              string_of_int s.Obs.Histogram.n;
+              Printf.sprintf "%.0f" s.Obs.Histogram.mean;
+              Printf.sprintf "%.0f" s.Obs.Histogram.p50;
+              Printf.sprintf "%.0f" s.Obs.Histogram.p90;
+              Printf.sprintf "%.0f" s.Obs.Histogram.p99;
+              Printf.sprintf "%.0f" s.Obs.Histogram.max;
+            ])
+        p.Sweep.latency)
+    points;
+  table
+
+let render_latency ~title points =
+  Printf.sprintf "%s\n%s" title (Vbl_util.Table.render (latency_table points))
+
+(* ------------------------------------------------------------------ *)
+(* JSON export                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let summary_json (s : Vbl_util.Stats.summary) =
+  Printf.sprintf
+    "{\"n\": %d, \"mean\": %.4f, \"stddev\": %.4f, \"min\": %.4f, \"max\": %.4f, \"median\": %.4f}"
+    s.Vbl_util.Stats.n s.Vbl_util.Stats.mean s.Vbl_util.Stats.stddev s.Vbl_util.Stats.min
+    s.Vbl_util.Stats.max s.Vbl_util.Stats.median
+
+let point_json (p : Sweep.point) =
+  let counters =
+    match p.Sweep.metrics with
+    | Some m -> Obs.Metrics.to_json m
+    | None -> "null"
+  in
+  let latency =
+    match p.Sweep.latency with
+    | [] -> "null"
+    | l ->
+        "{"
+        ^ String.concat ", "
+            (List.map
+               (fun (op, s) -> Printf.sprintf "%S: %s" op (Obs.Histogram.summary_to_json s))
+               l)
+        ^ "}"
+  in
+  Printf.sprintf
+    "{\"algorithm\": %S, \"threads\": %d, \"update_percent\": %d, \"key_range\": %d, \
+     \"ops\": %d, \"throughput\": %s, \"counters\": %s, \"latency\": %s}"
+    p.Sweep.algorithm p.Sweep.threads p.Sweep.update_percent p.Sweep.key_range p.Sweep.ops
+    (summary_json p.Sweep.throughput)
+    counters latency
+
+(** JSON export of points, including counter snapshots and latency
+    summaries when present — the machine-readable side of
+    {!render_metrics} / {!render_latency}. *)
+let points_json ?(engine : Sweep.engine option) points =
+  let engine_field =
+    match engine with
+    | Some e -> Printf.sprintf "\"engine\": %S, \"unit\": %S, " (engine_name e) (engine_unit e)
+    | None -> ""
+  in
+  Printf.sprintf "{%s\"points\": [\n  %s\n]}" engine_field
+    (String.concat ",\n  " (List.map point_json points))
+
 (** CSV export of raw points for external plotting. *)
 let points_csv points =
   let table =

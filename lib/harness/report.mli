@@ -18,3 +18,23 @@ val render_figure4 : Sweep.engine -> ((int * int) * Sweep.point list) list -> st
 val render_headlines : Sweep.headlines -> string
 
 val points_csv : Sweep.point list -> string
+
+val metrics_table : Sweep.point list -> Vbl_util.Table.t
+(** One row per {!Vbl_obs.Metrics} counter, one column per algorithm
+    (points without a snapshot are skipped), plus derived
+    [traversal_steps/op] and [ops] rows. *)
+
+val render_metrics : title:string -> Sweep.point list -> string
+
+val metrics_csv : Sweep.point list -> string
+
+val latency_table : Sweep.point list -> Vbl_util.Table.t
+(** One row per (algorithm, op type) with n / mean / p50 / p90 / p99 /
+    max in nanoseconds.  Only real-engine points carry latency. *)
+
+val render_latency : title:string -> Sweep.point list -> string
+
+val points_json : ?engine:Sweep.engine -> Sweep.point list -> string
+(** Machine-readable export: one object per point with workload
+    parameters, throughput summary, counter snapshot ([null] when not
+    collected) and latency summaries ([null] when absent). *)

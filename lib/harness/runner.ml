@@ -6,7 +6,15 @@
     shorter runs.  NOTE: this host may expose far fewer cores than the
     paper's 72; real-thread scaling curves are then flat by construction,
     which is why the bench harness pairs this runner with the simulated
-    engine (see {!Sweep}). *)
+    engine (see {!Sweep}).
+
+    With [~metrics:true] the runner additionally installs the {!Vbl_obs}
+    probe around the measured trials (warm-up excluded) and times every
+    operation into per-domain, per-operation-type latency histograms, so a
+    result can explain its throughput: restarts, lock failures, traversal
+    length, and p50/p99 latency per operation kind. *)
+
+module Obs = Vbl_obs
 
 type params = {
   threads : int;
@@ -35,20 +43,50 @@ type result = {
   throughput : Vbl_util.Stats.summary;  (** ops per second across trials *)
   final_size : int;
   invariants : (unit, string) Stdlib.result;
+  metrics : Obs.Metrics.snapshot option;
+      (** counter totals over all measured trials; [None] without
+          [~metrics:true] *)
+  latency : (string * Obs.Histogram.summary) list;
+      (** per-operation-type latency over all measured trials, labelled
+          ["insert"] / ["remove"] / ["contains"]; [[]] without
+          [~metrics:true] *)
 }
 
-(* One timed phase: [threads] domains run ops until the stop flag flips. *)
+(* Per-domain histogram triple: insert, remove, contains. *)
+type histos = Obs.Histogram.t * Obs.Histogram.t * Obs.Histogram.t
+
+let now_ns () = Monotonic_clock.now ()
+
+(* One timed phase: [threads] domains run ops until the stop flag flips.
+   When [latency] is given, every operation is timed individually into the
+   calling domain's private histograms (one clock read before and after;
+   only paid in metrics mode). *)
 let timed_phase (type s) (module S : Vbl_lists.Set_intf.S with type t = s) (t : s) ~threads
-    ~spec ~duration_s ~rngs =
+    ~spec ~duration_s ~rngs ~(latency : histos array option) =
   let stop = Atomic.make false in
   let counts = Array.make threads 0 in
   let worker i () =
     let rng = rngs.(i) in
     let n = ref 0 in
-    while not (Atomic.get stop) do
-      ignore (Workload.apply (module S) t (Workload.next rng spec));
-      incr n
-    done;
+    (match latency with
+    | None ->
+        while not (Atomic.get stop) do
+          ignore (Workload.apply (module S) t (Workload.next rng spec));
+          incr n
+        done
+    | Some histos ->
+        let h_ins, h_rem, h_con = histos.(i) in
+        while not (Atomic.get stop) do
+          let op = Workload.next rng spec in
+          let t0 = now_ns () in
+          ignore (Workload.apply (module S) t op);
+          let dt = Int64.to_int (Int64.sub (now_ns ()) t0) in
+          (match op with
+          | Workload.Insert _ -> Obs.Histogram.record h_ins dt
+          | Workload.Remove _ -> Obs.Histogram.record h_rem dt
+          | Workload.Contains _ -> Obs.Histogram.record h_con dt);
+          incr n
+        done);
     counts.(i) <- !n
   in
   let started = Unix.gettimeofday () in
@@ -59,25 +97,66 @@ let timed_phase (type s) (module S : Vbl_lists.Set_intf.S with type t = s) (t : 
   let elapsed = Unix.gettimeofday () -. started in
   (Array.fold_left ( + ) 0 counts, elapsed)
 
-let run (module S : Vbl_lists.Set_intf.S) params : result =
+let summarize_latency (histos : histos array) =
+  let merged_ins = Obs.Histogram.create ()
+  and merged_rem = Obs.Histogram.create ()
+  and merged_con = Obs.Histogram.create () in
+  Array.iter
+    (fun (h_ins, h_rem, h_con) ->
+      Obs.Histogram.merge ~into:merged_ins h_ins;
+      Obs.Histogram.merge ~into:merged_rem h_rem;
+      Obs.Histogram.merge ~into:merged_con h_con)
+    histos;
+  List.filter_map
+    (fun (label, h) ->
+      Option.map (fun s -> (label, s)) (Obs.Histogram.summarize h))
+    [ ("insert", merged_ins); ("remove", merged_rem); ("contains", merged_con) ]
+
+let run ?(metrics = false) (module S : Vbl_lists.Set_intf.S) params : result =
   Workload.validate params.spec;
   if params.threads < 1 then invalid_arg "Runner.run: threads must be >= 1";
   if params.trials < 1 then invalid_arg "Runner.run: trials must be >= 1";
   let master = Vbl_util.Rng.create ~seed:params.seed () in
   let t = S.create () in
   Workload.prepopulate (module S) t master params.spec;
-  let rngs = Array.init params.threads (fun _ -> Vbl_util.Rng.split master) in
+  (* Each domain's key stream is a pure function of (seed, domain index):
+     reproducible regardless of how many trials ran before, and no stream
+     is derived from another's state. *)
+  let rngs =
+    Array.init params.threads (fun i -> Vbl_util.Rng.stream ~seed:params.seed ~index:i)
+  in
   if params.warmup_s > 0. then
     ignore
       (timed_phase (module S) t ~threads:params.threads ~spec:params.spec
-         ~duration_s:params.warmup_s ~rngs);
+         ~duration_s:params.warmup_s ~rngs ~latency:None);
+  let latency_histos =
+    if metrics then
+      Some
+        (Array.init params.threads (fun _ ->
+             (Obs.Histogram.create (), Obs.Histogram.create (), Obs.Histogram.create ())))
+    else None
+  in
+  (* Counters start after the warm-up so the snapshot covers exactly the
+     measured trials. *)
+  if metrics then begin
+    Obs.Metrics.reset ();
+    Obs.Probe.install (Obs.Probe.metrics ())
+  end;
   let trials_run =
     List.init params.trials (fun _ ->
         let ops, elapsed_s =
           timed_phase (module S) t ~threads:params.threads ~spec:params.spec
-            ~duration_s:params.duration_s ~rngs
+            ~duration_s:params.duration_s ~rngs ~latency:latency_histos
         in
         { ops; elapsed_s; throughput = float_of_int ops /. elapsed_s })
+  in
+  let snapshot =
+    if metrics then begin
+      let s = Obs.Metrics.snapshot () in
+      Obs.Probe.uninstall ();
+      Some s
+    end
+    else None
   in
   {
     params;
@@ -87,4 +166,6 @@ let run (module S : Vbl_lists.Set_intf.S) params : result =
         (Array.of_list (List.map (fun (tr : trial) -> tr.throughput) trials_run));
     final_size = S.size t;
     invariants = S.check_invariants t;
+    metrics = snapshot;
+    latency = (match latency_histos with None -> [] | Some hs -> summarize_latency hs);
   }

@@ -2,7 +2,11 @@
     instance for fixed wall-clock durations (the paper's 5 s × 5 trials
     after a 5 s warm-up, durations configurable).  Scaling is bounded by
     this host's physical cores — pair with the simulated engine for
-    thread sweeps (see {!Sweep}). *)
+    thread sweeps (see {!Sweep}).
+
+    [run ~metrics:true] additionally installs the {!Vbl_obs} probe around
+    the measured trials and times every operation into per-domain latency
+    histograms. *)
 
 type params = {
   threads : int;
@@ -23,6 +27,15 @@ type result = {
   throughput : Vbl_util.Stats.summary;  (** ops/second across trials *)
   final_size : int;
   invariants : (unit, string) Stdlib.result;
+  metrics : Vbl_obs.Metrics.snapshot option;
+      (** counter totals over the measured trials (warm-up excluded);
+          [None] unless run with [~metrics:true] *)
+  latency : (string * Vbl_obs.Histogram.summary) list;
+      (** per-operation-type latency (ns), labelled ["insert"] /
+          ["remove"] / ["contains"]; empty unless run with
+          [~metrics:true] *)
 }
 
-val run : (module Vbl_lists.Set_intf.S) -> params -> result
+val run : ?metrics:bool -> (module Vbl_lists.Set_intf.S) -> params -> result
+(** [metrics] defaults to [false], leaving the probe untouched and the
+    per-op clock reads off the hot path. *)

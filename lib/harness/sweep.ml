@@ -23,6 +23,11 @@ type point = {
       (** ops/second for [Real]; ops per 1000 simulated cycles for
           [Simulated].  Units differ; only within-engine comparisons are
           meaningful. *)
+  ops : int;  (** total operations across trials *)
+  metrics : Vbl_obs.Metrics.snapshot option;
+      (** counter totals across trials when measured with [~metrics:true] *)
+  latency : (string * Vbl_obs.Histogram.summary) list;
+      (** per-op-type latency; only the [Real] engine produces it *)
 }
 
 let point_mean p = p.throughput.Vbl_util.Stats.mean
@@ -53,53 +58,85 @@ let find_instrumented algorithm =
   | Some impl -> impl
   | None -> Vbl_sched.Drive.find_instrumented algorithm
 
-let measure engine ~algorithm ~threads ~update_percent ~key_range ~seed =
+let measure ?(metrics = false) engine ~algorithm ~threads ~update_percent ~key_range ~seed =
   let spec = Workload.uniform ~update_percent ~key_range in
-  let throughput =
-    match engine with
-    | Real { duration_s; warmup_s; trials } ->
-        let impl = find_real algorithm in
-        let r =
-          Runner.run impl
-            { Runner.threads; spec; duration_s; warmup_s; trials; seed }
-        in
-        r.Runner.throughput
-    | Simulated { horizon; trials; costs } ->
-        let impl = find_instrumented algorithm in
-        (* A traversal costs O(key_range) cycles, so a fixed horizon would
-           leave large-range runs with a handful of operations; stretch it
-           with the range (capped to keep simulation time sane).  Only
-           within-panel comparisons are meaningful anyway. *)
-        let horizon =
-          horizon *. Float.min 8. (Float.max 1. (float_of_int key_range /. 250.))
-        in
-        let samples =
-          Array.init trials (fun k ->
-              let r =
-                Vbl_sim.Sim_run.run ~costs impl
-                  {
-                    Vbl_sim.Sim_run.threads;
-                    update_percent;
-                    key_range;
-                    horizon;
-                    seed = Int64.add seed (Int64.of_int (k * 1009));
-                    zipf = None;
-                  }
-              in
-              r.Vbl_sim.Sim_run.throughput)
-        in
-        Vbl_util.Stats.summarize samples
-  in
-  { algorithm; threads; update_percent; key_range; throughput }
+  match engine with
+  | Real { duration_s; warmup_s; trials } ->
+      let impl = find_real algorithm in
+      let r =
+        Runner.run ~metrics impl
+          { Runner.threads; spec; duration_s; warmup_s; trials; seed }
+      in
+      {
+        algorithm;
+        threads;
+        update_percent;
+        key_range;
+        throughput = r.Runner.throughput;
+        ops = List.fold_left (fun acc (tr : Runner.trial) -> acc + tr.Runner.ops) 0 r.Runner.trials_run;
+        metrics = r.Runner.metrics;
+        latency = r.Runner.latency;
+      }
+  | Simulated { horizon; trials; costs } ->
+      let impl = find_instrumented algorithm in
+      (* A traversal costs O(key_range) cycles, so a fixed horizon would
+         leave large-range runs with a handful of operations; stretch it
+         with the range (capped to keep simulation time sane).  Only
+         within-panel comparisons are meaningful anyway. *)
+      let horizon =
+        horizon *. Float.min 8. (Float.max 1. (float_of_int key_range /. 250.))
+      in
+      (* The instrumented lists call the same probes as the real ones, so
+         counters work under the simulator too (latency does not: the sim
+         has no wall clock). *)
+      if metrics then begin
+        Vbl_obs.Metrics.reset ();
+        Vbl_obs.Probe.install (Vbl_obs.Probe.metrics ())
+      end;
+      let ops = ref 0 in
+      let samples =
+        Array.init trials (fun k ->
+            let r =
+              Vbl_sim.Sim_run.run ~costs impl
+                {
+                  Vbl_sim.Sim_run.threads;
+                  update_percent;
+                  key_range;
+                  horizon;
+                  seed = Int64.add seed (Int64.of_int (k * 1009));
+                  zipf = None;
+                }
+            in
+            ops := !ops + r.Vbl_sim.Sim_run.ops_completed;
+            r.Vbl_sim.Sim_run.throughput)
+      in
+      let snapshot =
+        if metrics then begin
+          let s = Vbl_obs.Metrics.snapshot () in
+          Vbl_obs.Probe.uninstall ();
+          Some s
+        end
+        else None
+      in
+      {
+        algorithm;
+        threads;
+        update_percent;
+        key_range;
+        throughput = Vbl_util.Stats.summarize samples;
+        ops = !ops;
+        metrics = snapshot;
+        latency = [];
+      }
 
 (** One figure panel: every algorithm at every thread count, fixed
     workload. *)
-let series engine ~algorithms ~thread_counts ~update_percent ~key_range ~seed =
+let series ?(metrics = false) engine ~algorithms ~thread_counts ~update_percent ~key_range ~seed =
   List.concat_map
     (fun algorithm ->
       List.map
         (fun threads ->
-          measure engine ~algorithm ~threads ~update_percent ~key_range ~seed)
+          measure ~metrics engine ~algorithm ~threads ~update_percent ~key_range ~seed)
         thread_counts)
     algorithms
 

@@ -17,6 +17,13 @@ type point = {
   key_range : int;
   throughput : Vbl_util.Stats.summary;
       (** ops/s for [Real]; ops per 1000 simulated cycles for [Simulated] *)
+  ops : int;  (** total operations across trials *)
+  metrics : Vbl_obs.Metrics.snapshot option;
+      (** counter totals across trials when measured with [~metrics:true];
+          both engines produce them (the instrumented lists share the
+          probes) *)
+  latency : (string * Vbl_obs.Histogram.summary) list;
+      (** per-op-type latency (ns); only the [Real] engine produces it *)
 }
 
 val point_mean : point -> float
@@ -28,6 +35,7 @@ val find_real : string -> (module Vbl_lists.Set_intf.S)
 val find_instrumented : string -> (module Vbl_lists.Set_intf.S)
 
 val measure :
+  ?metrics:bool ->
   engine ->
   algorithm:string ->
   threads:int ->
@@ -39,6 +47,7 @@ val measure :
     (capped at 8x) so large-range points retain enough operations. *)
 
 val series :
+  ?metrics:bool ->
   engine ->
   algorithms:string list ->
   thread_counts:int list ->

@@ -18,6 +18,9 @@
 module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
   let name = "harris-michael"
 
+  module Probe = Vbl_obs.Probe
+  module C = Vbl_obs.Metrics
+
   type node =
     | Node of { value : int M.cell; amr : pair M.cell }
     | Tail of { value : int M.cell }
@@ -66,28 +69,42 @@ module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
      helping CAS restarts from the head.  Returns
      (prev, prev_pair-as-read, curr, curr value). *)
   let rec find t v =
-    let rec advance prev prev_pair curr =
+    (* Hops flush in one probe call per traversal (see vbl_list). *)
+    let rec advance prev prev_pair curr hops =
       match curr with
-      | Tail _ -> (prev, prev_pair, curr, max_int)
+      | Tail _ ->
+          if !Probe.enabled then Probe.add C.Traversal_steps hops;
+          (prev, prev_pair, curr, max_int)
       | Node n ->
           let curr_pair = M.get n.amr in
           M.touch ~line:curr_pair.p_line ~name:"pair";
           if curr_pair.p_marked then begin
             (* Help unlink the logically deleted [curr]. *)
             let replacement = make_pair curr_pair.p_next false in
-            if M.cas (amr_cell_exn prev) prev_pair replacement then
-              advance prev replacement curr_pair.p_next
-            else find t v
+            Probe.count C.Cas_attempts;
+            if M.cas (amr_cell_exn prev) prev_pair replacement then begin
+              Probe.count C.Physical_unlinks;
+              advance prev replacement curr_pair.p_next (hops + 1)
+            end
+            else begin
+              if !Probe.enabled then Probe.add C.Traversal_steps (hops + 1);
+              Probe.count C.Cas_failures;
+              Probe.count C.Restarts;
+              find t v
+            end
           end
           else begin
             let cv = M.get n.value in
-            if cv >= v then (prev, prev_pair, curr, cv)
-            else advance curr curr_pair curr_pair.p_next
+            if cv >= v then begin
+              if !Probe.enabled then Probe.add C.Traversal_steps (hops + 1);
+              (prev, prev_pair, curr, cv)
+            end
+            else advance curr curr_pair curr_pair.p_next (hops + 1)
           end
     in
     let head_pair = M.get (amr_cell_exn t.head) in
     M.touch ~line:head_pair.p_line ~name:"pair";
-    advance t.head head_pair head_pair.p_next
+    advance t.head head_pair head_pair.p_next 0
 
   let rec insert t v =
     check_key v;
@@ -96,7 +113,13 @@ module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
     else begin
       let x = make_node v curr in
       let linked = make_pair x false in
-      if M.cas (amr_cell_exn prev) prev_pair linked then true else insert t v
+      Probe.count C.Cas_attempts;
+      if M.cas (amr_cell_exn prev) prev_pair linked then true
+      else begin
+        Probe.count C.Cas_failures;
+        Probe.count C.Restarts;
+        insert t v
+      end
     end
 
   let rec remove t v =
@@ -106,18 +129,29 @@ module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
     else begin
       let curr_pair = M.get (amr_cell_exn curr) in
       M.touch ~line:curr_pair.p_line ~name:"pair";
-      if curr_pair.p_marked then remove t v
+      if curr_pair.p_marked then begin
+        Probe.count C.Restarts;
+        remove t v
+      end
       else begin
         let marked = make_pair curr_pair.p_next true in
-        if not (M.cas (amr_cell_exn curr) curr_pair marked) then
+        Probe.count C.Cas_attempts;
+        if not (M.cas (amr_cell_exn curr) curr_pair marked) then begin
           (* Logical deletion failed (concurrent insert after curr or a
              concurrent remove of curr): restart the operation. *)
+          Probe.count C.Cas_failures;
+          Probe.count C.Restarts;
           remove t v
+        end
         else begin
+          Probe.count C.Logical_deletes;
           (* Physical unlink is best-effort; on failure the node is left for
              a future traversal's helping step. *)
           let unlinked = make_pair curr_pair.p_next false in
-          ignore (M.cas (amr_cell_exn prev) prev_pair unlinked);
+          Probe.count C.Cas_attempts;
+          if M.cas (amr_cell_exn prev) prev_pair unlinked then
+            Probe.count C.Physical_unlinks
+          else Probe.count C.Cas_failures;
           true
         end
       end
@@ -126,20 +160,26 @@ module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
   (* Wait-free contains: traverse without helping, check the final mark. *)
   let contains t v =
     check_key v;
-    let rec loop curr =
+    let rec loop curr hops =
       match curr with
-      | Tail _ -> false
+      | Tail _ ->
+          if !Probe.enabled then Probe.add C.Traversal_steps hops;
+          false
       | Node n ->
           let pair = M.get n.amr in
           M.touch ~line:pair.p_line ~name:"pair";
           let cv = M.get n.value in
-          if cv < v then loop pair.p_next else cv = v && not pair.p_marked
+          if cv < v then loop pair.p_next (hops + 1)
+          else begin
+            if !Probe.enabled then Probe.add C.Traversal_steps (hops + 1);
+            cv = v && not pair.p_marked
+          end
     in
     match t.head with
     | Node n ->
         let head_pair = M.get n.amr in
         M.touch ~line:head_pair.p_line ~name:"pair";
-        loop head_pair.p_next
+        loop head_pair.p_next 0
     | Tail _ -> assert false
 
   let fold f init t =

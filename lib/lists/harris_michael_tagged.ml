@@ -15,6 +15,9 @@
 module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
   let name = "harris-michael-tagged"
 
+  module Probe = Vbl_obs.Probe
+  module C = Vbl_obs.Metrics
+
   type node =
     | Node of { value : int M.cell; link : link M.cell }
     | Tail of { value : int M.cell }
@@ -57,23 +60,38 @@ module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
   (* Michael's find over tagged links; same structure as the AMR variant,
      one load per hop. *)
   let rec find t v =
-    let rec advance prev prev_link curr =
+    (* Hops flush in one probe call per traversal (see vbl_list). *)
+    let rec advance prev prev_link curr hops =
       match curr with
-      | Tail _ -> (prev, prev_link, curr, max_int)
+      | Tail _ ->
+          if !Probe.enabled then Probe.add C.Traversal_steps hops;
+          (prev, prev_link, curr, max_int)
       | Node n -> begin
           match M.get n.link with
           | Marked succ ->
               let replacement = Live succ in
-              if M.cas (link_cell_exn prev) prev_link replacement then
-                advance prev replacement succ
-              else find t v
+              Probe.count C.Cas_attempts;
+              if M.cas (link_cell_exn prev) prev_link replacement then begin
+                Probe.count C.Physical_unlinks;
+                advance prev replacement succ (hops + 1)
+              end
+              else begin
+                if !Probe.enabled then Probe.add C.Traversal_steps (hops + 1);
+                Probe.count C.Cas_failures;
+                Probe.count C.Restarts;
+                find t v
+              end
           | Live succ as curr_link ->
               let cv = M.get n.value in
-              if cv >= v then (prev, prev_link, curr, cv) else advance curr curr_link succ
+              if cv >= v then begin
+                if !Probe.enabled then Probe.add C.Traversal_steps (hops + 1);
+                (prev, prev_link, curr, cv)
+              end
+              else advance curr curr_link succ (hops + 1)
         end
     in
     match M.get (link_cell_exn t.head) with
-    | Live first as head_link -> advance t.head head_link first
+    | Live first as head_link -> advance t.head head_link first 0
     | Marked _ -> assert false (* the head sentinel is never deleted *)
 
   let rec insert t v =
@@ -82,7 +100,13 @@ module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
     if cv = v then false
     else begin
       let x = make_node v curr in
-      if M.cas (link_cell_exn prev) prev_link (Live x) then true else insert t v
+      Probe.count C.Cas_attempts;
+      if M.cas (link_cell_exn prev) prev_link (Live x) then true
+      else begin
+        Probe.count C.Cas_failures;
+        Probe.count C.Restarts;
+        insert t v
+      end
     end
 
   let rec remove t v =
@@ -91,34 +115,55 @@ module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
     if cv <> v then false
     else begin
       match M.get (link_cell_exn curr) with
-      | Marked _ -> remove t v
+      | Marked _ ->
+          Probe.count C.Restarts;
+          remove t v
       | Live succ as curr_link ->
-          if not (M.cas (link_cell_exn curr) curr_link (Marked succ)) then remove t v
+          Probe.count C.Cas_attempts;
+          if not (M.cas (link_cell_exn curr) curr_link (Marked succ)) then begin
+            Probe.count C.Cas_failures;
+            Probe.count C.Restarts;
+            remove t v
+          end
           else begin
+            Probe.count C.Logical_deletes;
             (* Best-effort physical unlink, as in the AMR variant. *)
-            ignore (M.cas (link_cell_exn prev) prev_link (Live succ));
+            Probe.count C.Cas_attempts;
+            if M.cas (link_cell_exn prev) prev_link (Live succ) then
+              Probe.count C.Physical_unlinks
+            else Probe.count C.Cas_failures;
             true
           end
     end
 
   let contains t v =
     check_key v;
-    let rec loop curr =
+    let rec loop curr hops =
       match curr with
-      | Tail _ -> false
+      | Tail _ ->
+          if !Probe.enabled then Probe.add C.Traversal_steps hops;
+          false
       | Node n -> begin
           match M.get n.link with
           | Live succ ->
               let cv = M.get n.value in
-              if cv < v then loop succ else cv = v
+              if cv < v then loop succ (hops + 1)
+              else begin
+                if !Probe.enabled then Probe.add C.Traversal_steps (hops + 1);
+                cv = v
+              end
           | Marked succ ->
               (* A marked node is absent whatever its value. *)
               let cv = M.get n.value in
-              if cv < v then loop succ else false
+              if cv < v then loop succ (hops + 1)
+              else begin
+                if !Probe.enabled then Probe.add C.Traversal_steps (hops + 1);
+                false
+              end
         end
     in
     match M.get (link_cell_exn t.head) with
-    | Live first -> loop first
+    | Live first -> loop first 0
     | Marked _ -> assert false
 
   let link_parts = function Live succ -> (succ, false) | Marked succ -> (succ, true)

@@ -16,6 +16,9 @@
 module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
   let name = "lazy"
 
+  module Probe = Vbl_obs.Probe
+  module C = Vbl_obs.Metrics
+
   type node =
     | Node of {
         value : int M.cell;
@@ -73,10 +76,15 @@ module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
 
   (* Wait-free traversal: ignores locks and marks entirely. *)
   let locate t v =
-    let rec loop prev curr =
-      if node_value curr < v then loop curr (M.get (next_cell_exn curr)) else (prev, curr)
+    (* Hops flush in one probe call per traversal (see vbl_list). *)
+    let rec loop prev curr hops =
+      if node_value curr < v then loop curr (M.get (next_cell_exn curr)) (hops + 1)
+      else begin
+        if !Probe.enabled then Probe.add C.Traversal_steps hops;
+        (prev, curr)
+      end
     in
-    loop t.head (M.get (next_cell_exn t.head))
+    loop t.head (M.get (next_cell_exn t.head)) 1
 
   (* O(1) validation under both locks (Heller et al. fig. 4). *)
   let validate prev curr =
@@ -89,12 +97,16 @@ module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
     M.lock (node_lock prev);
     M.lock (node_lock curr);
     if validate prev curr then begin
+      Probe.count C.Lock_acquisitions;
+      Probe.count C.Lock_acquisitions;
       let result = k prev curr (node_value curr) in
       M.unlock (node_lock curr);
       M.unlock (node_lock prev);
       result
     end
     else begin
+      Probe.count C.Validation_failures;
+      Probe.count C.Restarts;
       M.unlock (node_lock curr);
       M.unlock (node_lock prev);
       with_locked_pair t v k
@@ -115,7 +127,9 @@ module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
         if tval <> v then false
         else begin
           (match curr with Node n -> M.set n.marked true | Tail _ -> assert false);
+          Probe.count C.Logical_deletes;
           M.set (next_cell_exn prev) (M.get (next_cell_exn curr));
+          Probe.count C.Physical_unlinks;
           true
         end)
 

@@ -26,6 +26,9 @@
 module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
   let name = "vbl"
 
+  module Probe = Vbl_obs.Probe
+  module C = Vbl_obs.Metrics
+
   type node =
     | Node of {
         value : int M.cell;
@@ -84,17 +87,28 @@ module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
      caller's previous position unless that node has since been deleted. *)
   let waitfree_traversal t v prev =
     let prev = if node_deleted prev then t.head else prev in
-    let rec loop prev curr =
-      if node_value curr < v then loop curr (M.get (next_cell_exn curr)) else (prev, curr)
+    (* Hops accumulate in [hops] (a register) and flush in one probe call
+       at the end, so the disabled path pays one add per hop and one
+       branch per traversal. *)
+    let rec loop prev curr hops =
+      if node_value curr < v then loop curr (M.get (next_cell_exn curr)) (hops + 1)
+      else begin
+        if !Probe.enabled then Probe.add C.Traversal_steps hops;
+        (prev, curr)
+      end
     in
-    loop prev (M.get (next_cell_exn prev))
+    loop prev (M.get (next_cell_exn prev)) 1
 
   (* §3.1 (1): lock [node], then require it undeleted and still pointing at
      [at]; release and fail otherwise. *)
   let lock_next_at node at =
     M.lock (node_lock node);
-    if (not (node_deleted node)) && M.get (next_cell_exn node) == at then true
+    if (not (node_deleted node)) && M.get (next_cell_exn node) == at then begin
+      Probe.count C.Lock_acquisitions;
+      true
+    end
     else begin
+      Probe.count C.Lock_next_at_failures;
       M.unlock (node_lock node);
       false
     end
@@ -103,8 +117,12 @@ module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
      its successor to still be [v]; release and fail otherwise. *)
   let lock_next_at_value node v =
     M.lock (node_lock node);
-    if (not (node_deleted node)) && node_value (M.get (next_cell_exn node)) = v then true
+    if (not (node_deleted node)) && node_value (M.get (next_cell_exn node)) = v then begin
+      Probe.count C.Lock_acquisitions;
+      true
+    end
     else begin
+      Probe.count C.Lock_next_at_value_failures;
       M.unlock (node_lock node);
       false
     end
@@ -122,7 +140,10 @@ module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
           M.unlock (node_lock prev);
           true
         end
-        else attempt prev (* goto line 24 *)
+        else begin
+          Probe.count C.Restarts;
+          attempt prev (* goto line 24 *)
+        end
       end
     in
     attempt t.head
@@ -135,12 +156,16 @@ module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
       if node_value curr <> v then false
       else begin
         let next = M.get (next_cell_exn curr) in
-        if not (lock_next_at_value prev v) then attempt prev (* goto line 35 *)
+        if not (lock_next_at_value prev v) then begin
+          Probe.count C.Restarts;
+          attempt prev (* goto line 35 *)
+        end
         else begin
           (* Line 40: re-read the successor under the lock; a concurrent
              remove+insert of [v] may have replaced the node. *)
           let curr = M.get (next_cell_exn prev) in
           if not (lock_next_at curr next) then begin
+            Probe.count C.Restarts;
             M.unlock (node_lock prev);
             attempt prev (* goto line 35 *)
           end
@@ -148,7 +173,9 @@ module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
             (match curr with
             | Node n -> M.set n.deleted true
             | Tail _ -> assert false);
+            Probe.count C.Logical_deletes;
             M.set (next_cell_exn prev) (M.get (next_cell_exn curr));
+            Probe.count C.Physical_unlinks;
             M.unlock (node_lock curr);
             M.unlock (node_lock prev);
             true
@@ -161,10 +188,14 @@ module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
   (* Lines 9-13: value-only wait-free membership test. *)
   let contains t v =
     check_key v;
-    let rec loop curr =
-      if node_value curr < v then loop (M.get (next_cell_exn curr)) else node_value curr = v
+    let rec loop curr hops =
+      if node_value curr < v then loop (M.get (next_cell_exn curr)) (hops + 1)
+      else begin
+        if !Probe.enabled then Probe.add C.Traversal_steps hops;
+        node_value curr = v
+      end
     in
-    loop t.head
+    loop t.head 0
 
   let fold f init t =
     let rec loop acc node =

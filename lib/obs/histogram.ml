@@ -1,0 +1,132 @@
+(** Log-bucketed latency histograms (HDR-histogram style).
+
+    Values are non-negative integers (the harness records nanoseconds).
+    Buckets cover the whole [int] range with [2^sub_bits] sub-buckets per
+    power of two, so relative error is bounded by [2^-sub_bits] (12.5%)
+    at every scale while the whole histogram stays a few kilobytes.
+    Recording is O(1) and allocation-free; each worker owns its own
+    histogram and the harness merges them after the domains are joined. *)
+
+let sub_bits = 3
+let sub = 1 lsl sub_bits (* 8 sub-buckets per octave *)
+
+(* Highest octave for 63-bit OCaml ints is 62, so the largest bucket index
+   is (62 - sub_bits + 1) * sub + (sub - 1). *)
+let n_buckets = ((62 - sub_bits + 1) * sub) + sub
+
+let msb v =
+  let r = ref 0 and v = ref v in
+  while !v > 1 do
+    incr r;
+    v := !v lsr 1
+  done;
+  !r
+
+(* For v < sub the bucket is exact; above that, the top [sub_bits + 1] bits
+   select (octave, sub-bucket).  The mapping is continuous: octave
+   [sub_bits] still lands on exact buckets. *)
+let bucket_of v =
+  if v < sub then v
+  else begin
+    let m = msb v in
+    let shift = m - sub_bits in
+    (((m - sub_bits + 1) * sub) lor ((v lsr shift) land (sub - 1)))
+  end
+
+(* Inclusive lower bound of bucket [b]; the inverse of [bucket_of]. *)
+let bucket_low b =
+  if b < sub then b
+  else begin
+    let octave = (b lsr sub_bits) + sub_bits - 1 in
+    let within = b land (sub - 1) in
+    (1 lsl octave) + (within lsl (octave - sub_bits))
+  end
+
+(* Representative value: the bucket's midpoint. *)
+let bucket_mid b =
+  if b < sub then float_of_int b
+  else begin
+    let low = bucket_low b in
+    let width = 1 lsl ((b lsr sub_bits) - 1) in
+    float_of_int low +. (float_of_int width /. 2.)
+  end
+
+type t = {
+  counts : int array;
+  mutable n : int;
+  mutable max_v : int;
+  mutable min_v : int;
+  mutable sum : float;
+}
+
+let create () =
+  { counts = Array.make n_buckets 0; n = 0; max_v = 0; min_v = max_int; sum = 0. }
+
+let record t v =
+  let v = if v < 0 then 0 else v in
+  let b = bucket_of v in
+  t.counts.(b) <- t.counts.(b) + 1;
+  t.n <- t.n + 1;
+  if v > t.max_v then t.max_v <- v;
+  if v < t.min_v then t.min_v <- v;
+  t.sum <- t.sum +. float_of_int v
+
+let count t = t.n
+
+let merge ~into t =
+  Array.iteri (fun i c -> into.counts.(i) <- into.counts.(i) + c) t.counts;
+  into.n <- into.n + t.n;
+  if t.max_v > into.max_v then into.max_v <- t.max_v;
+  if t.min_v < into.min_v then into.min_v <- t.min_v;
+  into.sum <- into.sum +. t.sum
+
+let mean t = if t.n = 0 then invalid_arg "Histogram.mean: empty" else t.sum /. float_of_int t.n
+
+(* Percentile by closest rank over the bucket counts.  Exact values are not
+   retained, so the answer is the representative of the bucket containing
+   the rank — within one sub-bucket (12.5%) of the true value.  The
+   extremes are exact: p0 returns the recorded minimum, p100 the maximum. *)
+let percentile t p =
+  if t.n = 0 then invalid_arg "Histogram.percentile: empty";
+  if p < 0. || p > 100. then invalid_arg "Histogram.percentile: p out of range";
+  if p = 0. then float_of_int t.min_v
+  else if p = 100. then float_of_int t.max_v
+  else begin
+    let rank = int_of_float (Float.ceil (p /. 100. *. float_of_int t.n)) in
+    let rank = if rank < 1 then 1 else rank in
+    let rec walk b acc =
+      let acc = acc + t.counts.(b) in
+      if acc >= rank then b else walk (b + 1) acc
+    in
+    let b = walk 0 0 in
+    (* Clamp to the observed extremes so sparse histograms do not report a
+       bucket midpoint outside the recorded range. *)
+    Float.min (float_of_int t.max_v) (Float.max (float_of_int t.min_v) (bucket_mid b))
+  end
+
+type summary = {
+  n : int;
+  mean : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  max : float;
+}
+
+let summarize (h : t) =
+  if h.n = 0 then None
+  else
+    Some
+      {
+        n = h.n;
+        mean = mean h;
+        p50 = percentile h 50.;
+        p90 = percentile h 90.;
+        p99 = percentile h 99.;
+        max = float_of_int h.max_v;
+      }
+
+let summary_to_json s =
+  Printf.sprintf
+    "{\"n\": %d, \"mean_ns\": %.1f, \"p50_ns\": %.1f, \"p90_ns\": %.1f, \"p99_ns\": %.1f, \"max_ns\": %.1f}"
+    s.n s.mean s.p50 s.p90 s.p99 s.max

@@ -1,0 +1,43 @@
+(** Log-bucketed latency histograms (HDR-histogram style).
+
+    O(1), allocation-free recording of non-negative integers (the harness
+    records nanoseconds) into [2^3 = 8] sub-buckets per power of two, so
+    every reported quantile is within 12.5% of the true value at any
+    scale.  Each worker records into a private histogram; merge after the
+    workers are joined. *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> int -> unit
+(** [record t v] adds one sample.  Negative values clamp to 0. *)
+
+val count : t -> int
+
+val merge : into:t -> t -> unit
+(** Add every bucket of the second histogram into [into]. *)
+
+val mean : t -> float
+(** Raises [Invalid_argument] on an empty histogram. *)
+
+val percentile : t -> float -> float
+(** [percentile t p] for [p] in [\[0, 100\]], closest-rank over buckets;
+    p0/p100 return the exact recorded extremes.  Raises
+    [Invalid_argument] on an empty histogram or out-of-range [p]. *)
+
+type summary = {
+  n : int;
+  mean : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  max : float;
+}
+
+val summarize : t -> summary option
+(** [None] on an empty histogram. *)
+
+val summary_to_json : summary -> string
+(** Flat JSON object with [n], [mean_ns], [p50_ns], [p90_ns], [p99_ns],
+    [max_ns]. *)

@@ -1,0 +1,144 @@
+(** Sharded event counters for the benchmark harness.
+
+    Each domain owns a private, padded shard (an [int array] reached through
+    {!Domain.DLS}), so the hot path is one unsynchronized load/store pair —
+    no CAS, no contention, no cache-line ping-pong between workers.  Shards
+    are only summed at trial end ({!snapshot}), which is the measurement
+    discipline the paper's evaluation methodology calls for: observing the
+    rejected schedules must not perturb the schedules themselves.
+
+    The counter vocabulary is the paper's own cost model (§4): how far a
+    traversal walked, how often an operation restarted, how often the
+    value-aware try-lock failed each of its two validation modes, how many
+    CAS attempts a lock-free update burned, and how deletions split into
+    their logical and physical halves. *)
+
+type counter =
+  | Traversal_steps  (** node hops performed by traversals *)
+  | Restarts  (** operation attempts beyond the first *)
+  | Lock_acquisitions  (** successful validated lock acquisitions *)
+  | Lock_next_at_failures  (** [lock_next_at] validation failures (§3.1(1)) *)
+  | Lock_next_at_value_failures
+      (** [lock_next_at_value] validation failures (§3.1(2)) *)
+  | Validation_failures  (** generic post-lock validation failures *)
+  | Lock_contended  (** blocking-acquire rounds that found the lock held *)
+  | Cas_attempts
+  | Cas_failures
+  | Logical_deletes  (** nodes marked deleted *)
+  | Physical_unlinks  (** nodes actually unlinked from the list *)
+
+let all =
+  [
+    Traversal_steps;
+    Restarts;
+    Lock_acquisitions;
+    Lock_next_at_failures;
+    Lock_next_at_value_failures;
+    Validation_failures;
+    Lock_contended;
+    Cas_attempts;
+    Cas_failures;
+    Logical_deletes;
+    Physical_unlinks;
+  ]
+
+let num_counters = List.length all
+
+let index = function
+  | Traversal_steps -> 0
+  | Restarts -> 1
+  | Lock_acquisitions -> 2
+  | Lock_next_at_failures -> 3
+  | Lock_next_at_value_failures -> 4
+  | Validation_failures -> 5
+  | Lock_contended -> 6
+  | Cas_attempts -> 7
+  | Cas_failures -> 8
+  | Logical_deletes -> 9
+  | Physical_unlinks -> 10
+
+let label = function
+  | Traversal_steps -> "traversal_steps"
+  | Restarts -> "restarts"
+  | Lock_acquisitions -> "lock_acquisitions"
+  | Lock_next_at_failures -> "lock_next_at_failures"
+  | Lock_next_at_value_failures -> "lock_next_at_value_failures"
+  | Validation_failures -> "validation_failures"
+  | Lock_contended -> "lock_contended"
+  | Cas_attempts -> "cas_attempts"
+  | Cas_failures -> "cas_failures"
+  | Logical_deletes -> "logical_deletes"
+  | Physical_unlinks -> "physical_unlinks"
+
+let describe = function
+  | Traversal_steps -> "node hops performed while searching"
+  | Restarts -> "operation attempts beyond the first"
+  | Lock_acquisitions -> "validated lock acquisitions"
+  | Lock_next_at_failures -> "lock_next_at rejected: successor identity changed"
+  | Lock_next_at_value_failures -> "lock_next_at_value rejected: successor value changed"
+  | Validation_failures -> "generic post-lock validation failures"
+  | Lock_contended -> "blocking-acquire rounds finding the lock held"
+  | Cas_attempts -> "compare-and-set attempts"
+  | Cas_failures -> "compare-and-set failures"
+  | Logical_deletes -> "nodes marked logically deleted"
+  | Physical_unlinks -> "nodes physically unlinked"
+
+(* One cache line of padding (8 words) on both sides of each shard's live
+   slots, so two domains' shards never share a line even when the allocator
+   places them back to back. *)
+let pad = 8
+let shard_len = pad + num_counters + pad
+
+let shards : int array list ref = ref []
+let shards_mu = Mutex.create ()
+
+let shard_key =
+  Domain.DLS.new_key (fun () ->
+      let a = Array.make shard_len 0 in
+      Mutex.protect shards_mu (fun () -> shards := a :: !shards);
+      a)
+
+let incr c =
+  let a = Domain.DLS.get shard_key in
+  let i = pad + index c in
+  a.(i) <- a.(i) + 1
+
+let add c n =
+  let a = Domain.DLS.get shard_key in
+  let i = pad + index c in
+  a.(i) <- a.(i) + n
+
+type snapshot = int array (* length num_counters, indexed by [index] *)
+
+let snapshot () =
+  let out = Array.make num_counters 0 in
+  Mutex.protect shards_mu (fun () ->
+      List.iter
+        (fun a ->
+          for i = 0 to num_counters - 1 do
+            out.(i) <- out.(i) + a.(pad + i)
+          done)
+        !shards);
+  out
+
+let reset () =
+  Mutex.protect shards_mu (fun () ->
+      List.iter (fun a -> Array.fill a pad num_counters 0) !shards)
+
+let get (s : snapshot) c = s.(index c)
+
+let diff (a : snapshot) (b : snapshot) : snapshot =
+  Array.init num_counters (fun i -> a.(i) - b.(i))
+
+let sum (ss : snapshot list) : snapshot =
+  let out = Array.make num_counters 0 in
+  List.iter (fun (s : snapshot) -> Array.iteri (fun i v -> out.(i) <- out.(i) + v) s) ss;
+  out
+
+let to_assoc (s : snapshot) = List.map (fun c -> (label c, get s c)) all
+
+let to_json (s : snapshot) =
+  "{"
+  ^ String.concat ", "
+      (List.map (fun (k, v) -> Printf.sprintf "%S: %d" k v) (to_assoc s))
+  ^ "}"

@@ -1,0 +1,64 @@
+(** Sharded, cache-padded event counters.
+
+    The registry behind {!Probe}: each domain increments a private shard
+    (one plain load/store, no synchronization), and shards are summed only
+    at trial end.  The counter set names the quantities the paper's
+    rejected-schedule argument is made of — traversal length, restarts,
+    the two validation modes of the value-aware try-lock, CAS traffic, and
+    the logical/physical halves of deletion (§3.1, §4). *)
+
+type counter =
+  | Traversal_steps  (** node hops performed by traversals *)
+  | Restarts  (** operation attempts beyond the first *)
+  | Lock_acquisitions  (** successful validated lock acquisitions *)
+  | Lock_next_at_failures  (** [lock_next_at] validation failures (§3.1(1)) *)
+  | Lock_next_at_value_failures
+      (** [lock_next_at_value] validation failures (§3.1(2)) *)
+  | Validation_failures  (** generic post-lock validation failures *)
+  | Lock_contended  (** blocking-acquire rounds that found the lock held *)
+  | Cas_attempts
+  | Cas_failures
+  | Logical_deletes  (** nodes marked deleted *)
+  | Physical_unlinks  (** nodes actually unlinked *)
+
+val all : counter list
+(** Every counter, in reporting order. *)
+
+val num_counters : int
+
+val index : counter -> int
+(** Dense index in [\[0, num_counters)], stable within a build. *)
+
+val label : counter -> string
+(** Snake-case identifier used in tables, CSV and JSON. *)
+
+val describe : counter -> string
+(** One-line description for documentation and report legends. *)
+
+val incr : counter -> unit
+(** Bump the calling domain's shard.  Unsynchronized and wait-free. *)
+
+val add : counter -> int -> unit
+
+type snapshot
+(** Immutable sum over all shards at one instant. *)
+
+val snapshot : unit -> snapshot
+(** Sum every shard.  Only exact at quiescence (no concurrent
+    increments); the harness snapshots after joining its domains. *)
+
+val reset : unit -> unit
+(** Zero every shard.  Call at quiescence, before a measured phase. *)
+
+val get : snapshot -> counter -> int
+
+val diff : snapshot -> snapshot -> snapshot
+(** [diff a b] is the per-counter difference [a - b]. *)
+
+val sum : snapshot list -> snapshot
+
+val to_assoc : snapshot -> (string * int) list
+(** [(label, count)] pairs in reporting order. *)
+
+val to_json : snapshot -> string
+(** One flat JSON object of [label : count] fields. *)

@@ -1,0 +1,54 @@
+(** The instrumentation entry point threaded through the synchronization
+    layer, the list algorithms and the schedule conductor.
+
+    A probe is a record of closures ({!t}); [noop] is installed by default
+    and every hook ({!count}, {!emit}) is guarded by a single flag test, so
+    the disabled hot path costs one predictable branch and no allocation —
+    the acceptance bar for leaving probes compiled into the production
+    lists.  Installation is not synchronized: install/uninstall at
+    quiescence (before spawning workers / after joining them), which is
+    what the harness does. *)
+
+type t = {
+  count : Metrics.counter -> unit;
+  add : Metrics.counter -> int -> unit;
+  trace : (Trace.event -> unit) option;
+}
+
+let noop = { count = (fun _ -> ()); add = (fun _ _ -> ()); trace = None }
+
+let metrics () = { count = Metrics.incr; add = Metrics.add; trace = None }
+
+let tracer tr = { count = (fun _ -> ()); add = (fun _ _ -> ()); trace = Some (Trace.emit tr) }
+
+let with_trace tr p = { p with trace = Some (Trace.emit tr) }
+
+let current = ref noop
+let counting = ref false
+let tracing = ref false
+
+let install p =
+  current := p;
+  counting := true;
+  tracing := (match p.trace with Some _ -> true | None -> false)
+
+let uninstall () =
+  current := noop;
+  counting := false;
+  tracing := false
+
+let installed () = !counting
+
+(* Hot-path hooks: one branch when disabled.  Per-hop traversal loops
+   should guard on [enabled] at the call site (a ref load and a branch,
+   no call) and only then pay the dispatch below. *)
+
+let enabled = counting
+
+let[@inline] count c = if !counting then !current.count c
+
+let[@inline] add c n = if !counting then !current.add c n
+
+let[@inline] trace_enabled () = !tracing
+
+let emit ev = match !current.trace with Some f -> f ev | None -> ()

@@ -1,0 +1,50 @@
+(** Instrumentation probe: record-of-closures, no-op by default.
+
+    The synchronization primitives, list algorithms and the schedule
+    conductor call {!count} / {!emit} at their interesting events; with no
+    probe installed each call is a single flag test.  Install a probe
+    around a measured phase, snapshot {!Metrics} afterwards.
+
+    Not synchronized: install and uninstall only at quiescence. *)
+
+type t = {
+  count : Metrics.counter -> unit;  (** counter hook *)
+  add : Metrics.counter -> int -> unit;
+      (** batched counter hook: traversal loops accumulate hops in a
+          register and flush once per traversal *)
+  trace : (Trace.event -> unit) option;  (** optional event sink *)
+}
+
+val noop : t
+
+val metrics : unit -> t
+(** Probe that bumps the sharded {!Metrics} registry and drops events. *)
+
+val tracer : Trace.t -> t
+(** Probe that records events into a ring and ignores counters. *)
+
+val with_trace : Trace.t -> t -> t
+(** Add an event sink to an existing probe. *)
+
+val install : t -> unit
+
+val uninstall : unit -> unit
+
+val installed : unit -> bool
+
+val enabled : bool ref
+(** Whether a probe is installed.  Read-only for callers: per-hop hot
+    loops guard on [!enabled] inline (one load and one branch, no
+    function call) before calling {!count}.  Mutated only by
+    {!install} / {!uninstall}. *)
+
+val count : Metrics.counter -> unit
+(** Forward to the installed probe; one branch when none is installed. *)
+
+val add : Metrics.counter -> int -> unit
+
+val trace_enabled : unit -> bool
+(** Whether the installed probe has an event sink; lets callers skip
+    building the event record entirely. *)
+
+val emit : Trace.event -> unit

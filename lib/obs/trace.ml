@@ -1,0 +1,59 @@
+(** Bounded event-trace sink: a ring buffer of schedule-step events.
+
+    The schedule conductor ([lib/sched]) emits one event per executed step
+    when a tracer is installed (see {!Probe.tracer}), giving a replayable
+    dump of the interleaving in the paper's own step vocabulary
+    ([X5.next], [h.lock], ...).  The ring is bounded so tracing a long run
+    keeps the most recent [capacity] events instead of growing without
+    limit; [dropped] reports how many fell off the front. *)
+
+type kind =
+  | Read
+  | Write
+  | Cas
+  | Touch
+  | New_node
+  | Lock_try
+  | Lock_release
+  | Lock_blocked
+  | Note
+
+let kind_to_string = function
+  | Read -> "R"
+  | Write -> "W"
+  | Cas -> "CAS"
+  | Touch -> "touch"
+  | New_node -> "new"
+  | Lock_try -> "trylock"
+  | Lock_release -> "unlock"
+  | Lock_blocked -> "blocked"
+  | Note -> "note"
+
+type event = { thread : int; step : string; kind : kind }
+
+let dummy = { thread = 0; step = ""; kind = Note }
+
+type t = { buf : event array; capacity : int; mutable emitted : int }
+
+let create ?(capacity = 4096) () =
+  if capacity < 1 then invalid_arg "Trace.create: capacity must be >= 1";
+  { buf = Array.make capacity dummy; capacity; emitted = 0 }
+
+let emit t ev =
+  t.buf.(t.emitted mod t.capacity) <- ev;
+  t.emitted <- t.emitted + 1
+
+let emitted t = t.emitted
+
+let dropped t = max 0 (t.emitted - t.capacity)
+
+(* Retained events, oldest first. *)
+let events t =
+  let kept = min t.emitted t.capacity in
+  let first = t.emitted - kept in
+  List.init kept (fun i -> t.buf.((first + i) mod t.capacity))
+
+let event_to_string ev =
+  Printf.sprintf "t%d  %-8s %s" ev.thread (kind_to_string ev.kind) ev.step
+
+let to_lines t = List.map event_to_string (events t)

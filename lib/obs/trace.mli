@@ -1,0 +1,40 @@
+(** Bounded event-trace ring buffer for schedule replay dumps.
+
+    Installed through {!Probe.tracer}; the schedule conductor emits one
+    event per executed step.  Keeps the most recent [capacity] events. *)
+
+type kind =
+  | Read
+  | Write
+  | Cas
+  | Touch
+  | New_node
+  | Lock_try
+  | Lock_release
+  | Lock_blocked  (** a thread parked on a held lock *)
+  | Note  (** free-form annotation *)
+
+val kind_to_string : kind -> string
+
+type event = { thread : int; step : string; kind : kind }
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity 4096 events. *)
+
+val emit : t -> event -> unit
+
+val emitted : t -> int
+(** Total events emitted, including dropped ones. *)
+
+val dropped : t -> int
+(** Events that fell off the front of the ring. *)
+
+val events : t -> event list
+(** Retained events, oldest first. *)
+
+val event_to_string : event -> string
+(** ["t0  W        X5.next"]-style line. *)
+
+val to_lines : t -> string list

@@ -80,10 +80,36 @@ let finished t = Array.for_all (fun s -> s = St_done) t.statuses
 let runnable_threads t =
   List.filter (runnable t) (List.init (n_threads t) Fun.id)
 
+let trace_kind = function
+  | Instr.Read -> Vbl_obs.Trace.Read
+  | Instr.Write -> Vbl_obs.Trace.Write
+  | Instr.Cas -> Vbl_obs.Trace.Cas
+  | Instr.Touch -> Vbl_obs.Trace.Touch
+  | Instr.New_node -> Vbl_obs.Trace.New_node
+  | Instr.Lock_try -> Vbl_obs.Trace.Lock_try
+  | Instr.Lock_release -> Vbl_obs.Trace.Lock_release
+
+(* One event per executed step when a tracer is installed (Obs.Probe);
+   the guard keeps the untraced path allocation-free. *)
+let trace_step t i =
+  if Vbl_obs.Probe.trace_enabled () then
+    match t.statuses.(i) with
+    | St_paused { access; _ } ->
+        Vbl_obs.Probe.emit
+          { Vbl_obs.Trace.thread = i; step = access.Instr.name; kind = trace_kind access.Instr.kind }
+    | St_release { lock; _ } ->
+        Vbl_obs.Probe.emit
+          { Vbl_obs.Trace.thread = i; step = lock.Instr.l_name; kind = Vbl_obs.Trace.Lock_release }
+    | St_parked { lock; _ } ->
+        Vbl_obs.Probe.emit
+          { Vbl_obs.Trace.thread = i; step = lock.Instr.l_name; kind = Vbl_obs.Trace.Lock_try }
+    | St_done -> ()
+
 (** Execute thread [i]'s pending access and run it to its next one.
     Raises {!Stuck} on a non-runnable thread. *)
 let step t i =
   t.steps <- t.steps + 1;
+  trace_step t i;
   match t.statuses.(i) with
   | St_paused { k; _ } -> Effect.Deep.continue k ()
   | St_release { k; lock } ->

@@ -7,6 +7,7 @@ let try_lock t = (not (Atomic.get t)) && Atomic.compare_and_set t false true
 let lock t =
   let b = Backoff.create () in
   while not (try_lock t) do
+    Vbl_obs.Probe.count Vbl_obs.Metrics.Lock_contended;
     Backoff.once b
   done
 

@@ -1,23 +1,33 @@
+module Probe = Vbl_obs.Probe
+module C = Vbl_obs.Metrics
+
 type t = Try_lock.t
 
 let create () = Try_lock.create ()
 
 let lock_when t ~validate =
   Try_lock.lock t;
-  if validate () then true
+  if validate () then begin
+    Probe.count C.Lock_acquisitions;
+    true
+  end
   else begin
+    Probe.count C.Validation_failures;
     Try_lock.unlock t;
     false
   end
 
 let try_lock_when t ~validate =
   Try_lock.try_lock t
-  && (validate ()
-     ||
-     begin
-       Try_lock.unlock t;
-       false
-     end)
+  && (if validate () then begin
+        Probe.count C.Lock_acquisitions;
+        true
+      end
+      else begin
+        Probe.count C.Validation_failures;
+        Try_lock.unlock t;
+        false
+      end)
 
 let unlock t = Try_lock.unlock t
 

@@ -44,6 +44,16 @@ let next_int64 t =
 
 let split t = of_splitmix (Splitmix.create (next_int64 t))
 
+(* Weyl-style stream derivation: each index perturbs the seed by a distinct
+   multiple of an odd constant (from splitmix64's gamma family), so streams
+   are a pure function of (seed, index) — no shared state between the
+   derivations, unlike [split]. *)
+let stream ~seed ~index =
+  if index < 0 then invalid_arg "Rng.stream: index must be >= 0";
+  of_splitmix
+    (Splitmix.create
+       (Int64.logxor seed (Int64.mul (Int64.of_int (index + 1)) 0xD1B54A32D192ED03L)))
+
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
   (* Rejection sampling on the top bits keeps the draw exactly uniform. *)

@@ -27,6 +27,13 @@ val split : t -> t
 (** [split t] derives an independent stream; [t] advances.  Used to hand a
     private stream to each worker thread. *)
 
+val stream : seed:int64 -> index:int -> t
+(** [stream ~seed ~index] is the [index]-th worker stream for [seed]: a
+    pure function of its two arguments (unlike {!split}, which advances a
+    shared parent).  Distinct indexes give distinct, independent streams;
+    the benchmark runner uses [index = domain rank].  [index] must be
+    non-negative. *)
+
 val next_int64 : t -> int64
 (** Next raw 64-bit output. *)
 

@@ -49,6 +49,17 @@ let summarize samples =
     median = percentile samples 50.;
   }
 
+type summary_ext = { base : summary; p50 : float; p90 : float; p99 : float }
+
+let summary_with_percentiles samples =
+  if Array.length samples = 0 then invalid_arg "Stats.summary_with_percentiles: empty";
+  {
+    base = summarize samples;
+    p50 = percentile samples 50.;
+    p90 = percentile samples 90.;
+    p99 = percentile samples 99.;
+  }
+
 let speedup ~baseline x =
   if baseline = 0. then invalid_arg "Stats.speedup: zero baseline";
   x /. baseline

@@ -24,5 +24,14 @@ val percentile : float array -> float -> float
     between closest ranks.  Raises [Invalid_argument] on an empty array or
     out-of-range [p]. *)
 
+type summary_ext = { base : summary; p50 : float; p90 : float; p99 : float }
+(** A {!summary} extended with the tail percentiles the observability
+    layer reports. *)
+
+val summary_with_percentiles : float array -> summary_ext
+(** [summary_with_percentiles samples] is {!summarize} plus p50/p90/p99
+    (linear interpolation, like {!percentile}).  Raises
+    [Invalid_argument] on an empty array. *)
+
 val speedup : baseline:float -> float -> float
 (** [speedup ~baseline x] is [x /. baseline]; how many times faster [x] is. *)

@@ -1,0 +1,379 @@
+(* Tests for the observability layer: the sharded counter registry, the
+   log-bucketed latency histograms, the event-trace ring, the probe
+   install/uninstall contract, and — end to end — the counters produced
+   by a real harness run and by a deterministically forced 2-thread
+   contention schedule on the instrumented backend. *)
+
+module Obs = Vbl_obs
+module Metrics = Vbl_obs.Metrics
+module Histogram = Vbl_obs.Histogram
+module Trace = Vbl_obs.Trace
+module Probe = Vbl_obs.Probe
+module Instr = Vbl_memops.Instr_mem
+open Vbl_sched
+
+(* Every test that installs a probe or touches the global registry runs
+   single-threaded, so reset/install here are at quiescence as required. *)
+let with_metrics_probe f =
+  Metrics.reset ();
+  Probe.install (Probe.metrics ());
+  Fun.protect ~finally:Probe.uninstall f
+
+(* ------------------------------------------------------------------ *)
+(* Metrics registry.                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let metrics_tests =
+  [
+    Alcotest.test_case "labels are unique and indexes dense" `Quick (fun () ->
+        Alcotest.(check int) "count" Metrics.num_counters (List.length Metrics.all);
+        let labels = List.map Metrics.label Metrics.all in
+        Alcotest.(check int) "labels unique" (List.length labels)
+          (List.length (List.sort_uniq compare labels));
+        let idxs = List.sort compare (List.map Metrics.index Metrics.all) in
+        Alcotest.(check (list int)) "dense" (List.init Metrics.num_counters Fun.id) idxs);
+    Alcotest.test_case "incr / snapshot / reset" `Quick (fun () ->
+        Metrics.reset ();
+        Metrics.incr Metrics.Restarts;
+        Metrics.incr Metrics.Restarts;
+        Metrics.add Metrics.Cas_attempts 5;
+        let s = Metrics.snapshot () in
+        Alcotest.(check int) "restarts" 2 (Metrics.get s Metrics.Restarts);
+        Alcotest.(check int) "cas" 5 (Metrics.get s Metrics.Cas_attempts);
+        Alcotest.(check int) "untouched" 0 (Metrics.get s Metrics.Logical_deletes);
+        Metrics.reset ();
+        let z = Metrics.snapshot () in
+        List.iter (fun c -> Alcotest.(check int) "zeroed" 0 (Metrics.get z c)) Metrics.all);
+    Alcotest.test_case "diff and sum" `Quick (fun () ->
+        Metrics.reset ();
+        Metrics.incr Metrics.Traversal_steps;
+        let before = Metrics.snapshot () in
+        Metrics.add Metrics.Traversal_steps 9;
+        let after = Metrics.snapshot () in
+        let d = Metrics.diff after before in
+        Alcotest.(check int) "diff" 9 (Metrics.get d Metrics.Traversal_steps);
+        let s = Metrics.sum [ d; d; d ] in
+        Alcotest.(check int) "sum" 27 (Metrics.get s Metrics.Traversal_steps));
+    Alcotest.test_case "to_assoc order and to_json shape" `Quick (fun () ->
+        Metrics.reset ();
+        Metrics.incr Metrics.Restarts;
+        let s = Metrics.snapshot () in
+        Alcotest.(check (list string))
+          "assoc follows reporting order"
+          (List.map Metrics.label Metrics.all)
+          (List.map fst (Metrics.to_assoc s));
+        let json = Metrics.to_json s in
+        Alcotest.(check bool) "json has the field" true
+          (let sub = "\"restarts\": 1" in
+           let rec find i =
+             i + String.length sub <= String.length json
+             && (String.sub json i (String.length sub) = sub || find (i + 1))
+           in
+           find 0));
+    Alcotest.test_case "multi-domain increments all land" `Quick (fun () ->
+        Metrics.reset ();
+        let per_domain = 10_000 in
+        let ds =
+          List.init 4 (fun _ ->
+              Domain.spawn (fun () ->
+                  for _ = 1 to per_domain do
+                    Metrics.incr Metrics.Traversal_steps
+                  done))
+        in
+        List.iter Domain.join ds;
+        Alcotest.(check int) "total" (4 * per_domain)
+          (Metrics.get (Metrics.snapshot ()) Metrics.Traversal_steps));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Latency histograms.                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let histogram_tests =
+  [
+    Alcotest.test_case "empty histogram summarizes to None" `Quick (fun () ->
+        Alcotest.(check bool) "none" true (Histogram.summarize (Histogram.create ()) = None));
+    Alcotest.test_case "single sample: exact extremes, bucketed middle" `Quick
+      (fun () ->
+        let h = Histogram.create () in
+        Histogram.record h 1000;
+        match Histogram.summarize h with
+        | None -> Alcotest.fail "expected a summary"
+        | Some s ->
+            Alcotest.(check int) "n" 1 s.Histogram.n;
+            Alcotest.check (Alcotest.float 1e-9) "max exact" 1000. s.Histogram.max;
+            (* quantiles are bucket midpoints: within 12.5% of the truth *)
+            Alcotest.(check bool) "p50 close" true
+              (abs_float (s.Histogram.p50 -. 1000.) <= 125.);
+            Alcotest.(check bool) "p99 close" true
+              (abs_float (s.Histogram.p99 -. 1000.) <= 125.));
+    Alcotest.test_case "quantiles are ordered and within relative error" `Quick
+      (fun () ->
+        let h = Histogram.create () in
+        for v = 1 to 10_000 do
+          Histogram.record h v
+        done;
+        match Histogram.summarize h with
+        | None -> Alcotest.fail "expected a summary"
+        | Some s ->
+            Alcotest.(check bool) "p50 <= p90" true (s.Histogram.p50 <= s.Histogram.p90);
+            Alcotest.(check bool) "p90 <= p99" true (s.Histogram.p90 <= s.Histogram.p99);
+            Alcotest.(check bool) "p99 <= max" true (s.Histogram.p99 <= s.Histogram.max);
+            Alcotest.(check bool)
+              (Printf.sprintf "p50 %.0f within 12.5%% of 5000" s.Histogram.p50)
+              true
+              (abs_float (s.Histogram.p50 -. 5_000.) <= 650.);
+            Alcotest.(check bool)
+              (Printf.sprintf "p99 %.0f within 12.5%% of 9900" s.Histogram.p99)
+              true
+              (abs_float (s.Histogram.p99 -. 9_900.) <= 1_300.);
+            Alcotest.check (Alcotest.float 1e-9) "max exact" 10_000. s.Histogram.max;
+            Alcotest.(check bool) "mean near 5000" true
+              (abs_float (s.Histogram.mean -. 5_000.5) <= 1.));
+    Alcotest.test_case "small values are exact" `Quick (fun () ->
+        let h = Histogram.create () in
+        List.iter (Histogram.record h) [ 0; 1; 2; 3; 4; 5; 6; 7 ];
+        Alcotest.check (Alcotest.float 1e-9) "p0" 0. (Histogram.percentile h 0.);
+        Alcotest.check (Alcotest.float 1e-9) "p100" 7. (Histogram.percentile h 100.));
+    Alcotest.test_case "negative samples clamp to zero" `Quick (fun () ->
+        let h = Histogram.create () in
+        Histogram.record h (-42);
+        Alcotest.(check int) "counted" 1 (Histogram.count h);
+        Alcotest.check (Alcotest.float 1e-9) "max" 0. (Histogram.percentile h 100.));
+    Alcotest.test_case "merge adds counts and keeps extremes" `Quick (fun () ->
+        let a = Histogram.create () and b = Histogram.create () in
+        for _ = 1 to 10 do
+          Histogram.record a 100
+        done;
+        Histogram.record b 1_000_000;
+        Histogram.merge ~into:a b;
+        match Histogram.summarize a with
+        | None -> Alcotest.fail "expected a summary"
+        | Some s ->
+            Alcotest.(check int) "n" 11 s.Histogram.n;
+            Alcotest.check (Alcotest.float 1e-9) "max from b" 1_000_000. s.Histogram.max;
+            Alcotest.(check bool) "p50 still around 100" true
+              (abs_float (s.Histogram.p50 -. 100.) <= 13.));
+    Alcotest.test_case "huge values do not crash the bucketing" `Quick (fun () ->
+        let h = Histogram.create () in
+        Histogram.record h max_int;
+        Histogram.record h 1;
+        Alcotest.(check int) "n" 2 (Histogram.count h);
+        Alcotest.(check bool) "p100 positive" true (Histogram.percentile h 100. > 0.));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Event-trace ring.                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let ev thread step kind = { Trace.thread; step; kind }
+
+let trace_tests =
+  [
+    Alcotest.test_case "ring keeps the most recent events" `Quick (fun () ->
+        let t = Trace.create ~capacity:4 () in
+        for i = 1 to 6 do
+          Trace.emit t (ev 0 (Printf.sprintf "s%d" i) Trace.Read)
+        done;
+        Alcotest.(check int) "emitted" 6 (Trace.emitted t);
+        Alcotest.(check int) "dropped" 2 (Trace.dropped t);
+        Alcotest.(check (list string))
+          "oldest-first, oldest two gone"
+          [ "s3"; "s4"; "s5"; "s6" ]
+          (List.map (fun (e : Trace.event) -> e.Trace.step) (Trace.events t)));
+    Alcotest.test_case "event rendering carries thread, kind, step" `Quick (fun () ->
+        let line = Trace.event_to_string (ev 3 "X5.next" Trace.Write) in
+        List.iter
+          (fun needle ->
+            let rec find i =
+              i + String.length needle <= String.length line
+              && (String.sub line i (String.length needle) = needle || find (i + 1))
+            in
+            Alcotest.(check bool) ("has " ^ needle) true (find 0))
+          [ "t3"; "X5.next"; Trace.kind_to_string Trace.Write ]);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Probe contract.                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let probe_tests =
+  [
+    Alcotest.test_case "no probe installed: counts go nowhere" `Quick (fun () ->
+        if Probe.installed () then Probe.uninstall ();
+        Metrics.reset ();
+        Probe.count Metrics.Restarts;
+        Probe.count Metrics.Cas_failures;
+        Alcotest.(check int) "restarts still zero" 0
+          (Metrics.get (Metrics.snapshot ()) Metrics.Restarts);
+        Alcotest.(check bool) "tracing off" false (Probe.trace_enabled ()));
+    Alcotest.test_case "metrics probe routes counts to the registry" `Quick (fun () ->
+        with_metrics_probe (fun () ->
+            Probe.count Metrics.Restarts;
+            Alcotest.(check int) "restart counted" 1
+              (Metrics.get (Metrics.snapshot ()) Metrics.Restarts));
+        Metrics.reset ();
+        Probe.count Metrics.Restarts;
+        Alcotest.(check int) "uninstalled again" 0
+          (Metrics.get (Metrics.snapshot ()) Metrics.Restarts));
+    Alcotest.test_case "tracer probe routes events, with_trace combines" `Quick
+      (fun () ->
+        let tr = Trace.create () in
+        Probe.install (Probe.tracer tr);
+        Alcotest.(check bool) "tracing on" true (Probe.trace_enabled ());
+        Probe.emit (ev 0 "a" Trace.Note);
+        Probe.uninstall ();
+        Probe.emit (ev 0 "dropped" Trace.Note);
+        Alcotest.(check int) "one event" 1 (Trace.emitted tr);
+        Metrics.reset ();
+        Probe.install (Probe.with_trace tr (Probe.metrics ()));
+        Probe.count Metrics.Restarts;
+        Probe.emit (ev 1 "b" Trace.Note);
+        Probe.uninstall ();
+        Alcotest.(check int) "count and trace" 1
+          (Metrics.get (Metrics.snapshot ()) Metrics.Restarts);
+        Alcotest.(check int) "two events" 2 (Trace.emitted tr));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* End to end: counters from real runs and from a forced contention     *)
+(* schedule.                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Single-threaded read-only run: nothing can restart, fail a lock
+   validation, or delete — those counters must be exactly zero, while
+   traversal work must show up. *)
+let single_threaded_readonly_test =
+  Alcotest.test_case "1-thread read-only run: zero restarts and lock failures"
+    `Quick (fun () ->
+      let impl = Vbl_harness.Sweep.find_real "vbl" in
+      let params =
+        {
+          Vbl_harness.Runner.threads = 1;
+          spec = Vbl_harness.Workload.uniform ~update_percent:0 ~key_range:64;
+          duration_s = 0.05;
+          warmup_s = 0.0;
+          trials = 1;
+          seed = 7L;
+        }
+      in
+      let r = Vbl_harness.Runner.run ~metrics:true impl params in
+      match r.Vbl_harness.Runner.metrics with
+      | None -> Alcotest.fail "expected a metrics snapshot"
+      | Some m ->
+          List.iter
+            (fun c ->
+              Alcotest.(check int) ("zero " ^ Metrics.label c) 0 (Metrics.get m c))
+            [
+              Metrics.Restarts;
+              Metrics.Lock_next_at_failures;
+              Metrics.Lock_next_at_value_failures;
+              Metrics.Validation_failures;
+              Metrics.Lock_contended;
+              Metrics.Cas_failures;
+              Metrics.Logical_deletes;
+              Metrics.Physical_unlinks;
+            ];
+          Alcotest.(check bool) "traversed" true
+            (Metrics.get m Metrics.Traversal_steps > 0);
+          Alcotest.(check bool) "contains latency measured" true
+            (List.mem_assoc "contains" r.Vbl_harness.Runner.latency))
+
+(* Forced contention on the instrumented backend, deterministically:
+   T0 = remove 5 runs up to the point where it holds its locks and is
+   about to mark X5; T1 = insert 7 then needs X5 (its predecessor) and
+   must park; T0 finishes, T1 wakes into a failed lock_next_at
+   validation and restarts.  Every interesting counter is pinned. *)
+let forced_contention_test =
+  Alcotest.test_case "2-thread forced contention: restarts and lock failures"
+    `Quick (fun () ->
+      let module S = Drive.Vbl_i in
+      let t =
+        Instr.run_sequential (fun () ->
+            let t = S.create () in
+            ignore (S.insert t 5);
+            t)
+      in
+      Metrics.reset ();
+      Probe.install (Probe.metrics ());
+      Fun.protect ~finally:Probe.uninstall (fun () ->
+          let exec =
+            Exec.create
+              [ (fun () -> ignore (S.remove t 5)); (fun () -> ignore (S.insert t 7)) ]
+          in
+          (* T0 to the brink of its logical delete (locks held). *)
+          let rec advance_t0 () =
+            match Exec.pending exec 0 with
+            | Exec.Access a when a.Instr.name = "X5.del" && a.Instr.kind = Instr.Write
+              ->
+                ()
+            | Exec.Access _ ->
+                Exec.step exec 0;
+                advance_t0 ()
+            | _ -> Alcotest.fail "remove(5) blocked or finished before marking X5"
+          in
+          advance_t0 ();
+          (* T1 locates (X5, tail) and must park on X5's held lock. *)
+          let rec advance_t1 () =
+            if Exec.runnable exec 1 then begin
+              (match Exec.pending exec 1 with
+              | Exec.Done -> Alcotest.fail "insert(7) finished without contention"
+              | _ -> ());
+              Exec.step exec 1;
+              advance_t1 ()
+            end
+          in
+          advance_t1 ();
+          (match Exec.pending exec 1 with
+          | Exec.Blocked l -> Alcotest.(check string) "parked on X5" "X5.lock" l.Instr.l_name
+          | _ -> Alcotest.fail "expected insert(7) parked on X5.lock");
+          (* Finish T0; its unlink frees the lock, T1 restarts and succeeds. *)
+          while Exec.pending exec 0 <> Exec.Done do
+            Exec.step exec 0
+          done;
+          Exec.drain exec;
+          let m = Metrics.snapshot () in
+          Alcotest.(check bool) "restarted" true (Metrics.get m Metrics.Restarts >= 1);
+          Alcotest.(check bool) "lock_next_at failed" true
+            (Metrics.get m Metrics.Lock_next_at_failures >= 1);
+          Alcotest.(check int) "one logical delete" 1
+            (Metrics.get m Metrics.Logical_deletes);
+          Alcotest.(check int) "one physical unlink" 1
+            (Metrics.get m Metrics.Physical_unlinks);
+          Alcotest.(check bool) "locks were acquired" true
+            (Metrics.get m Metrics.Lock_acquisitions >= 2));
+      Alcotest.(check bool) "5 removed" false
+        (Instr.run_sequential (fun () -> S.contains t 5));
+      Alcotest.(check bool) "7 inserted" true
+        (Instr.run_sequential (fun () -> S.contains t 7)))
+
+(* The conductor emits one trace event per executed step when a tracer
+   is installed. *)
+let exec_trace_test =
+  Alcotest.test_case "conductor emits one event per step" `Quick (fun () ->
+      let module S = Drive.Vbl_i in
+      let t = Instr.run_sequential (fun () -> S.create ()) in
+      let tr = Trace.create () in
+      Probe.install (Probe.tracer tr);
+      Fun.protect ~finally:Probe.uninstall (fun () ->
+          let exec = Exec.create [ (fun () -> ignore (S.contains t 1)) ] in
+          Exec.drain exec;
+          Alcotest.(check int) "events = steps" (Exec.steps_taken exec)
+            (Trace.emitted tr);
+          match Trace.events tr with
+          | [] -> Alcotest.fail "expected events"
+          | e :: _ ->
+              Alcotest.(check int) "thread 0" 0 e.Trace.thread;
+              Alcotest.(check bool) "starts at the head" true
+                (String.length e.Trace.step >= 1 && e.Trace.step.[0] = 'h')))
+
+let () =
+  Alcotest.run "obs"
+    [
+      ("metrics", metrics_tests);
+      ("histogram", histogram_tests);
+      ("trace", trace_tests);
+      ("probe", probe_tests);
+      ( "end-to-end",
+        [ single_threaded_readonly_test; forced_contention_test; exec_trace_test ] );
+    ]

@@ -79,6 +79,38 @@ let rng_tests =
           if Rng.bool r then incr trues
         done;
         Alcotest.(check bool) "near half" true (abs (!trues - (n / 2)) < n / 20));
+    Alcotest.test_case "stream is a pure function of seed and index" `Quick
+      (fun () ->
+        let a = Rng.stream ~seed:42L ~index:3 in
+        (* Deriving stream 3 must not depend on any other stream's state. *)
+        let b0 = Rng.stream ~seed:42L ~index:0 in
+        ignore (Rng.next_int64 b0);
+        let a' = Rng.stream ~seed:42L ~index:3 in
+        for _ = 1 to 50 do
+          Alcotest.(check int64) "identical" (Rng.next_int64 a) (Rng.next_int64 a')
+        done);
+    Alcotest.test_case "stream indexes give distinct streams" `Quick (fun () ->
+        let streams = List.init 8 (fun i -> (i, Rng.stream ~seed:42L ~index:i)) in
+        let firsts = List.map (fun (i, r) -> (i, Rng.next_int64 r)) streams in
+        List.iter
+          (fun (i, vi) ->
+            List.iter
+              (fun (j, vj) ->
+                if i < j && vi = vj then
+                  Alcotest.failf "streams %d and %d collide on their first draw" i j)
+              firsts)
+          firsts;
+        (* And streams with the same index but different seeds diverge. *)
+        let x = Rng.stream ~seed:1L ~index:0 and y = Rng.stream ~seed:2L ~index:0 in
+        let same = ref 0 in
+        for _ = 1 to 64 do
+          if Rng.next_int64 x = Rng.next_int64 y then incr same
+        done;
+        Alcotest.(check bool) "mostly different" true (!same < 4));
+    Alcotest.test_case "stream rejects negative index" `Quick (fun () ->
+        Alcotest.check_raises "negative"
+          (Invalid_argument "Rng.stream: index must be >= 0") (fun () ->
+            ignore (Rng.stream ~seed:1L ~index:(-1))));
   ]
 
 let stats_tests =
@@ -114,6 +146,36 @@ let stats_tests =
           (fun () -> ignore (Stats.mean [||])));
     Alcotest.test_case "speedup" `Quick (fun () ->
         Alcotest.check feq "2x" 2. (Stats.speedup ~baseline:5. 10.));
+    Alcotest.test_case "summary_with_percentiles rejects empty input" `Quick
+      (fun () ->
+        Alcotest.check_raises "empty"
+          (Invalid_argument "Stats.summary_with_percentiles: empty") (fun () ->
+            ignore (Stats.summary_with_percentiles [||])));
+    Alcotest.test_case "summary_with_percentiles single element" `Quick (fun () ->
+        let s = Stats.summary_with_percentiles [| 7. |] in
+        Alcotest.(check int) "n" 1 s.Stats.base.Stats.n;
+        Alcotest.check feq "p50" 7. s.Stats.p50;
+        Alcotest.check feq "p90" 7. s.Stats.p90;
+        Alcotest.check feq "p99" 7. s.Stats.p99);
+    Alcotest.test_case "summary_with_percentiles interpolates" `Quick (fun () ->
+        (* 1..100: rank r maps to 1 + 99*r/100, linearly interpolated. *)
+        let xs = Array.init 100 (fun i -> float_of_int (i + 1)) in
+        let s = Stats.summary_with_percentiles xs in
+        Alcotest.check feq "p50" 50.5 s.Stats.p50;
+        Alcotest.check feq "p90" 90.1 s.Stats.p90;
+        Alcotest.check feq "p99" 99.01 s.Stats.p99;
+        Alcotest.check feq "mean via base" 50.5 s.Stats.base.Stats.mean;
+        (* unsorted input gives the same answer *)
+        let shuffled = Array.copy xs in
+        let r = Rng.create ~seed:11L () in
+        for i = Array.length shuffled - 1 downto 1 do
+          let j = Rng.int r (i + 1) in
+          let tmp = shuffled.(i) in
+          shuffled.(i) <- shuffled.(j);
+          shuffled.(j) <- tmp
+        done;
+        let s' = Stats.summary_with_percentiles shuffled in
+        Alcotest.check feq "order-independent" s.Stats.p99 s'.Stats.p99);
   ]
 
 let table_tests =
