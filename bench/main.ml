@@ -24,7 +24,12 @@
    Observability modes (run instead of the figure suite):
           --metrics [--json FILE]  per-algorithm counter + latency tables
           --trace                  event-trace dump from a short sim run
-          --smoke                  tiny metrics+trace exercise for CI      *)
+          --smoke                  tiny metrics+trace exercise for CI
+          --matrix [--json FILE]   real-engine scaling matrix
+                                   (threads x update%% x key range) over the
+                                   measured algorithms plus the vbl-direct
+                                   ablation baseline; JSON in the BENCH_*.json
+                                   schema                                  *)
 
 open Bechamel
 open Toolkit
@@ -36,6 +41,7 @@ let skip_figures = Array.exists (( = ) "--skip-figures") Sys.argv
 let metrics_mode = Array.exists (( = ) "--metrics") Sys.argv
 let trace_mode = Array.exists (( = ) "--trace") Sys.argv
 let smoke = Array.exists (( = ) "--smoke") Sys.argv
+let matrix_mode = Array.exists (( = ) "--matrix") Sys.argv
 
 let flag_value name =
   let rec find i =
@@ -367,6 +373,146 @@ let ablation_sweep () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* Scaling matrix (--matrix [--json FILE])                             *)
+(* ------------------------------------------------------------------ *)
+
+let vbl_direct_impl : (module Vbl_lists.Set_intf.S) = (module Vbl_direct)
+
+(* The real-engine scaling matrix: every measured algorithm (plus the
+   AMR Harris-Michael and the hand-specialised vbl-direct ablation
+   baseline) at every host thread count, update ratio and key range.
+   Counters and latency are collected as in --metrics so the JSON matches
+   the BENCH_*.json schema of earlier snapshots and bench/compare_bench
+   can diff two of them. *)
+let matrix_algorithms = [ "vbl"; "lazy"; "harris-michael"; "harris-michael-tagged" ]
+
+let matrix_updates = [ 0; 20; 100 ]
+let matrix_ranges = [ 50; 200; 2_000; 20_000 ]
+
+let run_matrix () =
+  Printf.printf "== Scaling matrix: %s threads x %s%% updates x range %s ==\n"
+    (String.concat "/" (List.map string_of_int real_threads))
+    (String.concat "/" (List.map string_of_int matrix_updates))
+    (String.concat "/" (List.map string_of_int matrix_ranges));
+  Printf.printf "   (real engine, %d cores on this host)\n\n"
+    (Domain.recommended_domain_count ());
+  let points = ref [] in
+  let record (p : Vbl_harness.Sweep.point) =
+    points := p :: !points;
+    Printf.printf "  %-22s t=%d u=%3d%% r=%-6d  %s ops/s\n%!" p.Vbl_harness.Sweep.algorithm
+      p.Vbl_harness.Sweep.threads p.Vbl_harness.Sweep.update_percent
+      p.Vbl_harness.Sweep.key_range
+      (Vbl_util.Table.si_cell (Vbl_harness.Sweep.point_mean p))
+  in
+  List.iter
+    (fun key_range ->
+      List.iter
+        (fun update_percent ->
+          List.iter
+            (fun threads ->
+              List.iter
+                (fun algorithm ->
+                  record
+                    (Vbl_harness.Sweep.measure ~metrics:true real_engine ~algorithm
+                       ~threads ~update_percent ~key_range ~seed))
+                matrix_algorithms;
+              record
+                (Vbl_harness.Sweep.measure_impl ~metrics:true real_engine vbl_direct_impl
+                   ~algorithm:"vbl-direct" ~threads ~update_percent ~key_range ~seed))
+            real_threads)
+        matrix_updates)
+    matrix_ranges;
+  let points = List.rev !points in
+  print_newline ();
+  (* Ablation: what the functor-over-MEM architecture costs the VBL hot
+     path, per workload cell.  Positive overhead means the hand-specialised
+     baseline is faster. *)
+  print_endline "== Ablation: functorised vbl vs hand-specialised vbl-direct ==";
+  print_newline ();
+  let find algo threads update range =
+    List.find_opt
+      (fun (p : Vbl_harness.Sweep.point) ->
+        p.Vbl_harness.Sweep.algorithm = algo
+        && p.Vbl_harness.Sweep.threads = threads
+        && p.Vbl_harness.Sweep.update_percent = update
+        && p.Vbl_harness.Sweep.key_range = range)
+      points
+  in
+  let table =
+    Vbl_util.Table.create
+      [ "threads"; "update%"; "range"; "vbl (ops/s)"; "vbl-direct (ops/s)"; "overhead" ]
+  in
+  List.iter
+    (fun range ->
+      List.iter
+        (fun update ->
+          List.iter
+            (fun threads ->
+              match (find "vbl" threads update range, find "vbl-direct" threads update range) with
+              | Some pv, Some pd ->
+                  let mv = Vbl_harness.Sweep.point_mean pv
+                  and md = Vbl_harness.Sweep.point_mean pd in
+                  Vbl_util.Table.add_row table
+                    [
+                      string_of_int threads;
+                      string_of_int update;
+                      string_of_int range;
+                      Vbl_util.Table.si_cell mv;
+                      Vbl_util.Table.si_cell md;
+                      Printf.sprintf "%+.1f%%" ((md -. mv) /. md *. 100.);
+                    ]
+              | _ -> ())
+            real_threads)
+        matrix_updates)
+    matrix_ranges;
+  print_endline (Vbl_util.Table.render table);
+  (match (find "vbl" 2 20 200, find "vbl-direct" 2 20 200) with
+  | Some pv, Some pd ->
+      let mv = Vbl_harness.Sweep.point_mean pv
+      and md = Vbl_harness.Sweep.point_mean pd in
+      Printf.printf
+        "\nheadline cell (2 threads, 20%% updates, range 200): functor overhead %+.1f%%\n"
+        ((md -. mv) /. md *. 100.)
+  | _ -> ());
+  print_newline ();
+  match json_file with
+  | Some file ->
+      let oc = open_out file in
+      output_string oc (Vbl_harness.Report.points_json ~engine:real_engine points);
+      output_string oc "\n";
+      close_out oc;
+      Printf.printf "(wrote %s: %d points)\n" file (List.length points)
+  | None -> ()
+
+(* vbl-direct must agree with the functorised vbl on every operation
+   result — the ablation is meaningless if the baseline drifts.  Driven
+   under --smoke so `dune runtest` asserts it. *)
+let direct_parity () =
+  let module S = (val Vbl_lists.Registry.find_exn "vbl" : Vbl_lists.Set_intf.S) in
+  let reference = S.create () in
+  let direct = Vbl_direct.create () in
+  let rng = Vbl_util.Rng.create ~seed () in
+  let range = 64 in
+  let ops = 20_000 in
+  for i = 1 to ops do
+    let v = 1 + Vbl_util.Rng.int rng range in
+    let want, got =
+      match Vbl_util.Rng.int rng 3 with
+      | 0 -> (S.insert reference v, Vbl_direct.insert direct v)
+      | 1 -> (S.remove reference v, Vbl_direct.remove direct v)
+      | _ -> (S.contains reference v, Vbl_direct.contains direct v)
+    in
+    if got <> want then
+      failwith (Printf.sprintf "vbl-direct parity: op %d on key %d diverged" i v)
+  done;
+  if Vbl_direct.to_list direct <> S.to_list reference then
+    failwith "vbl-direct parity: final contents diverge";
+  (match Vbl_direct.check_invariants direct with
+  | Ok () -> ()
+  | Error m -> failwith ("vbl-direct invariants: " ^ m));
+  Printf.printf "vbl-direct parity vs registry vbl: OK (%d ops, range %d)\n\n" ops range
+
+(* ------------------------------------------------------------------ *)
 (* Observability modes                                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -441,6 +587,7 @@ let run_metrics_mode () =
 (* Tiny end-to-end exercise of the metrics/trace path, cheap enough for
    `dune runtest` (the smoke alias in bench/dune). *)
 let run_smoke () =
+  direct_parity ();
   ignore
     (metrics_section ~algorithms:[ "vbl"; "lazy" ] ~threads:2 ~update_percent:20
        ~key_range:64
@@ -458,6 +605,10 @@ let () =
   if smoke then begin
     print_endline "vbl benchmark harness (smoke mode)\n";
     run_smoke ()
+  end
+  else if matrix_mode then begin
+    print_endline "vbl benchmark harness (matrix mode)\n";
+    run_matrix ()
   end
   else if metrics_mode || trace_mode then begin
     Printf.printf "vbl benchmark harness (observability mode)\n\n";

@@ -3,10 +3,16 @@
 
      synchrobench -a vbl -t 8 -u 20 -r 2000 -d 2 -n 5
      synchrobench --engine sim -a lazy -t 72 -u 20 -r 50
+     synchrobench -a vbl --matrix --csv
 
    The real engine uses OCaml domains on this host; the sim engine runs the
    same algorithm on the deterministic coherence-model multicore, which is
-   how thread counts beyond the physical core count stay meaningful. *)
+   how thread counts beyond the physical core count stay meaningful.
+
+   --matrix sweeps the scaling grid (threads up to -t doubling, update
+   ratios 0/20/100, key ranges 50/200/2000/20000) for one algorithm instead
+   of a single point.  The special algorithm "vbl-direct" (real engine
+   only) is the hand-specialised ablation baseline from bench/. *)
 
 open Cmdliner
 
@@ -17,6 +23,18 @@ let algorithms () =
         let module S = (val i : Vbl_lists.Set_intf.S) in
         S.name)
       (Vbl_skiplists.Registry.all @ Vbl_trees.Registry.all)
+  @ [ "vbl-direct" ]
+
+(* The ablation baseline lives outside the registries (bench/) and has no
+   instrumented counterpart, so it is real-engine only. *)
+let measure_point ~metrics engine_v ~algorithm ~threads ~update_percent ~key_range ~seed =
+  if algorithm = "vbl-direct" then
+    Vbl_harness.Sweep.measure_impl ~metrics engine_v
+      (module Vbl_direct : Vbl_lists.Set_intf.S)
+      ~algorithm ~threads ~update_percent ~key_range ~seed
+  else
+    Vbl_harness.Sweep.measure ~metrics engine_v ~algorithm ~threads ~update_percent
+      ~key_range ~seed
 
 let algo_arg =
   let doc =
@@ -89,11 +107,70 @@ let trace_arg =
           "Dump the first $(docv) events of a short deterministic run on the \
            simulated engine (one line per schedule step).")
 
+let matrix_arg =
+  Arg.(
+    value & flag
+    & info [ "matrix" ]
+        ~doc:
+          "Sweep the scaling grid instead of one point: thread counts doubling \
+           up to $(b,-t), update ratios 0/20/100, key ranges 50/200/2000/20000. \
+           Prints one CSV row per cell (with $(b,--csv)) or a prose line each; \
+           $(b,--metrics-json) then collects every cell.")
+
+(* The grid the scaling matrix sweeps, shared with bench/main.exe --matrix. *)
+let matrix_updates = [ 0; 20; 100 ]
+let matrix_ranges = [ 50; 200; 2_000; 20_000 ]
+
+let matrix_threads up_to =
+  let rec doubling t acc = if t > up_to then List.rev acc else doubling (2 * t) (t :: acc) in
+  doubling 1 []
+
+let run_matrix ~algo ~threads ~engine_v ~metrics ~seed ~csv ~metrics_json =
+  let points =
+    List.concat_map
+      (fun key_range ->
+        List.concat_map
+          (fun update_percent ->
+            List.map
+              (fun threads ->
+                let p =
+                  measure_point ~metrics engine_v ~algorithm:algo ~threads
+                    ~update_percent ~key_range ~seed
+                in
+                let s = p.Vbl_harness.Sweep.throughput in
+                if csv then
+                  Printf.printf "%s,%d,%d,%d,%s,%.4f,%.4f\n%!" algo threads
+                    update_percent key_range
+                    (Vbl_harness.Report.engine_name engine_v)
+                    s.Vbl_util.Stats.mean s.Vbl_util.Stats.stddev
+                else
+                  Printf.printf "%-22s t=%d u=%3d%% r=%-6d  %s %s\n%!" algo threads
+                    update_percent key_range
+                    (Vbl_util.Table.si_cell s.Vbl_util.Stats.mean)
+                    (Vbl_harness.Report.engine_unit engine_v);
+                p)
+              (matrix_threads threads))
+          matrix_updates)
+      matrix_ranges
+  in
+  match metrics_json with
+  | Some file ->
+      let oc = open_out file in
+      output_string oc (Vbl_harness.Report.points_json ~engine:engine_v points);
+      output_string oc "\n";
+      close_out oc;
+      if not csv then Printf.printf "\n(wrote %s: %d points)\n" file (List.length points)
+  | None -> ()
+
 let run algo threads update range duration warmup trials seed horizon engine csv metrics
-    metrics_json trace_n =
+    metrics_json trace_n matrix =
   if not (List.mem algo (algorithms ())) then begin
     Printf.eprintf "unknown algorithm %S; known: %s\n" algo
       (String.concat ", " (algorithms ()));
+    exit 2
+  end;
+  if algo = "vbl-direct" && engine = `Sim then begin
+    Printf.eprintf "vbl-direct has no instrumented build; use --engine real\n";
     exit 2
   end;
   let seed = Int64.of_int seed in
@@ -103,8 +180,10 @@ let run algo threads update range duration warmup trials seed horizon engine csv
     | `Real -> Vbl_harness.Sweep.Real { duration_s = duration; warmup_s = warmup; trials }
     | `Sim -> Vbl_harness.Sweep.simulated ~horizon ~trials ()
   in
+  if matrix then run_matrix ~algo ~threads ~engine_v ~metrics ~seed ~csv ~metrics_json
+  else begin
   let point =
-    Vbl_harness.Sweep.measure ~metrics engine_v ~algorithm:algo ~threads
+    measure_point ~metrics engine_v ~algorithm:algo ~threads
       ~update_percent:update ~key_range:range ~seed
   in
   let s = point.Vbl_harness.Sweep.throughput in
@@ -159,6 +238,7 @@ let run algo threads update range duration warmup trials seed horizon engine csv
       (fun i e -> if i < trace_n then print_endline ("  " ^ Vbl_obs.Trace.event_to_string e))
       (Vbl_obs.Trace.events tr)
   end
+  end
 
 let cmd =
   let doc = "synchrobench-style benchmark for the list-based set family" in
@@ -167,6 +247,6 @@ let cmd =
     Term.(
       const run $ algo_arg $ threads_arg $ update_arg $ range_arg $ duration_arg $ warmup_arg
       $ trials_arg $ seed_arg $ horizon_arg $ engine_arg $ csv_arg $ metrics_arg
-      $ metrics_json_arg $ trace_arg)
+      $ metrics_json_arg $ trace_arg $ matrix_arg)
 
 let () = exit (Cmd.eval cmd)

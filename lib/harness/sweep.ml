@@ -58,11 +58,16 @@ let find_instrumented algorithm =
   | Some impl -> impl
   | None -> Vbl_sched.Drive.find_instrumented algorithm
 
-let measure ?(metrics = false) engine ~algorithm ~threads ~update_percent ~key_range ~seed =
+(** Like {!measure} on the [Real] engine, but drives an explicitly given
+    implementation instead of a registry lookup — for ablation baselines
+    that live outside the registries, e.g. the hand-specialised
+    [vbl-direct] in bench/.  The [Simulated] engine needs an instrumented
+    functor and so cannot accept an arbitrary module. *)
+let measure_impl ?(metrics = false) engine impl ~algorithm ~threads ~update_percent
+    ~key_range ~seed =
   let spec = Workload.uniform ~update_percent ~key_range in
   match engine with
   | Real { duration_s; warmup_s; trials } ->
-      let impl = find_real algorithm in
       let r =
         Runner.run ~metrics impl
           { Runner.threads; spec; duration_s; warmup_s; trials; seed }
@@ -77,6 +82,13 @@ let measure ?(metrics = false) engine ~algorithm ~threads ~update_percent ~key_r
         metrics = r.Runner.metrics;
         latency = r.Runner.latency;
       }
+  | Simulated _ -> invalid_arg "Sweep.measure_impl: Real engine only"
+
+let measure ?(metrics = false) engine ~algorithm ~threads ~update_percent ~key_range ~seed =
+  match engine with
+  | Real _ ->
+      measure_impl ~metrics engine (find_real algorithm) ~algorithm ~threads
+        ~update_percent ~key_range ~seed
   | Simulated { horizon; trials; costs } ->
       let impl = find_instrumented algorithm in
       (* A traversal costs O(key_range) cycles, so a fixed horizon would

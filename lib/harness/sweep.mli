@@ -46,6 +46,22 @@ val measure :
 (** One data point.  Simulated horizons are stretched with the key range
     (capped at 8x) so large-range points retain enough operations. *)
 
+val measure_impl :
+  ?metrics:bool ->
+  engine ->
+  (module Vbl_lists.Set_intf.S) ->
+  algorithm:string ->
+  threads:int ->
+  update_percent:int ->
+  key_range:int ->
+  seed:int64 ->
+  point
+(** Like {!measure} on the [Real] engine but driving an explicitly given
+    implementation instead of a registry lookup — for ablation baselines
+    living outside the registries (the hand-specialised [vbl-direct] in
+    bench/).  Raises [Invalid_argument] on a [Simulated] engine, which
+    needs an instrumented functor. *)
+
 val series :
   ?metrics:bool ->
   engine ->

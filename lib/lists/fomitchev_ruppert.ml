@@ -56,16 +56,26 @@ module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
     | Node n -> M.get n.backlink
     | Tail _ -> assert false
 
+  (* Names are only built for instrumented backends ([M.named]). *)
   let make_node key next back =
-    let nm = Naming.node key in
     let line = M.fresh_line () in
-    M.new_node ~name:nm ~line;
-    Node
-      {
-        key = M.make ~name:(Naming.value_cell nm) ~line key;
-        succ = M.make ~name:(Naming.next_cell nm) ~line (Live next);
-        backlink = M.make ~name:(nm ^ ".back") ~line back;
-      }
+    if M.named then begin
+      let nm = Naming.node key in
+      M.new_node ~name:nm ~line;
+      Node
+        {
+          key = M.make ~name:(Naming.value_cell nm) ~line key;
+          succ = M.make ~name:(Naming.next_cell nm) ~line (Live next);
+          backlink = M.make ~name:(nm ^ ".back") ~line back;
+        }
+    end
+    else
+      Node
+        {
+          key = M.make ~line key;
+          succ = M.make ~line (Live next);
+          backlink = M.make ~line back;
+        }
 
   let create () =
     let tl = M.fresh_line () in

@@ -35,15 +35,26 @@ module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
 
   let make_pair next marked = { p_next = next; p_marked = marked; p_line = M.fresh_line () }
 
+  (* Names are only built for instrumented backends ([M.named]); on the
+     real backend an insert allocates exactly the node, its cells and the
+     AMR pair the variant is defined by. *)
   let make_node value next =
-    let nm = Naming.node value in
     let line = M.fresh_line () in
-    M.new_node ~name:nm ~line;
-    Node
-      {
-        value = M.make ~name:(Naming.value_cell nm) ~line value;
-        amr = M.make ~name:(Naming.amr_cell nm) ~line (make_pair next false);
-      }
+    if M.named then begin
+      let nm = Naming.node value in
+      M.new_node ~name:nm ~line;
+      Node
+        {
+          value = M.make ~name:(Naming.value_cell nm) ~line value;
+          amr = M.make ~name:(Naming.amr_cell nm) ~line (make_pair next false);
+        }
+    end
+    else
+      Node
+        {
+          value = M.make ~line value;
+          amr = M.make ~line (make_pair next false);
+        }
 
   let create () =
     let tl = M.fresh_line () in
@@ -67,44 +78,49 @@ module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
   (* Michael's find: locate the first unmarked node with value >= v,
      physically unlinking every marked node encountered on the way; a failed
      helping CAS restarts from the head.  Returns
-     (prev, prev_pair-as-read, curr, curr value). *)
+     (prev, prev_pair-as-read, curr, curr value).  [advance] is a closed
+     top-level loop (not a closure over [t]/[v]) so the traversal itself
+     allocates nothing; the result tuple is one small allocation per
+     update, inherent to returning four values.  The [touch] charging the
+     pair's dependent load only concerns instrumented backends, so the real
+     engine skips the indirect no-op call ([M.named]).  Hops flush in one
+     probe call per traversal (see vbl_list). *)
   let rec find t v =
-    (* Hops flush in one probe call per traversal (see vbl_list). *)
-    let rec advance prev prev_pair curr hops =
-      match curr with
-      | Tail _ ->
-          if !Probe.enabled then Probe.add C.Traversal_steps hops;
-          (prev, prev_pair, curr, max_int)
-      | Node n ->
-          let curr_pair = M.get n.amr in
-          M.touch ~line:curr_pair.p_line ~name:"pair";
-          if curr_pair.p_marked then begin
-            (* Help unlink the logically deleted [curr]. *)
-            let replacement = make_pair curr_pair.p_next false in
-            Probe.count C.Cas_attempts;
-            if M.cas (amr_cell_exn prev) prev_pair replacement then begin
-              Probe.count C.Physical_unlinks;
-              advance prev replacement curr_pair.p_next (hops + 1)
-            end
-            else begin
-              if !Probe.enabled then Probe.add C.Traversal_steps (hops + 1);
-              Probe.count C.Cas_failures;
-              Probe.count C.Restarts;
-              find t v
-            end
+    let head_pair = M.get (amr_cell_exn t.head) in
+    if M.named then M.touch ~line:head_pair.p_line ~name:"pair";
+    advance t v t.head head_pair head_pair.p_next 0
+
+  and advance t v prev prev_pair curr hops =
+    match curr with
+    | Tail _ ->
+        if !Probe.enabled then Probe.add C.Traversal_steps hops;
+        (prev, prev_pair, curr, max_int)
+    | Node n ->
+        let curr_pair = M.get n.amr in
+        if M.named then M.touch ~line:curr_pair.p_line ~name:"pair";
+        if curr_pair.p_marked then begin
+          (* Help unlink the logically deleted [curr]. *)
+          let replacement = make_pair curr_pair.p_next false in
+          Probe.count C.Cas_attempts;
+          if M.cas (amr_cell_exn prev) prev_pair replacement then begin
+            Probe.count C.Physical_unlinks;
+            advance t v prev replacement curr_pair.p_next (hops + 1)
           end
           else begin
-            let cv = M.get n.value in
-            if cv >= v then begin
-              if !Probe.enabled then Probe.add C.Traversal_steps (hops + 1);
-              (prev, prev_pair, curr, cv)
-            end
-            else advance curr curr_pair curr_pair.p_next (hops + 1)
+            if !Probe.enabled then Probe.add C.Traversal_steps (hops + 1);
+            Probe.count C.Cas_failures;
+            Probe.count C.Restarts;
+            find t v
           end
-    in
-    let head_pair = M.get (amr_cell_exn t.head) in
-    M.touch ~line:head_pair.p_line ~name:"pair";
-    advance t.head head_pair head_pair.p_next 0
+        end
+        else begin
+          let cv = M.get n.value in
+          if cv >= v then begin
+            if !Probe.enabled then Probe.add C.Traversal_steps (hops + 1);
+            (prev, prev_pair, curr, cv)
+          end
+          else advance t v curr curr_pair curr_pair.p_next (hops + 1)
+        end
 
   let rec insert t v =
     check_key v;
@@ -128,7 +144,7 @@ module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
     if cv <> v then false
     else begin
       let curr_pair = M.get (amr_cell_exn curr) in
-      M.touch ~line:curr_pair.p_line ~name:"pair";
+      if M.named then M.touch ~line:curr_pair.p_line ~name:"pair";
       if curr_pair.p_marked then begin
         Probe.count C.Restarts;
         remove t v
@@ -157,29 +173,30 @@ module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
       end
     end
 
-  (* Wait-free contains: traverse without helping, check the final mark. *)
+  (* Wait-free contains: traverse without helping, check the final mark.
+     Closed top-level walk: zero allocation per call on the real backend. *)
+  let rec contains_walk v curr hops =
+    match curr with
+    | Tail _ ->
+        if !Probe.enabled then Probe.add C.Traversal_steps hops;
+        false
+    | Node n ->
+        let pair = M.get n.amr in
+        if M.named then M.touch ~line:pair.p_line ~name:"pair";
+        let cv = M.get n.value in
+        if cv < v then contains_walk v pair.p_next (hops + 1)
+        else begin
+          if !Probe.enabled then Probe.add C.Traversal_steps (hops + 1);
+          cv = v && not pair.p_marked
+        end
+
   let contains t v =
     check_key v;
-    let rec loop curr hops =
-      match curr with
-      | Tail _ ->
-          if !Probe.enabled then Probe.add C.Traversal_steps hops;
-          false
-      | Node n ->
-          let pair = M.get n.amr in
-          M.touch ~line:pair.p_line ~name:"pair";
-          let cv = M.get n.value in
-          if cv < v then loop pair.p_next (hops + 1)
-          else begin
-            if !Probe.enabled then Probe.add C.Traversal_steps (hops + 1);
-            cv = v && not pair.p_marked
-          end
-    in
     match t.head with
     | Node n ->
         let head_pair = M.get n.amr in
-        M.touch ~line:head_pair.p_line ~name:"pair";
-        loop head_pair.p_next 0
+        if M.named then M.touch ~line:head_pair.p_line ~name:"pair";
+        contains_walk v head_pair.p_next 0
     | Tail _ -> assert false
 
   let fold f init t =

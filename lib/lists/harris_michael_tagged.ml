@@ -30,15 +30,20 @@ module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
 
   let link_cell_exn = function Node n -> n.link | Tail _ -> assert false
 
+  (* Names are only built for instrumented backends ([M.named]). *)
   let make_node value next =
-    let nm = Naming.node value in
     let line = M.fresh_line () in
-    M.new_node ~name:nm ~line;
-    Node
-      {
-        value = M.make ~name:(Naming.value_cell nm) ~line value;
-        link = M.make ~name:(Naming.next_cell nm) ~line (Live next);
-      }
+    if M.named then begin
+      let nm = Naming.node value in
+      M.new_node ~name:nm ~line;
+      Node
+        {
+          value = M.make ~name:(Naming.value_cell nm) ~line value;
+          link = M.make ~name:(Naming.next_cell nm) ~line (Live next);
+        }
+    end
+    else
+      Node { value = M.make ~line value; link = M.make ~line (Live next) }
 
   let create () =
     let tl = M.fresh_line () in
@@ -58,41 +63,43 @@ module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
       invalid_arg "list-based set: key must be strictly between min_int and max_int"
 
   (* Michael's find over tagged links; same structure as the AMR variant,
-     one load per hop. *)
+     one load per hop.  [advance] is a closed top-level loop (not a
+     closure over [t]/[v]) so the traversal itself allocates nothing; the
+     result tuple is one small allocation per update.  Hops flush in one
+     probe call per traversal (see vbl_list). *)
   let rec find t v =
-    (* Hops flush in one probe call per traversal (see vbl_list). *)
-    let rec advance prev prev_link curr hops =
-      match curr with
-      | Tail _ ->
-          if !Probe.enabled then Probe.add C.Traversal_steps hops;
-          (prev, prev_link, curr, max_int)
-      | Node n -> begin
-          match M.get n.link with
-          | Marked succ ->
-              let replacement = Live succ in
-              Probe.count C.Cas_attempts;
-              if M.cas (link_cell_exn prev) prev_link replacement then begin
-                Probe.count C.Physical_unlinks;
-                advance prev replacement succ (hops + 1)
-              end
-              else begin
-                if !Probe.enabled then Probe.add C.Traversal_steps (hops + 1);
-                Probe.count C.Cas_failures;
-                Probe.count C.Restarts;
-                find t v
-              end
-          | Live succ as curr_link ->
-              let cv = M.get n.value in
-              if cv >= v then begin
-                if !Probe.enabled then Probe.add C.Traversal_steps (hops + 1);
-                (prev, prev_link, curr, cv)
-              end
-              else advance curr curr_link succ (hops + 1)
-        end
-    in
     match M.get (link_cell_exn t.head) with
-    | Live first as head_link -> advance t.head head_link first 0
+    | Live first as head_link -> advance t v t.head head_link first 0
     | Marked _ -> assert false (* the head sentinel is never deleted *)
+
+  and advance t v prev prev_link curr hops =
+    match curr with
+    | Tail _ ->
+        if !Probe.enabled then Probe.add C.Traversal_steps hops;
+        (prev, prev_link, curr, max_int)
+    | Node n -> begin
+        match M.get n.link with
+        | Marked succ ->
+            let replacement = Live succ in
+            Probe.count C.Cas_attempts;
+            if M.cas (link_cell_exn prev) prev_link replacement then begin
+              Probe.count C.Physical_unlinks;
+              advance t v prev replacement succ (hops + 1)
+            end
+            else begin
+              if !Probe.enabled then Probe.add C.Traversal_steps (hops + 1);
+              Probe.count C.Cas_failures;
+              Probe.count C.Restarts;
+              find t v
+            end
+        | Live succ as curr_link ->
+            let cv = M.get n.value in
+            if cv >= v then begin
+              if !Probe.enabled then Probe.add C.Traversal_steps (hops + 1);
+              (prev, prev_link, curr, cv)
+            end
+            else advance t v curr curr_link succ (hops + 1)
+      end
 
   let rec insert t v =
     check_key v;
@@ -136,34 +143,35 @@ module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
           end
     end
 
+  (* Closed top-level walk: zero allocation per call on the real backend. *)
+  let rec contains_walk v curr hops =
+    match curr with
+    | Tail _ ->
+        if !Probe.enabled then Probe.add C.Traversal_steps hops;
+        false
+    | Node n -> begin
+        match M.get n.link with
+        | Live succ ->
+            let cv = M.get n.value in
+            if cv < v then contains_walk v succ (hops + 1)
+            else begin
+              if !Probe.enabled then Probe.add C.Traversal_steps (hops + 1);
+              cv = v
+            end
+        | Marked succ ->
+            (* A marked node is absent whatever its value. *)
+            let cv = M.get n.value in
+            if cv < v then contains_walk v succ (hops + 1)
+            else begin
+              if !Probe.enabled then Probe.add C.Traversal_steps (hops + 1);
+              false
+            end
+      end
+
   let contains t v =
     check_key v;
-    let rec loop curr hops =
-      match curr with
-      | Tail _ ->
-          if !Probe.enabled then Probe.add C.Traversal_steps hops;
-          false
-      | Node n -> begin
-          match M.get n.link with
-          | Live succ ->
-              let cv = M.get n.value in
-              if cv < v then loop succ (hops + 1)
-              else begin
-                if !Probe.enabled then Probe.add C.Traversal_steps (hops + 1);
-                cv = v
-              end
-          | Marked succ ->
-              (* A marked node is absent whatever its value. *)
-              let cv = M.get n.value in
-              if cv < v then loop succ (hops + 1)
-              else begin
-                if !Probe.enabled then Probe.add C.Traversal_steps (hops + 1);
-                false
-              end
-        end
-    in
     match M.get (link_cell_exn t.head) with
-    | Live first -> loop first 0
+    | Live first -> contains_walk v first 0
     | Marked _ -> assert false
 
   let link_parts = function Live succ -> (succ, false) | Marked succ -> (succ, true)

@@ -21,16 +21,26 @@ module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
   let node_lock = function Node n -> n.lock | Tail n -> n.lock
   let next_cell_exn = function Node n -> n.next | Tail _ -> assert false
 
+  (* Names are only built for instrumented backends ([M.named]). *)
   let make_node value next =
-    let nm = Naming.node value in
     let line = M.fresh_line () in
-    M.new_node ~name:nm ~line;
-    Node
-      {
-        value = M.make ~name:(Naming.value_cell nm) ~line value;
-        next = M.make ~name:(Naming.next_cell nm) ~line next;
-        lock = M.make_lock ~name:(Naming.lock_cell nm) ~line ();
-      }
+    if M.named then begin
+      let nm = Naming.node value in
+      M.new_node ~name:nm ~line;
+      Node
+        {
+          value = M.make ~name:(Naming.value_cell nm) ~line value;
+          next = M.make ~name:(Naming.next_cell nm) ~line next;
+          lock = M.make_lock ~name:(Naming.lock_cell nm) ~line ();
+        }
+    end
+    else
+      Node
+        {
+          value = M.make ~line value;
+          next = M.make ~line next;
+          lock = M.make_lock ~line ();
+        }
 
   let create () =
     let tl = M.fresh_line () in

@@ -35,17 +35,29 @@ module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
   let node_lock = function Node n -> n.lock | Tail n -> n.lock
   let next_cell_exn = function Node n -> n.next | Tail _ -> assert false
 
+  (* Names are only built for instrumented backends ([M.named]); on the
+     real backend an insert allocates exactly the node and its cells. *)
   let make_node value next =
-    let nm = Naming.node value in
     let line = M.fresh_line () in
-    M.new_node ~name:nm ~line;
-    Node
-      {
-        value = M.make ~name:(Naming.value_cell nm) ~line value;
-        next = M.make ~name:(Naming.next_cell nm) ~line next;
-        marked = M.make ~name:(Naming.deleted_cell nm) ~line false;
-        lock = M.make_lock ~name:(Naming.lock_cell nm) ~line ();
-      }
+    if M.named then begin
+      let nm = Naming.node value in
+      M.new_node ~name:nm ~line;
+      Node
+        {
+          value = M.make ~name:(Naming.value_cell nm) ~line value;
+          next = M.make ~name:(Naming.next_cell nm) ~line next;
+          marked = M.make ~name:(Naming.deleted_cell nm) ~line false;
+          lock = M.make_lock ~name:(Naming.lock_cell nm) ~line ();
+        }
+    end
+    else
+      Node
+        {
+          value = M.make ~line value;
+          next = M.make ~line next;
+          marked = M.make ~line false;
+          lock = M.make_lock ~line ();
+        }
 
   let make_sentinel value =
     let nm = Naming.node value in
@@ -74,69 +86,103 @@ module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
     if v = min_int || v = max_int then
       invalid_arg "list-based set: key must be strictly between min_int and max_int"
 
-  (* Wait-free traversal: ignores locks and marks entirely. *)
-  let locate t v =
-    (* Hops flush in one probe call per traversal (see vbl_list). *)
-    let rec loop prev curr hops =
-      if node_value curr < v then loop curr (M.get (next_cell_exn curr)) (hops + 1)
-      else begin
-        if !Probe.enabled then Probe.add C.Traversal_steps hops;
-        (prev, curr)
-      end
-    in
-    loop t.head (M.get (next_cell_exn t.head)) 1
+  (* The wait-free traversal (ignores locks and marks) is inlined into
+     each operation below as a closed tail-recursive walk with explicit
+     parameters: without flambda, a (prev, curr)-returning locate — or the
+     former continuation passed to with_locked_pair — allocates on every
+     operation, whereas the walks keep everything in registers.  Hops
+     flush in one probe call per traversal; the shared-memory access
+     sequence is exactly that of the former locate/with_locked_pair pair,
+     so instrumented schedules are unchanged. *)
 
   (* O(1) validation under both locks (Heller et al. fig. 4). *)
   let validate prev curr =
     (not (node_marked prev)) && (not (node_marked curr)) && M.get (next_cell_exn prev) == curr
 
   (* Post-locking discipline, kept faithful: locks are taken before the
-     operation knows whether it will modify the list. *)
-  let rec with_locked_pair t v (k : node -> node -> int -> bool) =
-    let prev, curr = locate t v in
-    M.lock (node_lock prev);
-    M.lock (node_lock curr);
-    if validate prev curr then begin
-      Probe.count C.Lock_acquisitions;
-      Probe.count C.Lock_acquisitions;
-      let result = k prev curr (node_value curr) in
-      M.unlock (node_lock curr);
-      M.unlock (node_lock prev);
-      result
-    end
+     operation knows whether it will modify the list, and every validation
+     failure restarts from the head. *)
+  let rec insert_walk t v prev curr hops =
+    if node_value curr < v then insert_walk t v curr (M.get (next_cell_exn curr)) (hops + 1)
     else begin
-      Probe.count C.Validation_failures;
-      Probe.count C.Restarts;
-      M.unlock (node_lock curr);
-      M.unlock (node_lock prev);
-      with_locked_pair t v k
+      if !Probe.enabled then Probe.add C.Traversal_steps hops;
+      M.lock (node_lock prev);
+      M.lock (node_lock curr);
+      if validate prev curr then begin
+        Probe.count C.Lock_acquisitions;
+        Probe.count C.Lock_acquisitions;
+        let tval = node_value curr in
+        let result =
+          if tval = v then false
+          else begin
+            M.set (next_cell_exn prev) (make_node v curr);
+            true
+          end
+        in
+        M.unlock (node_lock curr);
+        M.unlock (node_lock prev);
+        result
+      end
+      else begin
+        Probe.count C.Validation_failures;
+        Probe.count C.Restarts;
+        M.unlock (node_lock curr);
+        M.unlock (node_lock prev);
+        insert_walk t v t.head (M.get (next_cell_exn t.head)) 1
+      end
     end
 
   let insert t v =
     check_key v;
-    with_locked_pair t v (fun prev curr tval ->
-        if tval = v then false
-        else begin
-          M.set (next_cell_exn prev) (make_node v curr);
-          true
-        end)
+    insert_walk t v t.head (M.get (next_cell_exn t.head)) 1
+
+  let rec remove_walk t v prev curr hops =
+    if node_value curr < v then remove_walk t v curr (M.get (next_cell_exn curr)) (hops + 1)
+    else begin
+      if !Probe.enabled then Probe.add C.Traversal_steps hops;
+      M.lock (node_lock prev);
+      M.lock (node_lock curr);
+      if validate prev curr then begin
+        Probe.count C.Lock_acquisitions;
+        Probe.count C.Lock_acquisitions;
+        let tval = node_value curr in
+        let result =
+          if tval <> v then false
+          else begin
+            (match curr with Node n -> M.set n.marked true | Tail _ -> assert false);
+            Probe.count C.Logical_deletes;
+            M.set (next_cell_exn prev) (M.get (next_cell_exn curr));
+            Probe.count C.Physical_unlinks;
+            true
+          end
+        in
+        M.unlock (node_lock curr);
+        M.unlock (node_lock prev);
+        result
+      end
+      else begin
+        Probe.count C.Validation_failures;
+        Probe.count C.Restarts;
+        M.unlock (node_lock curr);
+        M.unlock (node_lock prev);
+        remove_walk t v t.head (M.get (next_cell_exn t.head)) 1
+      end
+    end
 
   let remove t v =
     check_key v;
-    with_locked_pair t v (fun prev curr tval ->
-        if tval <> v then false
-        else begin
-          (match curr with Node n -> M.set n.marked true | Tail _ -> assert false);
-          Probe.count C.Logical_deletes;
-          M.set (next_cell_exn prev) (M.get (next_cell_exn curr));
-          Probe.count C.Physical_unlinks;
-          true
-        end)
+    remove_walk t v t.head (M.get (next_cell_exn t.head)) 1
+
+  let rec contains_walk v curr hops =
+    if node_value curr < v then contains_walk v (M.get (next_cell_exn curr)) (hops + 1)
+    else begin
+      if !Probe.enabled then Probe.add C.Traversal_steps hops;
+      node_value curr = v && not (node_marked curr)
+    end
 
   let contains t v =
     check_key v;
-    let _, curr = locate t v in
-    node_value curr = v && not (node_marked curr)
+    contains_walk v (M.get (next_cell_exn t.head)) 1
 
   let fold f init t =
     let rec loop acc node =

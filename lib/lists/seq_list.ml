@@ -25,15 +25,19 @@ module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
     | Node n -> n.next
     | Tail _ -> assert false (* traversals stop at the tail's +inf value *)
 
+  (* Names are only built for instrumented backends ([M.named]). *)
   let make_node value next =
-    let nm = Naming.node value in
     let line = M.fresh_line () in
-    M.new_node ~name:nm ~line;
-    Node
-      {
-        value = M.make ~name:(Naming.value_cell nm) ~line value;
-        next = M.make ~name:(Naming.next_cell nm) ~line next;
-      }
+    if M.named then begin
+      let nm = Naming.node value in
+      M.new_node ~name:nm ~line;
+      Node
+        {
+          value = M.make ~name:(Naming.value_cell nm) ~line value;
+          next = M.make ~name:(Naming.next_cell nm) ~line next;
+        }
+    end
+    else Node { value = M.make ~line value; next = M.make ~line next }
 
   let create () =
     let tail_line = M.fresh_line () in

@@ -45,17 +45,29 @@ module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
   let node_lock = function Node n -> n.lock | Tail n -> n.lock
   let next_cell_exn = function Node n -> n.next | Tail _ -> assert false
 
+  (* Names are only built for instrumented backends ([M.named]); on the
+     real backend an insert allocates exactly the node and its cells. *)
   let make_node value next =
-    let nm = Naming.node value in
     let line = M.fresh_line () in
-    M.new_node ~name:nm ~line;
-    Node
-      {
-        value = M.make ~name:(Naming.value_cell nm) ~line value;
-        next = M.make ~name:(Naming.next_cell nm) ~line next;
-        deleted = M.make ~name:(Naming.deleted_cell nm) ~line false;
-        lock = M.make_lock ~name:(Naming.lock_cell nm) ~line ();
-      }
+    if M.named then begin
+      let nm = Naming.node value in
+      M.new_node ~name:nm ~line;
+      Node
+        {
+          value = M.make ~name:(Naming.value_cell nm) ~line value;
+          next = M.make ~name:(Naming.next_cell nm) ~line next;
+          deleted = M.make ~name:(Naming.deleted_cell nm) ~line false;
+          lock = M.make_lock ~name:(Naming.lock_cell nm) ~line ();
+        }
+    end
+    else
+      Node
+        {
+          value = M.make ~line value;
+          next = M.make ~line next;
+          deleted = M.make ~line false;
+          lock = M.make_lock ~line ();
+        }
 
   let create () =
     let tl = M.fresh_line () in
@@ -83,21 +95,15 @@ module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
     if v = min_int || v = max_int then
       invalid_arg "list-based set: key must be strictly between min_int and max_int"
 
-  (* Lines 14-21.  Restartable wait-free traversal: resumes from the
-     caller's previous position unless that node has since been deleted. *)
-  let waitfree_traversal t v prev =
-    let prev = if node_deleted prev then t.head else prev in
-    (* Hops accumulate in [hops] (a register) and flush in one probe call
-       at the end, so the disabled path pays one add per hop and one
-       branch per traversal. *)
-    let rec loop prev curr hops =
-      if node_value curr < v then loop curr (M.get (next_cell_exn curr)) (hops + 1)
-      else begin
-        if !Probe.enabled then Probe.add C.Traversal_steps hops;
-        (prev, curr)
-      end
-    in
-    loop prev (M.get (next_cell_exn prev)) 1
+  (* Lines 14-21 (waitfreeTraversal) are inlined into each update below as
+     closed tail-recursive walks with explicit parameters.  Without
+     flambda, a traversal that returns a (prev, curr) tuple — or a local
+     loop closing over [v] — allocates on every operation; the walks keep
+     everything in registers so the real-engine hot path allocates nothing
+     but the inserted node.  Hops accumulate in [hops] (a register) and
+     flush in one probe call per traversal; the shared-memory access
+     sequence is exactly that of the former waitfree_traversal helper, so
+     instrumented schedules are unchanged. *)
 
   (* §3.1 (1): lock [node], then require it undeleted and still pointing at
      [at]; release and fail otherwise. *)
@@ -127,11 +133,16 @@ module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
       false
     end
 
-  (* Lines 22-32. *)
-  let insert t v =
-    check_key v;
-    let rec attempt prev =
-      let prev, curr = waitfree_traversal t v prev in
+  (* Lines 22-32; restarts resume from [prev] (line 24). *)
+  let rec insert_attempt t v prev =
+    let prev = if node_deleted prev then t.head else prev in
+    insert_walk t v prev (M.get (next_cell_exn prev)) 1
+
+  and insert_walk t v prev curr hops =
+    if node_value curr < v then
+      insert_walk t v curr (M.get (next_cell_exn curr)) (hops + 1)
+    else begin
+      if !Probe.enabled then Probe.add C.Traversal_steps hops;
       if node_value curr = v then false
       else begin
         let x = make_node v curr in
@@ -142,23 +153,31 @@ module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
         end
         else begin
           Probe.count C.Restarts;
-          attempt prev (* goto line 24 *)
+          insert_attempt t v prev (* goto line 24 *)
         end
       end
-    in
-    attempt t.head
+    end
 
-  (* Lines 33-48. *)
-  let remove t v =
+  let insert t v =
     check_key v;
-    let rec attempt prev =
-      let prev, curr = waitfree_traversal t v prev in
+    insert_attempt t v t.head
+
+  (* Lines 33-48; restarts resume from [prev] (line 35). *)
+  let rec remove_attempt t v prev =
+    let prev = if node_deleted prev then t.head else prev in
+    remove_walk t v prev (M.get (next_cell_exn prev)) 1
+
+  and remove_walk t v prev curr hops =
+    if node_value curr < v then
+      remove_walk t v curr (M.get (next_cell_exn curr)) (hops + 1)
+    else begin
+      if !Probe.enabled then Probe.add C.Traversal_steps hops;
       if node_value curr <> v then false
       else begin
         let next = M.get (next_cell_exn curr) in
         if not (lock_next_at_value prev v) then begin
           Probe.count C.Restarts;
-          attempt prev (* goto line 35 *)
+          remove_attempt t v prev (* goto line 35 *)
         end
         else begin
           (* Line 40: re-read the successor under the lock; a concurrent
@@ -167,7 +186,7 @@ module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
           if not (lock_next_at curr next) then begin
             Probe.count C.Restarts;
             M.unlock (node_lock prev);
-            attempt prev (* goto line 35 *)
+            remove_attempt t v prev (* goto line 35 *)
           end
           else begin
             (match curr with
@@ -182,20 +201,23 @@ module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
           end
         end
       end
-    in
-    attempt t.head
+    end
+
+  let remove t v =
+    check_key v;
+    remove_attempt t v t.head
 
   (* Lines 9-13: value-only wait-free membership test. *)
+  let rec contains_walk v curr hops =
+    if node_value curr < v then contains_walk v (M.get (next_cell_exn curr)) (hops + 1)
+    else begin
+      if !Probe.enabled then Probe.add C.Traversal_steps hops;
+      node_value curr = v
+    end
+
   let contains t v =
     check_key v;
-    let rec loop curr hops =
-      if node_value curr < v then loop (M.get (next_cell_exn curr)) (hops + 1)
-      else begin
-        if !Probe.enabled then Probe.add C.Traversal_steps hops;
-        node_value curr = v
-      end
-    in
-    loop t.head 0
+    contains_walk v t.head 0
 
   let fold f init t =
     let rec loop acc node =

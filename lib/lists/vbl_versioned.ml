@@ -43,18 +43,30 @@ module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
         M.set n.next target
     | Tail _ -> assert false
 
+  (* Names are only built for instrumented backends ([M.named]). *)
   let make_node value next =
-    let nm = Naming.node value in
     let line = M.fresh_line () in
-    M.new_node ~name:nm ~line;
-    Node
-      {
-        value = M.make ~name:(Naming.value_cell nm) ~line value;
-        next = M.make ~name:(Naming.next_cell nm) ~line next;
-        version = M.make ~name:(nm ^ ".ver") ~line 0;
-        deleted = M.make ~name:(Naming.deleted_cell nm) ~line false;
-        lock = M.make_lock ~name:(Naming.lock_cell nm) ~line ();
-      }
+    if M.named then begin
+      let nm = Naming.node value in
+      M.new_node ~name:nm ~line;
+      Node
+        {
+          value = M.make ~name:(Naming.value_cell nm) ~line value;
+          next = M.make ~name:(Naming.next_cell nm) ~line next;
+          version = M.make ~name:(nm ^ ".ver") ~line 0;
+          deleted = M.make ~name:(Naming.deleted_cell nm) ~line false;
+          lock = M.make_lock ~name:(Naming.lock_cell nm) ~line ();
+        }
+    end
+    else
+      Node
+        {
+          value = M.make ~line value;
+          next = M.make ~line next;
+          version = M.make ~line 0;
+          deleted = M.make ~line false;
+          lock = M.make_lock ~line ();
+        }
 
   let create () =
     let tl = M.fresh_line () in

@@ -57,6 +57,11 @@ let pp_access ppf a = Format.fprintf ppf "%a(%s)" pp_kind a.kind a.name
 
 type 'a cell = { mutable v : 'a; c_line : int; c_name : string }
 
+(* This backend is what names are for: schedule scripts address steps by
+   them, so algorithms must take their [named = true] branch and build the
+   full Naming.* vocabulary. *)
+let named = true
+
 let line_counter = ref 0
 
 let fresh_line () =

@@ -42,6 +42,10 @@ val pp_access : Format.formatter -> access -> unit
 
 type 'a cell
 
+val named : bool
+(** [true]: schedule scripts address steps by name, so algorithms must
+    build the [Naming.*] vocabulary for this backend. *)
+
 val fresh_line : unit -> int
 
 val make : ?name:string -> line:int -> 'a -> 'a cell

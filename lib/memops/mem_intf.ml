@@ -21,6 +21,16 @@ module type S = sig
   type 'a cell
   (** A shared mutable location holding an ['a]. *)
 
+  val named : bool
+  (** Whether this backend consumes step names.  Instrumented backends say
+      [true]; the real backend says [false], and algorithms use the flag to
+      skip building [Naming.*] strings (and the [new_node]/[touch] calls
+      that would carry them) entirely.  This keeps the real hot path
+      allocation-free: a [make ~name:...] call site boxes the optional
+      argument and builds the string even though {!Real_mem} discards both.
+      Instrumented step names are unaffected — the [named = true] branch of
+      every algorithm is the verbatim pre-existing naming code. *)
+
   val fresh_line : unit -> int
   (** Allocate a new coherence-granule identifier.  Each list node calls
       this once and tags all its cells with the result. *)

@@ -1,31 +1,51 @@
 (** The production backend: cells are [Atomic.t], locks are CAS try-locks
     with exponential backoff, instrumentation hooks are no-ops.  See
-    {!Mem_intf.S} for the contract. *)
+    {!Mem_intf.S} for the contract.
+
+    [named = false]: algorithms skip name construction entirely, so a
+    node's creation allocates exactly its cells and nothing else.  The
+    accessors are [@inline]-annotated single primitives, letting the
+    compiler collapse them into the callers once a functor body is
+    specialised (flambda collapses the whole indirection; classic mode
+    still turns them into direct known calls). *)
 
 type 'a cell = 'a Atomic.t
 
+let named = false
+
 let fresh_line () = 0
 
-let make ?name:_ ~line:_ v = Atomic.make v
+let[@inline] make ?name:_ ~line:_ v = Atomic.make v
 
-let get = Atomic.get
+let[@inline] get c = Atomic.get c
 
-let set = Atomic.set
+let[@inline] set c v = Atomic.set c v
 
-let cas c expected desired = Atomic.compare_and_set c expected desired
+let[@inline] cas c expected desired = Atomic.compare_and_set c expected desired
 
-let touch ~line:_ ~name:_ = ()
+let[@inline] touch ~line:_ ~name:_ = ()
 
-let new_node ~name:_ ~line:_ = ()
+let[@inline] new_node ~name:_ ~line:_ = ()
 
 type lock = Vbl_sync.Try_lock.t
 
-let make_lock ?name:_ ~line:_ () = Vbl_sync.Try_lock.create ()
+(* Opt-in cache-line padding for per-node lock words (curbs false sharing
+   between a node's lock and its neighbours at 8 words/lock): set
+   VBL_PADDED_LOCKS=1 in the environment.  Read once at module
+   initialisation so the per-node decision is one immutable bool. *)
+let padded_locks =
+  match Sys.getenv_opt "VBL_PADDED_LOCKS" with
+  | Some ("1" | "true" | "yes") -> true
+  | _ -> false
 
-let try_lock = Vbl_sync.Try_lock.try_lock
+let make_lock ?name:_ ~line:_ () =
+  if padded_locks then Vbl_sync.Try_lock.create_padded ()
+  else Vbl_sync.Try_lock.create ()
 
-let lock = Vbl_sync.Try_lock.lock
+let[@inline] try_lock l = Vbl_sync.Try_lock.try_lock l
 
-let unlock = Vbl_sync.Try_lock.unlock
+let[@inline] lock l = Vbl_sync.Try_lock.lock l
 
-let lock_held = Vbl_sync.Try_lock.is_locked
+let[@inline] unlock l = Vbl_sync.Try_lock.unlock l
+
+let[@inline] lock_held l = Vbl_sync.Try_lock.is_locked l

@@ -39,22 +39,34 @@ module Make (M : Vbl_memops.Mem_intf.S) : Vbl_lists.Set_intf.S = struct
     | Node n -> n.next.(level)
     | Tail _ -> assert false (* the tail's +inf value stops every traversal *)
 
+  (* Names are only built for instrumented backends ([M.named]). *)
   let make_node value next_targets =
-    let nm = Vbl_lists.Naming.node value in
     let line = M.fresh_line () in
-    M.new_node ~name:nm ~line;
-    Node
-      {
-        value = M.make ~name:(Vbl_lists.Naming.value_cell nm) ~line value;
-        next =
-          Array.mapi
-            (fun lvl succ ->
-              M.make ~name:(Printf.sprintf "%s.next%d" nm lvl) ~line succ)
-            next_targets;
-        marked = M.make ~name:(Vbl_lists.Naming.deleted_cell nm) ~line false;
-        fully_linked = M.make ~name:(nm ^ ".linked") ~line false;
-        lock = M.make_lock ~name:(Vbl_lists.Naming.lock_cell nm) ~line ();
-      }
+    if M.named then begin
+      let nm = Vbl_lists.Naming.node value in
+      M.new_node ~name:nm ~line;
+      Node
+        {
+          value = M.make ~name:(Vbl_lists.Naming.value_cell nm) ~line value;
+          next =
+            Array.mapi
+              (fun lvl succ ->
+                M.make ~name:(Printf.sprintf "%s.next%d" nm lvl) ~line succ)
+              next_targets;
+          marked = M.make ~name:(Vbl_lists.Naming.deleted_cell nm) ~line false;
+          fully_linked = M.make ~name:(nm ^ ".linked") ~line false;
+          lock = M.make_lock ~name:(Vbl_lists.Naming.lock_cell nm) ~line ();
+        }
+    end
+    else
+      Node
+        {
+          value = M.make ~line value;
+          next = Array.map (fun succ -> M.make ~line succ) next_targets;
+          marked = M.make ~line false;
+          fully_linked = M.make ~line false;
+          lock = M.make_lock ~line ();
+        }
 
   let create () =
     let tl = M.fresh_line () in

@@ -39,19 +39,28 @@ module Make (M : Vbl_memops.Mem_intf.S) : Vbl_lists.Set_intf.S = struct
     | Node n -> n.next.(lvl)
     | Tail _ -> assert false (* the tail's +inf value stops every loop *)
 
+  (* Names are only built for instrumented backends ([M.named]). *)
   let make_node value next_targets =
-    let nm = Vbl_lists.Naming.node value in
     let line = M.fresh_line () in
-    M.new_node ~name:nm ~line;
-    Node
-      {
-        value = M.make ~name:(Vbl_lists.Naming.value_cell nm) ~line value;
-        next =
-          Array.mapi
-            (fun lvl succ ->
-              M.make ~name:(Printf.sprintf "%s.next%d" nm lvl) ~line (Live succ))
-            next_targets;
-      }
+    if M.named then begin
+      let nm = Vbl_lists.Naming.node value in
+      M.new_node ~name:nm ~line;
+      Node
+        {
+          value = M.make ~name:(Vbl_lists.Naming.value_cell nm) ~line value;
+          next =
+            Array.mapi
+              (fun lvl succ ->
+                M.make ~name:(Printf.sprintf "%s.next%d" nm lvl) ~line (Live succ))
+              next_targets;
+        }
+    end
+    else
+      Node
+        {
+          value = M.make ~line value;
+          next = Array.map (fun succ -> M.make ~line (Live succ)) next_targets;
+        }
 
   let create () =
     let tl = M.fresh_line () in

@@ -12,3 +12,17 @@ let once t =
   t.wait <- min t.max_wait (t.wait * 2)
 
 let reset t = t.wait <- t.min_wait
+
+let default_min_wait = 16
+let default_max_wait = 4096
+
+(* Allocation-free variant for hot acquire loops: the caller threads the
+   window through its own (register-allocated) loop parameter instead of a
+   heap record, e.g.
+     let rec spin wait = if attempt () then () else spin (Backoff.spin wait)
+   started at [default_min_wait]. *)
+let[@inline] spin wait =
+  for _ = 1 to wait do
+    Domain.cpu_relax ()
+  done;
+  min default_max_wait (wait * 2)

@@ -17,3 +17,15 @@ val once : t -> unit
 
 val reset : t -> unit
 (** Return the window to [min_wait]; call after a successful acquisition. *)
+
+val default_min_wait : int
+(** 16 — the starting window of {!create} and {!spin}-based loops. *)
+
+val default_max_wait : int
+(** 4096 — the truncation point of {!create} and {!spin}-based loops. *)
+
+val spin : int -> int
+(** [spin wait] spins for [wait] iterations (with [Domain.cpu_relax]) and
+    returns the doubled, truncated window.  The allocation-free analogue of
+    {!once}: callers keep the window in a loop parameter instead of a heap
+    record, so a contended acquire allocates nothing. *)

@@ -1,0 +1,27 @@
+(* Cache-line padding for hot shared words, in the style of
+   multicore-magic's [copy_as_padded]: re-allocate a heap block with enough
+   trailing unused fields that the payload's cache line is not shared with
+   the next allocation.  Used for per-node lock words, where false sharing
+   with the adjacent node fields (or a neighbouring node's lock) turns
+   every release into an invalidation of an innocent reader's line.
+
+   The copy has the same tag and meaningful fields as the original, so all
+   primitives that only touch declared fields (everything in [Atomic])
+   behave identically; only [Obj.size]-style reflection can tell the
+   difference. *)
+
+(* 8 words of 8 bytes = one 64-byte cache line, the line size of both of
+   the paper's testbeds. *)
+let words_per_cache_line = 8
+
+let copy_as_padded (v : 'a) : 'a =
+  let o = Obj.repr v in
+  if not (Obj.is_block o) || Obj.tag o >= Obj.no_scan_tag then v
+  else begin
+    let n = Obj.size o in
+    let padded = Obj.new_block (Obj.tag o) (max n words_per_cache_line) in
+    for i = 0 to n - 1 do
+      Obj.set_field padded i (Obj.field o i)
+    done;
+    Obj.obj padded
+  end

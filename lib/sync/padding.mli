@@ -1,0 +1,13 @@
+(** Cache-line padding for hot shared words (cf. multicore-magic's
+    [copy_as_padded]). *)
+
+val words_per_cache_line : int
+(** 8 — one 64-byte line in 8-byte words. *)
+
+val copy_as_padded : 'a -> 'a
+(** [copy_as_padded v] returns a copy of the heap block [v] whose
+    allocation spans at least one cache line, so the word after it never
+    shares [v]'s line.  Immediates and no-scan blocks are returned
+    unchanged.  Only safe for values whose primitives touch declared
+    fields only (e.g. ['a Atomic.t], records); do not use on values
+    inspected with [Obj.size]. *)

@@ -4,19 +4,18 @@ let create () = Atomic.make false
 
 let try_acquire t = (not (Atomic.get t)) && Atomic.compare_and_set t false true
 
-let acquire t =
-  let b = Backoff.create () in
-  let rec loop () =
-    if Atomic.get t then begin
-      Domain.cpu_relax ();
-      loop ()
-    end
-    else if not (Atomic.compare_and_set t false true) then begin
-      Backoff.once b;
-      loop ()
-    end
-  in
-  loop ()
+(* As in Try_lock.lock, the backoff window is a parameter of a closed
+   top-level loop rather than a Backoff.t record (or a captured closure),
+   so acquisition never allocates. *)
+let rec acquire_loop t wait =
+  if Atomic.get t then begin
+    Domain.cpu_relax ();
+    acquire_loop t wait
+  end
+  else if not (Atomic.compare_and_set t false true) then
+    acquire_loop t (Backoff.spin wait)
+
+let acquire t = acquire_loop t Backoff.default_min_wait
 
 let release t = Atomic.set t false
 

@@ -35,26 +35,41 @@ module Make (M : Vbl_memops.Mem_intf.S) : Vbl_lists.Set_intf.S = struct
   let leaf_name v =
     if v = min_int then "Lmin" else if v = max_int then "Lmax" else "L" ^ string_of_int v
 
+  (* Names are only built for instrumented backends ([M.named]). *)
   let make_leaf value =
-    let nm = leaf_name value in
     let line = M.fresh_line () in
-    M.new_node ~name:nm ~line;
-    Leaf { value = M.make ~name:(nm ^ ".val") ~line value }
+    if M.named then begin
+      let nm = leaf_name value in
+      M.new_node ~name:nm ~line;
+      Leaf { value = M.make ~name:(nm ^ ".val") ~line value }
+    end
+    else Leaf { value = M.make ~line value }
 
   let router_name k = "R" ^ if k = max_int then "max" else string_of_int k
 
   let make_router key left right =
-    let nm = router_name key in
     let line = M.fresh_line () in
-    M.new_node ~name:nm ~line;
-    Router
-      {
-        key = M.make ~name:(nm ^ ".key") ~line key;
-        left = M.make ~name:(nm ^ ".left") ~line left;
-        right = M.make ~name:(nm ^ ".right") ~line right;
-        deleted = M.make ~name:(nm ^ ".del") ~line false;
-        lock = M.make_lock ~name:(nm ^ ".lock") ~line ();
-      }
+    if M.named then begin
+      let nm = router_name key in
+      M.new_node ~name:nm ~line;
+      Router
+        {
+          key = M.make ~name:(nm ^ ".key") ~line key;
+          left = M.make ~name:(nm ^ ".left") ~line left;
+          right = M.make ~name:(nm ^ ".right") ~line right;
+          deleted = M.make ~name:(nm ^ ".del") ~line false;
+          lock = M.make_lock ~name:(nm ^ ".lock") ~line ();
+        }
+    end
+    else
+      Router
+        {
+          key = M.make ~line key;
+          left = M.make ~line left;
+          right = M.make ~line right;
+          deleted = M.make ~line false;
+          lock = M.make_lock ~line ();
+        }
 
   let create () =
     let inner = make_router max_int (make_leaf min_int) (make_leaf max_int) in

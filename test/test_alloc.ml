@@ -1,0 +1,121 @@
+(* Allocation tests for the real-backend hot paths.
+
+   The zero-overhead claim of the real engine is concrete: with
+   [Real_mem.named = false] and the closed top-level traversal loops, a
+   [contains] allocates nothing on the minor heap, and an [insert]
+   allocates exactly the node it links (its record plus the per-cell
+   [Atomic.t]s).  These tests pin that down with [Gc.minor_words], so a
+   future refactor that reintroduces a per-operation closure, tuple or
+   name string fails loudly rather than just benching slower.
+
+   Methodology: run the operation in a tight loop and divide the
+   minor-words delta by the iteration count.  The constant overhead of the
+   measurement itself (boxing the [Gc.minor_words] floats) is a handful of
+   words in total, so with enough iterations a truly allocation-free loop
+   measures well below one word per operation. *)
+
+let iters = 20_000
+
+(* Per-operation minor words of [f] applied to keys 1..n (cycled). *)
+let minor_words_per_op ~range f =
+  (* Warm up: promote the loop's code path and any lazy setup. *)
+  for i = 1 to 100 do
+    ignore (f ((i mod range) + 1))
+  done;
+  let before = Gc.minor_words () in
+  for i = 1 to iters do
+    ignore (f ((i mod range) + 1))
+  done;
+  let after = Gc.minor_words () in
+  (after -. before) /. float_of_int iters
+
+let find_impl name =
+  match Vbl_lists.Registry.find name with
+  | Some impl -> impl
+  | None -> Alcotest.failf "unknown algorithm %s" name
+
+(* Pre-populate with every odd key in [1, range], so the measured traffic
+   sees both hits and misses. *)
+let populate (type s) (module S : Vbl_lists.Set_intf.S with type t = s) (t : s) range =
+  let v = ref 1 in
+  while !v <= range do
+    ignore (S.insert t !v);
+    v := !v + 2
+  done
+
+let contains_is_allocation_free name () =
+  let range = 128 in
+  let module S = (val find_impl name : Vbl_lists.Set_intf.S) in
+  let t = S.create () in
+  populate (module S) t range;
+  let per_op = minor_words_per_op ~range (fun v -> S.contains t v) in
+  if per_op > 0.01 then
+    Alcotest.failf "%s contains allocates %.3f minor words/op (expected 0)" name per_op
+
+(* Insert fresh descending keys into an initially empty list: every insert
+   links right behind the head, so the walk is O(1) and the only
+   allocation should be the node itself.  [budget] is the node's footprint
+   in words (block + one 2-word Atomic per cell). *)
+let insert_allocates_only_the_node name ~budget () =
+  let impl = find_impl name in
+  let module S = (val impl : Vbl_lists.Set_intf.S) in
+  let t = S.create () in
+  let n = 20_000 in
+  for v = n + 100 downto n + 1 do
+    ignore (S.insert t v)
+  done;
+  let before = Gc.minor_words () in
+  for v = n downto 1 do
+    ignore (S.insert t v)
+  done;
+  let after = Gc.minor_words () in
+  let per_op = (after -. before) /. float_of_int n in
+  if per_op > float_of_int budget +. 0.1 then
+    Alcotest.failf "%s insert allocates %.2f minor words/op (node budget %d)" name per_op
+      budget
+
+(* Failed updates take the value-check early exit without locking — and,
+   on this engine, without allocating. *)
+let failed_updates_are_allocation_free () =
+  let range = 128 in
+  let module S = (val find_impl "vbl" : Vbl_lists.Set_intf.S) in
+  let t = S.create () in
+  populate (module S) t range;
+  (* Insert of a present key / remove of an absent key: keys 1,3,5.. are
+     present, 2,4,6.. absent. *)
+  let per_op =
+    minor_words_per_op ~range (fun v ->
+        if v land 1 = 1 then S.insert t v (* present: returns false *)
+        else S.remove t v (* absent: returns false *))
+  in
+  if per_op > 0.01 then
+    Alcotest.failf "vbl failed updates allocate %.3f minor words/op (expected 0)" per_op
+
+let contains_cases =
+  List.map
+    (fun name ->
+      Alcotest.test_case (name ^ ": contains allocates nothing") `Quick
+        (contains_is_allocation_free name))
+    [ "vbl"; "lazy"; "harris-michael"; "harris-michael-tagged" ]
+
+(* vbl / lazy node: 5-word record (header + value/next/deleted/lock) plus
+   four 2-word Atomic cells = 13 words. *)
+let insert_cases =
+  [
+    Alcotest.test_case "vbl: insert allocates only the node" `Quick
+      (insert_allocates_only_the_node "vbl" ~budget:13);
+    Alcotest.test_case "lazy: insert allocates only the node" `Quick
+      (insert_allocates_only_the_node "lazy" ~budget:13);
+  ]
+
+let () =
+  Alcotest.run "alloc"
+    [
+      ("contains", contains_cases);
+      ("insert", insert_cases);
+      ( "failed-updates",
+        [
+          Alcotest.test_case "vbl: value-check early exits allocate nothing" `Quick
+            failed_updates_are_allocation_free;
+        ] );
+    ]

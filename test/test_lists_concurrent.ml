@@ -7,8 +7,14 @@
 
 module H = Vbl_spec.History
 
-let stress (impl : Vbl_lists.Registry.impl) ~domains ~ops_per_domain ~key_range ~update_percent
-    ~seed =
+(* [churn] is per-operation garbage (in words) allocated by every worker.
+   Stop-the-world minor collections park *all* domains at their next
+   safepoint — including one sitting inside another operation's
+   read-modify-write window — so allocation churn in any domain shakes
+   races loose in all of them.  The allocation-free hot paths barely
+   collect on their own, so the canary asks for churn explicitly. *)
+let stress ?(churn = 0) (impl : Vbl_lists.Registry.impl) ~domains ~ops_per_domain ~key_range
+    ~update_percent ~seed =
   let module S = (val impl) in
   let t = S.create () in
   let master = Vbl_util.Rng.create ~seed () in
@@ -34,7 +40,8 @@ let stress (impl : Vbl_lists.Registry.impl) ~domains ~ops_per_domain ~key_range 
              match op with
              | Vbl_spec.Set_model.Insert v -> S.insert t v
              | Vbl_spec.Set_model.Remove v -> S.remove t v
-             | Vbl_spec.Set_model.Contains v -> S.contains t v))
+             | Vbl_spec.Set_model.Contains v -> S.contains t v));
+      if churn > 0 then ignore (Sys.opaque_identity (Array.make churn 0))
     done
   in
   List.iter Domain.join (List.init domains (fun d -> Domain.spawn (worker d)));
@@ -88,15 +95,20 @@ let canary =
   Alcotest.test_case "sequential list is NOT safe under domains (canary)" `Slow
     (fun () ->
       (* The unsynchronised list must eventually corrupt or produce a
-         non-linearizable history; try several seeds of a hot workload. *)
+         non-linearizable history; try several seeds of a hot workload.
+         Races only surface when a domain is parked (GC safepoint or OS
+         preemption) inside an operation's read-modify-write window, and
+         the allocation-free hot paths make such parks rare on a 1-core
+         host — so hammer with many domains and allocation churn to
+         accumulate enough mid-operation preemption events. *)
       let impl = Vbl_lists.Registry.find_exn "sequential" in
       let broken = ref false in
       (try
          for s = 1 to 20 do
            if not !broken then begin
              let invariants, linearizable =
-               stress impl ~domains:4 ~ops_per_domain:2000 ~key_range:4 ~update_percent:100
-                 ~seed:(Int64.of_int s)
+               stress impl ~churn:256 ~domains:8 ~ops_per_domain:4_000 ~key_range:4
+                 ~update_percent:100 ~seed:(Int64.of_int s)
              in
              if invariants <> Ok () || not linearizable then broken := true
            end
