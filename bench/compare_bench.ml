@@ -5,7 +5,9 @@
    points by (algorithm, threads, update_percent, key_range), prints the
    throughput delta for each, and flags regressions where the new mean is
    more than PCT percent (default 10) below the old one.  Exits 1 if any
-   point regressed, so it can gate CI.
+   point regressed (so it can gate CI), 2 if the point sets differ without
+   any regression (warning only: the snapshots do not cover the same
+   workload matrix), 64 on usage errors, 0 otherwise.
 
    The schema is small and fixed, so the JSON reader below is a minimal
    recursive-descent parser rather than a library dependency. *)
@@ -247,7 +249,15 @@ let () =
       Printf.printf
         "\n%d point(s) compared, %d regression(s) beyond %.0f%%; %d only in %s, %d only in %s\n"
         !compared !regressions threshold only_new new_file only_old old_file;
-      exit (if !regressions > 0 then 1 else 0)
+      if only_new > 0 || only_old > 0 then
+        Printf.eprintf
+          "warning: point sets differ — the snapshots do not cover the same workload matrix\n";
+      (* Exit codes: 1 = throughput regression (gates CI), 2 = point-set
+         mismatch only (warning — snapshots are not directly comparable),
+         64 = usage error. *)
+      if !regressions > 0 then exit 1
+      else if only_new > 0 || only_old > 0 then exit 2
+      else exit 0
   | _, _ ->
       prerr_endline "usage: compare_bench OLD.json NEW.json [--threshold PCT]";
-      exit 2
+      exit 64

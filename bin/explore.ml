@@ -1,14 +1,21 @@
 (* explore — bounded model checking of an algorithm from the command line.
 
      explore -a vbl --ops "insert 1, remove 2" --initial "2" [--preemptions 3]
+             [--analyze] [--dfs] [--stats]
 
    Explores interleavings of the given operations on the instrumented
    backend, checking every complete execution for linearizability (with the
-   sigma-bar contains-extension) and structural invariants.             *)
+   sigma-bar contains-extension) and structural invariants.  By default the
+   explorer uses sleep-set DPOR; --dfs selects the naive brute-force search
+   (mainly to measure the reduction), --analyze additionally attaches the
+   happens-before race detector and lock-discipline linter, --analyze also
+   accepts the seeded mutants from vbl.analysis by name (e.g.
+   vbl-unlocked-unlink), and --stats prints explorer statistics.          *)
 
 let usage =
   "usage: explore [-a ALGO] [--initial \"v1, v2\"] [--ops \"insert 1, remove 2\"]\n\
-  \               [--preemptions N|none] [--max-executions N]"
+  \               [--preemptions N|none] [--max-executions N] [--analyze] [--dfs]\n\
+  \               [--stats]"
 
 let parse_ops s =
   s |> String.split_on_char ','
@@ -26,12 +33,19 @@ let parse_ints s =
          let x = String.trim x in
          if x = "" then None else Some (int_of_string x))
 
+let find_impl nm =
+  try Vbl_harness.Sweep.find_instrumented nm
+  with Invalid_argument _ -> Vbl_analysis.Mutants.find nm
+
 let () =
   let algo = ref "vbl" in
   let initial = ref "" in
   let ops = ref "insert 1, insert 2" in
   let preemptions = ref "3" in
   let max_executions = ref 200_000 in
+  let analyze = ref false in
+  let dfs = ref false in
+  let stats = ref false in
   let spec =
     [
       ("-a", Arg.Set_string algo, "algorithm (default vbl)");
@@ -39,10 +53,15 @@ let () =
       ("--ops", Arg.Set_string ops, "operations, e.g. \"insert 1, remove 2\"");
       ("--preemptions", Arg.Set_string preemptions, "preemption bound, or 'none'");
       ("--max-executions", Arg.Set_int max_executions, "execution cap");
+      ( "--analyze",
+        Arg.Set analyze,
+        "attach the race detector and lock-discipline linter; also accepts mutant names" );
+      ("--dfs", Arg.Set dfs, "use the naive DFS instead of DPOR");
+      ("--stats", Arg.Set stats, "print explorer statistics");
     ]
   in
   Arg.parse spec (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) usage;
-  let impl = Vbl_harness.Sweep.find_instrumented !algo in
+  let impl = if !analyze then find_impl !algo else Vbl_harness.Sweep.find_instrumented !algo in
   let ops = parse_ops !ops in
   let initial = parse_ints !initial in
   let config =
@@ -52,21 +71,38 @@ let () =
       max_steps = 20_000;
     }
   in
-  Format.printf "exploring %s: initial {%s}, ops [%a], preemption bound %s@." !algo
+  Format.printf "exploring %s: initial {%s}, ops [%a], preemption bound %s%s%s@." !algo
     (String.concat ", " (List.map string_of_int initial))
     (Format.pp_print_list
        ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
        Vbl_sched.Ll_abstract.pp_opspec)
-    ops !preemptions;
+    ops !preemptions
+    (if !dfs then ", naive dfs" else ", dpor")
+    (if !analyze then ", analysis on" else "");
   let scenario = Vbl_sched.Drive.explore_scenario impl ~initial ~ops in
+  let monitor =
+    if !analyze then
+      Some (Vbl_analysis.Monitor.make ~threads:(max 2 (List.length ops)) ())
+    else None
+  in
   let started = Unix.gettimeofday () in
-  let report = Vbl_sched.Explore.run ~config scenario in
+  let report =
+    (if !dfs then Vbl_sched.Explore.run_naive else Vbl_sched.Explore.run)
+      ~config ?monitor scenario
+  in
   let dt = Unix.gettimeofday () -. started in
   Printf.printf "executions explored : %d%s  (%.2fs)\n" report.Vbl_sched.Explore.executions
     (if report.Vbl_sched.Explore.truncated then " (truncated)" else "")
     dt;
+  if !stats then begin
+    Printf.printf "sleep-set blocked   : %d\n" report.Vbl_sched.Explore.sleep_blocked;
+    Printf.printf "backtrack races     : %d\n" report.Vbl_sched.Explore.races
+  end;
   match report.Vbl_sched.Explore.failure with
-  | None -> print_endline "verdict             : all explored executions linearizable"
+  | None ->
+      print_endline
+        (if !analyze then "verdict             : linearizable, race-free, lock-disciplined"
+         else "verdict             : all explored executions linearizable")
   | Some f ->
       Format.printf "verdict             : FAILURE@.%a@." Vbl_sched.Explore.pp_failure f;
       Printf.printf "schedule            : [%s]\n"

@@ -1,0 +1,76 @@
+(** Convenience runners tying the explorer, the analysis monitor and the
+    mutant zoo together: one call analyzes an implementation on a scenario,
+    and the two suites below are the layer's acceptance harness —
+    {!mutation_suite} must catch every seeded bug, {!clean_suite} must
+    come back empty-handed on the clean algorithms. *)
+
+module Explore = Vbl_sched.Explore
+module Drive = Vbl_sched.Drive
+module Ll = Vbl_sched.Ll_abstract
+
+let default_config =
+  { Explore.max_executions = 200_000; preemption_bound = Some 3; max_steps = 5_000 }
+
+(** Explore [impl] on [initial]/[ops] with the race detector and
+    lock-discipline linter attached. *)
+let analyze ?(config = default_config) impl ~initial ~ops =
+  let threads = max 2 (List.length ops) in
+  Explore.run ~config
+    ~monitor:(Monitor.make ~threads ())
+    (Drive.explore_scenario impl ~initial ~ops)
+
+(** Same scenario through the naive DFS — for DPOR parity and reduction
+    measurements. *)
+let analyze_naive ?(config = default_config) impl ~initial ~ops =
+  let threads = max 2 (List.length ops) in
+  Explore.run_naive ~config
+    ~monitor:(Monitor.make ~threads ())
+    (Drive.explore_scenario impl ~initial ~ops)
+
+type case = { mutant : string; initial : int list; ops : Ll.opspec list }
+(** A mutant plus a scenario small enough to explore exhaustively yet
+    sufficient to expose the seeded bug. *)
+
+(* Each scenario targets its mutant's seeded discipline violation; see the
+   header of {!Mutants} for what failure each one is expected to produce. *)
+let mutation_cases : case list =
+  [
+    { mutant = "vbl-no-deleted-check"; initial = [ 5 ]; ops = [ Ll.remove 5; Ll.insert 7 ] };
+    { mutant = "vbl-unlocked-unlink"; initial = [ 5 ]; ops = [ Ll.remove 5; Ll.insert 3 ] };
+    { mutant = "vbl-no-logical-delete"; initial = [ 5 ]; ops = [ Ll.remove 5; Ll.insert 7 ] };
+    { mutant = "vbl-leaky-lock"; initial = []; ops = [ Ll.insert 1; Ll.insert 2 ] };
+    { mutant = "lazy-no-validation"; initial = [ 5 ]; ops = [ Ll.remove 5; Ll.remove 5 ] };
+  ]
+
+type mutation_result = { case : case; report : Explore.report }
+
+let caught (r : mutation_result) = r.report.Explore.failure <> None
+
+(** Run every seeded mutant under the full analysis; a mutant counts as
+    caught if {e any} failure (race, lint, non-linearizable history, broken
+    invariant, deadlock) is reported with its schedule. *)
+let mutation_suite ?config () : mutation_result list =
+  List.map
+    (fun case ->
+      let impl = Mutants.find case.mutant in
+      { case; report = analyze ?config impl ~initial:case.initial ~ops:case.ops })
+    mutation_cases
+
+(* Conflict-heavy scenarios over the clean implementations that must pass
+   the full analysis with no failure of any kind. *)
+let clean_cases : (string * int list * Ll.opspec list) list =
+  [
+    ("vbl", [ 2 ], [ Ll.insert 1; Ll.remove 2 ]);
+    ("vbl", [ 5 ], [ Ll.remove 5; Ll.insert 7 ]);
+    ("vbl", [ 5 ], [ Ll.remove 5; Ll.insert 3 ]);
+    ("lazy", [ 2 ], [ Ll.insert 1; Ll.remove 2 ]);
+    ("lazy", [ 5 ], [ Ll.remove 5; Ll.remove 5 ]);
+    ("harris-michael", [ 2 ], [ Ll.insert 1; Ll.remove 2 ]);
+    ("harris-michael", [ 5 ], [ Ll.remove 5; Ll.insert 7 ]);
+  ]
+
+let clean_suite ?config () : (string * Explore.report) list =
+  List.map
+    (fun (nm, initial, ops) ->
+      (nm, analyze ?config (Drive.find_instrumented nm) ~initial ~ops))
+    clean_cases

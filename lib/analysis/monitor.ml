@@ -1,0 +1,178 @@
+(** Happens-before race detection and lock-discipline linting over one
+    explored execution.
+
+    The monitor plugs into {!Vbl_sched.Explore} as a {!Explore.step_monitor}:
+    it observes every executed shared access together with the access's
+    per-location {!Instr_mem.shadow} record, maintains FastTrack-style
+    epochs and vector clocks, and reports the first violation at
+    quiescence.
+
+    {b Race model.}  Under the instrumented backend every cell is logically
+    atomic (the real engine backs them with [Atomic.t]), so a plain
+    happens-before detector over {e all} accesses would be vacuous — and
+    the lists under test race {e by design} on their wait-free traversals.
+    What the paper's lock-based algorithms do promise is a write
+    discipline: plain [set] stores to a location are totally ordered by
+    synchronization.  The detector therefore checks exactly that:
+
+    - each thread [t] carries a vector clock [C_t];
+    - an {e effective} lock acquisition joins the lock's release clock into
+      [C_t]; a release stores [C_t] into the lock's shadow and advances
+      [t]'s epoch;
+    - a CAS joins the cell's [s_sync] clock (it read the value) and, when
+      effective, releases [C_t] into [s_sync] — CAS is the lock-free
+      algorithms' synchronization primitive, acquire-release by
+      construction;
+    - a read joins [s_sync] — so values published by a releasing write are
+      ordered, but reads themselves are never race-checked (benign
+      traversal races stay silent);
+    - a plain write to location [x] first {e checks} the last plain write's
+      epoch [(s_wr_tid, s_wr_clock)] against [C_t] — unordered means two
+      plain writes race — and only then installs its own epoch and
+      releases [C_t] into [s_sync].  Crucially a write does {e not} join
+      [s_sync]: a racing writer is not excused by the victim's release;
+      ordering must arrive through a read, lock or CAS that precedes the
+      write in program order.
+
+    {b Lockset lint (Eraser-lite).}  Independently of happens-before, each
+    location accumulates the intersection of the lock sets its plain
+    writers held ([s_lockset]) once a second writing thread appears
+    ([s_writers] bitmask; the first writer's exclusive phase is exempt, so
+    node initialization does not poison the set).  An empty intersection
+    with two or more writers means no single lock protects the location.
+    CAS writes are exempt: lock-free updates follow a different discipline.
+
+    {b Lock discipline.}  Per-thread held-lock multisets catch acquiring a
+    lock already held by the same thread (self-deadlock under blocking
+    acquire), releasing a lock the thread does not hold, and finishing an
+    operation while still holding a lock. *)
+
+module Instr = Vbl_memops.Instr_mem
+module Explore = Vbl_sched.Explore
+
+type violation = { v_kind : string; v_msg : string }
+
+type t = {
+  n : int;  (** thread-count capacity of the vector clocks *)
+  clocks : int array array;
+  held : (int * string) list array;  (** per-thread held locks: (loc, name) *)
+  mutable violations : violation list;  (** reversed *)
+}
+
+(* Each thread's own component starts at 1, so the very first write of a
+   thread already carries a positive epoch that unsynchronized threads
+   (whose view of it is 0) fail to dominate. *)
+let create ?(threads = 16) () =
+  let clocks =
+    Array.init threads (fun i ->
+        let c = Array.make threads 0 in
+        c.(i) <- 1;
+        c)
+  in
+  { n = threads; clocks; held = Array.make threads []; violations = [] }
+
+let report t kind msg =
+  (match kind with
+  | "race" -> Vbl_obs.Probe.count Vbl_obs.Metrics.Analysis_races
+  | _ -> Vbl_obs.Probe.count Vbl_obs.Metrics.Analysis_lint_hits);
+  t.violations <- { v_kind = kind; v_msg = msg } :: t.violations
+
+(* s_sync uses [||] as bottom. *)
+let join_into t tid sync =
+  let c = t.clocks.(tid) in
+  let m = Array.length sync in
+  for i = 0 to m - 1 do
+    if sync.(i) > c.(i) then c.(i) <- sync.(i)
+  done
+
+let release_into t tid (s : Instr.shadow) =
+  let c = t.clocks.(tid) in
+  if Array.length s.Instr.s_sync = 0 then s.Instr.s_sync <- Array.copy c
+  else
+    for i = 0 to t.n - 1 do
+      if c.(i) > s.Instr.s_sync.(i) then s.Instr.s_sync.(i) <- c.(i)
+    done;
+  c.(tid) <- c.(tid) + 1
+
+let locs_held t tid = List.map fst t.held.(tid)
+
+let inter a b = List.filter (fun x -> List.mem x b) a
+
+let on_write t tid (a : Instr.access) =
+  let s = a.Instr.shadow in
+  (* Plain-write epoch check: the last plain write must happen-before this
+     one through synchronization (program order, lock release/acquire, CAS
+     or publication edges) — never through the racing write itself. *)
+  let p = s.Instr.s_wr_tid in
+  if p >= 0 && p <> tid && p < t.n && s.Instr.s_wr_clock > t.clocks.(tid).(p) then
+    report t "race"
+      (Printf.sprintf
+         "unordered plain writes to %s: thread %d's store is not ordered after thread %d's"
+         a.Instr.name tid p);
+  (* Eraser-lite lockset, with a first-writer exclusivity exemption. *)
+  let bit = 1 lsl tid in
+  if s.Instr.s_writers land lnot bit <> 0 then begin
+    let cur = locs_held t tid in
+    let ls =
+      match s.Instr.s_lockset with
+      | None -> cur
+      | Some prev -> inter (Array.to_list prev) cur
+    in
+    s.Instr.s_lockset <- Some (Array.of_list ls);
+    if ls = [] then
+      report t "lockset"
+        (Printf.sprintf "no common lock protects plain writes to %s (writers 0x%x + thread %d)"
+           a.Instr.name s.Instr.s_writers tid)
+  end;
+  s.Instr.s_writers <- s.Instr.s_writers lor bit;
+  s.Instr.s_wr_tid <- tid;
+  s.Instr.s_wr_clock <- t.clocks.(tid).(tid);
+  release_into t tid s
+
+let on_step t (ev : Explore.event) =
+  let a = ev.Explore.ev_access in
+  let tid = ev.Explore.ev_thread in
+  if tid < t.n then begin
+    let s = a.Instr.shadow in
+    (match a.Instr.kind with
+    | Instr.Read -> if s.Instr.s_loc >= 0 then join_into t tid s.Instr.s_sync
+    | Instr.Write -> on_write t tid a
+    | Instr.Cas ->
+        join_into t tid s.Instr.s_sync;
+        if ev.Explore.ev_effective then release_into t tid s
+    | Instr.Lock_try ->
+        if List.mem_assoc s.Instr.s_loc t.held.(tid) then
+          report t "double-acquire"
+            (Printf.sprintf "thread %d re-acquires %s which it already holds" tid a.Instr.name)
+        else if ev.Explore.ev_effective then begin
+          join_into t tid s.Instr.s_sync;
+          t.held.(tid) <- (s.Instr.s_loc, a.Instr.name) :: t.held.(tid)
+        end
+    | Instr.Lock_release ->
+        if not (List.mem_assoc s.Instr.s_loc t.held.(tid)) then
+          report t "release-without-acquire"
+            (Printf.sprintf "thread %d releases %s without holding it" tid a.Instr.name)
+        else begin
+          t.held.(tid) <- List.remove_assoc s.Instr.s_loc t.held.(tid);
+          release_into t tid s
+        end
+    | Instr.Touch | Instr.New_node -> ());
+    if ev.Explore.ev_completed && t.held.(tid) <> [] then
+      report t "lock-held-at-return"
+        (Printf.sprintf "thread %d finished still holding %s" tid
+           (String.concat ", " (List.map snd t.held.(tid))))
+  end
+
+let at_end t () =
+  match List.rev t.violations with
+  | [] -> None
+  | { v_kind; v_msg } :: _ -> Some (v_kind, v_msg)
+
+let violations t = List.rev t.violations
+
+(** A fresh {!Explore.step_monitor}; pass as
+    [Explore.run ~monitor:(Monitor.make ())]. *)
+let make ?threads () : unit -> Explore.step_monitor =
+ fun () ->
+  let t = create ?threads () in
+  { Explore.on_step = on_step t; at_end = at_end t }

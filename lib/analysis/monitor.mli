@@ -1,0 +1,25 @@
+(** Happens-before race detection and lock-discipline linting over one
+    explored execution (see the implementation header for the race model).
+
+    Create one monitor per execution: {!make} is the factory shape
+    {!Vbl_sched.Explore.run} expects for its [?monitor] argument. *)
+
+type t
+
+type violation = { v_kind : string; v_msg : string }
+
+val create : ?threads:int -> unit -> t
+(** Fresh per-execution analysis state; [threads] bounds the vector-clock
+    width (default 16). *)
+
+val on_step : t -> Vbl_sched.Explore.event -> unit
+
+val at_end : t -> unit -> (string * string) option
+(** First violation as [(kind, msg)], if any. *)
+
+val violations : t -> violation list
+(** All violations recorded so far, in program order. *)
+
+val make : ?threads:int -> unit -> unit -> Vbl_sched.Explore.step_monitor
+(** [Explore.run ~monitor:(Monitor.make ()) scenario] runs the explorer
+    with a fresh detector per execution. *)

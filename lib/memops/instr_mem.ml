@@ -17,8 +17,44 @@
     - {!unlock} performs {!Release} and the {e handler} applies the store,
       so a release is atomic with its schedule point.
 
+    Every cell and lock additionally carries a {!shadow} record — a unique
+    location identity plus mutable per-location analysis state (last-writer
+    epoch, acquire-release vector clock, candidate lock-set).  The backend
+    itself never reads or writes the analysis fields; they are owned by the
+    dynamic-analysis layer ([vbl.analysis]), which reaches them through the
+    {!access} payload without any side-table lookup on the hot path.
+    Shadow state is per-instance: a fresh list means fresh cells means
+    fresh shadows, so explored executions never leak state into each other.
+
     This module is deliberately not thread-safe: all instrumented execution
     happens cooperatively inside one domain. *)
+
+type shadow = {
+  s_loc : int;  (** unique location id; [-1] on the placeholder shadow *)
+  mutable s_wr_tid : int;  (** last plain-write thread, [-1] if none *)
+  mutable s_wr_clock : int;  (** that thread's clock at the write *)
+  mutable s_sync : int array;  (** acquire-release vector clock; [[||]] = bottom *)
+  mutable s_lockset : int array option;  (** candidate lock-set over plain writes *)
+  mutable s_writers : int;  (** bitmask of plain-writer thread ids *)
+}
+
+let loc_counter = ref 0
+
+let fresh_shadow () =
+  incr loc_counter;
+  {
+    s_loc = !loc_counter;
+    s_wr_tid = -1;
+    s_wr_clock = 0;
+    s_sync = [||];
+    s_lockset = None;
+    s_writers = 0;
+  }
+
+(* Shared by location-less steps ([touch], [new_node]); the analysis layer
+   skips shadows with a negative location. *)
+let no_shadow =
+  { s_loc = -1; s_wr_tid = -1; s_wr_clock = 0; s_sync = [||]; s_lockset = None; s_writers = 0 }
 
 type access_kind =
   | Read
@@ -32,9 +68,9 @@ type access_kind =
           instrumented code itself never performs an [Access] with this
           kind. *)
 
-type access = { line : int; name : string; kind : access_kind }
+type access = { line : int; name : string; kind : access_kind; shadow : shadow }
 
-type lock = { l_line : int; l_name : string; mutable held : bool }
+type lock = { l_line : int; l_name : string; mutable held : bool; l_shadow : shadow }
 
 type _ Effect.t +=
   | Access : access -> unit Effect.t
@@ -55,7 +91,7 @@ let pp_kind ppf = function
 
 let pp_access ppf a = Format.fprintf ppf "%a(%s)" pp_kind a.kind a.name
 
-type 'a cell = { mutable v : 'a; c_line : int; c_name : string }
+type 'a cell = { mutable v : 'a; c_line : int; c_name : string; c_shadow : shadow }
 
 (* This backend is what names are for: schedule scripts address steps by
    them, so algorithms must take their [named = true] branch and build the
@@ -68,16 +104,17 @@ let fresh_line () =
   incr line_counter;
   !line_counter
 
-let make ?(name = "") ~line v = { v; c_line = line; c_name = name }
+let make ?(name = "") ~line v =
+  { v; c_line = line; c_name = name; c_shadow = fresh_shadow () }
 
-let yield ~line ~name kind = Effect.perform (Access { line; name; kind })
+let yield ~line ~name ~shadow kind = Effect.perform (Access { line; name; kind; shadow })
 
 let get c =
-  yield ~line:c.c_line ~name:c.c_name Read;
+  yield ~line:c.c_line ~name:c.c_name ~shadow:c.c_shadow Read;
   c.v
 
 let set c v =
-  yield ~line:c.c_line ~name:c.c_name Write;
+  yield ~line:c.c_line ~name:c.c_name ~shadow:c.c_shadow Write;
   c.v <- v
 
 (* Result of the most recent [cas], readable by the scheduler that resumed
@@ -87,20 +124,21 @@ let set c v =
 let last_cas_result = ref true
 
 let cas c expected desired =
-  yield ~line:c.c_line ~name:c.c_name Cas;
+  yield ~line:c.c_line ~name:c.c_name ~shadow:c.c_shadow Cas;
   let success = c.v == expected in
   if success then c.v <- desired;
   last_cas_result := success;
   success
 
-let touch ~line ~name = yield ~line ~name Touch
+let touch ~line ~name = yield ~line ~name ~shadow:no_shadow Touch
 
-let new_node ~name ~line = yield ~line ~name New_node
+let new_node ~name ~line = yield ~line ~name ~shadow:no_shadow New_node
 
-let make_lock ?(name = "") ~line () = { l_line = line; l_name = name; held = false }
+let make_lock ?(name = "") ~line () =
+  { l_line = line; l_name = name; held = false; l_shadow = fresh_shadow () }
 
 let try_lock l =
-  yield ~line:l.l_line ~name:l.l_name Lock_try;
+  yield ~line:l.l_line ~name:l.l_name ~shadow:l.l_shadow Lock_try;
   let success = not l.held in
   if success then l.held <- true;
   last_cas_result := success;

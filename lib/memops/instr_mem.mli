@@ -13,7 +13,29 @@
 
     This module implements {!Mem_intf.S} but deliberately exposes its
     representation: handlers (the conductor in [vbl.sched], the cost
-    simulator in [vbl.sim]) need the effect payloads and lock state. *)
+    simulator in [vbl.sim]) need the effect payloads and lock state, and
+    the dynamic-analysis layer ([vbl.analysis]) needs the per-location
+    {!shadow} records carried by every access. *)
+
+type shadow = {
+  s_loc : int;  (** unique location id; [-1] on {!no_shadow} *)
+  mutable s_wr_tid : int;  (** last plain-write thread, [-1] if none *)
+  mutable s_wr_clock : int;  (** that thread's clock at the write *)
+  mutable s_sync : int array;  (** acquire-release vector clock; [[||]] = bottom *)
+  mutable s_lockset : int array option;  (** candidate lock-set over plain writes *)
+  mutable s_writers : int;  (** bitmask of plain-writer thread ids *)
+}
+(** Per-location analysis state.  The backend allocates one shadow per cell
+    and per lock (identity plus bottom analysis fields) and never touches
+    the mutable fields itself; the race detector and lock-discipline linter
+    own them.  Shadows are per-instance — fresh cells mean fresh shadows —
+    so explored executions cannot contaminate each other. *)
+
+val fresh_shadow : unit -> shadow
+
+val no_shadow : shadow
+(** Placeholder carried by location-less steps ([touch], [new_node]); its
+    [s_loc] is [-1] and analyses skip it. *)
 
 type access_kind =
   | Read
@@ -27,9 +49,9 @@ type access_kind =
           instrumented code itself never performs an [Access] with this
           kind. *)
 
-type access = { line : int; name : string; kind : access_kind }
+type access = { line : int; name : string; kind : access_kind; shadow : shadow }
 
-type lock = { l_line : int; l_name : string; mutable held : bool }
+type lock = { l_line : int; l_name : string; mutable held : bool; l_shadow : shadow }
 
 type _ Effect.t +=
   | Access : access -> unit Effect.t  (** announces the access about to happen *)

@@ -4,3 +4,112 @@
 
 module _ : Mem_intf.S = Real_mem
 module _ : Mem_intf.S = Instr_mem
+
+(* Runtime backend-parity check: the same mixed workload, expressed once
+   as a functor over {!Mem_intf.S}, must leave the same abstract set
+   behind on both backends.  The workload is a miniature sorted
+   singly-linked set exercising every primitive of the signature — get,
+   set, cas (taken and failed), touch, new_node, try_lock, blocking
+   lock/unlock — so a backend whose primitive semantics drift (a cas that
+   misreports, a set that is lost, lock state leaking between operations)
+   produces a visible set difference rather than a subtle downstream
+   failure.  [Instr_mem] runs it under [run_sequential]; [Real_mem]
+   runs it directly on a single domain — both are sequential executions of
+   the same program, so the results must agree exactly. *)
+
+module Parity_workload (M : Mem_intf.S) = struct
+  type node = Nil | Node of { value : int; next : node M.cell }
+
+  let insert head v =
+    let line = M.fresh_line () in
+    if M.named then M.new_node ~name:(Printf.sprintf "P%d" v) ~line;
+    let rec walk prev =
+      match M.get prev with
+      | Node { value; next } when value < v -> walk next
+      | Node { value; _ } when value = v -> false
+      | at ->
+          let n = Node { value = v; next = M.make ~name:"p.next" ~line at } in
+          M.cas prev at n
+    in
+    walk head
+
+  let remove head v =
+    let rec walk prev =
+      match M.get prev with
+      | Node { value; next } when value < v -> walk next
+      | Node { value; next } when value = v ->
+          M.set prev (M.get next);
+          true
+      | _ -> false
+    in
+    walk head
+
+  let to_list head =
+    let rec go acc n =
+      match M.get n with Nil -> List.rev acc | Node { value; next } -> go (value :: acc) next
+    in
+    go [] head
+
+  (* One deterministic mixed run: interleaved inserts/removes, a failed
+     cas, lock-guarded mutation, and the bookkeeping primitives. *)
+  let run () =
+    let line = M.fresh_line () in
+    let head = M.make ~name:"p.head" ~line Nil in
+    M.touch ~line ~name:"p.touch";
+    let lock = M.make_lock ~name:"p.lock" ~line () in
+    let log = ref [] in
+    let record op v r = log := (op, v, r) :: !log in
+    List.iter
+      (fun v -> record "insert" v (insert head v))
+      [ 5; 3; 9; 3; 7; 1; 9 ];
+    record "remove" 3 (remove head 3);
+    record "remove" 4 (remove head 4);
+    (* A cas that must fail: insert 0 replaces the head cell's node, so
+       the earlier read is stale by the time the cas runs. *)
+    let stale = M.get head in
+    record "insert" 0 (insert head 0);
+    record "cas-stale" 0 (M.cas head stale Nil);
+    (* Lock-guarded update; also checks try_lock sees the held state. *)
+    M.lock lock;
+    record "trylock-held" 0 (M.try_lock lock);
+    record "insert" 6 (insert head 6);
+    M.unlock lock;
+    record "trylock-free" 0 (M.try_lock lock);
+    M.unlock lock;
+    record "remove" 9 (remove head 9);
+    (to_list head, List.rev !log)
+end
+
+module Parity_real = Parity_workload (Real_mem)
+module Parity_instr = Parity_workload (Instr_mem)
+
+type parity_report = {
+  real_set : int list;
+  instr_set : int list;
+  mismatches : string list;  (** empty = backends agree *)
+}
+
+(** Run the workload through both backends and diff the resulting abstract
+    sets and per-operation results. *)
+let check_parity () =
+  let real_set, real_log = Parity_real.run () in
+  let instr_set, instr_log = Instr_mem.run_sequential Parity_instr.run in
+  let mismatches = ref [] in
+  if real_set <> instr_set then
+    mismatches :=
+      Printf.sprintf "final sets differ: real {%s} vs instr {%s}"
+        (String.concat ", " (List.map string_of_int real_set))
+        (String.concat ", " (List.map string_of_int instr_set))
+      :: !mismatches;
+  (try
+     List.iter2
+       (fun (op_r, v_r, res_r) (op_i, v_i, res_i) ->
+         if (op_r, v_r, res_r) <> (op_i, v_i, res_i) then
+           mismatches :=
+             Printf.sprintf "op result differs: real %s(%d)=%b vs instr %s(%d)=%b" op_r v_r
+               res_r op_i v_i res_i
+             :: !mismatches)
+       real_log instr_log
+   with Invalid_argument _ ->
+     mismatches := "operation logs have different lengths" :: !mismatches);
+  { real_set; instr_set; mismatches = List.rev !mismatches }

@@ -1,2 +1,17 @@
-(** Compile-time check that both backends implement {!Mem_intf.S}; exports
-    nothing. *)
+(** Backend conformance checks.
+
+    Compile-time: both backends must implement {!Mem_intf.S} (checked by
+    module constraints, exporting nothing).
+
+    Runtime: {!check_parity} pushes one mixed workload — covering every
+    primitive of the signature — through {!Real_mem} and {!Instr_mem} (the
+    latter under [run_sequential]) and diffs the resulting abstract sets
+    and per-operation results. *)
+
+type parity_report = {
+  real_set : int list;
+  instr_set : int list;
+  mismatches : string list;  (** empty = backends agree *)
+}
+
+val check_parity : unit -> parity_report

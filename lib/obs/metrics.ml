@@ -26,6 +26,10 @@ type counter =
   | Cas_failures
   | Logical_deletes  (** nodes marked deleted *)
   | Physical_unlinks  (** nodes actually unlinked from the list *)
+  | Dpor_executions  (** complete executions checked by the DPOR explorer *)
+  | Dpor_sleep_blocked  (** executions abandoned because every enabled thread slept *)
+  | Analysis_races  (** unordered conflicting plain-write pairs reported *)
+  | Analysis_lint_hits  (** lock-discipline lint reports *)
 
 let all =
   [
@@ -40,6 +44,10 @@ let all =
     Cas_failures;
     Logical_deletes;
     Physical_unlinks;
+    Dpor_executions;
+    Dpor_sleep_blocked;
+    Analysis_races;
+    Analysis_lint_hits;
   ]
 
 let num_counters = List.length all
@@ -56,6 +64,10 @@ let index = function
   | Cas_failures -> 8
   | Logical_deletes -> 9
   | Physical_unlinks -> 10
+  | Dpor_executions -> 11
+  | Dpor_sleep_blocked -> 12
+  | Analysis_races -> 13
+  | Analysis_lint_hits -> 14
 
 let label = function
   | Traversal_steps -> "traversal_steps"
@@ -69,6 +81,10 @@ let label = function
   | Cas_failures -> "cas_failures"
   | Logical_deletes -> "logical_deletes"
   | Physical_unlinks -> "physical_unlinks"
+  | Dpor_executions -> "dpor_executions"
+  | Dpor_sleep_blocked -> "dpor_sleep_blocked"
+  | Analysis_races -> "analysis_races"
+  | Analysis_lint_hits -> "analysis_lint_hits"
 
 let describe = function
   | Traversal_steps -> "node hops performed while searching"
@@ -82,6 +98,10 @@ let describe = function
   | Cas_failures -> "compare-and-set failures"
   | Logical_deletes -> "nodes marked logically deleted"
   | Physical_unlinks -> "nodes physically unlinked"
+  | Dpor_executions -> "complete executions checked by the DPOR explorer"
+  | Dpor_sleep_blocked -> "executions pruned by the sleep set"
+  | Analysis_races -> "unordered conflicting plain-write pairs reported"
+  | Analysis_lint_hits -> "lock-discipline lint reports"
 
 (* One cache line of padding (8 words) on both sides of each shard's live
    slots, so two domains' shards never share a line even when the allocator

@@ -20,6 +20,10 @@ type counter =
   | Cas_failures
   | Logical_deletes  (** nodes marked deleted *)
   | Physical_unlinks  (** nodes actually unlinked *)
+  | Dpor_executions  (** complete executions checked by the DPOR explorer *)
+  | Dpor_sleep_blocked  (** executions abandoned: every enabled thread asleep *)
+  | Analysis_races  (** unordered conflicting plain-write pairs reported *)
+  | Analysis_lint_hits  (** lock-discipline lint reports *)
 
 val all : counter list
 (** Every counter, in reporting order. *)

@@ -63,7 +63,13 @@ let pending t i =
   match t.statuses.(i) with
   | St_paused { access; _ } -> Access access
   | St_release { lock; _ } ->
-      Access { line = lock.Instr.l_line; name = lock.Instr.l_name; kind = Instr.Lock_release }
+      Access
+        {
+          line = lock.Instr.l_line;
+          name = lock.Instr.l_name;
+          kind = Instr.Lock_release;
+          shadow = lock.Instr.l_shadow;
+        }
   | St_parked { lock; _ } -> Blocked lock
   | St_done -> Done
 

@@ -1,17 +1,43 @@
-(** Bounded exhaustive exploration of interleavings (dscheck-style).
+(** Bounded exhaustive exploration of interleavings with dynamic
+    partial-order reduction (dscheck-style re-execution, Flanagan–Godefroid
+    backtracking, sleep sets).
 
     Executions are deterministic functions of the scheduling choice
     sequence, so the explorer needs no state snapshots: to branch it simply
     re-executes a fresh scenario instance along the choice prefix and
-    diverges at the last decision.  Every complete execution's high-level
-    history is checked for linearizability against the set specification
-    and the structure is checked via the scenario's invariant hook — an
-    executable, bounded version of the paper's Theorem 1.
+    diverges at the recorded decision.  Every complete execution's
+    high-level history is checked for linearizability against the set
+    specification and the structure is checked via the scenario's invariant
+    hook — an executable, bounded version of the paper's Theorem 1.
 
-    Exploration is optionally {e preemption-bounded}: switching away from a
-    thread that could still run costs one unit of budget.  Most concurrency
-    bugs need very few preemptions, and the bound keeps the schedule count
-    polynomial instead of factorial. *)
+    {b DPOR.}  Two steps are {e dependent} when they touch the same
+    location (cell or lock shadow identity) and at least one writes, or
+    both are lock operations on the same lock; all other pairs commute, so
+    executions differing only in the order of adjacent independent steps
+    belong to the same Mazurkiewicz trace and need exploring only once.
+    The explorer runs one execution to completion, detects the races it
+    contains (pairs of dependent steps by different threads not ordered by
+    the happens-before relation of the trace, computed with per-thread
+    vector clocks and last-access tables), and schedules backtrack points
+    just before each race — the Flanagan–Godefroid rule: the racing
+    thread if it was enabled there, every enabled thread otherwise.  Sleep
+    sets carry the set of already-explored choices into sibling subtrees
+    and prune executions that would only permute independent steps;
+    executions whose every enabled thread is asleep are abandoned unchecked
+    ([sleep_blocked] counts them).
+
+    Exploration remains optionally {e preemption-bounded}: switching away
+    from a thread that could still run costs one unit of budget, and
+    backtrack points that would exceed the budget are skipped.  With
+    [preemption_bound = None] the reduction is sound and complete: at least
+    one representative of every trace is explored, so a failure existing in
+    any interleaving is found in some explored one.
+
+    {!run_naive} keeps the pre-DPOR brute-force DFS (every enabled thread
+    branches at every step) for comparison and for the DFS-vs-DPOR parity
+    suite. *)
+
+module Instr = Vbl_memops.Instr_mem
 
 type scenario = {
   make : unit -> instance;
@@ -39,11 +65,28 @@ type failure =
   | Deadlock of { schedule : int list }
   | Step_limit of { schedule : int list }
   | Crashed of { schedule : int list; exn : string }
+  | Analysis_violation of { schedule : int list; kind : string; msg : string }
 
 type report = {
   executions : int;  (** completed executions checked *)
+  sleep_blocked : int;  (** executions pruned by the sleep set *)
+  races : int;  (** dependent unordered step pairs that seeded backtrack points *)
   truncated : bool;  (** true if the execution cap stopped exploration early *)
   failure : failure option;  (** first failure found, if any *)
+}
+
+type event = {
+  ev_thread : int;
+  ev_access : Instr.access;
+  ev_effective : bool;  (** CAS / lock-attempt success; [true] for other kinds *)
+  ev_completed : bool;  (** the thread finished right after this step *)
+}
+
+type step_monitor = {
+  on_step : event -> unit;
+  at_end : unit -> (string * string) option;
+      (** called at quiescence of a complete execution; [Some (kind, msg)]
+          reports a violation *)
 }
 
 let pp_failure ppf = function
@@ -53,18 +96,335 @@ let pp_failure ppf = function
   | Deadlock _ -> Format.fprintf ppf "deadlock"
   | Step_limit _ -> Format.fprintf ppf "step limit exceeded (livelock?)"
   | Crashed { exn; _ } -> Format.fprintf ppf "exception: %s" exn
+  | Analysis_violation { kind; msg; _ } -> Format.fprintf ppf "%s: %s" kind msg
 
 let failure_schedule = function
   | Not_linearizable { schedule; _ }
   | Invariant_broken { schedule; _ }
   | Deadlock { schedule }
   | Step_limit { schedule }
-  | Crashed { schedule; _ } -> schedule
+  | Crashed { schedule; _ }
+  | Analysis_violation { schedule; _ } -> schedule
+
+(* ------------------------------------------------------------------ *)
+(* Shared helpers.                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Dependence classes; [KNil] steps (touches, node creations, unparks)
+   commute with everything. *)
+type cls = KRead | KWrite | KLock | KNil
+
+let cls_of_kind = function
+  | Instr.Read -> KRead
+  | Instr.Write | Instr.Cas -> KWrite
+  | Instr.Lock_try | Instr.Lock_release -> KLock
+  | Instr.Touch | Instr.New_node -> KNil
+
+(* (location, class) signature of a thread's next step.  A parked thread's
+   next visible interaction is with its lock. *)
+let sig_of_pending = function
+  | Exec.Access a ->
+      let s = a.Instr.shadow in
+      if s.Instr.s_loc < 0 then (-1, KNil) else (s.Instr.s_loc, cls_of_kind a.Instr.kind)
+  | Exec.Blocked l -> (l.Instr.l_shadow.Instr.s_loc, KLock)
+  | Exec.Done -> (-1, KNil)
+
+let conflict (l1, c1) (l2, c2) =
+  l1 >= 0 && l1 = l2
+  &&
+  match (c1, c2) with
+  | KWrite, (KRead | KWrite) | KRead, KWrite -> true
+  | KLock, KLock -> true
+  | _ -> false
+
+let effective_of (a : Instr.access) =
+  match a.Instr.kind with
+  | Instr.Cas | Instr.Lock_try -> !Instr.last_cas_result
+  | _ -> true
+
+(* Feed one executed step to the monitor: must be called right after
+   [Exec.step], while [Instr.last_cas_result] still belongs to it. *)
+let notify_monitor monitor exec tid (a : Instr.access) =
+  match monitor with
+  | None -> ()
+  | Some m ->
+      m.on_step
+        {
+          ev_thread = tid;
+          ev_access = a;
+          ev_effective = effective_of a;
+          ev_completed = Exec.pending exec tid = Exec.Done;
+        }
+
+(* ------------------------------------------------------------------ *)
+(* DPOR exploration.                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* One state of the current exploration prefix, together with the choice
+   taken from it.  [enabled] and [preemptions] are refreshed on every
+   (re-)execution; [dn_done] and [backtrack] persist across the subtree. *)
+type dnode = {
+  mutable chosen : int;
+  mutable dn_done : int list;  (** choices explored or in progress *)
+  mutable backtrack : int list;  (** choices still to explore *)
+  mutable enabled : int list;  (** threads runnable at this state *)
+  mutable preemptions : int;  (** preemptions consumed before this state *)
+}
+
+exception Sleep_blocked
+
+let run ?(config = default_config) ?monitor scenario =
+  let completed = ref 0 in
+  let blocked = ref 0 in
+  let races = ref 0 in
+  let truncated = ref false in
+  let failure = ref None in
+  (* Growable stack of exploration states (OCaml 5.1: no Dynarray). *)
+  let dummy = { chosen = -1; dn_done = []; backtrack = []; enabled = []; preemptions = 0 } in
+  let stack = ref (Array.make 64 dummy) in
+  let len = ref 0 in
+  let push n =
+    if !len = Array.length !stack then begin
+      let bigger = Array.make (2 * !len) dummy in
+      Array.blit !stack 0 bigger 0 !len;
+      stack := bigger
+    end;
+    !stack.(!len) <- n;
+    incr len
+  in
+  (* Insert a backtrack point at state [i]: thread [q]'s step raced with the
+     step taken there.  Flanagan–Godefroid rule, filtered by the preemption
+     budget. *)
+  let add_backtrack i q =
+    incr races;
+    let st = !stack.(i) in
+    let candidates = if List.mem q st.enabled then [ q ] else st.enabled in
+    List.iter
+      (fun p ->
+        if (not (List.mem p st.dn_done)) && not (List.mem p st.backtrack) then begin
+          let cost =
+            if i > 0 then begin
+              let prev = !stack.(i - 1).chosen in
+              if prev <> p && List.mem prev st.enabled then 1 else 0
+            end
+            else 0
+          in
+          let within =
+            match config.preemption_bound with
+            | None -> true
+            | Some b -> st.preemptions + cost <= b
+          in
+          if within then st.backtrack <- p :: st.backtrack
+        end)
+      candidates
+  in
+  (* Execute one run: replay the choices recorded on the stack, then extend
+     with the default policy (keep running the last thread, avoid sleeping
+     threads), pushing a fresh state per step.  Race analysis happens
+     inline on every executed step. *)
+  let run_one () =
+    let inst = scenario.make () in
+    let mon = Option.map (fun f -> f ()) monitor in
+    let exec = Exec.create inst.bodies in
+    let n = List.length inst.bodies in
+    (* Happens-before state: per-thread vector clocks over per-thread step
+       counts, plus last-access tables per location. *)
+    let clocks = Array.init n (fun _ -> Array.make n 0) in
+    let tcount = Array.make n 0 in
+    let merge a b =
+      for i = 0 to n - 1 do
+        if b.(i) > a.(i) then a.(i) <- b.(i)
+      done
+    in
+    (* loc -> (state index, tid, that thread's clock, vc snapshot) *)
+    let last_write : (int, int * int * int * int array) Hashtbl.t = Hashtbl.create 64 in
+    (* loc -> per-tid entries since the last write *)
+    let last_reads : (int, (int * int * int * int array) list ref) Hashtbl.t =
+      Hashtbl.create 64
+    in
+    let schedule = ref [] in
+    let fail f = failure := Some (f (List.rev !schedule)) in
+    (* Race-check thread [q]'s step at state [idx] against a recorded
+       access, then merge the dependence edge into [q]'s clock. *)
+    let check_edge q (i, p, pclk, vc) =
+      if p <> q && pclk > clocks.(q).(p) then add_backtrack i q;
+      merge clocks.(q) vc
+    in
+    let analyze idx q (loc, c) =
+      tcount.(q) <- tcount.(q) + 1;
+      clocks.(q).(q) <- tcount.(q);
+      (match c with
+      | KRead ->
+          Option.iter (check_edge q) (Hashtbl.find_opt last_write loc);
+          let rs =
+            match Hashtbl.find_opt last_reads loc with
+            | Some r -> r
+            | None ->
+                let r = ref [] in
+                Hashtbl.replace last_reads loc r;
+                r
+          in
+          rs := (idx, q, tcount.(q), Array.copy clocks.(q))
+                :: List.filter (fun (_, p, _, _) -> p <> q) !rs
+      | KWrite | KLock ->
+          Option.iter (check_edge q) (Hashtbl.find_opt last_write loc);
+          (match Hashtbl.find_opt last_reads loc with
+          | Some rs ->
+              List.iter (check_edge q) !rs;
+              Hashtbl.remove last_reads loc
+          | None -> ());
+          Hashtbl.replace last_write loc (idx, q, tcount.(q), Array.copy clocks.(q))
+      | KNil -> ())
+    in
+    let zset = ref [] (* sleep set in effect at the frontier *) in
+    let last = ref (-1) in
+    let preempt = ref 0 in
+    let idx = ref 0 in
+    try
+      let rec go () =
+        if !failure <> None then ()
+        else if Exec.finished exec then begin
+          incr completed;
+          (* Monitor verdict first: the analysis layer is more specific
+             about *why* an execution is wrong than the history check. *)
+          (match mon with
+          | Some m -> (
+              match m.at_end () with
+              | Some (kind, msg) -> fail (fun s -> Analysis_violation { schedule = s; kind; msg })
+              | None -> ())
+          | None -> ());
+          if !failure = None then begin
+            let h = inst.history () in
+            if not (Vbl_spec.Linearizability.check h) then
+              fail (fun s ->
+                  Not_linearizable { schedule = s; history = Vbl_spec.History.to_string h })
+            else
+              match inst.invariants () with
+              | Ok () -> ()
+              | Error msg -> fail (fun s -> Invariant_broken { schedule = s; msg })
+          end
+        end
+        else begin
+          let enabled = Exec.runnable_threads exec in
+          match enabled with
+          | [] -> fail (fun s -> Deadlock { schedule = s })
+          | _ when !idx >= config.max_steps -> fail (fun s -> Step_limit { schedule = s })
+          | _ ->
+              let node =
+                if !idx < !len then begin
+                  (* Replay: refresh the state-dependent fields. *)
+                  let node = !stack.(!idx) in
+                  node.enabled <- enabled;
+                  node.preemptions <- !preempt;
+                  node
+                end
+                else begin
+                  let awake = List.filter (fun t -> not (List.mem t !zset)) enabled in
+                  match awake with
+                  | [] ->
+                      incr blocked;
+                      raise Sleep_blocked
+                  | _ ->
+                      let c = if List.mem !last awake then !last else List.hd awake in
+                      let node =
+                        {
+                          chosen = c;
+                          dn_done = [ c ];
+                          backtrack = [];
+                          enabled;
+                          preemptions = !preempt;
+                        }
+                      in
+                      push node;
+                      node
+                end
+              in
+              let c = node.chosen in
+              (* Siblings already fully explored sleep through this
+                 subtree; the chosen thread itself is always awake. *)
+              List.iter
+                (fun t -> if t <> c && not (List.mem t !zset) then zset := t :: !zset)
+                node.dn_done;
+              zset := List.filter (fun t -> t <> c) !zset;
+              let z_pend = List.map (fun t -> (t, sig_of_pending (Exec.pending exec t))) !zset in
+              let pend = Exec.pending exec c in
+              schedule := c :: !schedule;
+              Exec.step exec c;
+              let step_sig =
+                match pend with
+                | Exec.Access a ->
+                    notify_monitor mon exec c a;
+                    let s = sig_of_pending pend in
+                    analyze !idx c s;
+                    s
+                | Exec.Blocked _ -> (-1, KNil) (* unpark: no shared access *)
+                | Exec.Done -> (-1, KNil)
+              in
+              (* A sleeping thread wakes when a dependent step executes. *)
+              zset :=
+                List.filter_map
+                  (fun (t, psig) -> if conflict step_sig psig then None else Some t)
+                  z_pend;
+              if !last >= 0 && c <> !last && List.mem !last enabled then incr preempt;
+              last := c;
+              incr idx;
+              go ()
+        end
+      in
+      go ()
+    with
+    | Sleep_blocked -> ()
+    | Exec.Stuck msg -> fail (fun s -> Crashed { schedule = s; exn = msg })
+    | e -> fail (fun s -> Crashed { schedule = s; exn = Printexc.to_string e })
+  in
+  (* Outer loop: run, then backtrack to the deepest state with an untried
+     choice, truncate and re-run. *)
+  let rec explore () =
+    if !failure <> None then ()
+    else if !completed + !blocked >= config.max_executions then truncated := true
+    else begin
+      run_one ();
+      if !failure = None then begin
+        let rec find k =
+          if k < 0 then None
+          else
+            let st = !stack.(k) in
+            match List.filter (fun p -> not (List.mem p st.dn_done)) st.backtrack with
+            | [] -> find (k - 1)
+            | p :: _ -> Some (k, p)
+        in
+        match find (!len - 1) with
+        | None -> ()
+        | Some (k, p) ->
+            len := k + 1;
+            let st = !stack.(k) in
+            st.chosen <- p;
+            st.dn_done <- p :: st.dn_done;
+            explore ()
+      end
+    end
+  in
+  explore ();
+  if !Vbl_obs.Probe.enabled then begin
+    Vbl_obs.Probe.add Vbl_obs.Metrics.Dpor_executions !completed;
+    Vbl_obs.Probe.add Vbl_obs.Metrics.Dpor_sleep_blocked !blocked
+  end;
+  {
+    executions = !completed;
+    sleep_blocked = !blocked;
+    races = !races;
+    truncated = !truncated;
+    failure = !failure;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Naive DFS (the pre-DPOR explorer), kept for comparison.             *)
+(* ------------------------------------------------------------------ *)
 
 (* A branch left to explore: re-run along [prefix], then choose [choice]. *)
 type branch = { prefix : int list (* reversed *); choice : int; preemptions : int }
 
-let run ?(config = default_config) scenario =
+let run_naive ?(config = default_config) ?monitor scenario =
   let executions = ref 0 in
   let truncated = ref false in
   let failure = ref None in
@@ -76,13 +436,16 @@ let run ?(config = default_config) scenario =
   let execute prefix0 preemptions0 =
     incr executions;
     let inst = scenario.make () in
+    let mon = Option.map (fun f -> f ()) monitor in
     let exec = Exec.create inst.bodies in
     let schedule = ref [] in
     let prefix = List.rev prefix0 in
     let fail f = failure := Some (f (List.rev !schedule)) in
     let step_choice c =
+      let pend = Exec.pending exec c in
       schedule := c :: !schedule;
-      Exec.step exec c
+      Exec.step exec c;
+      match pend with Exec.Access a -> notify_monitor mon exec c a | _ -> ()
     in
     try
       (* Replay the committed prefix. *)
@@ -93,14 +456,22 @@ let run ?(config = default_config) scenario =
       let rec extend last preemptions steps =
         if steps > config.max_steps then fail (fun s -> Step_limit { schedule = s })
         else if Exec.finished exec then begin
-          let h = inst.history () in
-          if not (Vbl_spec.Linearizability.check h) then
-            fail (fun s ->
-                Not_linearizable { schedule = s; history = Vbl_spec.History.to_string h })
-          else
-            match inst.invariants () with
-            | Ok () -> ()
-            | Error msg -> fail (fun s -> Invariant_broken { schedule = s; msg })
+          (match mon with
+          | Some m -> (
+              match m.at_end () with
+              | Some (kind, msg) -> fail (fun s -> Analysis_violation { schedule = s; kind; msg })
+              | None -> ())
+          | None -> ());
+          if !failure = None then begin
+            let h = inst.history () in
+            if not (Vbl_spec.Linearizability.check h) then
+              fail (fun s ->
+                  Not_linearizable { schedule = s; history = Vbl_spec.History.to_string h })
+            else
+              match inst.invariants () with
+              | Ok () -> ()
+              | Error msg -> fail (fun s -> Invariant_broken { schedule = s; msg })
+          end
         end
         else begin
           let enabled = Exec.runnable_threads exec in
@@ -146,4 +517,10 @@ let run ?(config = default_config) scenario =
     end
   in
   drain ();
-  { executions = !executions; truncated = !truncated; failure = !failure }
+  {
+    executions = !executions;
+    sleep_blocked = 0;
+    races = 0;
+    truncated = !truncated;
+    failure = !failure;
+  }

@@ -1,11 +1,22 @@
 (** Bounded exhaustive exploration of interleavings (dscheck-style
-    re-execution DFS), checking every complete execution for
-    linearizability and structural invariants — the executable counterpart
-    of the paper's Theorem 1 on bounded configurations.
+    re-execution) with dynamic partial-order reduction, checking every
+    complete execution for linearizability and structural invariants — the
+    executable counterpart of the paper's Theorem 1 on bounded
+    configurations.
 
-    Optionally preemption-bounded: switching away from a thread that could
-    continue costs one unit; most concurrency bugs need very few
-    preemptions and the bound keeps schedule counts polynomial. *)
+    {!run} is the DPOR explorer: it detects races (dependent, unordered
+    step pairs) in each execution via vector clocks, seeds
+    Flanagan–Godefroid backtrack points just before them, and prunes
+    commutations with sleep sets.  With [preemption_bound = None] it is
+    sound and complete per Mazurkiewicz trace; with a bound it explores
+    the same executions the bounded naive DFS would, minus redundant
+    commutations.  {!run_naive} keeps the brute-force DFS (every enabled
+    thread branches at every step) for comparison.
+
+    Both explorers accept an optional {!step_monitor}: a per-execution
+    observer fed every executed access (with its shadow state), able to
+    veto an otherwise-passing execution at quiescence — this is how the
+    race detector and lock-discipline linter of [vbl.analysis] hook in. *)
 
 type scenario = { make : unit -> instance }
 (** Called once per explored execution; must return fully independent
@@ -31,11 +42,30 @@ type failure =
   | Deadlock of { schedule : int list }
   | Step_limit of { schedule : int list }
   | Crashed of { schedule : int list; exn : string }
+  | Analysis_violation of { schedule : int list; kind : string; msg : string }
+      (** Reported by the step monitor at the end of an execution (race,
+          lock-discipline breach, ...). *)
 
 type report = {
-  executions : int;
+  executions : int;  (** completed executions checked *)
+  sleep_blocked : int;  (** executions pruned by the sleep set (DPOR only) *)
+  races : int;  (** dependent unordered pairs that seeded backtracks (DPOR only) *)
   truncated : bool;  (** the execution cap stopped exploration early *)
   failure : failure option;  (** first failure found *)
+}
+
+type event = {
+  ev_thread : int;
+  ev_access : Vbl_memops.Instr_mem.access;
+  ev_effective : bool;  (** CAS / lock-attempt success; [true] for other kinds *)
+  ev_completed : bool;  (** the thread finished right after this step *)
+}
+
+type step_monitor = {
+  on_step : event -> unit;
+  at_end : unit -> (string * string) option;
+      (** called at quiescence of a complete execution; [Some (kind, msg)]
+          becomes an {!Analysis_violation} *)
 }
 
 val pp_failure : Format.formatter -> failure -> unit
@@ -43,4 +73,10 @@ val pp_failure : Format.formatter -> failure -> unit
 val failure_schedule : failure -> int list
 (** The thread-choice sequence reproducing the failure. *)
 
-val run : ?config:config -> scenario -> report
+val run : ?config:config -> ?monitor:(unit -> step_monitor) -> scenario -> report
+(** DPOR + sleep-set exploration.  [monitor] is called once per execution
+    to create a fresh observer. *)
+
+val run_naive : ?config:config -> ?monitor:(unit -> step_monitor) -> scenario -> report
+(** The pre-DPOR brute-force DFS; identical verdicts, no reduction
+    ([sleep_blocked] and [races] are always [0]). *)

@@ -14,7 +14,7 @@
 module Make (M : Vbl_memops.Mem_intf.S) : Vbl_lists.Set_intf.S = struct
   let name = "lazy-skiplist"
 
-  let max_level = Level_gen.max_level
+  let max_level = Vbl_util.Level_gen.max_level
 
   type node =
     | Node of {
@@ -26,7 +26,7 @@ module Make (M : Vbl_memops.Mem_intf.S) : Vbl_lists.Set_intf.S = struct
       }
     | Tail of { value : int M.cell }
 
-  type t = { head : node; levels : Level_gen.t }
+  type t = { head : node; levels : Vbl_util.Level_gen.t }
 
   let node_value = function Node n -> M.get n.value | Tail n -> M.get n.value
   let node_marked = function Node n -> M.get n.marked | Tail _ -> false
@@ -86,7 +86,7 @@ module Make (M : Vbl_memops.Mem_intf.S) : Vbl_lists.Set_intf.S = struct
           lock = M.make_lock ~name:(Vbl_lists.Naming.lock_cell Vbl_lists.Naming.head) ~line:hl ();
         }
     in
-    { head; levels = Level_gen.create () }
+    { head; levels = Vbl_util.Level_gen.create () }
 
   let check_key v =
     if v = min_int || v = max_int then
@@ -130,7 +130,7 @@ module Make (M : Vbl_memops.Mem_intf.S) : Vbl_lists.Set_intf.S = struct
 
   let insert t v =
     check_key v;
-    let top_level = Level_gen.next_level t.levels in
+    let top_level = Vbl_util.Level_gen.next_level t.levels in
     let preds = Array.make max_level t.head and succs = Array.make max_level t.head in
     let rec attempt () =
       let lfound = find t v preds succs in

@@ -20,7 +20,7 @@
 module Make (M : Vbl_memops.Mem_intf.S) : Vbl_lists.Set_intf.S = struct
   let name = "lockfree-skiplist"
 
-  let max_level = Level_gen.max_level
+  let max_level = Vbl_util.Level_gen.max_level
 
   type node =
     | Node of { value : int M.cell; next : link M.cell array }
@@ -29,7 +29,7 @@ module Make (M : Vbl_memops.Mem_intf.S) : Vbl_lists.Set_intf.S = struct
   (* [Marked succ] in [n.next.(lvl)] means n is deleted at that level. *)
   and link = Live of node | Marked of node
 
-  type t = { head : node; levels : Level_gen.t }
+  type t = { head : node; levels : Vbl_util.Level_gen.t }
 
   let node_value = function Node n -> M.get n.value | Tail n -> M.get n.value
   let height = function Node n -> Array.length n.next | Tail _ -> 0
@@ -82,7 +82,7 @@ module Make (M : Vbl_memops.Mem_intf.S) : Vbl_lists.Set_intf.S = struct
                 M.make ~name:(Printf.sprintf "h.next%d" lvl) ~line:hl (Live tail));
         }
     in
-    { head; levels = Level_gen.create () }
+    { head; levels = Vbl_util.Level_gen.create () }
 
   let check_key v =
     if v = min_int || v = max_int then
@@ -144,7 +144,7 @@ module Make (M : Vbl_memops.Mem_intf.S) : Vbl_lists.Set_intf.S = struct
 
   let insert t v =
     check_key v;
-    let top_level = Level_gen.next_level t.levels in
+    let top_level = Vbl_util.Level_gen.next_level t.levels in
     let preds = Array.make max_level t.head
     and succs = Array.make max_level t.head
     and pred_links = Array.make max_level (Live t.head) in

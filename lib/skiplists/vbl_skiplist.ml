@@ -33,7 +33,7 @@
 module Make (M : Vbl_memops.Mem_intf.S) : Vbl_lists.Set_intf.S = struct
   let name = "vbl-skiplist"
 
-  let max_level = Level_gen.max_level
+  let max_level = Vbl_util.Level_gen.max_level
 
   type node =
     | Node of {
@@ -45,7 +45,7 @@ module Make (M : Vbl_memops.Mem_intf.S) : Vbl_lists.Set_intf.S = struct
       }
     | Tail of { value : int M.cell }
 
-  type t = { head : node; levels : Level_gen.t }
+  type t = { head : node; levels : Vbl_util.Level_gen.t }
 
   let node_value = function Node n -> M.get n.value | Tail n -> M.get n.value
   let node_marked = function Node n -> M.get n.marked | Tail _ -> false
@@ -109,7 +109,7 @@ module Make (M : Vbl_memops.Mem_intf.S) : Vbl_lists.Set_intf.S = struct
             M.make_lock ~name:(Vbl_lists.Naming.lock_cell Vbl_lists.Naming.head) ~line:hl ();
         }
     in
-    { head; levels = Level_gen.create () }
+    { head; levels = Vbl_util.Level_gen.create () }
 
   let check_key v =
     if v = min_int || v = max_int then
@@ -149,7 +149,7 @@ module Make (M : Vbl_memops.Mem_intf.S) : Vbl_lists.Set_intf.S = struct
 
   let insert t v =
     check_key v;
-    let top_level = Level_gen.next_level t.levels in
+    let top_level = Vbl_util.Level_gen.next_level t.levels in
     let preds = Array.make max_level t.head and succs = Array.make max_level t.head in
     let rec attempt () =
       let lfound = find t v preds succs in

@@ -15,7 +15,7 @@ let create () = { counter = Atomic.make 1 }
 
 let next_level t =
   let n = Atomic.fetch_and_add t.counter 1 in
-  let z = Vbl_util.Rng.Splitmix.next (Vbl_util.Rng.Splitmix.create (Int64.of_int n)) in
+  let z = Rng.Splitmix.next (Rng.Splitmix.create (Int64.of_int n)) in
   (* Count trailing ones of the mixed word: P(level > k) = 2^-k. *)
   let rec count k z =
     if k + 1 >= max_level then k

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Source lint: algorithm libraries must go through the memory-backend
+# functor argument (M.get / M.cas / M.lock ...), never through raw
+# Atomic.* or Mutex.* — otherwise the instrumented backend, and with it
+# the whole schedule/analysis framework, silently loses sight of those
+# accesses.  Run via `dune build @analysis` (the rule passes the tree
+# root) or directly: test/cli/lint_atomics.sh <repo-root>.
+set -u
+
+root="${1:-.}"
+status=0
+
+for dir in lib/lists lib/skiplists lib/trees; do
+  [ -d "$root/$dir" ] || continue
+  # \b guards against identifiers merely ending in the module names.
+  hits=$(grep -nE '\b(Atomic|Mutex)\.' "$root/$dir"/*.ml 2>/dev/null)
+  if [ -n "$hits" ]; then
+    echo "lint_atomics: raw Atomic./Mutex. use in $dir:" >&2
+    echo "$hits" >&2
+    status=1
+  fi
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "lint_atomics: clean (lib/lists lib/skiplists lib/trees)"
+fi
+exit "$status"

@@ -1,0 +1,405 @@
+(* Tests for the concurrency-analysis layer: DPOR exploration (failure
+   variants with reproducing schedules, DFS parity, reduction factor), the
+   happens-before race detector and lock-discipline linter, and the seeded
+   mutation suite. *)
+
+open Vbl_sched
+module Instr = Vbl_memops.Instr_mem
+module Monitor = Vbl_analysis.Monitor
+module Check = Vbl_analysis.Check
+module Mutants = Vbl_analysis.Mutants
+module Ll = Ll_abstract
+
+let quick_config =
+  { Explore.max_executions = 200_000; preemption_bound = Some 3; max_steps = 5_000 }
+
+let is_infix ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+  n = 0 || go 0
+
+(* Raw-body scenarios with a trivially linearizable (empty) history, so the
+   only possible verdicts come from the explorer and the monitor. *)
+let raw_scenario mk_bodies : Explore.scenario =
+  {
+    Explore.make =
+      (fun () ->
+        {
+          Explore.bodies = mk_bodies ();
+          history = (fun () -> Vbl_spec.History.of_list []);
+          invariants = (fun () -> Ok ());
+        });
+  }
+
+(* Replay a schedule against a fresh instance of the scenario; returns the
+   conductor at the point the schedule ends. *)
+let replay scenario schedule =
+  let inst = scenario.Explore.make () in
+  let exec = Exec.create inst.Explore.bodies in
+  List.iter (fun t -> Exec.step exec t) schedule;
+  exec
+
+(* ------------------------------------------------------------------ *)
+(* Failure variants carry reproducing schedules.                       *)
+(* ------------------------------------------------------------------ *)
+
+let failure_tests =
+  [
+    Alcotest.test_case "Deadlock carries a schedule that replays to deadlock" `Quick
+      (fun () ->
+        let mk () =
+          let line = Instr.fresh_line () in
+          let a = Instr.make_lock ~name:"A.lock" ~line () in
+          let b = Instr.make_lock ~name:"B.lock" ~line () in
+          let grab l1 l2 () =
+            Instr.lock l1;
+            Instr.lock l2;
+            Instr.unlock l2;
+            Instr.unlock l1
+          in
+          [ grab a b; grab b a ]
+        in
+        let scenario = raw_scenario mk in
+        let report = Explore.run ~config:quick_config scenario in
+        match report.Explore.failure with
+        | Some (Explore.Deadlock { schedule }) ->
+            Alcotest.(check bool) "non-empty schedule" true (schedule <> []);
+            let exec = replay scenario schedule in
+            Alcotest.(check bool) "replays to deadlock" true (Exec.deadlocked exec)
+        | Some f -> Alcotest.failf "expected Deadlock, got %a" Explore.pp_failure f
+        | None -> Alcotest.fail "expected Deadlock, found no failure");
+    Alcotest.test_case "Step_limit carries the truncated schedule" `Quick (fun () ->
+        let mk () =
+          let line = Instr.fresh_line () in
+          let c = Instr.make ~name:"c" ~line 0 in
+          [
+            (fun () ->
+              while Instr.get c >= 0 do
+                ()
+              done);
+          ]
+        in
+        let config = { quick_config with Explore.max_steps = 40 } in
+        let report = Explore.run ~config (raw_scenario mk) in
+        match report.Explore.failure with
+        | Some (Explore.Step_limit { schedule }) ->
+            Alcotest.(check int) "schedule hits the cap" 40 (List.length schedule);
+            (* The schedule replays without raising: the instance really
+               does run that long. *)
+            ignore (replay (raw_scenario mk) schedule)
+        | _ -> Alcotest.fail "expected Step_limit");
+    Alcotest.test_case "Crashed carries the exception and its schedule" `Quick (fun () ->
+        let mk () =
+          let line = Instr.fresh_line () in
+          let c = Instr.make ~name:"c" ~line 0 in
+          [
+            (fun () ->
+              if Instr.get c = 0 then failwith "seeded crash";
+              ());
+          ]
+        in
+        let report = Explore.run ~config:quick_config (raw_scenario mk) in
+        match report.Explore.failure with
+        | Some (Explore.Crashed { schedule; exn }) ->
+            Alcotest.(check bool) "exn mentions seed" true
+              (is_infix ~affix:"seeded crash" exn);
+            Alcotest.(check int) "crash after the read step" 1 (List.length schedule)
+        | _ -> Alcotest.fail "expected Crashed");
+    Alcotest.test_case "naive DFS reports the same deadlock" `Quick (fun () ->
+        let mk () =
+          let line = Instr.fresh_line () in
+          let a = Instr.make_lock ~name:"A.lock" ~line () in
+          let b = Instr.make_lock ~name:"B.lock" ~line () in
+          let grab l1 l2 () =
+            Instr.lock l1;
+            Instr.lock l2;
+            Instr.unlock l2;
+            Instr.unlock l1
+          in
+          [ grab a b; grab b a ]
+        in
+        let report = Explore.run_naive ~config:quick_config (raw_scenario mk) in
+        match report.Explore.failure with
+        | Some (Explore.Deadlock _) -> ()
+        | _ -> Alcotest.fail "expected Deadlock from the naive DFS");
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* DPOR vs naive DFS: identical verdicts, fewer executions.            *)
+(* ------------------------------------------------------------------ *)
+
+let reference_scenarios =
+  [
+    ("vbl 2-thread", "vbl", [ 2 ], [ Ll.insert 1; Ll.remove 2 ]);
+    ("vbl 3-thread", "vbl", [ 2 ], [ Ll.insert 1; Ll.remove 2; Ll.contains 1 ]);
+    ("lazy 3-thread", "lazy", [ 2 ], [ Ll.insert 1; Ll.remove 2; Ll.contains 1 ]);
+  ]
+
+let dpor_tests =
+  List.map
+    (fun (label, nm, initial, ops) ->
+      Alcotest.test_case (Printf.sprintf "parity + reduction: %s" label) `Slow (fun () ->
+          let impl = Drive.find_instrumented nm in
+          let scenario = Drive.explore_scenario impl ~initial ~ops in
+          let naive = Explore.run_naive ~config:quick_config scenario in
+          let dpor = Explore.run ~config:quick_config scenario in
+          Alcotest.(check bool) "naive passes" true (naive.Explore.failure = None);
+          Alcotest.(check bool) "dpor passes" true (dpor.Explore.failure = None);
+          Alcotest.(check bool) "neither truncated" true
+            ((not naive.Explore.truncated) && not dpor.Explore.truncated);
+          Alcotest.(check bool) "dpor explores more than one execution" true
+            (dpor.Explore.executions > 1);
+          (* The acceptance bar: >= 5x fewer executions on the 3-thread
+             scenarios (the 2-thread one also clears it comfortably). *)
+          Alcotest.(check bool)
+            (Printf.sprintf "5x reduction (naive %d vs dpor %d)" naive.Explore.executions
+               dpor.Explore.executions)
+            true
+            (naive.Explore.executions >= 5 * dpor.Explore.executions)))
+      reference_scenarios
+  @ [
+      Alcotest.test_case "parity on a buggy list: both explorers fail" `Quick (fun () ->
+          let impl = Drive.find_instrumented "sequential" in
+          let scenario =
+            Drive.explore_scenario impl ~initial:[ 2 ] ~ops:[ Ll.insert 1; Ll.remove 2 ]
+          in
+          let failed r =
+            match r.Explore.failure with
+            | Some (Explore.Not_linearizable _) | Some (Explore.Invariant_broken _) -> true
+            | _ -> false
+          in
+          Alcotest.(check bool) "naive finds the bug" true
+            (failed (Explore.run_naive ~config:quick_config scenario));
+          Alcotest.(check bool) "dpor finds the bug" true
+            (failed (Explore.run ~config:quick_config scenario)));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Monitor unit tests on synthetic event streams.                      *)
+(* ------------------------------------------------------------------ *)
+
+let ev ?(effective = true) ?(completed = false) thread kind shadow name : Explore.event =
+  {
+    Explore.ev_thread = thread;
+    ev_access = { Instr.line = 1; name; kind; shadow };
+    ev_effective = effective;
+    ev_completed = completed;
+  }
+
+let kinds_of m = List.map (fun v -> v.Monitor.v_kind) (Monitor.violations m)
+
+let monitor_tests =
+  [
+    Alcotest.test_case "unordered plain writes race" `Quick (fun () ->
+        let m = Monitor.create ~threads:2 () in
+        let c = Instr.fresh_shadow () in
+        Monitor.on_step m (ev 0 Instr.Write c "x.next");
+        Monitor.on_step m (ev 1 Instr.Write c "x.next");
+        (* Both writers are lockless, so the lockset lint fires too; the
+           race is the first (and leading) violation. *)
+        Alcotest.(check (list string)) "race reported" [ "race"; "lockset" ] (kinds_of m));
+    Alcotest.test_case "lock-ordered writes do not race" `Quick (fun () ->
+        let m = Monitor.create ~threads:2 () in
+        let c = Instr.fresh_shadow () in
+        let l = Instr.fresh_shadow () in
+        Monitor.on_step m (ev 0 Instr.Lock_try l "x.lock");
+        Monitor.on_step m (ev 0 Instr.Write c "x.next");
+        Monitor.on_step m (ev 0 Instr.Lock_release l "x.lock");
+        Monitor.on_step m (ev 1 Instr.Lock_try l "x.lock");
+        Monitor.on_step m (ev 1 Instr.Write c "x.next");
+        Monitor.on_step m (ev 1 Instr.Lock_release l "x.lock");
+        Alcotest.(check (list string)) "clean" [] (kinds_of m));
+    Alcotest.test_case "reading a release does not excuse a later write" `Quick (fun () ->
+        (* Thread 1 reads the cell after thread 0's write (acquiring its
+           publication clock) but its own overwrite happens without any
+           lock: still a race?  No - the read *does* order the write via
+           s_sync publication.  The racy pattern is read first, write after
+           the victim's store. *)
+        let m = Monitor.create ~threads:2 () in
+        let c = Instr.fresh_shadow () in
+        Monitor.on_step m (ev 1 Instr.Read c "x.next");
+        Monitor.on_step m (ev 0 Instr.Write c "x.next");
+        Monitor.on_step m (ev 1 Instr.Write c "x.next");
+        Alcotest.(check (list string)) "stale write races" [ "race"; "lockset" ]
+          (kinds_of m));
+    Alcotest.test_case "CAS discipline is race-free" `Quick (fun () ->
+        let m = Monitor.create ~threads:2 () in
+        let c = Instr.fresh_shadow () in
+        Monitor.on_step m (ev 0 Instr.Cas c "x.next");
+        Monitor.on_step m (ev 1 Instr.Cas c "x.next");
+        Monitor.on_step m (ev ~effective:false 0 Instr.Cas c "x.next");
+        Alcotest.(check (list string)) "clean" [] (kinds_of m));
+    Alcotest.test_case "lockset: no common lock over plain writes" `Quick (fun () ->
+        let m = Monitor.create ~threads:3 () in
+        let c = Instr.fresh_shadow () in
+        let l1 = Instr.fresh_shadow () in
+        let l2 = Instr.fresh_shadow () in
+        (* Thread 0 writes under l1 twice (first write is the exempt
+           exclusive phase), thread 1 under l2: the intersection empties on
+           the third write.  The HB race also fires; the lockset lint is
+           the second, distinct violation. *)
+        Monitor.on_step m (ev 0 Instr.Lock_try l1 "l1");
+        Monitor.on_step m (ev 0 Instr.Write c "x.next");
+        Monitor.on_step m (ev 0 Instr.Lock_release l1 "l1");
+        Monitor.on_step m (ev 1 Instr.Lock_try l2 "l2");
+        Monitor.on_step m (ev 1 Instr.Write c "x.next");
+        Monitor.on_step m (ev 1 Instr.Lock_release l2 "l2");
+        Monitor.on_step m (ev 2 Instr.Lock_try l1 "l1");
+        Monitor.on_step m (ev 2 Instr.Write c "x.next");
+        Monitor.on_step m (ev 2 Instr.Lock_release l1 "l1");
+        Alcotest.(check bool) "lockset lint present" true
+          (List.mem "lockset" (kinds_of m)));
+    Alcotest.test_case "first-writer exclusive phase is exempt" `Quick (fun () ->
+        let m = Monitor.create ~threads:2 () in
+        let c = Instr.fresh_shadow () in
+        let l = Instr.fresh_shadow () in
+        (* Unlocked initialization write by thread 0, then both threads
+           write under the same lock: no lockset lint. *)
+        Monitor.on_step m (ev 0 Instr.Write c "x.next");
+        Monitor.on_step m (ev 0 Instr.Lock_try l "l");
+        Monitor.on_step m (ev 0 Instr.Write c "x.next");
+        Monitor.on_step m (ev 0 Instr.Lock_release l "l");
+        Monitor.on_step m (ev 1 Instr.Lock_try l "l");
+        Monitor.on_step m (ev 1 Instr.Write c "x.next");
+        Monitor.on_step m (ev 1 Instr.Lock_release l "l");
+        Alcotest.(check bool) "no lockset lint" true
+          (not (List.mem "lockset" (kinds_of m))));
+    Alcotest.test_case "double-acquire lint" `Quick (fun () ->
+        let m = Monitor.create ~threads:1 () in
+        let l = Instr.fresh_shadow () in
+        Monitor.on_step m (ev 0 Instr.Lock_try l "x.lock");
+        Monitor.on_step m (ev ~effective:false 0 Instr.Lock_try l "x.lock");
+        Alcotest.(check (list string)) "reported" [ "double-acquire" ] (kinds_of m));
+    Alcotest.test_case "release-without-acquire lint" `Quick (fun () ->
+        let m = Monitor.create ~threads:1 () in
+        let l = Instr.fresh_shadow () in
+        Monitor.on_step m (ev 0 Instr.Lock_release l "x.lock");
+        Alcotest.(check (list string)) "reported" [ "release-without-acquire" ]
+          (kinds_of m));
+    Alcotest.test_case "lock-held-at-return lint" `Quick (fun () ->
+        let m = Monitor.create ~threads:1 () in
+        let l = Instr.fresh_shadow () in
+        Monitor.on_step m (ev ~completed:true 0 Instr.Lock_try l "x.lock");
+        Alcotest.(check (list string)) "reported" [ "lock-held-at-return" ] (kinds_of m));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end: monitored exploration of raw bodies.                    *)
+(* ------------------------------------------------------------------ *)
+
+let integration_tests =
+  [
+    Alcotest.test_case "unsynchronized writers are flagged as a race" `Quick (fun () ->
+        let mk () =
+          let line = Instr.fresh_line () in
+          let c = Instr.make ~name:"c" ~line 0 in
+          [ (fun () -> Instr.set c 1); (fun () -> Instr.set c 2) ]
+        in
+        let report =
+          Explore.run ~config:quick_config ~monitor:(Monitor.make ~threads:2 ())
+            (raw_scenario mk)
+        in
+        match report.Explore.failure with
+        | Some (Explore.Analysis_violation { kind = "race"; schedule; _ }) ->
+            Alcotest.(check bool) "schedule attached" true (schedule <> [])
+        | _ -> Alcotest.fail "expected a race violation");
+    Alcotest.test_case "lock-protected writers pass the analysis" `Quick (fun () ->
+        let mk () =
+          let line = Instr.fresh_line () in
+          let c = Instr.make ~name:"c" ~line 0 in
+          let l = Instr.make_lock ~name:"c.lock" ~line () in
+          let body v () =
+            Instr.lock l;
+            Instr.set c v;
+            Instr.unlock l
+          in
+          [ body 1; body 2 ]
+        in
+        let report =
+          Explore.run ~config:quick_config ~monitor:(Monitor.make ~threads:2 ())
+            (raw_scenario mk)
+        in
+        Alcotest.(check bool) "no failure" true (report.Explore.failure = None));
+    Alcotest.test_case "self try-lock while holding is linted" `Quick (fun () ->
+        let mk () =
+          let line = Instr.fresh_line () in
+          let l = Instr.make_lock ~name:"c.lock" ~line () in
+          [
+            (fun () ->
+              Instr.lock l;
+              ignore (Instr.try_lock l);
+              Instr.unlock l);
+          ]
+        in
+        let report =
+          Explore.run ~config:quick_config ~monitor:(Monitor.make ~threads:1 ())
+            (raw_scenario mk)
+        in
+        match report.Explore.failure with
+        | Some (Explore.Analysis_violation { kind = "double-acquire"; _ }) -> ()
+        | _ -> Alcotest.fail "expected double-acquire");
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Mutation suite and clean suite.                                     *)
+(* ------------------------------------------------------------------ *)
+
+let mutation_tests =
+  [
+    Alcotest.test_case "every seeded mutant is caught with a schedule" `Slow (fun () ->
+        List.iter
+          (fun (r : Check.mutation_result) ->
+            let name = r.Check.case.Check.mutant in
+            match r.Check.report.Explore.failure with
+            | None -> Alcotest.failf "mutant %s escaped the analysis" name
+            | Some f ->
+                Alcotest.(check bool)
+                  (Printf.sprintf "%s: schedule attached" name)
+                  true
+                  (Explore.failure_schedule f <> []))
+          (Check.mutation_suite ~config:quick_config ()));
+    Alcotest.test_case "unlocked unlink is caught by the race detector" `Slow (fun () ->
+        let impl = Mutants.find "vbl-unlocked-unlink" in
+        let report =
+          Check.analyze ~config:quick_config impl ~initial:[ 5 ]
+            ~ops:[ Ll.remove 5; Ll.insert 3 ]
+        in
+        match report.Explore.failure with
+        | Some (Explore.Analysis_violation { kind; _ }) ->
+            Alcotest.(check bool) "race or lockset" true (kind = "race" || kind = "lockset")
+        | Some f ->
+            Alcotest.failf "expected a race, got %a" Explore.pp_failure f
+        | None -> Alcotest.fail "mutant escaped");
+    Alcotest.test_case "leaky lock is caught by the lock linter" `Slow (fun () ->
+        let impl = Mutants.find "vbl-leaky-lock" in
+        let report =
+          Check.analyze ~config:quick_config impl ~initial:[]
+            ~ops:[ Ll.insert 1; Ll.insert 2 ]
+        in
+        match report.Explore.failure with
+        | Some (Explore.Analysis_violation { kind = "lock-held-at-return"; _ })
+        | Some (Explore.Deadlock _) -> ()
+        | Some f -> Alcotest.failf "unexpected failure %a" Explore.pp_failure f
+        | None -> Alcotest.fail "mutant escaped");
+    Alcotest.test_case "clean vbl/lazy/harris-michael pass race-free" `Slow (fun () ->
+        List.iter
+          (fun (nm, report) ->
+            (match report.Explore.failure with
+            | None -> ()
+            | Some f -> Alcotest.failf "%s flagged: %a" nm Explore.pp_failure f);
+            Alcotest.(check bool)
+              (Printf.sprintf "%s explored" nm)
+              true
+              (report.Explore.executions > 1))
+          (Check.clean_suite ~config:quick_config ()));
+  ]
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ("failures", failure_tests);
+      ("dpor", dpor_tests);
+      ("monitor", monitor_tests);
+      ("integration", integration_tests);
+      ("mutation", mutation_tests);
+    ]

@@ -5,7 +5,8 @@
 open Vbl_sched
 module Instr = Vbl_memops.Instr_mem
 
-let access ?(kind = Instr.Read) name : Instr.access = { line = 1; name; kind }
+let access ?(kind = Instr.Read) name : Instr.access =
+  { line = 1; name; kind; shadow = Instr.no_shadow }
 
 let pattern_tests =
   [

@@ -115,5 +115,17 @@ let instr_tests =
                 raise Exit)));
   ]
 
+(* Backend parity: one mixed workload through Real_mem and Instr_mem must
+   agree on every operation result and on the final abstract set. *)
+let parity_tests =
+  [
+    Alcotest.test_case "mixed workload agrees across backends" `Quick (fun () ->
+        let r = Vbl_memops.Mem_check.check_parity () in
+        List.iter (fun m -> Alcotest.fail m) r.Vbl_memops.Mem_check.mismatches;
+        Alcotest.(check (list int))
+          "expected final set" [ 0; 1; 5; 6; 7 ] r.Vbl_memops.Mem_check.real_set);
+  ]
+
 let () =
-  Alcotest.run "memops" [ ("real", real_tests); ("instr", instr_tests) ]
+  Alcotest.run "memops"
+    [ ("real", real_tests); ("instr", instr_tests); ("parity", parity_tests) ]

@@ -187,12 +187,12 @@ let sim_tests =
         in
         Alcotest.(check (list int)) "same result" (run ()) (run ()));
     Alcotest.test_case "level generator is geometric-ish and capped" `Quick (fun () ->
-        let g = Vbl_skiplists.Level_gen.create () in
-        let counts = Array.make (Vbl_skiplists.Level_gen.max_level + 1) 0 in
+        let g = Vbl_util.Level_gen.create () in
+        let counts = Array.make (Vbl_util.Level_gen.max_level + 1) 0 in
         let n = 20_000 in
         for _ = 1 to n do
-          let l = Vbl_skiplists.Level_gen.next_level g in
-          if l < 1 || l > Vbl_skiplists.Level_gen.max_level then
+          let l = Vbl_util.Level_gen.next_level g in
+          if l < 1 || l > Vbl_util.Level_gen.max_level then
             Alcotest.failf "level %d out of bounds" l;
           counts.(l) <- counts.(l) + 1
         done;
