@@ -1,0 +1,54 @@
+(** Seeded-bug variants of the VBL and lazy lists — the ground truth the
+    analysis layer is validated against.  Each mutant is the clean
+    algorithm with exactly one discipline edit, selected by a knob module
+    so the diff against the clean code is a single conditional; the
+    implementation's header documents which analysis catches which seed.
+
+    To add a mutation: add a knob defaulting to the clean behaviour,
+    guard the single deviating statement on it, instantiate over
+    [Instr_mem], and register the instance in {!all} plus a catching
+    scenario in [Check.mutation_cases]. *)
+
+module type VBL_KNOBS = sig
+  val name : string
+
+  val deleted_check : bool
+  (** lock validations test the logical-delete flag (clean: [true]) *)
+
+  val locked_unlink : bool
+  (** remove holds [prev]'s lock across the unlink (clean: [true]) *)
+
+  val logical_delete : bool
+  (** remove marks the victim before unlinking (clean: [true]) *)
+
+  val release_after_insert : bool
+  (** insert releases [prev]'s lock on the success path (clean: [true]) *)
+end
+
+module type LAZY_KNOBS = sig
+  val name : string
+
+  val validation : bool
+  (** updates validate adjacency and marks after locking (clean: [true]) *)
+end
+
+module Make_vbl (_ : VBL_KNOBS) (M : Vbl_memops.Mem_intf.S) : Vbl_lists.Set_intf.S
+(** The VBL algorithm (verbatim from [Vbl_lists.Vbl_list]) with the
+    discipline edits of the knobs applied. *)
+
+module Make_lazy (_ : LAZY_KNOBS) (M : Vbl_memops.Mem_intf.S) : Vbl_lists.Set_intf.S
+(** The lazy list (verbatim from [Vbl_lists.Lazy_list]) with the
+    discipline edits of the knobs applied. *)
+
+module Vbl_no_deleted_check : Vbl_lists.Set_intf.S
+module Vbl_unlocked_unlink : Vbl_lists.Set_intf.S
+module Vbl_no_logical_delete : Vbl_lists.Set_intf.S
+module Vbl_leaky_lock : Vbl_lists.Set_intf.S
+module Lazy_no_validation : Vbl_lists.Set_intf.S
+
+val all : (module Vbl_lists.Set_intf.S) list
+(** Every registered mutant instance (over the instrumented backend). *)
+
+val find : string -> (module Vbl_lists.Set_intf.S)
+(** Look a mutant up by its [name]; raises [Invalid_argument] on an
+    unknown name. *)

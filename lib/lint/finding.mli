@@ -1,0 +1,36 @@
+(** Lint findings: a rule identifier plus a [file:line:col] span and a
+    human-readable message.  The rules themselves live in {!Rules}; this
+    module only knows how to name, order and print them. *)
+
+type rule =
+  | L1  (** backend confinement — no raw [Atomic]/[Mutex]/mutation outside [M.] *)
+  | L2  (** named-guard discipline — [Naming.*] only under [if M.named] *)
+  | L3  (** static lock pairing — acquisitions released on all syntactic exits *)
+  | L4  (** hot-path allocation — no closures/tuples/records under [@hot] *)
+  | Parse  (** the file failed to parse (reported like a finding so a broken
+               file cannot slip through a lint run unnoticed) *)
+
+val rule_to_string : rule -> string
+val rule_of_string : string -> rule option
+(** Recognizes ["L1"]..["L4"] (case-insensitive); [Parse] is not selectable. *)
+
+val describe : rule -> string
+(** One-line summary of what the rule enforces. *)
+
+val all_rules : rule list
+(** The four selectable rules, in order. *)
+
+type t = { rule : rule; file : string; line : int; col : int; message : string }
+
+val v : rule:rule -> file:string -> line:int -> col:int -> string -> t
+val compare : t -> t -> int
+(** Order by file, then line, then column — the order reports print in. *)
+
+val to_string : t -> string
+(** ["file:line:col: [L1] message"]. *)
+
+val to_json : t -> string
+(** One finding as a JSON object. *)
+
+val json_escape : string -> string
+(** Escape a string for embedding in hand-rolled JSON output. *)

@@ -1,0 +1,43 @@
+(* See lint.mli. *)
+
+let default_dirs = [ "lib/lists"; "lib/skiplists"; "lib/trees" ]
+
+let parse_impl ~display_name path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let lexbuf = Lexing.from_channel ic in
+      Location.init lexbuf display_name;
+      match Parse.implementation lexbuf with
+      | str -> Ok str
+      | exception Syntaxerr.Error err ->
+          let loc = Syntaxerr.location_of_error err in
+          let p = loc.Location.loc_start in
+          Error (p.pos_lnum, p.pos_cnum - p.pos_bol, "syntax error")
+      | exception exn -> Error (1, 0, "cannot parse: " ^ Printexc.to_string exn))
+
+let lint_file ?(rules = Finding.all_rules) ?display_name path =
+  let display_name = Option.value display_name ~default:path in
+  match parse_impl ~display_name path with
+  | Ok str -> Rules.file ~rules ~file:display_name str
+  | Error (line, col, msg) -> [ Finding.v ~rule:Finding.Parse ~file:display_name ~line ~col msg ]
+
+let ml_files dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".ml")
+  |> List.sort String.compare
+
+let lint_root ?(rules = Finding.all_rules) ?(dirs = default_dirs) root =
+  let missing = List.filter (fun d -> not (Sys.file_exists (Filename.concat root d))) dirs in
+  match missing with
+  | _ :: _ -> Error (Printf.sprintf "missing directories under %s: %s" root (String.concat ", " missing))
+  | [] ->
+      Ok
+        (List.concat_map
+           (fun dir ->
+             ml_files (Filename.concat root dir)
+             |> List.concat_map (fun f ->
+                    let path = Filename.concat (Filename.concat root dir) f in
+                    lint_file ~rules ~display_name:(Filename.concat dir f) path))
+           dirs)

@@ -1,0 +1,22 @@
+(** Driver for the static concurrency-discipline linter: parse [.ml]
+    files with the compiler's own parser and run the {!Rules} over them.
+    This replaces the grep-based [lint_atomics.sh]: because it works on
+    the AST it resolves local aliases and opens, and never false-positives
+    on comments or string literals. *)
+
+val default_dirs : string list
+(** The algorithm directories the discipline applies to:
+    [lib/lists], [lib/skiplists], [lib/trees]. *)
+
+val lint_file :
+  ?rules:Finding.rule list -> ?display_name:string -> string -> Finding.t list
+(** Lint one file ([rules] defaults to all four).  [display_name] is the
+    path recorded in findings (defaults to the path itself).  A file that
+    does not parse yields a single {!Finding.Parse} finding rather than
+    being skipped. *)
+
+val lint_root :
+  ?rules:Finding.rule list -> ?dirs:string list -> string -> (Finding.t list, string) result
+(** Lint every [.ml] file in [dirs] (default {!default_dirs}) under the
+    given root.  [Error msg] if any requested directory is missing — the
+    shell lint silently skipped absent directories; this one refuses. *)

@@ -1,0 +1,466 @@
+(* The four concurrency-discipline rules, implemented over the parsetree.
+   See rules.mli for the contract of each rule and the exact approximations
+   this pass makes.  The walk is a single Ast_iterator traversal for the
+   scoped rules (L1/L2) with per-function analyses (L3/L4) triggered from
+   the value-binding hook, so nested [let rec attempt ... in] loops are
+   checked exactly like top-level bindings. *)
+
+open Parsetree
+
+module SMap = Map.Make (String)
+
+type ctx = {
+  file : string;
+  l1 : bool;
+  l2 : bool;
+  l3 : bool;
+  l4 : bool;
+  mutable env : string list SMap.t;  (** local module aliases, name -> canonical path *)
+  mutable guarded : bool;  (** inside the then-branch of an [if M.named] *)
+  mutable exempt : int;  (** depth of enclosing [@acquires] bindings (L3 off) *)
+  mutable ref_ok : (int * int) list;  (** locs of [ref] idents in local let binders *)
+  mutable findings : Finding.t list;
+}
+
+let report ctx rule (loc : Location.t) msg =
+  let p = loc.loc_start in
+  ctx.findings <-
+    Finding.v ~rule ~file:ctx.file ~line:p.pos_lnum ~col:(p.pos_cnum - p.pos_bol) msg
+    :: ctx.findings
+
+let flatten lid = try Longident.flatten lid with _ -> []
+
+let resolve env path =
+  match path with
+  | [] -> []
+  | hd :: rest -> ( match SMap.find_opt hd env with Some tgt -> tgt @ rest | None -> path)
+
+let is_forbidden_root c = String.equal c "Atomic" || String.equal c "Mutex"
+
+let is_ref_path = function [ "ref" ] | [ "Stdlib"; "ref" ] -> true | _ -> false
+
+let has_attr name attrs =
+  List.exists (fun a -> String.equal a.attr_name.txt name) attrs
+
+let loc_key (loc : Location.t) = (loc.loc_start.pos_lnum, loc.loc_start.pos_cnum)
+
+(* ------------------------------------------------------------------ *)
+(* Shared path checks (L1 confinement, L2 naming mentions)            *)
+(* ------------------------------------------------------------------ *)
+
+let check_path ctx (loc : Location.t) path =
+  let resolved = resolve ctx.env path in
+  if ctx.l1 && List.exists is_forbidden_root resolved then
+    report ctx Finding.L1 loc
+      (Printf.sprintf "raw %s access outside the memory backend (use the M.* functor argument)"
+         (String.concat "." resolved));
+  if ctx.l2 && List.exists (String.equal "Naming") resolved && not ctx.guarded then
+    report ctx Finding.L2 loc
+      (Printf.sprintf "%s outside an [if M.named] guard (names must not be built on the real backend)"
+         (String.concat "." path))
+
+(* Does an expression mention an identifier whose last component is
+   [named] (e.g. [M.named])?  Used to recognize L2 guards. *)
+let mentions_named e =
+  let found = ref false in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          (match e.pexp_desc with
+          | Pexp_ident { txt; _ } -> (
+              match List.rev (flatten txt) with
+              | "named" :: _ -> found := true
+              | _ -> ())
+          | _ -> ());
+          Ast_iterator.default_iterator.expr it e);
+    }
+  in
+  it.expr it e;
+  !found
+
+(* ------------------------------------------------------------------ *)
+(* L3: static lock pairing                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Qualified backend lock operations: [M.lock] / [M.unlock] /
+   [M.try_lock] (any one-module qualifier).  Unqualified calls are
+   helper functions ([node_lock], wrappers) and are not tracked. *)
+type lock_op = Acquire | Release | Try_acquire
+
+let lock_op_of_expr f =
+  match f.pexp_desc with
+  | Pexp_ident { txt; _ } -> (
+      match flatten txt with
+      | [ _; "lock" ] -> Some Acquire
+      | [ _; "unlock" ] -> Some Release
+      | [ _; "try_lock" ] -> Some Try_acquire
+      | _ -> None)
+  | _ -> None
+
+let is_fun_protect f =
+  match f.pexp_desc with
+  | Pexp_ident { txt; _ } -> flatten txt = [ "Fun"; "protect" ]
+  | _ -> false
+
+(* Count [*.unlock] applications anywhere in [e], including inside
+   closures — used for [Fun.protect ~finally:(fun () -> M.unlock ...)],
+   whose release runs on every exit including exceptional ones. *)
+let count_unlocks e =
+  let n = ref 0 in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          (match e.pexp_desc with
+          | Pexp_apply (f, _) when lock_op_of_expr f = Some Release -> incr n
+          | _ -> ());
+          Ast_iterator.default_iterator.expr it e);
+    }
+  in
+  it.expr it e;
+  !n
+
+(* An expression that leaves the function by raising rather than
+   returning; lock balance on exceptional exits is out of scope. *)
+let is_exception_exit e =
+  match e.pexp_desc with
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) -> (
+      match List.rev (flatten txt) with
+      | ("raise" | "raise_notrace" | "failwith" | "invalid_arg") :: _ -> true
+      | _ -> false)
+  | Pexp_assert { pexp_desc = Pexp_construct ({ txt = Lident "false"; _ }, None); _ } -> true
+  | _ -> false
+
+(* If the condition of an [if] is a try-lock attempt, the then/else
+   branches start with different lock balances. *)
+let cond_acquire c =
+  match c.pexp_desc with
+  | Pexp_apply (f, _) when lock_op_of_expr f = Some Try_acquire -> (1, 0)
+  | Pexp_apply
+      ( { pexp_desc = Pexp_ident { txt = Lident "not"; _ }; _ },
+        [ (_, { pexp_desc = Pexp_apply (f, _); _ }) ] )
+    when lock_op_of_expr f = Some Try_acquire ->
+      (0, 1)
+  | _ -> (0, 0)
+
+let is_function_expr e =
+  match e.pexp_desc with
+  | Pexp_fun _ | Pexp_function _ | Pexp_newtype _ -> true
+  | _ -> false
+
+(* Net lock-balance change of evaluating [e] in statement position.
+   Branch constructs whose arms disagree while acquiring are reported;
+   the larger (more-held) arm is propagated so a leak is still caught at
+   the exit.  Closures contribute zero: their bodies run later. *)
+let rec delta ctx e =
+  match e.pexp_desc with
+  | Pexp_apply (f, args) ->
+      if is_fun_protect f then
+        List.fold_left
+          (fun acc (label, arg) ->
+            match label with
+            | Asttypes.Labelled "finally" -> acc - count_unlocks arg
+            | _ -> acc + delta ctx arg)
+          0 args
+      else
+        let base = List.fold_left (fun acc (_, arg) -> acc + delta ctx arg) 0 args in
+        (match lock_op_of_expr f with
+        | Some Acquire -> base + 1
+        | Some Release -> base - 1
+        | Some Try_acquire | None -> base + delta ctx f)
+  | Pexp_sequence (a, b) -> delta ctx a + delta ctx b
+  | Pexp_let (_, vbs, body) ->
+      List.fold_left
+        (fun acc vb -> if is_function_expr vb.pvb_expr then acc else acc + delta ctx vb.pvb_expr)
+        0 vbs
+      + delta ctx body
+  | Pexp_ifthenelse (c, t, eo) ->
+      let base = delta ctx c in
+      let ta, ea = cond_acquire c in
+      let dt = ta + delta ctx t in
+      let de = ea + match eo with Some e2 -> delta ctx e2 | None -> 0 in
+      if dt <> de && max dt de > 0 then
+        report ctx Finding.L3 e.pexp_loc
+          (Printf.sprintf "lock balance differs across if branches (%+d vs %+d)" dt de);
+      base + max dt de
+  | Pexp_match (scr, cases) | Pexp_try (scr, cases) ->
+      let base = delta ctx scr in
+      let ds = List.map (fun c -> delta ctx c.pc_rhs) cases in
+      let mx = List.fold_left max min_int ds and mn = List.fold_left min max_int ds in
+      if mx <> mn && mx > 0 then
+        report ctx Finding.L3 e.pexp_loc
+          (Printf.sprintf "lock balance differs across match branches (%+d vs %+d)" mn mx);
+      base + if cases = [] then 0 else mx
+  | Pexp_while (c, body) ->
+      let db = delta ctx body in
+      if db > 0 then
+        report ctx Finding.L3 e.pexp_loc
+          (Printf.sprintf "loop body acquires %d lock(s) not released within the iteration" db);
+      delta ctx c
+  | Pexp_for (_, lo, hi, _, body) ->
+      let db = delta ctx body in
+      if db > 0 then
+        report ctx Finding.L3 e.pexp_loc
+          (Printf.sprintf "loop body acquires %d lock(s) not released within the iteration" db);
+      delta ctx lo + delta ctx hi
+  | Pexp_constraint (e, _) | Pexp_coerce (e, _, _) | Pexp_open (_, e)
+  | Pexp_letmodule (_, _, e) | Pexp_newtype (_, e) ->
+      delta ctx e
+  | Pexp_construct (_, Some e) | Pexp_variant (_, Some e) | Pexp_field (e, _)
+  | Pexp_assert e | Pexp_letexception (_, e) ->
+      delta ctx e
+  | Pexp_setfield (a, _, b) -> delta ctx a + delta ctx b
+  | Pexp_tuple es | Pexp_array es -> List.fold_left (fun acc e -> acc + delta ctx e) 0 es
+  | Pexp_record (fields, base) ->
+      List.fold_left (fun acc (_, e) -> acc + delta ctx e) 0 fields
+      + (match base with Some e -> delta ctx e | None -> 0)
+  | Pexp_fun _ | Pexp_function _ | Pexp_lazy _ -> 0
+  | _ -> 0
+
+(* Check [e] in tail position of a function whose current syntactic lock
+   balance is [bal]; every exit with a positive balance is a finding. *)
+let rec check_tail ctx bal e =
+  match e.pexp_desc with
+  | Pexp_sequence (a, b) -> check_tail ctx (bal + delta ctx a) b
+  | Pexp_let (_, vbs, body) ->
+      let bal =
+        List.fold_left
+          (fun acc vb ->
+            if is_function_expr vb.pvb_expr then acc else acc + delta ctx vb.pvb_expr)
+          bal vbs
+      in
+      check_tail ctx bal body
+  | Pexp_ifthenelse (c, t, eo) -> (
+      let bal = bal + delta ctx c in
+      let ta, ea = cond_acquire c in
+      check_tail ctx (bal + ta) t;
+      match eo with
+      | Some e2 -> check_tail ctx (bal + ea) e2
+      | None ->
+          if bal + ea > 0 then
+            report ctx Finding.L3 e.pexp_loc
+              (Printf.sprintf "implicit else branch exits holding %d lock(s)" (bal + ea)))
+  | Pexp_match (scr, cases) ->
+      let bal = bal + delta ctx scr in
+      List.iter (fun c -> check_tail ctx bal c.pc_rhs) cases
+  | Pexp_try (body, cases) ->
+      check_tail ctx bal body;
+      List.iter (fun c -> check_tail ctx bal c.pc_rhs) cases
+  | Pexp_constraint (e, _) | Pexp_open (_, e) | Pexp_letmodule (_, _, e) ->
+      check_tail ctx bal e
+  | _ ->
+      if not (is_exception_exit e) then begin
+        let final = bal + delta ctx e in
+        if final > 0 then
+          report ctx Finding.L3 e.pexp_loc
+            (Printf.sprintf
+               "exits holding %d lock(s); release on every path or tag the binding [@acquires]"
+               final)
+      end
+
+let rec strip_params e =
+  match e.pexp_desc with
+  | Pexp_fun (_, _, _, body) -> strip_params body
+  | Pexp_newtype (_, body) -> strip_params body
+  | _ -> e
+
+let l3_check ctx vb =
+  if is_function_expr vb.pvb_expr then
+    match (strip_params vb.pvb_expr).pexp_desc with
+    | Pexp_function cases ->
+        List.iter (fun c -> check_tail ctx 0 c.pc_rhs) cases
+    | _ -> check_tail ctx 0 (strip_params vb.pvb_expr)
+
+(* ------------------------------------------------------------------ *)
+(* L4: hot-path allocation lint                                       *)
+(* ------------------------------------------------------------------ *)
+
+let l4_check ctx vb =
+  let flag loc what = report ctx Finding.L4 loc (what ^ " in a [@hot] body allocates") in
+  let body = strip_params vb.pvb_expr in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          (match e.pexp_desc with
+          | Pexp_fun _ | Pexp_function _ -> flag e.pexp_loc "closure"
+          | Pexp_tuple _ -> flag e.pexp_loc "tuple construction"
+          | Pexp_record _ -> flag e.pexp_loc "record construction"
+          | Pexp_array _ -> flag e.pexp_loc "array construction"
+          | Pexp_lazy _ -> flag e.pexp_loc "lazy suspension"
+          | Pexp_letop _ -> flag e.pexp_loc "binding operator"
+          | Pexp_construct (_, Some _) | Pexp_variant (_, Some _) ->
+              flag e.pexp_loc "constructor application"
+          | Pexp_apply ({ pexp_desc = Pexp_apply _; _ }, _) ->
+              flag e.pexp_loc "staged (partial) application"
+          | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _)
+            when is_ref_path (flatten txt) ->
+              flag e.pexp_loc "ref cell allocation"
+          | _ -> ());
+          Ast_iterator.default_iterator.expr it e);
+    }
+  in
+  it.expr it body
+
+(* ------------------------------------------------------------------ *)
+(* The traversal                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let module_expr_path me =
+  match me.pmod_desc with Pmod_ident { txt; _ } -> Some (flatten txt) | _ -> None
+
+let file ~rules ~file:fname (str : structure) : Finding.t list =
+  let has r = List.mem r rules in
+  let ctx =
+    {
+      file = fname;
+      l1 = has Finding.L1;
+      l2 = has Finding.L2;
+      l3 = has Finding.L3;
+      l4 = has Finding.L4;
+      env = SMap.empty;
+      guarded = false;
+      exempt = 0;
+      ref_ok = [];
+      findings = [];
+    }
+  in
+  let scoped_env f =
+    let saved = ctx.env in
+    f ();
+    ctx.env <- saved
+  in
+  let register_alias name me =
+    match module_expr_path me with
+    | Some path -> ctx.env <- SMap.add name (resolve ctx.env path) ctx.env
+    | None -> ()
+  in
+  let check_open_like (loc : Location.t) me =
+    match module_expr_path me with Some path -> check_path ctx loc path | None -> ()
+  in
+  let default = Ast_iterator.default_iterator in
+  let it =
+    {
+      default with
+      expr =
+        (fun it e ->
+          match e.pexp_desc with
+          | Pexp_ident { txt; loc } ->
+              let path = flatten txt in
+              if ctx.l1 && is_ref_path (resolve ctx.env path)
+                 && not (List.mem (loc_key loc) ctx.ref_ok)
+              then
+                report ctx Finding.L1 loc
+                  "ref allocation escaping a local let binding (shared state must be an M.cell)";
+              check_path ctx loc path
+          | Pexp_setfield (a, _, b) ->
+              if ctx.l1 then
+                report ctx Finding.L1 e.pexp_loc
+                  "mutable field assignment outside the memory backend (use M.set)";
+              it.expr it a;
+              it.expr it b
+          | Pexp_let (_, vbs, body) ->
+              (* [let x = ref e in ...] is the accepted thread-local
+                 temporary idiom; remember the binder so the ident check
+                 lets it through. *)
+              List.iter
+                (fun vb ->
+                  match (vb.pvb_pat.ppat_desc, vb.pvb_expr.pexp_desc) with
+                  | Ppat_var _, Pexp_apply ({ pexp_desc = Pexp_ident { txt; loc }; _ }, _)
+                    when is_ref_path (resolve ctx.env (flatten txt)) ->
+                      ctx.ref_ok <- loc_key loc :: ctx.ref_ok
+                  | _ -> ())
+                vbs;
+              List.iter (it.value_binding it) vbs;
+              it.expr it body
+          | Pexp_ifthenelse (c, t, eo) ->
+              it.expr it c;
+              if ctx.l2 && mentions_named c then begin
+                let saved = ctx.guarded in
+                ctx.guarded <- true;
+                it.expr it t;
+                ctx.guarded <- saved
+              end
+              else it.expr it t;
+              Option.iter (it.expr it) eo
+          | Pexp_open (od, body) ->
+              check_open_like od.popen_loc od.popen_expr;
+              scoped_env (fun () -> it.expr it body)
+          | Pexp_letmodule (name, me, body) ->
+              scoped_env (fun () ->
+                  (match name.txt with
+                  | Some n -> register_alias n me
+                  | None -> ());
+                  (match module_expr_path me with
+                  | Some _ -> ()
+                  | None -> it.module_expr it me);
+                  it.expr it body)
+          | _ -> default.expr it e)
+      ;
+      case =
+        (fun it c ->
+          it.pat it c.pc_lhs;
+          match c.pc_guard with
+          | Some g when ctx.l2 && mentions_named g ->
+              it.expr it g;
+              let saved = ctx.guarded in
+              ctx.guarded <- true;
+              it.expr it c.pc_rhs;
+              ctx.guarded <- saved
+          | Some g ->
+              it.expr it g;
+              it.expr it c.pc_rhs
+          | None -> it.expr it c.pc_rhs);
+      value_binding =
+        (fun it vb ->
+          if ctx.l4 && has_attr "hot" vb.pvb_attributes then l4_check ctx vb;
+          let acquires = has_attr "acquires" vb.pvb_attributes in
+          if ctx.l3 && ctx.exempt = 0 && not acquires then l3_check ctx vb;
+          if acquires then begin
+            ctx.exempt <- ctx.exempt + 1;
+            default.value_binding it vb;
+            ctx.exempt <- ctx.exempt - 1
+          end
+          else default.value_binding it vb);
+      module_binding =
+        (fun it mb ->
+          match (mb.pmb_name.txt, module_expr_path mb.pmb_expr) with
+          | Some n, Some _ ->
+              register_alias n mb.pmb_expr
+              (* pure alias: nothing further to walk *)
+          | _ -> default.module_binding it mb);
+      structure_item =
+        (fun it si ->
+          match si.pstr_desc with
+          | Pstr_open od ->
+              check_open_like od.popen_loc od.popen_expr;
+              default.structure_item it si
+          | Pstr_include incl ->
+              check_open_like incl.pincl_loc incl.pincl_mod;
+              default.structure_item it si
+          | Pstr_type (_, decls) ->
+              if ctx.l1 then
+                List.iter
+                  (fun d ->
+                    match d.ptype_kind with
+                    | Ptype_record labels ->
+                        List.iter
+                          (fun l ->
+                            if l.pld_mutable = Asttypes.Mutable then
+                              report ctx Finding.L1 l.pld_loc
+                                (Printf.sprintf
+                                   "mutable record field '%s' (shared state must be an M.cell)"
+                                   l.pld_name.txt))
+                          labels
+                    | _ -> ())
+                  decls;
+              default.structure_item it si
+          | _ -> default.structure_item it si);
+    }
+  in
+  it.structure it str;
+  List.sort Finding.compare ctx.findings

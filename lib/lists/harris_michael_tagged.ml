@@ -47,14 +47,20 @@ module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
 
   let create () =
     let tl = M.fresh_line () in
-    let tail = Tail { value = M.make ~name:(Naming.value_cell Naming.tail) ~line:tl max_int } in
+    let tail =
+      if M.named then
+        Tail { value = M.make ~name:(Naming.value_cell Naming.tail) ~line:tl max_int }
+      else Tail { value = M.make ~line:tl max_int }
+    in
     let hl = M.fresh_line () in
     let head =
-      Node
-        {
-          value = M.make ~name:(Naming.value_cell Naming.head) ~line:hl min_int;
-          link = M.make ~name:(Naming.next_cell Naming.head) ~line:hl (Live tail);
-        }
+      if M.named then
+        Node
+          {
+            value = M.make ~name:(Naming.value_cell Naming.head) ~line:hl min_int;
+            link = M.make ~name:(Naming.next_cell Naming.head) ~line:hl (Live tail);
+          }
+      else Node { value = M.make ~line:hl min_int; link = M.make ~line:hl (Live tail) }
     in
     { head }
 
@@ -144,7 +150,7 @@ module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
     end
 
   (* Closed top-level walk: zero allocation per call on the real backend. *)
-  let rec contains_walk v curr hops =
+  let[@hot] rec contains_walk v curr hops =
     match curr with
     | Tail _ ->
         if !Probe.enabled then Probe.add C.Traversal_steps hops;

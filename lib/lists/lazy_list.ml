@@ -60,26 +60,25 @@ module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
         }
 
   let make_sentinel value =
-    let nm = Naming.node value in
     let line = M.fresh_line () in
-    ( line,
-      M.make ~name:(Naming.value_cell nm) ~line value,
-      M.make ~name:(Naming.deleted_cell nm) ~line false,
-      M.make_lock ~name:(Naming.lock_cell nm) ~line () )
+    if M.named then begin
+      let nm = Naming.node value in
+      ( line,
+        M.make ~name:(Naming.value_cell nm) ~line value,
+        M.make ~name:(Naming.deleted_cell nm) ~line false,
+        M.make_lock ~name:(Naming.lock_cell nm) ~line () )
+    end
+    else (line, M.make ~line value, M.make ~line false, M.make_lock ~line ())
 
   let create () =
     let _, tv, tm, tlk = make_sentinel max_int in
     let tail = Tail { value = tv; marked = tm; lock = tlk } in
     let hl, hv, hm, hlk = make_sentinel min_int in
-    let head =
-      Node
-        {
-          value = hv;
-          next = M.make ~name:(Naming.next_cell Naming.head) ~line:hl tail;
-          marked = hm;
-          lock = hlk;
-        }
+    let next =
+      if M.named then M.make ~name:(Naming.next_cell Naming.head) ~line:hl tail
+      else M.make ~line:hl tail
     in
+    let head = Node { value = hv; next; marked = hm; lock = hlk } in
     { head }
 
   let check_key v =
@@ -96,13 +95,13 @@ module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
      so instrumented schedules are unchanged. *)
 
   (* O(1) validation under both locks (Heller et al. fig. 4). *)
-  let validate prev curr =
+  let[@hot] validate prev curr =
     (not (node_marked prev)) && (not (node_marked curr)) && M.get (next_cell_exn prev) == curr
 
   (* Post-locking discipline, kept faithful: locks are taken before the
      operation knows whether it will modify the list, and every validation
      failure restarts from the head. *)
-  let rec insert_walk t v prev curr hops =
+  let[@hot] rec insert_walk t v prev curr hops =
     if node_value curr < v then insert_walk t v curr (M.get (next_cell_exn curr)) (hops + 1)
     else begin
       if !Probe.enabled then Probe.add C.Traversal_steps hops;
@@ -136,7 +135,7 @@ module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
     check_key v;
     insert_walk t v t.head (M.get (next_cell_exn t.head)) 1
 
-  let rec remove_walk t v prev curr hops =
+  let[@hot] rec remove_walk t v prev curr hops =
     if node_value curr < v then remove_walk t v curr (M.get (next_cell_exn curr)) (hops + 1)
     else begin
       if !Probe.enabled then Probe.add C.Traversal_steps hops;
@@ -173,7 +172,7 @@ module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
     check_key v;
     remove_walk t v t.head (M.get (next_cell_exn t.head)) 1
 
-  let rec contains_walk v curr hops =
+  let[@hot] rec contains_walk v curr hops =
     if node_value curr < v then contains_walk v (M.get (next_cell_exn curr)) (hops + 1)
     else begin
       if !Probe.enabled then Probe.add C.Traversal_steps hops;

@@ -45,20 +45,30 @@ module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
   let create () =
     let tl = M.fresh_line () in
     let tail =
-      Tail
-        {
-          value = M.make ~name:(Naming.value_cell Naming.tail) ~line:tl max_int;
-          lock = M.make_lock ~name:(Naming.lock_cell Naming.tail) ~line:tl ();
-        }
+      if M.named then
+        Tail
+          {
+            value = M.make ~name:(Naming.value_cell Naming.tail) ~line:tl max_int;
+            lock = M.make_lock ~name:(Naming.lock_cell Naming.tail) ~line:tl ();
+          }
+      else Tail { value = M.make ~line:tl max_int; lock = M.make_lock ~line:tl () }
     in
     let hl = M.fresh_line () in
     let head =
-      Node
-        {
-          value = M.make ~name:(Naming.value_cell Naming.head) ~line:hl min_int;
-          next = M.make ~name:(Naming.next_cell Naming.head) ~line:hl tail;
-          lock = M.make_lock ~name:(Naming.lock_cell Naming.head) ~line:hl ();
-        }
+      if M.named then
+        Node
+          {
+            value = M.make ~name:(Naming.value_cell Naming.head) ~line:hl min_int;
+            next = M.make ~name:(Naming.next_cell Naming.head) ~line:hl tail;
+            lock = M.make_lock ~name:(Naming.lock_cell Naming.head) ~line:hl ();
+          }
+      else
+        Node
+          {
+            value = M.make ~line:hl min_int;
+            next = M.make ~line:hl tail;
+            lock = M.make_lock ~line:hl ();
+          }
     in
     { head }
 

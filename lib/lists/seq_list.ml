@@ -42,15 +42,19 @@ module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
   let create () =
     let tail_line = M.fresh_line () in
     let tail =
-      Tail { value = M.make ~name:(Naming.value_cell Naming.tail) ~line:tail_line max_int }
+      if M.named then
+        Tail { value = M.make ~name:(Naming.value_cell Naming.tail) ~line:tail_line max_int }
+      else Tail { value = M.make ~line:tail_line max_int }
     in
     let head_line = M.fresh_line () in
     let head =
-      Node
-        {
-          value = M.make ~name:(Naming.value_cell Naming.head) ~line:head_line min_int;
-          next = M.make ~name:(Naming.next_cell Naming.head) ~line:head_line tail;
-        }
+      if M.named then
+        Node
+          {
+            value = M.make ~name:(Naming.value_cell Naming.head) ~line:head_line min_int;
+            next = M.make ~name:(Naming.next_cell Naming.head) ~line:head_line tail;
+          }
+      else Node { value = M.make ~line:head_line min_int; next = M.make ~line:head_line tail }
     in
     { head }
 

@@ -72,22 +72,39 @@ module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
   let create () =
     let tl = M.fresh_line () in
     let tail =
-      Tail
-        {
-          value = M.make ~name:(Naming.value_cell Naming.tail) ~line:tl max_int;
-          deleted = M.make ~name:(Naming.deleted_cell Naming.tail) ~line:tl false;
-          lock = M.make_lock ~name:(Naming.lock_cell Naming.tail) ~line:tl ();
-        }
+      if M.named then
+        Tail
+          {
+            value = M.make ~name:(Naming.value_cell Naming.tail) ~line:tl max_int;
+            deleted = M.make ~name:(Naming.deleted_cell Naming.tail) ~line:tl false;
+            lock = M.make_lock ~name:(Naming.lock_cell Naming.tail) ~line:tl ();
+          }
+      else
+        Tail
+          {
+            value = M.make ~line:tl max_int;
+            deleted = M.make ~line:tl false;
+            lock = M.make_lock ~line:tl ();
+          }
     in
     let hl = M.fresh_line () in
     let head =
-      Node
-        {
-          value = M.make ~name:(Naming.value_cell Naming.head) ~line:hl min_int;
-          next = M.make ~name:(Naming.next_cell Naming.head) ~line:hl tail;
-          deleted = M.make ~name:(Naming.deleted_cell Naming.head) ~line:hl false;
-          lock = M.make_lock ~name:(Naming.lock_cell Naming.head) ~line:hl ();
-        }
+      if M.named then
+        Node
+          {
+            value = M.make ~name:(Naming.value_cell Naming.head) ~line:hl min_int;
+            next = M.make ~name:(Naming.next_cell Naming.head) ~line:hl tail;
+            deleted = M.make ~name:(Naming.deleted_cell Naming.head) ~line:hl false;
+            lock = M.make_lock ~name:(Naming.lock_cell Naming.head) ~line:hl ();
+          }
+      else
+        Node
+          {
+            value = M.make ~line:hl min_int;
+            next = M.make ~line:hl tail;
+            deleted = M.make ~line:hl false;
+            lock = M.make_lock ~line:hl ();
+          }
     in
     { head }
 
@@ -106,8 +123,10 @@ module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
      instrumented schedules are unchanged. *)
 
   (* §3.1 (1): lock [node], then require it undeleted and still pointing at
-     [at]; release and fail otherwise. *)
-  let lock_next_at node at =
+     [at]; release and fail otherwise.  [@acquires]: on success the lock is
+     handed to the caller, so the static pairing rule (lint L3) does not
+     apply to this body. *)
+  let[@hot] [@acquires] lock_next_at node at =
     M.lock (node_lock node);
     if (not (node_deleted node)) && M.get (next_cell_exn node) == at then begin
       Probe.count C.Lock_acquisitions;
@@ -121,7 +140,7 @@ module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
 
   (* §3.1 (2): lock [node], then require it undeleted and the {e value} of
      its successor to still be [v]; release and fail otherwise. *)
-  let lock_next_at_value node v =
+  let[@hot] [@acquires] lock_next_at_value node v =
     M.lock (node_lock node);
     if (not (node_deleted node)) && node_value (M.get (next_cell_exn node)) = v then begin
       Probe.count C.Lock_acquisitions;
@@ -134,11 +153,11 @@ module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
     end
 
   (* Lines 22-32; restarts resume from [prev] (line 24). *)
-  let rec insert_attempt t v prev =
+  let[@hot] rec insert_attempt t v prev =
     let prev = if node_deleted prev then t.head else prev in
     insert_walk t v prev (M.get (next_cell_exn prev)) 1
 
-  and insert_walk t v prev curr hops =
+  and[@hot] insert_walk t v prev curr hops =
     if node_value curr < v then
       insert_walk t v curr (M.get (next_cell_exn curr)) (hops + 1)
     else begin
@@ -163,11 +182,11 @@ module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
     insert_attempt t v t.head
 
   (* Lines 33-48; restarts resume from [prev] (line 35). *)
-  let rec remove_attempt t v prev =
+  let[@hot] rec remove_attempt t v prev =
     let prev = if node_deleted prev then t.head else prev in
     remove_walk t v prev (M.get (next_cell_exn prev)) 1
 
-  and remove_walk t v prev curr hops =
+  and[@hot] remove_walk t v prev curr hops =
     if node_value curr < v then
       remove_walk t v curr (M.get (next_cell_exn curr)) (hops + 1)
     else begin
@@ -208,7 +227,7 @@ module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
     remove_attempt t v t.head
 
   (* Lines 9-13: value-only wait-free membership test. *)
-  let rec contains_walk v curr hops =
+  let[@hot] rec contains_walk v curr hops =
     if node_value curr < v then contains_walk v (M.get (next_cell_exn curr)) (hops + 1)
     else begin
       if !Probe.enabled then Probe.add C.Traversal_steps hops;

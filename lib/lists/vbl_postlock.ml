@@ -54,26 +54,25 @@ module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
         }
 
   let make_sentinel value =
-    let nm = Naming.node value in
     let line = M.fresh_line () in
-    ( line,
-      M.make ~name:(Naming.value_cell nm) ~line value,
-      M.make ~name:(Naming.deleted_cell nm) ~line false,
-      M.make_lock ~name:(Naming.lock_cell nm) ~line () )
+    if M.named then begin
+      let nm = Naming.node value in
+      ( line,
+        M.make ~name:(Naming.value_cell nm) ~line value,
+        M.make ~name:(Naming.deleted_cell nm) ~line false,
+        M.make_lock ~name:(Naming.lock_cell nm) ~line () )
+    end
+    else (line, M.make ~line value, M.make ~line false, M.make_lock ~line ())
 
   let create () =
     let _, tv, td, tlk = make_sentinel max_int in
     let tail = Tail { value = tv; deleted = td; lock = tlk } in
     let hl, hv, hd, hlk = make_sentinel min_int in
-    let head =
-      Node
-        {
-          value = hv;
-          next = M.make ~name:(Naming.next_cell Naming.head) ~line:hl tail;
-          deleted = hd;
-          lock = hlk;
-        }
+    let next =
+      if M.named then M.make ~name:(Naming.next_cell Naming.head) ~line:hl tail
+      else M.make ~line:hl tail
     in
+    let head = Node { value = hv; next; deleted = hd; lock = hlk } in
     { head }
 
   let check_key v =

@@ -71,23 +71,41 @@ module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
   let create () =
     let tl = M.fresh_line () in
     let tail =
-      Tail
-        {
-          value = M.make ~name:(Naming.value_cell Naming.tail) ~line:tl max_int;
-          deleted = M.make ~name:(Naming.deleted_cell Naming.tail) ~line:tl false;
-          lock = M.make_lock ~name:(Naming.lock_cell Naming.tail) ~line:tl ();
-        }
+      if M.named then
+        Tail
+          {
+            value = M.make ~name:(Naming.value_cell Naming.tail) ~line:tl max_int;
+            deleted = M.make ~name:(Naming.deleted_cell Naming.tail) ~line:tl false;
+            lock = M.make_lock ~name:(Naming.lock_cell Naming.tail) ~line:tl ();
+          }
+      else
+        Tail
+          {
+            value = M.make ~line:tl max_int;
+            deleted = M.make ~line:tl false;
+            lock = M.make_lock ~line:tl ();
+          }
     in
     let hl = M.fresh_line () in
     let head =
-      Node
-        {
-          value = M.make ~name:(Naming.value_cell Naming.head) ~line:hl min_int;
-          next = M.make ~name:(Naming.next_cell Naming.head) ~line:hl tail;
-          version = M.make ~name:"h.ver" ~line:hl 0;
-          deleted = M.make ~name:(Naming.deleted_cell Naming.head) ~line:hl false;
-          lock = M.make_lock ~name:(Naming.lock_cell Naming.head) ~line:hl ();
-        }
+      if M.named then
+        Node
+          {
+            value = M.make ~name:(Naming.value_cell Naming.head) ~line:hl min_int;
+            next = M.make ~name:(Naming.next_cell Naming.head) ~line:hl tail;
+            version = M.make ~name:"h.ver" ~line:hl 0;
+            deleted = M.make ~name:(Naming.deleted_cell Naming.head) ~line:hl false;
+            lock = M.make_lock ~name:(Naming.lock_cell Naming.head) ~line:hl ();
+          }
+      else
+        Node
+          {
+            value = M.make ~line:hl min_int;
+            next = M.make ~line:hl tail;
+            version = M.make ~line:hl 0;
+            deleted = M.make ~line:hl false;
+            lock = M.make_lock ~line:hl ();
+          }
     in
     { head }
 
@@ -110,8 +128,9 @@ module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
     loop prev pver (M.get (next_cell_exn prev))
 
   (* Version-based try-lock: lock, then require the node live and its
-     version unchanged since the traversal's snapshot. *)
-  let lock_at_version node ver =
+     version unchanged since the traversal's snapshot.  [@acquires]: on
+     success the lock is handed to the caller (lint L3 exemption). *)
+  let[@acquires] lock_at_version node ver =
     M.lock (node_lock node);
     if (not (node_deleted node)) && version_exn node = ver then true
     else begin

@@ -65,22 +65,31 @@ module Make (M : Vbl_memops.Mem_intf.S) : Vbl_lists.Set_intf.S = struct
   let create () =
     let tl = M.fresh_line () in
     let tail =
-      Tail
-        {
-          value =
-            M.make ~name:(Vbl_lists.Naming.value_cell Vbl_lists.Naming.tail) ~line:tl max_int;
-        }
+      if M.named then
+        Tail
+          {
+            value =
+              M.make ~name:(Vbl_lists.Naming.value_cell Vbl_lists.Naming.tail) ~line:tl max_int;
+          }
+      else Tail { value = M.make ~line:tl max_int }
     in
     let hl = M.fresh_line () in
     let head =
-      Node
-        {
-          value =
-            M.make ~name:(Vbl_lists.Naming.value_cell Vbl_lists.Naming.head) ~line:hl min_int;
-          next =
-            Array.init max_level (fun lvl ->
-                M.make ~name:(Printf.sprintf "h.next%d" lvl) ~line:hl (Live tail));
-        }
+      if M.named then
+        Node
+          {
+            value =
+              M.make ~name:(Vbl_lists.Naming.value_cell Vbl_lists.Naming.head) ~line:hl min_int;
+            next =
+              Array.init max_level (fun lvl ->
+                  M.make ~name:(Printf.sprintf "h.next%d" lvl) ~line:hl (Live tail));
+          }
+      else
+        Node
+          {
+            value = M.make ~line:hl min_int;
+            next = Array.init max_level (fun _ -> M.make ~line:hl (Live tail));
+          }
     in
     { head; levels = Vbl_util.Level_gen.create () }
 

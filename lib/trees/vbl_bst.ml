@@ -101,8 +101,9 @@ module Make (M : Vbl_memops.Mem_intf.S) : Vbl_lists.Set_intf.S = struct
     go t.root t.inner (M.get (child_cell t.inner v))
 
   (* Lock [node] and check it is live and still the parent of [expected]
-     for value [v] — the tree-shaped lockNextAt (§3.1). *)
-  let lock_child_at node v expected =
+     for value [v] — the tree-shaped lockNextAt (§3.1).  [@acquires]: on
+     success the lock is handed to the caller (lint L3 exemption). *)
+  let[@acquires] lock_child_at node v expected =
     M.lock (router_lock node);
     if (not (router_deleted node)) && M.get (child_cell node v) == expected then true
     else begin

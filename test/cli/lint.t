@@ -1,0 +1,40 @@
+The AST concurrency-discipline linter, driven against a synthetic tree.
+
+A clean tree — every algorithm directory present, disciplined code only:
+
+  $ mkdir -p proj/lib/lists proj/lib/skiplists proj/lib/trees
+  $ cat > proj/lib/lists/good.ml <<'EOF'
+  > (* mentions Atomic.get and Mutex.lock in a comment, which is fine *)
+  > let doc = "even strings may say Atomic.set"
+  > let add a b = a + b
+  > EOF
+  $ vbl-lint proj
+  lint: clean (lib/lists lib/skiplists lib/trees)
+
+A seeded violation is reported with its file:line:col span and exit 1:
+
+  $ cat > proj/lib/skiplists/bad.ml <<'EOF'
+  > let c = Atomic.make 0
+  > EOF
+  $ vbl-lint proj
+  lib/skiplists/bad.ml:1:8: [L1] raw Atomic.make access outside the memory backend (use the M.* functor argument)
+  lint: 1 finding(s)
+  [1]
+
+Rule selection drops findings outside the requested subset:
+
+  $ vbl-lint --rule L2,L3 proj
+  lint: clean (lib/lists lib/skiplists lib/trees)
+
+JSON output carries the same findings, machine-readably:
+
+  $ vbl-lint --format json proj
+  {"target": "lib/lists lib/skiplists lib/trees", "count": 1, "findings": [{"rule":"L1","file":"lib/skiplists/bad.ml","line":1,"col":8,"message":"raw Atomic.make access outside the memory backend (use the M.* functor argument)"}]}
+  [1]
+
+A missing algorithm directory is an error, never a silent skip:
+
+  $ rm -r proj/lib/trees
+  $ vbl-lint proj
+  lint: missing directories under proj: lib/trees
+  [2]

@@ -1,0 +1,17 @@
+(* L1 fixture: raw [Atomic]/[Mutex] access, both direct and through a
+   local module alias, plus an [open].  Fixtures only need to parse. *)
+module A = Atomic
+
+let counter = A.make 0
+let bump () = Atomic.incr counter
+let m = Mutex.create ()
+
+let guarded f =
+  Mutex.lock m;
+  let r = f () in
+  Mutex.unlock m;
+  r
+
+open Atomic
+
+let direct () = get counter

@@ -1,0 +1,13 @@
+(* L1 fixture: raw mutation outside the backend — a mutable record
+   field, a [<-] assignment, and [ref] cells that escape their binding.
+   The local-temporary idiom ([let acc = ref 0 in ...]) must pass. *)
+type t = { mutable count : int }
+
+let bump t = t.count <- t.count + 1
+let cell = ref 0
+let make_counter () = ref 0
+
+let sum xs =
+  let acc = ref 0 in
+  List.iter (fun x -> acc := !acc + x) xs;
+  !acc

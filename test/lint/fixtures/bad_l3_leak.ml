@@ -1,0 +1,46 @@
+(* L3 fixture: lock acquisitions that are not released on every
+   syntactic exit.  The balanced, try-lock, Fun.protect and [@acquires]
+   variants are negative controls and must stay clean. *)
+let leaky_branch l cond =
+  M.lock l;
+  if cond then begin
+    M.unlock l;
+    true
+  end
+  else false
+
+let acquire_one_side l cond k =
+  if cond then M.lock l;
+  k ();
+  M.unlock l
+
+let loop_leak ls =
+  while keep_going ls do
+    M.lock (pick ls)
+  done
+
+let balanced l f =
+  M.lock l;
+  let r = f () in
+  M.unlock l;
+  r
+
+let try_lock_paths l =
+  if M.try_lock l then begin
+    M.unlock l;
+    true
+  end
+  else false
+
+let protect_ok l f =
+  Fun.protect ~finally:(fun () -> M.unlock l) (fun () ->
+      M.lock l;
+      f ())
+
+let[@acquires] handoff l at =
+  M.lock l;
+  if M.get l == at then true
+  else begin
+    M.unlock l;
+    false
+  end

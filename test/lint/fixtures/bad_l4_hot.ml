@@ -1,0 +1,14 @@
+(* L4 fixture: allocations inside a [@hot] body.  The untagged twin at
+   the bottom allocates identically and must not be flagged. *)
+let[@hot] walk v curr =
+  let pair = (v, curr) in
+  let f = fun x -> x + v in
+  let c = ref 0 in
+  ignore pair;
+  ignore f;
+  ignore c;
+  Some v
+
+let[@hot] rec clean_walk v curr = if value curr < v then clean_walk v (next curr) else curr
+
+let cold v = (v, v)

@@ -1,0 +1,3 @@
+(* Parse fixture: a file that does not parse must yield one [Parse]
+   finding instead of being silently skipped. *)
+let broken = (

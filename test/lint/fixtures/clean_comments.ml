@@ -1,0 +1,8 @@
+(* Negative control for the grep-era false-positive class: this comment
+   mentions Atomic.get, Atomic.compare_and_set, Mutex.lock and even a
+   field assignment [t.next <- curr], none of which is code.  The old
+   [lint_atomics.sh] flagged files like this one; the AST lint must not. *)
+
+let doc = "backed by Atomic.compare_and_set and Mutex.lock on the real engine"
+let arrow = "t.next <- curr"
+let describe () = doc ^ " / " ^ arrow

@@ -1,0 +1,40 @@
+(* Negative control: a miniature list that satisfies all four rules —
+   guarded naming, balanced or [@acquires]-tagged locking, and a
+   zero-allocation [@hot] walk.  Must produce no findings. *)
+module Make (M : Mem) = struct
+  type node =
+    | Node of { value : int M.cell; next : node M.cell; lock : M.lock }
+    | Tail of { value : int M.cell }
+
+  let make_node v next =
+    let line = M.fresh_line () in
+    if M.named then begin
+      let nm = Naming.node v in
+      Node
+        {
+          value = M.make ~name:(Naming.value_cell nm) ~line v;
+          next = M.make ~name:(Naming.next_cell nm) ~line next;
+          lock = M.make_lock ~name:(Naming.lock_cell nm) ~line ();
+        }
+    end
+    else Node { value = M.make ~line v; next = M.make ~line next; lock = M.make_lock ~line () }
+
+  let[@hot] [@acquires] lock_next_at node at =
+    M.lock (node_lock node);
+    if M.get (next_cell node) == at then true
+    else begin
+      M.unlock (node_lock node);
+      false
+    end
+
+  let[@hot] rec walk v curr = if node_value curr < v then walk v (next_of curr) else curr
+
+  let insert t v =
+    let prev = walk v t.head in
+    if lock_next_at prev (M.get (next_cell prev)) then begin
+      M.set (next_cell prev) (make_node v (M.get (next_cell prev)));
+      M.unlock (node_lock prev);
+      true
+    end
+    else false
+end

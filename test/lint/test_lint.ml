@@ -1,0 +1,96 @@
+(* Fixture-driven tests for the AST concurrency-discipline lint.  Each
+   bad_* fixture seeds violations whose rule, line and column are
+   asserted exactly; the clean_* fixtures are negative controls —
+   including [clean_comments.ml], the regression for the grep lint's
+   false positives on comments and string literals. *)
+
+module F = Vbl_lint.Finding
+module L = Vbl_lint.Lint
+
+let fixture name = Filename.concat "fixtures" name
+
+let spans ?rules name =
+  L.lint_file ?rules (fixture name)
+  |> List.map (fun (f : F.t) -> (F.rule_to_string f.rule, f.line, f.col))
+
+let span = Alcotest.(triple string int int)
+let check_spans name expected actual = Alcotest.(check (list span)) name expected actual
+
+let l1_atomics () =
+  check_spans "direct, aliased and opened Atomic/Mutex are all flagged"
+    [
+      ("L1", 5, 14);
+      (* [A.make] resolves through the [module A = Atomic] alias *)
+      ("L1", 6, 14);
+      ("L1", 7, 8);
+      ("L1", 10, 2);
+      ("L1", 12, 2);
+      ("L1", 15, 0);
+      (* the [open Atomic] itself *)
+    ]
+    (spans ~rules:[ F.L1 ] "bad_l1_atomic.ml")
+
+let l1_mutation () =
+  check_spans "mutable field, setfield and escaping refs are flagged; local ref temporary is not"
+    [ ("L1", 4, 11); ("L1", 6, 13); ("L1", 7, 11); ("L1", 8, 22) ]
+    (spans ~rules:[ F.L1 ] "bad_l1_mutation.ml")
+
+let l2_naming () =
+  check_spans "unguarded Naming mentions flagged, guarded and when-guarded ones clean"
+    [ ("L2", 11, 13); ("L2", 11, 31); ("L2", 12, 19); ("L2", 12, 32); ("L2", 15, 27) ]
+    (spans ~rules:[ F.L2 ] "bad_l2_naming.ml")
+
+let l3_leak () =
+  check_spans
+    "branch leak, one-sided acquire and loop leak flagged; balanced/try-lock/protect/[@acquires] clean"
+    [ ("L3", 10, 7); ("L3", 13, 2); ("L3", 18, 2) ]
+    (spans ~rules:[ F.L3 ] "bad_l3_leak.ml")
+
+let l4_hot () =
+  check_spans "tuple, closure, ref and constructor in a [@hot] body flagged; untagged twin clean"
+    [ ("L4", 4, 13); ("L4", 5, 10); ("L4", 6, 10); ("L4", 10, 2) ]
+    (spans ~rules:[ F.L4 ] "bad_l4_hot.ml")
+
+let clean_fixtures () =
+  check_spans "disciplined miniature list is clean under all rules" []
+    (spans "clean_list.ml");
+  check_spans "Atomic/Mutex/<- in comments and strings produce no findings" []
+    (spans "clean_comments.ml")
+
+let rule_selection () =
+  check_spans "an L1-riddled file is clean when only L2 is requested" []
+    (spans ~rules:[ F.L2 ] "bad_l1_atomic.ml");
+  check_spans "an L4-riddled file is clean when only L3 is requested" []
+    (spans ~rules:[ F.L3 ] "bad_l4_hot.ml")
+
+let parse_failure () =
+  match L.lint_file (fixture "bad_parse.ml") with
+  | [ f ] ->
+      Alcotest.(check string) "rule" "parse" (F.rule_to_string f.rule);
+      Alcotest.(check int) "line" 4 f.line
+  | fs -> Alcotest.failf "expected exactly one parse finding, got %d" (List.length fs)
+
+let missing_dir () =
+  match L.lint_root ~dirs:[ "no/such/dir" ] "." with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "lint_root must refuse a missing directory, not skip it"
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "L1 atomics" `Quick l1_atomics;
+          Alcotest.test_case "L1 mutation" `Quick l1_mutation;
+          Alcotest.test_case "L2 naming" `Quick l2_naming;
+          Alcotest.test_case "L3 lock pairing" `Quick l3_leak;
+          Alcotest.test_case "L4 hot allocation" `Quick l4_hot;
+        ] );
+      ( "driver",
+        [
+          Alcotest.test_case "clean fixtures" `Quick clean_fixtures;
+          Alcotest.test_case "rule selection" `Quick rule_selection;
+          Alcotest.test_case "parse failure" `Quick parse_failure;
+          Alcotest.test_case "missing directory" `Quick missing_dir;
+        ] );
+    ]

@@ -175,6 +175,52 @@ let dpor_tests =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* Verdict parity on randomized scenarios.                             *)
+(* ------------------------------------------------------------------ *)
+
+(* DPOR and the naive DFS must agree on the ok/failure verdict for small
+   randomized scenarios, clean or mutated.  The PRNG seed is fixed so the
+   three scenarios (and the test's cost) are reproducible. *)
+let verdict_parity_tests =
+  let impls =
+    [|
+      ("vbl", fun () -> Drive.find_instrumented "vbl");
+      ("lazy", fun () -> Drive.find_instrumented "lazy");
+      ("harris-michael", fun () -> Drive.find_instrumented "harris-michael");
+      ("vbl-no-deleted-check", fun () -> Mutants.find "vbl-no-deleted-check");
+      ("lazy-no-validation", fun () -> Mutants.find "lazy-no-validation");
+    |]
+  in
+  let gen_op st =
+    let v = 1 + Random.State.int st 3 in
+    match Random.State.int st 3 with
+    | 0 -> Ll.insert v
+    | 1 -> Ll.remove v
+    | _ -> Ll.contains v
+  in
+  let gen_scenario st =
+    let nm, mk = impls.(Random.State.int st (Array.length impls)) in
+    let initial = List.filter (fun _ -> Random.State.bool st) [ 1; 2; 3 ] in
+    let ops = [ gen_op st; gen_op st ] in
+    (nm, mk (), initial, ops)
+  in
+  [
+    Alcotest.test_case "random scenarios: run and run_naive verdicts agree" `Slow
+      (fun () ->
+        let st = Random.State.make [| 0x5eed |] in
+        for i = 1 to 3 do
+          let nm, impl, initial, ops = gen_scenario st in
+          let scenario = Drive.explore_scenario impl ~initial ~ops in
+          let dpor = Explore.run ~config:quick_config scenario in
+          let naive = Explore.run_naive ~config:quick_config scenario in
+          Alcotest.(check bool)
+            (Printf.sprintf "scenario %d (%s): verdicts agree" i nm)
+            (naive.Explore.failure = None)
+            (dpor.Explore.failure = None)
+        done);
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* Monitor unit tests on synthetic event streams.                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -399,6 +445,7 @@ let () =
     [
       ("failures", failure_tests);
       ("dpor", dpor_tests);
+      ("parity", verdict_parity_tests);
       ("monitor", monitor_tests);
       ("integration", integration_tests);
       ("mutation", mutation_tests);
