@@ -475,14 +475,158 @@ let run_matrix () =
         ((md -. mv) /. md *. 100.)
   | _ -> ());
   print_newline ();
-  match json_file with
-  | Some file ->
-      let oc = open_out file in
-      output_string oc (Vbl_harness.Report.points_json ~engine:real_engine points);
-      output_string oc "\n";
-      close_out oc;
-      Printf.printf "(wrote %s: %d points)\n" file (List.length points)
-  | None -> ()
+  points
+
+(* ------------------------------------------------------------------ *)
+(* Sharding section of the matrix                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Shard-count scaling: the sharded frontends against the single-list
+   vbl baseline.  The thread axis is fixed at 1..8 independently of the
+   host core count — the headline cell (8 domains, 20% updates, range
+   2e4) is traversal-bound, not parallelism-bound: 8 shards cut the
+   expected traversal to 1/8th of the single list's, so the ratio holds
+   even when the domains time-share one core. *)
+let shard_algorithms =
+  [ "vbl"; "vbl-sharded-2"; "vbl-sharded-4"; "vbl-sharded-8"; "vbl-sharded-16" ]
+
+let shard_threads = [ 1; 2; 4; 8 ]
+let shard_ranges = [ 2_000; 20_000 ]
+
+let run_shard_matrix () =
+  Printf.printf "== Sharding: %s threads x 20%% updates x range %s ==\n\n"
+    (String.concat "/" (List.map string_of_int shard_threads))
+    (String.concat "/" (List.map string_of_int shard_ranges));
+  let points = ref [] in
+  List.iter
+    (fun key_range ->
+      List.iter
+        (fun threads ->
+          List.iter
+            (fun algorithm ->
+              let p =
+                Vbl_harness.Sweep.measure ~metrics:true real_engine ~algorithm ~threads
+                  ~update_percent:20 ~key_range ~seed
+              in
+              points := p :: !points;
+              Printf.printf "  %-22s t=%d u= 20%% r=%-6d  %s ops/s\n%!"
+                p.Vbl_harness.Sweep.algorithm p.Vbl_harness.Sweep.threads
+                p.Vbl_harness.Sweep.key_range
+                (Vbl_util.Table.si_cell (Vbl_harness.Sweep.point_mean p)))
+            shard_algorithms)
+        shard_threads)
+    shard_ranges;
+  let points = List.rev !points in
+  print_newline ();
+  let find algo threads range =
+    List.find_opt
+      (fun (p : Vbl_harness.Sweep.point) ->
+        p.Vbl_harness.Sweep.algorithm = algo
+        && p.Vbl_harness.Sweep.threads = threads
+        && p.Vbl_harness.Sweep.key_range = range)
+      points
+  in
+  print_endline "== Shard-count scaling (ops/s, 20% updates) ==";
+  print_newline ();
+  let table =
+    Vbl_util.Table.create
+      ([ "range"; "threads" ] @ shard_algorithms @ [ "sharded-8 / vbl" ])
+  in
+  List.iter
+    (fun range ->
+      List.iter
+        (fun threads ->
+          let cells =
+            List.map
+              (fun algo ->
+                match find algo threads range with
+                | Some p -> Vbl_util.Table.si_cell (Vbl_harness.Sweep.point_mean p)
+                | None -> "-")
+              shard_algorithms
+          in
+          let ratio =
+            match (find "vbl" threads range, find "vbl-sharded-8" threads range) with
+            | Some pv, Some ps ->
+                Printf.sprintf "%.2fx"
+                  (Vbl_harness.Sweep.point_mean ps /. Vbl_harness.Sweep.point_mean pv)
+            | _ -> "-"
+          in
+          Vbl_util.Table.add_row table
+            ([ string_of_int range; string_of_int threads ] @ cells @ [ ratio ]))
+        shard_threads)
+    shard_ranges;
+  print_endline (Vbl_util.Table.render table);
+  (match (find "vbl" 8 20_000, find "vbl-sharded-8" 8 20_000) with
+  | Some pv, Some ps ->
+      let mv = Vbl_harness.Sweep.point_mean pv
+      and ms = Vbl_harness.Sweep.point_mean ps in
+      Printf.printf
+        "\nheadline cell (8 domains, 20%% updates, range 20000): vbl-sharded-8 = %.2fx vbl\n"
+        (ms /. mv)
+  | _ -> ());
+  print_newline ();
+  points
+
+(* Batch-vs-single-op ablation: the same mixed workload pushed through
+   apply_batch at growing batch sizes, one domain.  Larger batches drain
+   each shard's group in one pass, so consecutive operations revisit a
+   cache-hot chain; batch size 1 prices the pure grouping overhead. *)
+let run_batch_ablation () =
+  print_endline "== Ablation: apply_batch batch size (vbl-sharded-8, 1 domain, 20% updates, range 20000) ==";
+  print_newline ();
+  let module S = Vbl_shard.Registry.Vbl_sharded_8 in
+  let range = 20_000 in
+  let rng = Vbl_util.Rng.create ~seed () in
+  let t = S.create () in
+  for _ = 1 to range / 2 do
+    ignore (S.insert t (1 + Vbl_util.Rng.int rng range))
+  done;
+  let gen_op () =
+    let v = 1 + Vbl_util.Rng.int rng range in
+    match Vbl_util.Rng.int rng 10 with
+    | 0 -> Vbl_shard.Sharded_set.Insert v
+    | 1 -> Vbl_shard.Sharded_set.Remove v
+    | _ -> Vbl_shard.Sharded_set.Contains v
+  in
+  let duration = if quick then 0.15 else if full then 1.0 else 0.4 in
+  let table = Vbl_util.Table.create [ "batch size"; "ops/s"; "vs batch 1" ] in
+  let base = ref nan in
+  List.iter
+    (fun bs ->
+      let ops = Array.init bs (fun _ -> gen_op ()) in
+      let count = ref 0 in
+      let t0 = Unix.gettimeofday () in
+      let elapsed = ref 0. in
+      while !elapsed < duration do
+        for i = 0 to bs - 1 do
+          ops.(i) <- gen_op ()
+        done;
+        ignore (S.apply_batch t ops);
+        count := !count + bs;
+        elapsed := Unix.gettimeofday () -. t0
+      done;
+      let rate = float_of_int !count /. !elapsed in
+      if Float.is_nan !base then base := rate;
+      Vbl_util.Table.add_row table
+        [
+          string_of_int bs;
+          Vbl_util.Table.si_cell rate;
+          Printf.sprintf "%+.1f%%" ((rate -. !base) /. !base *. 100.);
+        ])
+    [ 1; 16; 256 ];
+  print_endline (Vbl_util.Table.render table);
+  (* Per-shard load at the end of the ablation: splitmix64 routing should
+     keep the shards within a few percent of each other. *)
+  let sizes = S.shard_sizes t in
+  print_string "per-shard load:";
+  Array.iteri
+    (fun i n -> Printf.printf " %s=%d" (Vbl_obs.Metrics.shard_label i) n)
+    sizes;
+  print_newline ();
+  (match S.check_invariants t with
+  | Ok () -> ()
+  | Error m -> failwith ("sharded invariants after ablation: " ^ m));
+  print_newline ()
 
 (* vbl-direct must agree with the functorised vbl on every operation
    result — the ablation is meaningless if the baseline drifts.  Driven
@@ -608,7 +752,18 @@ let () =
   end
   else if matrix_mode then begin
     print_endline "vbl benchmark harness (matrix mode)\n";
-    run_matrix ()
+    let points = run_matrix () in
+    let shard_points = run_shard_matrix () in
+    run_batch_ablation ();
+    match json_file with
+    | Some file ->
+        let points = points @ shard_points in
+        let oc = open_out file in
+        output_string oc (Vbl_harness.Report.points_json ~engine:real_engine points);
+        output_string oc "\n";
+        close_out oc;
+        Printf.printf "(wrote %s: %d points)\n" file (List.length points)
+    | None -> ()
   end
   else if metrics_mode || trace_mode then begin
     Printf.printf "vbl benchmark harness (observability mode)\n\n";

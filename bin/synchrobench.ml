@@ -22,7 +22,7 @@ let algorithms () =
       (fun i ->
         let module S = (val i : Vbl_lists.Set_intf.S) in
         S.name)
-      (Vbl_skiplists.Registry.all @ Vbl_trees.Registry.all)
+      (Vbl_skiplists.Registry.all @ Vbl_trees.Registry.all @ Vbl_shard.Registry.all)
   @ [ "vbl-direct" ]
 
 (* The ablation baseline lives outside the registries (bench/) and has no
@@ -107,6 +107,18 @@ let trace_arg =
           "Dump the first $(docv) events of a short deterministic run on the \
            simulated engine (one line per schedule step).")
 
+let shards_arg =
+  Arg.(
+    value
+    & opt (list int) []
+    & info [ "shards" ] ~docv:"LIST"
+        ~doc:
+          "Shard-count axis: measure $(b,-a)'s sharded frontend at each count \
+           in the comma-separated $(docv) (1 means the unsharded base \
+           algorithm, s maps to $(b,ALGO-sharded-s)).  Composes with \
+           $(b,--matrix); $(b,--metrics-json) then collects every cell across \
+           the axis.")
+
 let matrix_arg =
   Arg.(
     value & flag
@@ -125,63 +137,34 @@ let matrix_threads up_to =
   let rec doubling t acc = if t > up_to then List.rev acc else doubling (2 * t) (t :: acc) in
   doubling 1 []
 
-let run_matrix ~algo ~threads ~engine_v ~metrics ~seed ~csv ~metrics_json =
-  let points =
-    List.concat_map
-      (fun key_range ->
-        List.concat_map
-          (fun update_percent ->
-            List.map
-              (fun threads ->
-                let p =
-                  measure_point ~metrics engine_v ~algorithm:algo ~threads
-                    ~update_percent ~key_range ~seed
-                in
-                let s = p.Vbl_harness.Sweep.throughput in
-                if csv then
-                  Printf.printf "%s,%d,%d,%d,%s,%.4f,%.4f\n%!" algo threads
-                    update_percent key_range
-                    (Vbl_harness.Report.engine_name engine_v)
-                    s.Vbl_util.Stats.mean s.Vbl_util.Stats.stddev
-                else
-                  Printf.printf "%-22s t=%d u=%3d%% r=%-6d  %s %s\n%!" algo threads
-                    update_percent key_range
-                    (Vbl_util.Table.si_cell s.Vbl_util.Stats.mean)
-                    (Vbl_harness.Report.engine_unit engine_v);
-                p)
-              (matrix_threads threads))
-          matrix_updates)
-      matrix_ranges
-  in
-  match metrics_json with
-  | Some file ->
-      let oc = open_out file in
-      output_string oc (Vbl_harness.Report.points_json ~engine:engine_v points);
-      output_string oc "\n";
-      close_out oc;
-      if not csv then Printf.printf "\n(wrote %s: %d points)\n" file (List.length points)
-  | None -> ()
+let run_matrix ~algo ~threads ~engine_v ~metrics ~seed ~csv =
+  List.concat_map
+    (fun key_range ->
+      List.concat_map
+        (fun update_percent ->
+          List.map
+            (fun threads ->
+              let p =
+                measure_point ~metrics engine_v ~algorithm:algo ~threads
+                  ~update_percent ~key_range ~seed
+              in
+              let s = p.Vbl_harness.Sweep.throughput in
+              if csv then
+                Printf.printf "%s,%d,%d,%d,%s,%.4f,%.4f\n%!" algo threads
+                  update_percent key_range
+                  (Vbl_harness.Report.engine_name engine_v)
+                  s.Vbl_util.Stats.mean s.Vbl_util.Stats.stddev
+              else
+                Printf.printf "%-22s t=%d u=%3d%% r=%-6d  %s %s\n%!" algo threads
+                  update_percent key_range
+                  (Vbl_util.Table.si_cell s.Vbl_util.Stats.mean)
+                  (Vbl_harness.Report.engine_unit engine_v);
+              p)
+            (matrix_threads threads))
+        matrix_updates)
+    matrix_ranges
 
-let run algo threads update range duration warmup trials seed horizon engine csv metrics
-    metrics_json trace_n matrix =
-  if not (List.mem algo (algorithms ())) then begin
-    Printf.eprintf "unknown algorithm %S; known: %s\n" algo
-      (String.concat ", " (algorithms ()));
-    exit 2
-  end;
-  if algo = "vbl-direct" && engine = `Sim then begin
-    Printf.eprintf "vbl-direct has no instrumented build; use --engine real\n";
-    exit 2
-  end;
-  let seed = Int64.of_int seed in
-  let metrics = metrics || metrics_json <> None in
-  let engine_v =
-    match engine with
-    | `Real -> Vbl_harness.Sweep.Real { duration_s = duration; warmup_s = warmup; trials }
-    | `Sim -> Vbl_harness.Sweep.simulated ~horizon ~trials ()
-  in
-  if matrix then run_matrix ~algo ~threads ~engine_v ~metrics ~seed ~csv ~metrics_json
-  else begin
+let run_single ~algo ~threads ~update ~range ~engine_v ~metrics ~seed ~csv =
   let point =
     measure_point ~metrics engine_v ~algorithm:algo ~threads
       ~update_percent:update ~key_range:range ~seed
@@ -213,15 +196,59 @@ let run algo threads update range duration warmup trials seed horizon engine csv
         (Vbl_harness.Report.render_latency ~title:"per-operation latency (ns):" [ point ])
     end
   end;
+  point
+
+let run algo threads update range duration warmup trials seed horizon engine csv metrics
+    metrics_json trace_n matrix shards =
+  (* The shard axis maps each count s to ALGO-sharded-s (1 = the base
+     algorithm), so one invocation sweeps an algorithm's sharded frontends
+     alongside it. *)
+  let algos =
+    match shards with
+    | [] -> [ algo ]
+    | counts ->
+        List.map
+          (fun s -> if s = 1 then algo else Printf.sprintf "%s-sharded-%d" algo s)
+          counts
+  in
+  List.iter
+    (fun a ->
+      if not (List.mem a (algorithms ())) then begin
+        Printf.eprintf "unknown algorithm %S; known: %s\n" a
+          (String.concat ", " (algorithms ()));
+        exit 2
+      end;
+      if a = "vbl-direct" && engine = `Sim then begin
+        Printf.eprintf "vbl-direct has no instrumented build; use --engine real\n";
+        exit 2
+      end)
+    algos;
+  let seed = Int64.of_int seed in
+  let metrics = metrics || metrics_json <> None in
+  let engine_v =
+    match engine with
+    | `Real -> Vbl_harness.Sweep.Real { duration_s = duration; warmup_s = warmup; trials }
+    | `Sim -> Vbl_harness.Sweep.simulated ~horizon ~trials ()
+  in
+  let points =
+    List.concat_map
+      (fun (i, a) ->
+        if matrix then run_matrix ~algo:a ~threads ~engine_v ~metrics ~seed ~csv
+        else begin
+          if i > 0 && not csv then print_newline ();
+          [ run_single ~algo:a ~threads ~update ~range ~engine_v ~metrics ~seed ~csv ]
+        end)
+      (List.mapi (fun i a -> (i, a)) algos)
+  in
   (match metrics_json with
   | Some file ->
       let oc = open_out file in
-      output_string oc (Vbl_harness.Report.points_json ~engine:engine_v [ point ]);
+      output_string oc (Vbl_harness.Report.points_json ~engine:engine_v points);
       output_string oc "\n";
       close_out oc;
-      if not csv then Printf.printf "\n(wrote %s)\n" file
+      if not csv then Printf.printf "\n(wrote %s: %d points)\n" file (List.length points)
   | None -> ());
-  if trace_n > 0 then begin
+  if trace_n > 0 && not matrix then begin
     (* Tracing hooks live in the schedule conductor, so the dump always
        comes from a short deterministic run on the simulated engine,
        whatever --engine was used for the measurement above. *)
@@ -230,14 +257,13 @@ let run algo threads update range duration warmup trials seed horizon engine csv
     ignore
       (Vbl_harness.Sweep.measure
          (Vbl_harness.Sweep.simulated ~horizon:600. ~trials:1 ())
-         ~algorithm:algo ~threads ~update_percent:update ~key_range:range ~seed);
+         ~algorithm:(List.hd algos) ~threads ~update_percent:update ~key_range:range ~seed);
     Vbl_obs.Probe.uninstall ();
     Printf.printf "\nevent trace (simulated engine, first %d of %d steps):\n" trace_n
       (Vbl_obs.Trace.emitted tr);
     List.iteri
       (fun i e -> if i < trace_n then print_endline ("  " ^ Vbl_obs.Trace.event_to_string e))
       (Vbl_obs.Trace.events tr)
-  end
   end
 
 let cmd =
@@ -247,6 +273,6 @@ let cmd =
     Term.(
       const run $ algo_arg $ threads_arg $ update_arg $ range_arg $ duration_arg $ warmup_arg
       $ trials_arg $ seed_arg $ horizon_arg $ engine_arg $ csv_arg $ metrics_arg
-      $ metrics_json_arg $ trace_arg $ matrix_arg)
+      $ metrics_json_arg $ trace_arg $ matrix_arg $ shards_arg)
 
 let () = exit (Cmd.eval cmd)

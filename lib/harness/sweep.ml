@@ -32,8 +32,8 @@ type point = {
 
 let point_mean p = p.throughput.Vbl_util.Stats.mean
 
-(* Algorithms may come from the list family or the skip-list/tree
-   extensions. *)
+(* Algorithms may come from the list family, the skip-list/tree
+   extensions, or the sharded frontends. *)
 let lookup registries algorithm =
   List.find_opt
     (fun i ->
@@ -45,14 +45,22 @@ let find_real algorithm =
   match Vbl_lists.Registry.find algorithm with
   | Some impl -> impl
   | None -> (
-      match lookup [ Vbl_skiplists.Registry.all; Vbl_trees.Registry.all ] algorithm with
+      match
+        lookup
+          [ Vbl_skiplists.Registry.all; Vbl_trees.Registry.all; Vbl_shard.Registry.all ]
+          algorithm
+      with
       | Some impl -> impl
       | None -> invalid_arg ("Sweep.find_real: unknown algorithm " ^ algorithm))
 
 let find_instrumented algorithm =
   match
     lookup
-      [ Vbl_skiplists.Registry.instrumented; Vbl_trees.Registry.instrumented ]
+      [
+        Vbl_skiplists.Registry.instrumented;
+        Vbl_trees.Registry.instrumented;
+        Vbl_shard.Registry.instrumented;
+      ]
       algorithm
   with
   | Some impl -> impl

@@ -29,8 +29,8 @@ type point = {
 val point_mean : point -> float
 
 val find_real : string -> (module Vbl_lists.Set_intf.S)
-(** Algorithm lookup across the list family and the skip-list extension
-    (real backend). *)
+(** Algorithm lookup across the list family, the skip-list/tree
+    extensions and the sharded frontends (real backend). *)
 
 val find_instrumented : string -> (module Vbl_lists.Set_intf.S)
 

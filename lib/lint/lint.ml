@@ -1,6 +1,6 @@
 (* See lint.mli. *)
 
-let default_dirs = [ "lib/lists"; "lib/skiplists"; "lib/trees" ]
+let default_dirs = [ "lib/lists"; "lib/skiplists"; "lib/trees"; "lib/shard" ]
 
 let parse_impl ~display_name path =
   let ic = open_in_bin path in

@@ -6,7 +6,7 @@
 
 val default_dirs : string list
 (** The algorithm directories the discipline applies to:
-    [lib/lists], [lib/skiplists], [lib/trees]. *)
+    [lib/lists], [lib/skiplists], [lib/trees], [lib/shard]. *)
 
 val lint_file :
   ?rules:Finding.rule list -> ?display_name:string -> string -> Finding.t list

@@ -107,6 +107,11 @@ let fresh_line () =
 let make ?(name = "") ~line v =
   { v; c_line = line; c_name = name; c_shadow = fresh_shadow () }
 
+(* Padding is a physical-layout concern; the instrumented cost model works
+   in explicit [line]s, so a padded cell is just a cell (and must NOT be
+   re-allocated: schedules address cells by identity). *)
+let make_padded ?name ~line v = make ?name ~line v
+
 let yield ~line ~name ~shadow kind = Effect.perform (Access { line; name; kind; shadow })
 
 let get c =

@@ -72,6 +72,10 @@ val fresh_line : unit -> int
 
 val make : ?name:string -> line:int -> 'a -> 'a cell
 
+val make_padded : ?name:string -> line:int -> 'a -> 'a cell
+(** Identical to {!make}: padding is a physical-layout concern the
+    instrumented cost model expresses through [line]s instead. *)
+
 val get : 'a cell -> 'a
 
 val set : 'a cell -> 'a -> unit

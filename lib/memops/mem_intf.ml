@@ -40,6 +40,13 @@ module type S = sig
       [v].  [name] only matters to instrumented backends (it is how schedule
       scripts refer to steps, e.g. ["X1.next"]). *)
 
+  val make_padded : ?name:string -> line:int -> 'a -> 'a cell
+  (** Like {!make}, but the real backend places the cell on its own cache
+      line (cf. [Padding.copy_as_padded]) so hot counters written by
+      different domains never false-share.  Instrumented backends — whose
+      cost model already works in explicit [line]s — treat it exactly as
+      {!make}. *)
+
   val get : 'a cell -> 'a
 
   val set : 'a cell -> 'a -> unit

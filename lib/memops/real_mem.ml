@@ -17,6 +17,12 @@ let fresh_line () = 0
 
 let[@inline] make ?name:_ ~line:_ v = Atomic.make v
 
+(* A padded cell spans a whole cache line, so striped counters written by
+   different domains never invalidate each other's lines.  Cold path only
+   (cells are padded at creation; accesses go through the same [Atomic]
+   primitives). *)
+let make_padded ?name:_ ~line:_ v = Vbl_sync.Padding.copy_as_padded (Atomic.make v)
+
 let[@inline] get c = Atomic.get c
 
 let[@inline] set c v = Atomic.set c v

@@ -33,22 +33,26 @@ let bucket_of v =
     (((m - sub_bits + 1) * sub) lor ((v lsr shift) land (sub - 1)))
   end
 
-(* Inclusive lower bound of bucket [b]; the inverse of [bucket_of]. *)
+(* Inclusive lower bound of bucket [b] — the inverse of [bucket_of] — and
+   the bucket's midpoint, both in floating point: the top octave is 62, and
+   [1 lsl 62] overflows the 63-bit native int to a negative value, so the
+   integer formulation returned garbage for buckets near [max_int].
+   [ldexp] is exact for every bucket boundary (they are all small-mantissa
+   powers of two sums). *)
 let bucket_low b =
-  if b < sub then b
+  if b < sub then float_of_int b
   else begin
     let octave = (b lsr sub_bits) + sub_bits - 1 in
     let within = b land (sub - 1) in
-    (1 lsl octave) + (within lsl (octave - sub_bits))
+    Float.ldexp 1. octave +. Float.ldexp (float_of_int within) (octave - sub_bits)
   end
 
 (* Representative value: the bucket's midpoint. *)
 let bucket_mid b =
   if b < sub then float_of_int b
   else begin
-    let low = bucket_low b in
-    let width = 1 lsl ((b lsr sub_bits) - 1) in
-    float_of_int low +. (float_of_int width /. 2.)
+    let octave = (b lsr sub_bits) + sub_bits - 1 in
+    bucket_low b +. Float.ldexp 1. (octave - sub_bits - 1)
   end
 
 type t = {
@@ -80,16 +84,19 @@ let merge ~into t =
   if t.min_v < into.min_v then into.min_v <- t.min_v;
   into.sum <- into.sum +. t.sum
 
-let mean t = if t.n = 0 then invalid_arg "Histogram.mean: empty" else t.sum /. float_of_int t.n
+let mean t = if t.n = 0 then Float.nan else t.sum /. float_of_int t.n
 
 (* Percentile by closest rank over the bucket counts.  Exact values are not
    retained, so the answer is the representative of the bucket containing
    the rank — within one sub-bucket (12.5%) of the true value.  The
-   extremes are exact: p0 returns the recorded minimum, p100 the maximum. *)
+   extremes are exact: p0 returns the recorded minimum, p100 the maximum.
+   An empty histogram has no quantiles: the result is [nan], not an
+   exception, so report code can format "no samples" without guarding
+   every call site. *)
 let percentile t p =
-  if t.n = 0 then invalid_arg "Histogram.percentile: empty";
   if p < 0. || p > 100. then invalid_arg "Histogram.percentile: p out of range";
-  if p = 0. then float_of_int t.min_v
+  if t.n = 0 then Float.nan
+  else if p = 0. then float_of_int t.min_v
   else if p = 100. then float_of_int t.max_v
   else begin
     let rank = int_of_float (Float.ceil (p /. 100. *. float_of_int t.n)) in

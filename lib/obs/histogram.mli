@@ -19,12 +19,13 @@ val merge : into:t -> t -> unit
 (** Add every bucket of the second histogram into [into]. *)
 
 val mean : t -> float
-(** Raises [Invalid_argument] on an empty histogram. *)
+(** [nan] on an empty histogram. *)
 
 val percentile : t -> float -> float
 (** [percentile t p] for [p] in [\[0, 100\]], closest-rank over buckets;
-    p0/p100 return the exact recorded extremes.  Raises
-    [Invalid_argument] on an empty histogram or out-of-range [p]. *)
+    p0/p100 return the exact recorded extremes and every answer is
+    clamped to the recorded [min, max].  [nan] on an empty histogram;
+    raises [Invalid_argument] on an out-of-range [p]. *)
 
 type summary = {
   n : int;

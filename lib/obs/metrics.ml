@@ -30,6 +30,8 @@ type counter =
   | Dpor_sleep_blocked  (** executions abandoned because every enabled thread slept *)
   | Analysis_races  (** unordered conflicting plain-write pairs reported *)
   | Analysis_lint_hits  (** lock-discipline lint reports *)
+  | Shard_batches  (** [apply_batch] calls on a sharded set *)
+  | Shard_batch_ops  (** operations applied through [apply_batch] *)
 
 let all =
   [
@@ -48,6 +50,8 @@ let all =
     Dpor_sleep_blocked;
     Analysis_races;
     Analysis_lint_hits;
+    Shard_batches;
+    Shard_batch_ops;
   ]
 
 let num_counters = List.length all
@@ -68,6 +72,8 @@ let index = function
   | Dpor_sleep_blocked -> 12
   | Analysis_races -> 13
   | Analysis_lint_hits -> 14
+  | Shard_batches -> 15
+  | Shard_batch_ops -> 16
 
 let label = function
   | Traversal_steps -> "traversal_steps"
@@ -85,6 +91,8 @@ let label = function
   | Dpor_sleep_blocked -> "dpor_sleep_blocked"
   | Analysis_races -> "analysis_races"
   | Analysis_lint_hits -> "analysis_lint_hits"
+  | Shard_batches -> "shard_batches"
+  | Shard_batch_ops -> "shard_batch_ops"
 
 let describe = function
   | Traversal_steps -> "node hops performed while searching"
@@ -102,6 +110,24 @@ let describe = function
   | Dpor_sleep_blocked -> "executions pruned by the sleep set"
   | Analysis_races -> "unordered conflicting plain-write pairs reported"
   | Analysis_lint_hits -> "lock-discipline lint reports"
+  | Shard_batches -> "apply_batch calls on sharded sets"
+  | Shard_batch_ops -> "operations applied through apply_batch"
+
+(* Per-shard series labels ("shard0", "shard1", ...) for reports that break
+   a sharded set's load out by shard.  Memoized so labelling a snapshot
+   allocates nothing after the first use of an index. *)
+let shard_labels : string array ref = ref [||]
+
+let shard_label i =
+  if i < 0 then invalid_arg "Metrics.shard_label: negative index";
+  let n = Array.length !shard_labels in
+  if i >= n then begin
+    let grown = Array.init (i + 1) (fun k ->
+        if k < n then !shard_labels.(k) else "shard" ^ string_of_int k)
+    in
+    shard_labels := grown
+  end;
+  !shard_labels.(i)
 
 (* One cache line of padding (8 words) on both sides of each shard's live
    slots, so two domains' shards never share a line even when the allocator

@@ -24,6 +24,8 @@ type counter =
   | Dpor_sleep_blocked  (** executions abandoned: every enabled thread asleep *)
   | Analysis_races  (** unordered conflicting plain-write pairs reported *)
   | Analysis_lint_hits  (** lock-discipline lint reports *)
+  | Shard_batches  (** [apply_batch] calls on a sharded set *)
+  | Shard_batch_ops  (** operations applied through [apply_batch] *)
 
 val all : counter list
 (** Every counter, in reporting order. *)
@@ -38,6 +40,11 @@ val label : counter -> string
 
 val describe : counter -> string
 (** One-line description for documentation and report legends. *)
+
+val shard_label : int -> string
+(** ["shard<i>"], memoized — per-shard series labels for reports that
+    break a sharded set's load out by shard.  Raises [Invalid_argument]
+    on a negative index. *)
 
 val incr : counter -> unit
 (** Bump the calling domain's shard.  Unsynchronized and wait-free. *)

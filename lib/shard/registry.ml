@@ -1,0 +1,69 @@
+(** Sharded-set registry, mirroring {!Vbl_lists.Registry}: VBL-backed
+    sharded frontends at the shard counts the benchmarks sweep, on both
+    backends.  The full {!Sharded_set.S} (batch API, per-shard sizes) is
+    reachable through {!batched}; the plain registry views erase to
+    {!Vbl_lists.Set_intf.S} like every other implementation. *)
+
+module R = Vbl_memops.Real_mem
+module I = Vbl_memops.Instr_mem
+
+module Vbl_sharded_2 =
+  Sharded_set.Make (struct let shard_bits = 1 end) (Vbl_lists.Vbl_list.Make) (R)
+
+module Vbl_sharded_4 =
+  Sharded_set.Make (struct let shard_bits = 2 end) (Vbl_lists.Vbl_list.Make) (R)
+
+module Vbl_sharded_8 =
+  Sharded_set.Make (struct let shard_bits = 3 end) (Vbl_lists.Vbl_list.Make) (R)
+
+module Vbl_sharded_16 =
+  Sharded_set.Make (struct let shard_bits = 4 end) (Vbl_lists.Vbl_list.Make) (R)
+
+module Vbl_sharded_2_i =
+  Sharded_set.Make (struct let shard_bits = 1 end) (Vbl_lists.Vbl_list.Make) (I)
+
+module Vbl_sharded_4_i =
+  Sharded_set.Make (struct let shard_bits = 2 end) (Vbl_lists.Vbl_list.Make) (I)
+
+module Vbl_sharded_8_i =
+  Sharded_set.Make (struct let shard_bits = 3 end) (Vbl_lists.Vbl_list.Make) (I)
+
+module Vbl_sharded_16_i =
+  Sharded_set.Make (struct let shard_bits = 4 end) (Vbl_lists.Vbl_list.Make) (I)
+
+type impl = (module Vbl_lists.Set_intf.S)
+
+let all : impl list =
+  [
+    (module Vbl_sharded_2);
+    (module Vbl_sharded_4);
+    (module Vbl_sharded_8);
+    (module Vbl_sharded_16);
+  ]
+
+let instrumented : impl list =
+  [
+    (module Vbl_sharded_2_i);
+    (module Vbl_sharded_4_i);
+    (module Vbl_sharded_8_i);
+    (module Vbl_sharded_16_i);
+  ]
+
+let batched : (module Sharded_set.S) list =
+  [
+    (module Vbl_sharded_2);
+    (module Vbl_sharded_4);
+    (module Vbl_sharded_8);
+    (module Vbl_sharded_16);
+  ]
+
+let find_exn nm : impl =
+  match
+    List.find_opt
+      (fun i ->
+        let module S = (val i : Vbl_lists.Set_intf.S) in
+        S.name = nm)
+      all
+  with
+  | Some i -> i
+  | None -> invalid_arg ("Vbl_shard.Registry.find_exn: unknown algorithm " ^ nm)

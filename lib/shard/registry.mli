@@ -1,0 +1,25 @@
+(** Sharded-set registry: VBL-backed frontends at shard counts 2/4/8/16,
+    real-backend instances for benchmarks plus instrumented ones for the
+    schedule machinery. *)
+
+module Vbl_sharded_2 : Sharded_set.S
+module Vbl_sharded_4 : Sharded_set.S
+module Vbl_sharded_8 : Sharded_set.S
+module Vbl_sharded_16 : Sharded_set.S
+module Vbl_sharded_2_i : Sharded_set.S
+module Vbl_sharded_4_i : Sharded_set.S
+module Vbl_sharded_8_i : Sharded_set.S
+module Vbl_sharded_16_i : Sharded_set.S
+
+type impl = (module Vbl_lists.Set_intf.S)
+
+val all : impl list
+(** Real-backend instances, ascending shard count. *)
+
+val instrumented : impl list
+
+val batched : (module Sharded_set.S) list
+(** The same real-backend instances at their full signature (batch API,
+    per-shard sizes). *)
+
+val find_exn : string -> impl

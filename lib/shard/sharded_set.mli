@@ -1,0 +1,42 @@
+(** Hash-sharded set frontend: partition the key space across [2^bits]
+    independent instances of any {!Vbl_lists.Set_intf.S} backend.
+
+    Routing is a splitmix64 finalizer over the key reduced by masking —
+    straight native-int arithmetic, so the [contains] fast path allocates
+    nothing on top of the backend's own traversal.  Each shard carries a
+    cache-line-padded striped size counter ([size] is O(shards)), and
+    {!S.apply_batch} drains a batch shard-by-shard to keep consecutive
+    traversals cache-hot.  Linearizability is inherited from the backend:
+    shards are disjoint and each operation touches exactly one. *)
+
+type op = Insert of int | Remove of int | Contains of int
+
+module type CONFIG = sig
+  val shard_bits : int
+  (** log2 of the shard count; the functor rejects values outside
+      [\[0, 16\]]. *)
+end
+
+module type S = sig
+  include Vbl_lists.Set_intf.S
+
+  val shard_count : int
+
+  val shard_of : int -> int
+  (** The shard index an operation on this key routes to. *)
+
+  val apply_batch : t -> op array -> bool array
+  (** Apply a batch grouped by shard, one shard at a time; results line
+      up with input positions.  Same-key operations keep their array
+      order (shards are disjoint, so the shard-by-shard order is
+      equivalent to some sequential order of the array). *)
+
+  val shard_sizes : t -> int array
+  (** Per-shard striped-counter readings, index = shard; exact at
+      quiescence. *)
+end
+
+module Make (_ : CONFIG) (_ : Vbl_lists.Set_intf.MAKER) (M : Vbl_memops.Mem_intf.S) : S
+(** [Make (Bits) (Backend) (M)]: a sharded frontend over [2^Bits.shard_bits]
+    instances of [Backend (M)].  The instance's [name] is
+    ["<backend>-sharded-<count>"]. *)

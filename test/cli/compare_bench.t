@@ -1,0 +1,117 @@
+compare_bench diffs two BENCH_*.json snapshots and its exit code gates CI:
+0 = parity, 1 = regression beyond the threshold, 2 = point-set mismatch
+only, 64 = usage error.  Crafted fixtures cover each path.
+
+A baseline with two points:
+
+  $ cat > old.json <<'EOF'
+  > {"engine": "real", "unit": "ops/s", "points": [
+  >   {"algorithm": "vbl", "threads": 2, "update_percent": 20, "key_range": 2000,
+  >    "throughput": {"mean": 1000000.0, "stddev": 1000.0}},
+  >   {"algorithm": "vbl-sharded-8", "threads": 2, "update_percent": 20, "key_range": 2000,
+  >    "throughput": {"mean": 4000000.0, "stddev": 2000.0}}
+  > ]}
+  > EOF
+
+Exit 0: same point set, new means within the 10% threshold (one slightly
+up, one slightly down):
+
+  $ cat > new_ok.json <<'EOF'
+  > {"engine": "real", "unit": "ops/s", "points": [
+  >   {"algorithm": "vbl", "threads": 2, "update_percent": 20, "key_range": 2000,
+  >    "throughput": {"mean": 1050000.0, "stddev": 1000.0}},
+  >   {"algorithm": "vbl-sharded-8", "threads": 2, "update_percent": 20, "key_range": 2000,
+  >    "throughput": {"mean": 3800000.0, "stddev": 2000.0}}
+  > ]}
+  > EOF
+  $ vbl-compare-bench old.json new_ok.json
+  algorithm                threads upd%   range       old.json    new_ok.json     delta
+  vbl                            2   20    2000        1000000        1050000     +5.0%
+  vbl-sharded-8                  2   20    2000        4000000        3800000     -5.0%
+  
+  2 point(s) compared, 0 regression(s) beyond 10%; 0 only in new_ok.json, 0 only in old.json
+
+
+Exit 1: the sharded point dropped 50%, far past the threshold:
+
+  $ cat > new_regressed.json <<'EOF'
+  > {"engine": "real", "unit": "ops/s", "points": [
+  >   {"algorithm": "vbl", "threads": 2, "update_percent": 20, "key_range": 2000,
+  >    "throughput": {"mean": 1050000.0, "stddev": 1000.0}},
+  >   {"algorithm": "vbl-sharded-8", "threads": 2, "update_percent": 20, "key_range": 2000,
+  >    "throughput": {"mean": 2000000.0, "stddev": 2000.0}}
+  > ]}
+  > EOF
+  $ vbl-compare-bench old.json new_regressed.json
+  algorithm                threads upd%   range       old.json new_regressed.json     delta
+  vbl                            2   20    2000        1000000        1050000     +5.0%
+  vbl-sharded-8                  2   20    2000        4000000        2000000    -50.0%  << REGRESSION
+  
+  2 point(s) compared, 1 regression(s) beyond 10%; 0 only in new_regressed.json, 0 only in old.json
+  [1]
+
+
+A looser threshold turns the same pair back into parity:
+
+  $ vbl-compare-bench old.json new_regressed.json --threshold 60
+  algorithm                threads upd%   range       old.json new_regressed.json     delta
+  vbl                            2   20    2000        1000000        1050000     +5.0%
+  vbl-sharded-8                  2   20    2000        4000000        2000000    -50.0%
+  
+  2 point(s) compared, 0 regression(s) beyond 60%; 0 only in new_regressed.json, 0 only in old.json
+
+
+Exit 2: disjoint workload cells (a different thread count) — no comparable
+point regressed, but the snapshots do not cover the same matrix:
+
+  $ cat > new_mismatch.json <<'EOF'
+  > {"engine": "real", "unit": "ops/s", "points": [
+  >   {"algorithm": "vbl", "threads": 2, "update_percent": 20, "key_range": 2000,
+  >    "throughput": {"mean": 1000000.0, "stddev": 1000.0}},
+  >   {"algorithm": "vbl-sharded-8", "threads": 4, "update_percent": 20, "key_range": 2000,
+  >    "throughput": {"mean": 4000000.0, "stddev": 2000.0}}
+  > ]}
+  > EOF
+  $ vbl-compare-bench old.json new_mismatch.json
+  warning: point sets differ — the snapshots do not cover the same workload matrix
+  algorithm                threads upd%   range       old.json new_mismatch.json     delta
+  vbl                            2   20    2000        1000000        1000000     +0.0%
+  
+  1 point(s) compared, 0 regression(s) beyond 10%; 1 only in new_mismatch.json, 1 only in old.json
+  [2]
+
+
+A regression wins over a simultaneous point-set mismatch (1, not 2), since
+it is the stronger signal for CI:
+
+  $ cat > new_both.json <<'EOF'
+  > {"engine": "real", "unit": "ops/s", "points": [
+  >   {"algorithm": "vbl", "threads": 2, "update_percent": 20, "key_range": 2000,
+  >    "throughput": {"mean": 100000.0, "stddev": 1000.0}}
+  > ]}
+  > EOF
+  $ vbl-compare-bench old.json new_both.json
+  warning: point sets differ — the snapshots do not cover the same workload matrix
+  algorithm                threads upd%   range       old.json  new_both.json     delta
+  vbl                            2   20    2000        1000000         100000    -90.0%  << REGRESSION
+  
+  1 point(s) compared, 1 regression(s) beyond 10%; 0 only in new_both.json, 1 only in old.json
+  [1]
+
+
+A generated snapshot (the real schema, written by the benchmark tools)
+round-trips through the hand-rolled parser — compared against itself it
+is exact parity, exit 0:
+
+  $ vbl-synchrobench --engine sim -a vbl --shards 1,4 -t 2 -u 20 -r 64 -n 2 --horizon 20000 --metrics-json gen.json --csv
+  vbl,2,20,64,simulated-multicore,39.8750,2.0153
+  vbl-sharded-4,2,20,64,simulated-multicore,74.7250,0.5303
+  $ vbl-compare-bench gen.json gen.json > roundtrip.out
+  $ tail -n 1 roundtrip.out
+  2 point(s) compared, 0 regression(s) beyond 10%; 0 only in gen.json, 0 only in gen.json
+
+Exit 64: usage errors:
+
+  $ vbl-compare-bench old.json
+  usage: compare_bench OLD.json NEW.json [--threshold PCT]
+  [64]

@@ -2,14 +2,14 @@ The AST concurrency-discipline linter, driven against a synthetic tree.
 
 A clean tree — every algorithm directory present, disciplined code only:
 
-  $ mkdir -p proj/lib/lists proj/lib/skiplists proj/lib/trees
+  $ mkdir -p proj/lib/lists proj/lib/skiplists proj/lib/trees proj/lib/shard
   $ cat > proj/lib/lists/good.ml <<'EOF'
   > (* mentions Atomic.get and Mutex.lock in a comment, which is fine *)
   > let doc = "even strings may say Atomic.set"
   > let add a b = a + b
   > EOF
   $ vbl-lint proj
-  lint: clean (lib/lists lib/skiplists lib/trees)
+  lint: clean (lib/lists lib/skiplists lib/trees lib/shard)
 
 A seeded violation is reported with its file:line:col span and exit 1:
 
@@ -24,12 +24,12 @@ A seeded violation is reported with its file:line:col span and exit 1:
 Rule selection drops findings outside the requested subset:
 
   $ vbl-lint --rule L2,L3 proj
-  lint: clean (lib/lists lib/skiplists lib/trees)
+  lint: clean (lib/lists lib/skiplists lib/trees lib/shard)
 
 JSON output carries the same findings, machine-readably:
 
   $ vbl-lint --format json proj
-  {"target": "lib/lists lib/skiplists lib/trees", "count": 1, "findings": [{"rule":"L1","file":"lib/skiplists/bad.ml","line":1,"col":8,"message":"raw Atomic.make access outside the memory backend (use the M.* functor argument)"}]}
+  {"target": "lib/lists lib/skiplists lib/trees lib/shard", "count": 1, "findings": [{"rule":"L1","file":"lib/skiplists/bad.ml","line":1,"col":8,"message":"raw Atomic.make access outside the memory backend (use the M.* functor argument)"}]}
   [1]
 
 A missing algorithm directory is an error, never a silent skip:

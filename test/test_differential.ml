@@ -1,0 +1,320 @@
+(* Cross-implementation differential stress.
+
+   Two oracles, both built on the same ownership discipline: keys are
+   partitioned across logical threads (key k belongs to thread k mod T),
+   writers only touch their own keys, and contains probes roam freely.
+   Because each key has a single writer, every insert/remove result is
+   determined by the owner's program order alone — a thread-local
+   sequential model predicts it — and the final surviving key set equals
+   the per-key last write, which a sequential [Seq_list] replay of the
+   logs reconstructs.  Any divergence (wrong write result, wrong final
+   set, broken invariants, deadlock) prints the seed and an op-log
+   prefix so the schedule can be replayed.
+
+   Mode 1 runs real domains (preemption-driven interleavings, every
+   registry implementation plus the sharded frontends).  Mode 2 runs the
+   instrumented backend under a seeded random scheduler — dejafu-style
+   randomized testing that complements the DPOR explorer: coarser than
+   exhaustive exploration, but cheap enough to run every implementation
+   (and the seeded mutants of lib/analysis, which it must catch) on
+   every `dune runtest`.  Mode 3 differentially checks the sharded batch
+   API against one-at-a-time application. *)
+
+module Rng = Vbl_util.Rng
+module Seq = Vbl_lists.Registry.Sequential
+module Instr = Vbl_memops.Instr_mem
+module Exec = Vbl_sched.Exec
+
+(* An owner-keyed write: [ins]=true for insert.  Logs keep program order
+   per thread; replaying thread logs in any thread order reconstructs the
+   final set because each key's writes all live in one log. *)
+type write = { ins : bool; key : int; got : bool }
+
+let log_prefix ?(n = 12) log =
+  String.concat "; "
+    (List.filteri (fun i _ -> i < n)
+       (List.map
+          (fun w -> Printf.sprintf "%s %d -> %b" (if w.ins then "ins" else "rem") w.key w.got)
+          log))
+
+let replay_final logs =
+  let replica = Seq.create () in
+  Array.iter
+    (fun log ->
+      List.iter
+        (fun w -> ignore (if w.ins then Seq.insert replica w.key else Seq.remove replica w.key))
+        log)
+    logs;
+  Seq.to_list replica
+
+(* ------------------------------------------------------------------ *)
+(* Mode 1: real domains                                                *)
+(* ------------------------------------------------------------------ *)
+
+let real_stress impl ~domains ~total_ops ~key_range ~update_percent ~seed =
+  let module S = (val impl : Vbl_lists.Set_intf.S) in
+  let t = S.create () in
+  let per_domain = total_ops / domains in
+  let slots = key_range / domains in
+  let logs = Array.make domains [] in
+  let first_mismatch = Array.make domains None in
+  let worker d () =
+    let rng = Rng.stream ~seed ~index:d in
+    let model = Array.make (key_range + 1) false in
+    let log = ref [] in
+    for i = 1 to per_domain do
+      let roll = Rng.int rng 100 in
+      if roll < update_percent then begin
+        let k = 1 + d + (domains * Rng.int rng slots) in
+        let ins = Rng.bool rng in
+        let got = if ins then S.insert t k else S.remove t k in
+        let want = if ins then not model.(k) else model.(k) in
+        model.(k) <- ins;
+        log := { ins; key = k; got } :: !log;
+        if got <> want && first_mismatch.(d) = None then
+          first_mismatch.(d) <- Some (i, k, want, got)
+      end
+      else ignore (S.contains t (1 + Rng.int rng key_range))
+    done;
+    logs.(d) <- List.rev !log
+  in
+  List.iter Domain.join (List.init domains (fun d -> Domain.spawn (worker d)));
+  Array.iteri
+    (fun d m ->
+      match m with
+      | Some (i, k, want, got) ->
+          Alcotest.failf
+            "%s: seed %Ld: domain %d op %d on key %d returned %b, single-writer model \
+             says %b\n  domain %d log prefix: %s"
+            S.name seed d i k got want d (log_prefix logs.(d))
+      | None -> ())
+    first_mismatch;
+  (match S.check_invariants t with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "%s: seed %Ld: invariants after stress: %s" S.name seed m);
+  let final = S.to_list t in
+  let expected = replay_final logs in
+  if final <> expected then
+    Alcotest.failf
+      "%s: seed %Ld: surviving keys diverge from Seq_list replay of the per-key \
+       last-write history\n  got     : %s\n  expected: %s\n  domain 0 log prefix: %s"
+      S.name seed
+      (String.concat "," (List.map string_of_int final))
+      (String.concat "," (List.map string_of_int expected))
+      (log_prefix logs.(0))
+
+let real_case impl =
+  let module S = (val impl : Vbl_lists.Set_intf.S) in
+  Alcotest.test_case (S.name ^ ": 4-domain differential stress") `Quick (fun () ->
+      real_stress impl ~domains:4 ~total_ops:50_000 ~key_range:96 ~update_percent:40
+        ~seed:1337L)
+
+(* ------------------------------------------------------------------ *)
+(* Mode 2: instrumented backend, seeded random scheduler               *)
+(* ------------------------------------------------------------------ *)
+
+type iop = I of int | R of int | C of int
+
+(* One execution under a random schedule.  [Ok ()] when the run completes
+   and matches both oracles; [Error description] on any divergence.  The
+   step budget bounds livelock; genuine algorithms finish 3x10 ops within
+   a few hundred steps. *)
+let instr_run impl ~threads ~ops_per_thread ~key_range ~update_percent ~seed =
+  let module S = (val impl : Vbl_lists.Set_intf.S) in
+  let gen = Rng.create ~seed:(Int64.of_int (0x5eed + (seed * 2654435761))) () in
+  let slots = max 1 (key_range / threads) in
+  let plans =
+    Array.init threads (fun d ->
+        Array.init ops_per_thread (fun _ ->
+            let roll = Rng.int gen 100 in
+            if roll < update_percent then begin
+              let k = 1 + d + (threads * Rng.int gen slots) in
+              if Rng.bool gen then I k else R k
+            end
+            else C (1 + Rng.int gen key_range)))
+  in
+  let t = Instr.run_sequential (fun () -> S.create ()) in
+  let results = Array.map (fun plan -> Array.make (Array.length plan) false) plans in
+  let body d () =
+    Array.iteri
+      (fun i op ->
+        results.(d).(i) <-
+          (match op with I k -> S.insert t k | R k -> S.remove t k | C k -> S.contains t k))
+      plans.(d)
+  in
+  match
+    let ex = Exec.create (List.init threads (fun d -> body d)) in
+    let driver = Rng.create ~seed:(Int64.of_int ((seed * 7919) + 13)) () in
+    let budget = 100_000 in
+    let rec drive steps =
+      if Exec.finished ex then Ok ()
+      else if Exec.deadlocked ex then
+        Error "deadlock: every unfinished thread is parked on a held lock"
+      else if steps > budget then Error "step budget exhausted (livelock?)"
+      else begin
+        let runnable = Exec.runnable_threads ex in
+        Exec.step ex (List.nth runnable (Rng.int driver (List.length runnable)));
+        drive (steps + 1)
+      end
+    in
+    try drive 0 with e -> Error ("exception during execution: " ^ Printexc.to_string e)
+  with
+  | Error e -> Error e
+  | Ok () -> (
+      (* Oracle 1: single-writer results.  Oracle 2: final set = replay. *)
+      let logs = Array.make threads [] in
+      let mismatch = ref None in
+      Array.iteri
+        (fun d plan ->
+          let model = Array.make (key_range + 1) false in
+          let log = ref [] in
+          Array.iteri
+            (fun i op ->
+              match op with
+              | C _ -> ()
+              | I k | R k ->
+                  let ins = match op with I _ -> true | _ -> false in
+                  let want = if ins then not model.(k) else model.(k) in
+                  model.(k) <- ins;
+                  log := { ins; key = k; got = results.(d).(i) } :: !log;
+                  if results.(d).(i) <> want && !mismatch = None then
+                    mismatch := Some (d, i, k, want, results.(d).(i)))
+            plan;
+          logs.(d) <- List.rev !log)
+        plans;
+      match !mismatch with
+      | Some (d, i, k, want, got) ->
+          Error
+            (Printf.sprintf
+               "thread %d op %d on key %d returned %b, single-writer model says %b; log: %s"
+               d i k got want (log_prefix logs.(d)))
+      | None -> (
+          match Instr.run_sequential (fun () -> S.check_invariants t) with
+          | Error m -> Error ("invariants: " ^ m)
+          | Ok () ->
+              let final = Instr.run_sequential (fun () -> S.to_list t) in
+              let expected = replay_final logs in
+              if final <> expected then
+                Error
+                  (Printf.sprintf "final set {%s} diverges from replay {%s}"
+                     (String.concat "," (List.map string_of_int final))
+                     (String.concat "," (List.map string_of_int expected)))
+              else Ok ()))
+
+let instr_seeds = [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+
+let instr_clean_case impl =
+  let module S = (val impl : Vbl_lists.Set_intf.S) in
+  Alcotest.test_case (S.name ^ ": randomized-scheduler differential") `Quick (fun () ->
+      List.iter
+        (fun seed ->
+          match
+            instr_run impl ~threads:3 ~ops_per_thread:10 ~key_range:9 ~update_percent:70
+              ~seed
+          with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "%s: seed %d: %s" S.name seed e)
+        instr_seeds)
+
+(* A mutant is caught when at least one seed diverges: the randomized
+   differential oracle is the cheap cousin of the DPOR mutation suite in
+   test_analysis, so it must reproduce at least the deterministic
+   catches.  The leaky-lock mutant deadlocks under any schedule that
+   makes a second update touch the leaked lock; the no-logical-delete
+   mutant loses concurrent updates visible as a replay divergence. *)
+let instr_mutant_case name impl =
+  Alcotest.test_case (name ^ ": mutant caught by randomized differential") `Quick
+    (fun () ->
+      let caught =
+        List.exists
+          (fun seed ->
+            match
+              instr_run impl ~threads:3 ~ops_per_thread:10 ~key_range:9
+                ~update_percent:70 ~seed
+            with
+            | Ok () -> false
+            | Error _ -> true)
+          instr_seeds
+      in
+      if not caught then
+        Alcotest.failf "%s survived all %d random schedules" name (List.length instr_seeds))
+
+(* ------------------------------------------------------------------ *)
+(* Mode 3: batched vs one-at-a-time application                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Single-domain, so every result is deterministic: an operation's result
+   depends only on the same-key prefix, and apply_batch's shard grouping
+   preserves per-key order, so batched results must equal a left-to-right
+   Seq_list replay op for op. *)
+let batch_case (impl : (module Vbl_shard.Sharded_set.S)) =
+  let module S = (val impl) in
+  Alcotest.test_case (S.name ^ ": apply_batch matches sequential replay") `Quick
+    (fun () ->
+      let rng = Rng.create ~seed:4242L () in
+      let key_range = 512 in
+      let t = S.create () in
+      let replica = Seq.create () in
+      let batch = 64 in
+      for round = 0 to 49 do
+        let ops =
+          Array.init batch (fun _ ->
+              let k = 1 + Rng.int rng key_range in
+              match Rng.int rng 3 with
+              | 0 -> Vbl_shard.Sharded_set.Insert k
+              | 1 -> Vbl_shard.Sharded_set.Remove k
+              | _ -> Vbl_shard.Sharded_set.Contains k)
+        in
+        let got = S.apply_batch t ops in
+        Array.iteri
+          (fun i op ->
+            let want =
+              match op with
+              | Vbl_shard.Sharded_set.Insert k -> Seq.insert replica k
+              | Vbl_shard.Sharded_set.Remove k -> Seq.remove replica k
+              | Vbl_shard.Sharded_set.Contains k -> Seq.contains replica k
+            in
+            if got.(i) <> want then
+              Alcotest.failf "%s: round %d op %d: batch says %b, replay says %b" S.name
+                round i got.(i) want)
+          ops
+      done;
+      Alcotest.(check (list int))
+        "final contents match replica" (Seq.to_list replica) (S.to_list t);
+      (match S.check_invariants t with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "%s: invariants: %s" S.name m);
+      Alcotest.(check int)
+        "striped size agrees" (List.length (S.to_list t)) (S.size t))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let impl_cases =
+    List.map real_case (Vbl_lists.Registry.concurrent @ Vbl_shard.Registry.all)
+  in
+  let clean_instr =
+    List.map instr_clean_case
+      [
+        (module Vbl_sched.Drive.Vbl_i : Vbl_lists.Set_intf.S);
+        (module Vbl_sched.Drive.Lazy_i);
+        (module Vbl_sched.Drive.Hm_tagged_i);
+        (module Vbl_sched.Drive.Coarse_i);
+        (module Vbl_shard.Registry.Vbl_sharded_4_i);
+      ]
+  in
+  let mutants =
+    [
+      instr_mutant_case "vbl-leaky-lock"
+        (module Vbl_analysis.Mutants.Vbl_leaky_lock : Vbl_lists.Set_intf.S);
+      instr_mutant_case "vbl-no-logical-delete"
+        (module Vbl_analysis.Mutants.Vbl_no_logical_delete);
+    ]
+  in
+  Alcotest.run "differential"
+    [
+      ("real-domains", impl_cases);
+      ("instr-random-scheduler", clean_instr);
+      ("instr-mutants", mutants);
+      ("batch", List.map batch_case Vbl_shard.Registry.batched);
+    ]

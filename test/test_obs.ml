@@ -70,6 +70,14 @@ let metrics_tests =
              && (String.sub json i (String.length sub) = sub || find (i + 1))
            in
            find 0));
+    Alcotest.test_case "shard labels are memoized and stable" `Quick (fun () ->
+        Alcotest.(check string) "shard0" "shard0" (Metrics.shard_label 0);
+        Alcotest.(check string) "shard9" "shard9" (Metrics.shard_label 9);
+        Alcotest.(check bool) "memoized: same physical string" true
+          (Metrics.shard_label 9 == Metrics.shard_label 9);
+        Alcotest.check_raises "negative raises"
+          (Invalid_argument "Metrics.shard_label: negative index") (fun () ->
+            ignore (Metrics.shard_label (-1))));
     Alcotest.test_case "multi-domain increments all land" `Quick (fun () ->
         Metrics.reset ();
         let per_domain = 10_000 in
@@ -160,6 +168,47 @@ let histogram_tests =
         Histogram.record h 1;
         Alcotest.(check int) "n" 2 (Histogram.count h);
         Alcotest.(check bool) "p100 positive" true (Histogram.percentile h 100. > 0.));
+    Alcotest.test_case "empty histogram: nan percentile and mean, no raise" `Quick
+      (fun () ->
+        let h = Histogram.create () in
+        Alcotest.(check bool) "p50 nan" true (Float.is_nan (Histogram.percentile h 50.));
+        Alcotest.(check bool) "p0 nan" true (Float.is_nan (Histogram.percentile h 0.));
+        Alcotest.(check bool) "p100 nan" true (Float.is_nan (Histogram.percentile h 100.));
+        Alcotest.(check bool) "mean nan" true (Float.is_nan (Histogram.mean h));
+        (* range errors still raise, even on an empty histogram *)
+        Alcotest.check_raises "p>100 raises"
+          (Invalid_argument "Histogram.percentile: p out of range") (fun () ->
+            ignore (Histogram.percentile h 101.)));
+    Alcotest.test_case "single sample: every percentile is that sample" `Quick
+      (fun () ->
+        let h = Histogram.create () in
+        Histogram.record h 7;
+        (* 7 is below the exact-bucket boundary, so no bucketing error *)
+        List.iter
+          (fun p ->
+            Alcotest.check (Alcotest.float 1e-9)
+              (Printf.sprintf "p%.0f" p)
+              7. (Histogram.percentile h p))
+          [ 0.; 50.; 99.9; 100. ];
+        Alcotest.check (Alcotest.float 1e-9) "mean" 7. (Histogram.mean h));
+    Alcotest.test_case "values above the top bucket keep percentiles finite" `Quick
+      (fun () ->
+        (* max_int lands in the final log bucket, whose lower bound is
+           2^62: the old int-arithmetic bucket_low overflowed to min_int
+           here, producing negative percentiles. *)
+        let h = Histogram.create () in
+        for _ = 1 to 100 do
+          Histogram.record h max_int
+        done;
+        let p99 = Histogram.percentile h 99. in
+        Alcotest.(check bool) "p99 finite" true (Float.is_finite p99);
+        Alcotest.(check bool) "p99 at least 2^62" true (p99 >= Float.ldexp 1. 62);
+        Alcotest.(check bool) "p99 not above max sample" true
+          (p99 <= float_of_int max_int);
+        Alcotest.check (Alcotest.float 1e-9) "p100 exact max" (float_of_int max_int)
+          (Histogram.percentile h 100.);
+        Alcotest.(check bool) "mean in the top octave" true
+          (Histogram.mean h >= Float.ldexp 1. 62));
   ]
 
 (* ------------------------------------------------------------------ *)

@@ -113,6 +113,88 @@ let rng_tests =
             ignore (Rng.stream ~seed:1L ~index:(-1))));
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Goodness of fit.  Pearson chi-squared against the claimed           *)
+(* distribution, 1e6 draws from a fixed seed.  The critical value for  *)
+(* df = 99 at significance 0.001 is 148.23: a correct generator fails  *)
+(* one run in a thousand, and these runs are seeded, so a failure is a *)
+(* real distribution bug, not flakiness.                               *)
+(* ------------------------------------------------------------------ *)
+
+let chi_squared ~observed ~expected =
+  let chi2 = ref 0. in
+  Array.iteri
+    (fun i o ->
+      let e = expected.(i) in
+      let d = float_of_int o -. e in
+      chi2 := !chi2 +. (d *. d /. e))
+    observed;
+  !chi2
+
+let critical_df99_p001 = 148.23
+
+let statistical_tests =
+  [
+    Alcotest.test_case "chi-squared: Rng.int is uniform (1e6 draws)" `Quick (fun () ->
+        let r = Rng.create ~seed:0xC41L () in
+        let k = 100 and n = 1_000_000 in
+        let observed = Array.make k 0 in
+        for _ = 1 to n do
+          let v = Rng.int r k in
+          observed.(v) <- observed.(v) + 1
+        done;
+        let expected = Array.make k (float_of_int n /. float_of_int k) in
+        let chi2 = chi_squared ~observed ~expected in
+        Alcotest.(check bool)
+          (Printf.sprintf "chi2 %.1f below critical %.2f (df=99, p=0.001)" chi2
+             critical_df99_p001)
+          true (chi2 < critical_df99_p001));
+    Alcotest.test_case "chi-squared: Zipf s=1 matches (1/k)/H_n (1e6 draws)" `Quick
+      (fun () ->
+        let k = 100 and n = 1_000_000 in
+        let z = Vbl_util.Zipf.create ~s:1.0 ~n:k () in
+        let r = Rng.create ~seed:0x21FL () in
+        let observed = Array.make k 0 in
+        for _ = 1 to n do
+          let v = Vbl_util.Zipf.sample z r in
+          observed.(v - 1) <- observed.(v - 1) + 1
+        done;
+        let harmonic = ref 0. in
+        for i = 1 to k do
+          harmonic := !harmonic +. (1. /. float_of_int i)
+        done;
+        let expected =
+          Array.init k (fun i ->
+              float_of_int n /. (float_of_int (i + 1) *. !harmonic))
+        in
+        (* Smallest expected cell: 1e6 / (100 * H_100) ~ 1900 >> 5, so the
+           chi-squared approximation is valid for every bucket. *)
+        let chi2 = chi_squared ~observed ~expected in
+        Alcotest.(check bool)
+          (Printf.sprintf "chi2 %.1f below critical %.2f (df=99, p=0.001)" chi2
+             critical_df99_p001)
+          true (chi2 < critical_df99_p001));
+    Alcotest.test_case "stream outputs do not overlap across indexes" `Quick (fun () ->
+        (* Jump-ahead-style stream derivation is only useful if the streams
+           never re-enter each other's sequences: the first 10k outputs of
+           streams 0..3 must be pairwise disjoint (64-bit outputs collide
+           by birthday only with probability ~4e-11 here). *)
+        let per_stream = 10_000 in
+        let seen : (int64, int) Hashtbl.t = Hashtbl.create (4 * per_stream) in
+        for index = 0 to 3 do
+          let r = Rng.stream ~seed:42L ~index in
+          for draw = 1 to per_stream do
+            let v = Rng.next_int64 r in
+            match Hashtbl.find_opt seen v with
+            | Some other when other <> index ->
+                Alcotest.failf
+                  "streams %d and %d share output %Ld (draw %d of stream %d)" other
+                  index v draw index
+            | _ -> Hashtbl.replace seen v index
+          done
+        done);
+  ]
+
 let stats_tests =
   let feq = Alcotest.float 1e-9 in
   [
@@ -264,6 +346,7 @@ let () =
   Alcotest.run "util"
     [
       ("rng", rng_tests);
+      ("statistical", statistical_tests);
       ("stats", stats_tests);
       ("table", table_tests);
       ("zipf", zipf_tests);
