@@ -29,7 +29,15 @@
                                    (threads x update%% x key range) over the
                                    measured algorithms plus the vbl-direct
                                    ablation baseline; JSON in the BENCH_*.json
-                                   schema                                  *)
+                                   schema
+          --profile [--algos a,b]  contention profile: wait-time-by-site
+                                   table, hot-shard ranking, flight-recorder
+                                   tail ([--interval S] adds periodic
+                                   progress lines; composes with --smoke for
+                                   a short CI-sized run)
+          --export PREFIX          write PREFIX.metrics.txt (OpenMetrics)
+                                   and PREFIX.trace.json (Chrome trace) from
+                                   the last profiled run                   *)
 
 open Bechamel
 open Toolkit
@@ -42,6 +50,7 @@ let metrics_mode = Array.exists (( = ) "--metrics") Sys.argv
 let trace_mode = Array.exists (( = ) "--trace") Sys.argv
 let smoke = Array.exists (( = ) "--smoke") Sys.argv
 let matrix_mode = Array.exists (( = ) "--matrix") Sys.argv
+let profile_mode = Array.exists (( = ) "--profile") Sys.argv
 
 let flag_value name =
   let rec find i =
@@ -52,6 +61,8 @@ let flag_value name =
   find 1
 
 let json_file = flag_value "--json"
+let export_prefix = flag_value "--export"
+let interval_s = Option.map float_of_string (flag_value "--interval")
 
 let seed = 42L
 
@@ -716,6 +727,60 @@ let trace_section ~events () =
   Printf.printf "\n(%d events emitted, %d dropped from the ring, first %d shown)\n\n"
     (Vbl_obs.Trace.emitted tr) (Vbl_obs.Trace.dropped tr) (List.length shown)
 
+(* ------------------------------------------------------------------ *)
+(* Contention profile (--profile [--export PREFIX] [--interval S])     *)
+(* ------------------------------------------------------------------ *)
+
+let write_file file s =
+  let oc = open_out file in
+  output_string oc s;
+  close_out oc
+
+(* Export the process's current profiling state: the OpenMetrics text of
+   every counter + contention histogram + shard traffic, and the flight
+   recorder as a Chrome trace.  Runner resets that state per profiled run,
+   so this snapshots the {e last} one. *)
+let export_run prefix =
+  let metrics_file = prefix ^ ".metrics.txt" in
+  let trace_file = prefix ^ ".trace.json" in
+  write_file metrics_file (Vbl_obs.Export.openmetrics_of_run ());
+  write_file trace_file
+    (Vbl_obs.Export.chrome_trace_of_entries (Vbl_obs.Recorder.entries ()));
+  Printf.printf "(wrote %s and %s — load the trace in about:tracing)\n" metrics_file
+    trace_file
+
+let run_profile ~engine () =
+  let algorithms =
+    match flag_value "--algos" with
+    | Some s -> String.split_on_char ',' s
+    | None -> [ "vbl"; "vbl-sharded-8" ]
+  in
+  let threads = max 2 (min 4 (Domain.recommended_domain_count ())) in
+  let update_percent = 50 and key_range = 512 in
+  List.iter
+    (fun algorithm ->
+      Printf.printf "== Contention profile: %s, %d threads, %d%% updates, range %d ==\n\n"
+        algorithm threads update_percent key_range;
+      let p =
+        Vbl_harness.Sweep.measure ~profile:true ?interval_s engine ~algorithm ~threads
+          ~update_percent ~key_range ~seed
+      in
+      Printf.printf "throughput: %s ops/s\n\n"
+        (Vbl_util.Table.si_cell (Vbl_harness.Sweep.point_mean p));
+      print_string (Vbl_obs.Contention.render_site_table ());
+      print_newline ();
+      let shards = Vbl_obs.Contention.render_hot_shards () in
+      if shards <> "" then begin
+        print_string shards;
+        print_newline ()
+      end;
+      print_string (Vbl_obs.Recorder.dump ~last:8 ());
+      print_newline ())
+    algorithms;
+  (* The export snapshots the last profiled algorithm (state is reset per
+     run). *)
+  Option.iter export_run export_prefix
+
 let metrics_threads = max 2 (min 4 (Domain.recommended_domain_count ()))
 
 let run_metrics_mode () =
@@ -748,7 +813,17 @@ let run_smoke () =
 let () =
   if smoke then begin
     print_endline "vbl benchmark harness (smoke mode)\n";
-    run_smoke ()
+    run_smoke ();
+    (* --smoke --profile: the CI-sized profile pass, short trials but the
+       full pipeline — site table, hot shards, recorder, exporters. *)
+    if profile_mode then
+      run_profile
+        ~engine:(Vbl_harness.Sweep.Real { duration_s = 0.08; warmup_s = 0.02; trials = 1 })
+        ()
+  end
+  else if profile_mode then begin
+    print_endline "vbl benchmark harness (profile mode)\n";
+    run_profile ~engine:real_engine ()
   end
   else if matrix_mode then begin
     print_endline "vbl benchmark harness (matrix mode)\n";

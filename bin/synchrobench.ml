@@ -27,14 +27,15 @@ let algorithms () =
 
 (* The ablation baseline lives outside the registries (bench/) and has no
    instrumented counterpart, so it is real-engine only. *)
-let measure_point ~metrics engine_v ~algorithm ~threads ~update_percent ~key_range ~seed =
+let measure_point ~metrics ~profile ?interval_s engine_v ~algorithm ~threads ~update_percent
+    ~key_range ~seed =
   if algorithm = "vbl-direct" then
-    Vbl_harness.Sweep.measure_impl ~metrics engine_v
+    Vbl_harness.Sweep.measure_impl ~metrics ~profile ?interval_s engine_v
       (module Vbl_direct : Vbl_lists.Set_intf.S)
       ~algorithm ~threads ~update_percent ~key_range ~seed
   else
-    Vbl_harness.Sweep.measure ~metrics engine_v ~algorithm ~threads ~update_percent
-      ~key_range ~seed
+    Vbl_harness.Sweep.measure ~metrics ~profile ?interval_s engine_v ~algorithm ~threads
+      ~update_percent ~key_range ~seed
 
 let algo_arg =
   let doc =
@@ -107,6 +108,48 @@ let trace_arg =
           "Dump the first $(docv) events of a short deterministic run on the \
            simulated engine (one line per schedule step).")
 
+let trace_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-json" ] ~docv:"FILE"
+        ~doc:
+          "Write the instrumented-schedule timeline of a short deterministic \
+           run (the same run $(b,--trace) prints) as Chrome trace-event JSON \
+           to $(docv); load it in about:tracing or Perfetto.")
+
+let profile_arg =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:
+          "Enable the contention profiler and flight recorder around the \
+           measured trials (real engine only; implies $(b,--metrics)).  \
+           Prints the per-site lock wait/hold attribution table, the \
+           hot-shard ranking and the tail of the flight recorder after the \
+           run.")
+
+let export_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "export" ] ~docv:"PREFIX"
+        ~doc:
+          "With $(b,--profile): write $(docv).metrics.txt (OpenMetrics \
+           exposition of all counters and contention histograms) and \
+           $(docv).trace.json (Chrome trace-event timeline of the flight \
+           recorder) after the run.")
+
+let interval_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "interval" ] ~docv:"SECONDS"
+        ~doc:
+          "Print a snapshot-delta progress line (throughput, restart rate, \
+           contention rate, shard skew) every $(docv) seconds during the \
+           measured trials (real engine only).")
+
 let shards_arg =
   Arg.(
     value
@@ -145,7 +188,7 @@ let run_matrix ~algo ~threads ~engine_v ~metrics ~seed ~csv =
           List.map
             (fun threads ->
               let p =
-                measure_point ~metrics engine_v ~algorithm:algo ~threads
+                measure_point ~metrics ~profile:false engine_v ~algorithm:algo ~threads
                   ~update_percent ~key_range ~seed
               in
               let s = p.Vbl_harness.Sweep.throughput in
@@ -164,9 +207,10 @@ let run_matrix ~algo ~threads ~engine_v ~metrics ~seed ~csv =
         matrix_updates)
     matrix_ranges
 
-let run_single ~algo ~threads ~update ~range ~engine_v ~metrics ~seed ~csv =
+let run_single ~algo ~threads ~update ~range ~engine_v ~metrics ~profile ~interval_s ~seed
+    ~csv =
   let point =
-    measure_point ~metrics engine_v ~algorithm:algo ~threads
+    measure_point ~metrics ~profile ?interval_s engine_v ~algorithm:algo ~threads
       ~update_percent:update ~key_range:range ~seed
   in
   let s = point.Vbl_harness.Sweep.throughput in
@@ -196,10 +240,33 @@ let run_single ~algo ~threads ~update ~range ~engine_v ~metrics ~seed ~csv =
         (Vbl_harness.Report.render_latency ~title:"per-operation latency (ns):" [ point ])
     end
   end;
+  if profile && not csv then begin
+    print_newline ();
+    print_endline (Vbl_obs.Contention.render_site_table ());
+    let hot = Vbl_obs.Contention.render_hot_shards () in
+    if hot <> "" then begin
+      print_newline ();
+      print_endline hot
+    end;
+    print_newline ();
+    print_endline (Vbl_obs.Recorder.dump ~last:12 ())
+  end;
   point
 
 let run algo threads update range duration warmup trials seed horizon engine csv metrics
-    metrics_json trace_n matrix shards =
+    metrics_json trace_n trace_json profile export interval_s matrix shards =
+  if profile && engine = `Sim then begin
+    Printf.eprintf "--profile needs the wall clock; use --engine real\n";
+    exit 2
+  end;
+  if profile && matrix then begin
+    Printf.eprintf "--profile attributes one measured point; drop --matrix\n";
+    exit 2
+  end;
+  if export <> None && not profile then begin
+    Printf.eprintf "--export requires --profile (nothing to export otherwise)\n";
+    exit 2
+  end;
   (* The shard axis maps each count s to ALGO-sharded-s (1 = the base
      algorithm), so one invocation sweeps an algorithm's sharded frontends
      alongside it. *)
@@ -224,7 +291,7 @@ let run algo threads update range duration warmup trials seed horizon engine csv
       end)
     algos;
   let seed = Int64.of_int seed in
-  let metrics = metrics || metrics_json <> None in
+  let metrics = metrics || metrics_json <> None || profile in
   let engine_v =
     match engine with
     | `Real -> Vbl_harness.Sweep.Real { duration_s = duration; warmup_s = warmup; trials }
@@ -236,7 +303,10 @@ let run algo threads update range duration warmup trials seed horizon engine csv
         if matrix then run_matrix ~algo:a ~threads ~engine_v ~metrics ~seed ~csv
         else begin
           if i > 0 && not csv then print_newline ();
-          [ run_single ~algo:a ~threads ~update ~range ~engine_v ~metrics ~seed ~csv ]
+          [
+            run_single ~algo:a ~threads ~update ~range ~engine_v ~metrics ~profile
+              ~interval_s ~seed ~csv;
+          ]
         end)
       (List.mapi (fun i a -> (i, a)) algos)
   in
@@ -248,7 +318,20 @@ let run algo threads update range duration warmup trials seed horizon engine csv
       close_out oc;
       if not csv then Printf.printf "\n(wrote %s: %d points)\n" file (List.length points)
   | None -> ());
-  if trace_n > 0 && not matrix then begin
+  let write_file file s =
+    let oc = open_out file in
+    output_string oc s;
+    close_out oc
+  in
+  (match export with
+  | Some prefix ->
+      let mfile = prefix ^ ".metrics.txt" and tfile = prefix ^ ".trace.json" in
+      write_file mfile (Vbl_obs.Export.openmetrics_of_run ());
+      write_file tfile (Vbl_obs.Export.chrome_trace_of_entries (Vbl_obs.Recorder.entries ()));
+      if not csv then
+        Printf.printf "\n(wrote %s and %s — load the trace in about:tracing)\n" mfile tfile
+  | None -> ());
+  if (trace_n > 0 || trace_json <> None) && not matrix then begin
     (* Tracing hooks live in the schedule conductor, so the dump always
        comes from a short deterministic run on the simulated engine,
        whatever --engine was used for the measurement above. *)
@@ -259,11 +342,20 @@ let run algo threads update range duration warmup trials seed horizon engine csv
          (Vbl_harness.Sweep.simulated ~horizon:600. ~trials:1 ())
          ~algorithm:(List.hd algos) ~threads ~update_percent:update ~key_range:range ~seed);
     Vbl_obs.Probe.uninstall ();
-    Printf.printf "\nevent trace (simulated engine, first %d of %d steps):\n" trace_n
-      (Vbl_obs.Trace.emitted tr);
-    List.iteri
-      (fun i e -> if i < trace_n then print_endline ("  " ^ Vbl_obs.Trace.event_to_string e))
-      (Vbl_obs.Trace.events tr)
+    if trace_n > 0 then begin
+      Printf.printf "\nevent trace (simulated engine, first %d of %d steps):\n" trace_n
+        (Vbl_obs.Trace.emitted tr);
+      List.iteri
+        (fun i e -> if i < trace_n then print_endline ("  " ^ Vbl_obs.Trace.event_to_string e))
+        (Vbl_obs.Trace.events tr)
+    end;
+    match trace_json with
+    | Some file ->
+        write_file file (Vbl_obs.Export.chrome_trace_of_trace tr);
+        if not csv then
+          Printf.printf "\n(wrote %s: instrumented-schedule timeline, %d steps)\n" file
+            (Vbl_obs.Trace.emitted tr)
+    | None -> ()
   end
 
 let cmd =
@@ -273,6 +365,7 @@ let cmd =
     Term.(
       const run $ algo_arg $ threads_arg $ update_arg $ range_arg $ duration_arg $ warmup_arg
       $ trials_arg $ seed_arg $ horizon_arg $ engine_arg $ csv_arg $ metrics_arg
-      $ metrics_json_arg $ trace_arg $ matrix_arg $ shards_arg)
+      $ metrics_json_arg $ trace_arg $ trace_json_arg $ profile_arg $ export_arg
+      $ interval_arg $ matrix_arg $ shards_arg)
 
 let () = exit (Cmd.eval cmd)

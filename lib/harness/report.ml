@@ -123,7 +123,10 @@ let metrics_csv points = Vbl_util.Table.render_csv (metrics_table points)
 let latency_table (points : Sweep.point list) =
   let table =
     Vbl_util.Table.create
-      [ "algorithm"; "op"; "n"; "mean_ns"; "p50_ns"; "p90_ns"; "p99_ns"; "max_ns" ]
+      [
+        "algorithm"; "op"; "n"; "mean_ns"; "p50_ns"; "p90_ns"; "p99_ns"; "p999_ns";
+        "max_ns";
+      ]
   in
   List.iter
     (fun (p : Sweep.point) ->
@@ -138,6 +141,7 @@ let latency_table (points : Sweep.point list) =
               Printf.sprintf "%.0f" s.Obs.Histogram.p50;
               Printf.sprintf "%.0f" s.Obs.Histogram.p90;
               Printf.sprintf "%.0f" s.Obs.Histogram.p99;
+              Printf.sprintf "%.0f" s.Obs.Histogram.p999;
               Printf.sprintf "%.0f" s.Obs.Histogram.max;
             ])
         p.Sweep.latency)

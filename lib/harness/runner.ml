@@ -62,7 +62,7 @@ let now_ns () = Monotonic_clock.now ()
    calling domain's private histograms (one clock read before and after;
    only paid in metrics mode). *)
 let timed_phase (type s) (module S : Vbl_lists.Set_intf.S with type t = s) (t : s) ~threads
-    ~spec ~duration_s ~rngs ~(latency : histos array option) =
+    ~spec ~duration_s ~rngs ~(latency : histos array option) ~reporter =
   let stop = Atomic.make false in
   let counts = Array.make threads 0 in
   let worker i () =
@@ -72,26 +72,63 @@ let timed_phase (type s) (module S : Vbl_lists.Set_intf.S with type t = s) (t : 
     | None ->
         while not (Atomic.get stop) do
           ignore (Workload.apply (module S) t (Workload.next rng spec));
+          Obs.Probe.count Obs.Metrics.Ops_completed;
           incr n
         done
     | Some histos ->
         let h_ins, h_rem, h_con = histos.(i) in
         while not (Atomic.get stop) do
           let op = Workload.next rng spec in
+          (* Per-op restart delta from this domain's private counter:
+             what the flight recorder attributes to the single op. *)
+          let r0 =
+            if !Obs.Recorder.enabled then Obs.Metrics.local_get Obs.Metrics.Restarts
+            else 0
+          in
           let t0 = now_ns () in
-          ignore (Workload.apply (module S) t op);
-          let dt = Int64.to_int (Int64.sub (now_ns ()) t0) in
+          let ok = Workload.apply (module S) t op in
+          let t1 = now_ns () in
+          let dt = Int64.to_int (Int64.sub t1 t0) in
           (match op with
           | Workload.Insert _ -> Obs.Histogram.record h_ins dt
           | Workload.Remove _ -> Obs.Histogram.record h_rem dt
           | Workload.Contains _ -> Obs.Histogram.record h_con dt);
+          Obs.Probe.count Obs.Metrics.Ops_completed;
+          if !Obs.Recorder.enabled then begin
+            let restarts = Obs.Metrics.local_get Obs.Metrics.Restarts - r0 in
+            let kind, key =
+              match op with
+              | Workload.Insert k -> (Obs.Recorder.Insert, k)
+              | Workload.Remove k -> (Obs.Recorder.Remove, k)
+              | Workload.Contains k -> (Obs.Recorder.Contains, k)
+            in
+            Obs.Recorder.record ~thread:i ~kind ~key ~shard:(-1) ~ok ~restarts
+              ~t0_ns:(Int64.to_int t0) ~t1_ns:(Int64.to_int t1)
+          end;
           incr n
         done);
     counts.(i) <- !n
   in
   let started = Unix.gettimeofday () in
   let domains = List.init threads (fun i -> Domain.spawn (worker i)) in
-  Unix.sleepf duration_s;
+  (* The main thread otherwise just sleeps through the phase; with a
+     reporter it wakes every interval to print a snapshot-delta line. *)
+  (match reporter with
+  | None -> Unix.sleepf duration_s
+  | Some (interval_s, r) ->
+      let deadline = started +. duration_s in
+      let rec pace () =
+        let remaining = deadline -. Unix.gettimeofday () in
+        if remaining > 0. then begin
+          Unix.sleepf (Float.min interval_s remaining);
+          if Unix.gettimeofday () < deadline then begin
+            print_endline (Obs.Interval.tick r);
+            flush stdout;
+            pace ()
+          end
+        end
+      in
+      pace ());
   Atomic.set stop true;
   List.iter Domain.join domains;
   let elapsed = Unix.gettimeofday () -. started in
@@ -112,10 +149,15 @@ let summarize_latency (histos : histos array) =
       Option.map (fun s -> (label, s)) (Obs.Histogram.summarize h))
     [ ("insert", merged_ins); ("remove", merged_rem); ("contains", merged_con) ]
 
-let run ?(metrics = false) (module S : Vbl_lists.Set_intf.S) params : result =
+let run ?(metrics = false) ?(profile = false) ?interval_s
+    (module S : Vbl_lists.Set_intf.S) params : result =
+  let metrics = metrics || profile in
   Workload.validate params.spec;
   if params.threads < 1 then invalid_arg "Runner.run: threads must be >= 1";
   if params.trials < 1 then invalid_arg "Runner.run: trials must be >= 1";
+  (match interval_s with
+  | Some iv when iv <= 0. -> invalid_arg "Runner.run: interval_s must be > 0"
+  | _ -> ());
   let master = Vbl_util.Rng.create ~seed:params.seed () in
   let t = S.create () in
   Workload.prepopulate (module S) t master params.spec;
@@ -128,7 +170,7 @@ let run ?(metrics = false) (module S : Vbl_lists.Set_intf.S) params : result =
   if params.warmup_s > 0. then
     ignore
       (timed_phase (module S) t ~threads:params.threads ~spec:params.spec
-         ~duration_s:params.warmup_s ~rngs ~latency:None);
+         ~duration_s:params.warmup_s ~rngs ~latency:None ~reporter:None);
   let latency_histos =
     if metrics then
       Some
@@ -142,14 +184,29 @@ let run ?(metrics = false) (module S : Vbl_lists.Set_intf.S) params : result =
     Obs.Metrics.reset ();
     Obs.Probe.install (Obs.Probe.metrics ())
   end;
+  (* Profiling state is global (like the metrics shards): reset and enable
+     around exactly the measured trials, so after [run] returns the
+     {!Vbl_obs.Contention} report and {!Vbl_obs.Recorder} timeline
+     describe this run alone. *)
+  if profile then begin
+    Obs.Contention.reset ();
+    Obs.Recorder.reset ();
+    Obs.Contention.enable ();
+    Obs.Recorder.set_enabled true
+  end;
+  let reporter = Option.map (fun iv -> (iv, Obs.Interval.start ())) interval_s in
   let trials_run =
     List.init params.trials (fun _ ->
         let ops, elapsed_s =
           timed_phase (module S) t ~threads:params.threads ~spec:params.spec
-            ~duration_s:params.duration_s ~rngs ~latency:latency_histos
+            ~duration_s:params.duration_s ~rngs ~latency:latency_histos ~reporter
         in
         { ops; elapsed_s; throughput = float_of_int ops /. elapsed_s })
   in
+  if profile then begin
+    Obs.Contention.disable ();
+    Obs.Recorder.set_enabled false
+  end;
   let snapshot =
     if metrics then begin
       let s = Obs.Metrics.snapshot () in

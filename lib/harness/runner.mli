@@ -36,6 +36,23 @@ type result = {
           [~metrics:true] *)
 }
 
-val run : ?metrics:bool -> (module Vbl_lists.Set_intf.S) -> params -> result
+val run :
+  ?metrics:bool ->
+  ?profile:bool ->
+  ?interval_s:float ->
+  (module Vbl_lists.Set_intf.S) ->
+  params ->
+  result
 (** [metrics] defaults to [false], leaving the probe untouched and the
-    per-op clock reads off the hot path. *)
+    per-op clock reads off the hot path.
+
+    [profile] (default [false], implies [metrics]) resets and enables the
+    {!Vbl_obs.Contention} profiler and the {!Vbl_obs.Recorder} flight
+    recorder around exactly the measured trials; read
+    [Vbl_obs.Contention.report ()] / [Vbl_obs.Recorder.dump ()] after
+    [run] returns for this run's attribution.
+
+    [interval_s] prints a snapshot-delta progress line (throughput,
+    restart rate, contention rate, shard skew) from the main thread every
+    given number of seconds during the measured trials; requires metrics
+    to be meaningful and raises [Invalid_argument] when not positive. *)

@@ -71,13 +71,13 @@ let find_instrumented algorithm =
     that live outside the registries, e.g. the hand-specialised
     [vbl-direct] in bench/.  The [Simulated] engine needs an instrumented
     functor and so cannot accept an arbitrary module. *)
-let measure_impl ?(metrics = false) engine impl ~algorithm ~threads ~update_percent
-    ~key_range ~seed =
+let measure_impl ?(metrics = false) ?(profile = false) ?interval_s engine impl ~algorithm
+    ~threads ~update_percent ~key_range ~seed =
   let spec = Workload.uniform ~update_percent ~key_range in
   match engine with
   | Real { duration_s; warmup_s; trials } ->
       let r =
-        Runner.run ~metrics impl
+        Runner.run ~metrics ~profile ?interval_s impl
           { Runner.threads; spec; duration_s; warmup_s; trials; seed }
       in
       {
@@ -92,11 +92,12 @@ let measure_impl ?(metrics = false) engine impl ~algorithm ~threads ~update_perc
       }
   | Simulated _ -> invalid_arg "Sweep.measure_impl: Real engine only"
 
-let measure ?(metrics = false) engine ~algorithm ~threads ~update_percent ~key_range ~seed =
+let measure ?(metrics = false) ?(profile = false) ?interval_s engine ~algorithm ~threads
+    ~update_percent ~key_range ~seed =
   match engine with
   | Real _ ->
-      measure_impl ~metrics engine (find_real algorithm) ~algorithm ~threads
-        ~update_percent ~key_range ~seed
+      measure_impl ~metrics ~profile ?interval_s engine (find_real algorithm) ~algorithm
+        ~threads ~update_percent ~key_range ~seed
   | Simulated { horizon; trials; costs } ->
       let impl = find_instrumented algorithm in
       (* A traversal costs O(key_range) cycles, so a fixed horizon would

@@ -36,6 +36,8 @@ val find_instrumented : string -> (module Vbl_lists.Set_intf.S)
 
 val measure :
   ?metrics:bool ->
+  ?profile:bool ->
+  ?interval_s:float ->
   engine ->
   algorithm:string ->
   threads:int ->
@@ -44,10 +46,16 @@ val measure :
   seed:int64 ->
   point
 (** One data point.  Simulated horizons are stretched with the key range
-    (capped at 8x) so large-range points retain enough operations. *)
+    (capped at 8x) so large-range points retain enough operations.
+    [profile] and [interval_s] forward to {!Runner.run} on the [Real]
+    engine (contention profiler + flight recorder around the measured
+    trials; periodic progress lines); both are ignored by the
+    [Simulated] engine, which has no wall clock. *)
 
 val measure_impl :
   ?metrics:bool ->
+  ?profile:bool ->
+  ?interval_s:float ->
   engine ->
   (module Vbl_lists.Set_intf.S) ->
   algorithm:string ->

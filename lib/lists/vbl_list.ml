@@ -28,6 +28,7 @@ module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
 
   module Probe = Vbl_obs.Probe
   module C = Vbl_obs.Metrics
+  module Prof = Vbl_obs.Contention
 
   type node =
     | Node of {
@@ -126,8 +127,16 @@ module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
      [at]; release and fail otherwise.  [@acquires]: on success the lock is
      handed to the caller, so the static pairing rule (lint L3) does not
      apply to this body. *)
+  (* Wait-time attribution (disabled: one branch; the timing never touches
+     M-managed memory, so instrumented schedules are unchanged). *)
+  let[@hot] [@acquires] timed_lock l site =
+    let t0 = Prof.now_ns () in
+    M.lock l;
+    Prof.record_wait site (Prof.now_ns () - t0)
+
   let[@hot] [@acquires] lock_next_at node at =
-    M.lock (node_lock node);
+    if !Prof.profiling then timed_lock (node_lock node) Prof.Lock_next_at
+    else M.lock (node_lock node);
     if (not (node_deleted node)) && M.get (next_cell_exn node) == at then begin
       Probe.count C.Lock_acquisitions;
       true
@@ -141,7 +150,8 @@ module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
   (* §3.1 (2): lock [node], then require it undeleted and the {e value} of
      its successor to still be [v]; release and fail otherwise. *)
   let[@hot] [@acquires] lock_next_at_value node v =
-    M.lock (node_lock node);
+    if !Prof.profiling then timed_lock (node_lock node) Prof.Lock_next_at_value
+    else M.lock (node_lock node);
     if (not (node_deleted node)) && node_value (M.get (next_cell_exn node)) = v then begin
       Probe.count C.Lock_acquisitions;
       true
@@ -166,8 +176,11 @@ module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
       else begin
         let x = make_node v curr in
         if lock_next_at prev curr then begin
+          let t_acq = if !Prof.profiling then Prof.now_ns () else 0 in
           M.set (next_cell_exn prev) x;
           M.unlock (node_lock prev);
+          if !Prof.profiling then
+            Prof.record_hold Prof.Lock_next_at (Prof.now_ns () - t_acq);
           true
         end
         else begin
@@ -199,15 +212,19 @@ module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
           remove_attempt t v prev (* goto line 35 *)
         end
         else begin
+          let t_prev = if !Prof.profiling then Prof.now_ns () else 0 in
           (* Line 40: re-read the successor under the lock; a concurrent
              remove+insert of [v] may have replaced the node. *)
           let curr = M.get (next_cell_exn prev) in
           if not (lock_next_at curr next) then begin
             Probe.count C.Restarts;
             M.unlock (node_lock prev);
+            if !Prof.profiling then
+              Prof.record_hold Prof.Lock_next_at_value (Prof.now_ns () - t_prev);
             remove_attempt t v prev (* goto line 35 *)
           end
           else begin
+            let t_curr = if !Prof.profiling then Prof.now_ns () else 0 in
             (match curr with
             | Node n -> M.set n.deleted true
             | Tail _ -> assert false);
@@ -216,6 +233,11 @@ module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
             Probe.count C.Physical_unlinks;
             M.unlock (node_lock curr);
             M.unlock (node_lock prev);
+            if !Prof.profiling then begin
+              let stop = Prof.now_ns () in
+              Prof.record_hold Prof.Lock_next_at (stop - t_curr);
+              Prof.record_hold Prof.Lock_next_at_value (stop - t_prev)
+            end;
             true
           end
         end

@@ -36,11 +36,17 @@ module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
   let next_cell_exn = function Node n -> n.next | Tail _ -> assert false
   let version_exn = function Node n -> M.get n.version | Tail _ -> assert false
 
+  (* The bump must FOLLOW the [next] write.  Traversals snapshot the
+     version before reading [next], so a reader that observes the new
+     version has also observed the new successor; bumping first opens a
+     window where a reader pairs the bumped version with the old [next]
+     and the try-lock then validates a stale successor — a lost insert
+     (or, via stale pointers, a cycle). *)
   let set_next node target =
     match node with
     | Node n ->
-        M.set n.version (M.get n.version + 1);
-        M.set n.next target
+        M.set n.next target;
+        M.set n.version (M.get n.version + 1)
     | Tail _ -> assert false
 
   (* Names are only built for instrumented backends ([M.named]). *)

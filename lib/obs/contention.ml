@@ -1,0 +1,195 @@
+(** Contention profiler: lock wait/hold-time attribution by acquisition
+    site, plus per-shard operation accounting for hot-shard ranking.
+
+    The paper's optimality argument says {e which} schedules are rejected;
+    this module says {e where the time goes} when they are.  Each timed
+    site (the two validated acquisitions of the value-aware try-lock, the
+    blocking spin of the underlying lock, and the sharded frontend's
+    striped size counters) records monotonic-clock deltas into per-domain
+    histograms, following the same single-writer discipline as
+    {!Metrics}: a domain touches only its own state on the hot path, and
+    states are merged at quiescence.
+
+    Cost model: every probe is guarded by [!profiling], so a disabled
+    probe costs one load-and-branch; an enabled one costs two clock reads
+    and an O(1) histogram record.  [profiling] is off by default and the
+    harness only enables it around explicitly profiled runs. *)
+
+type site =
+  | Lock_next_at  (** validated identity acquisition in [insert]/[remove] *)
+  | Lock_next_at_value  (** validated value acquisition in [remove] *)
+  | Blocking_acquire  (** contended spin in [Try_lock.lock] *)
+  | Shard_stripe  (** CAS loop on a striped shard size counter *)
+
+let num_sites = 4
+
+let site_index = function
+  | Lock_next_at -> 0
+  | Lock_next_at_value -> 1
+  | Blocking_acquire -> 2
+  | Shard_stripe -> 3
+
+let site_label = function
+  | Lock_next_at -> "lock_next_at"
+  | Lock_next_at_value -> "lock_next_at_value"
+  | Blocking_acquire -> "blocking_acquire"
+  | Shard_stripe -> "shard_stripe"
+
+let all_sites = [ Lock_next_at; Lock_next_at_value; Blocking_acquire; Shard_stripe ]
+
+let profiling = ref false
+let enable () = profiling := true
+let disable () = profiling := false
+
+let now_ns () = Int64.to_int (Monotonic_clock.now ())
+
+(* Per-domain state, registered on first use exactly like the Metrics
+   shards: the hot path is unsynchronized; merging happens under the
+   registry mutex at quiescence. *)
+type state = {
+  wait : Histogram.t array;  (** indexed by [site_index] *)
+  hold : Histogram.t array;
+  mutable shard_ops : int array;  (** ops routed to shard [i], grown on demand *)
+}
+
+let states : state list ref = ref []
+let states_mu = Mutex.create ()
+
+let state_key =
+  Domain.DLS.new_key (fun () ->
+      let s =
+        {
+          wait = Array.init num_sites (fun _ -> Histogram.create ());
+          hold = Array.init num_sites (fun _ -> Histogram.create ());
+          shard_ops = Array.make 16 0;
+        }
+      in
+      Mutex.protect states_mu (fun () -> states := s :: !states);
+      s)
+
+let record_wait site ns =
+  let s = Domain.DLS.get state_key in
+  Histogram.record s.wait.(site_index site) ns
+
+let record_hold site ns =
+  let s = Domain.DLS.get state_key in
+  Histogram.record s.hold.(site_index site) ns
+
+(* Count one operation routed to shard [i].  Growth doubles, so the steady
+   state is a bounds check and one store. *)
+let shard_op i =
+  let s = Domain.DLS.get state_key in
+  let a = s.shard_ops in
+  let len = Array.length a in
+  if i < len then a.(i) <- a.(i) + 1
+  else begin
+    let n = ref (max 16 len) in
+    while !n <= i do
+      n := !n * 2
+    done;
+    let b = Array.make !n 0 in
+    Array.blit a 0 b 0 len;
+    b.(i) <- 1;
+    s.shard_ops <- b
+  end
+
+let reset () =
+  Mutex.protect states_mu (fun () ->
+      List.iter
+        (fun s ->
+          Array.iter Histogram.clear s.wait;
+          Array.iter Histogram.clear s.hold;
+          Array.fill s.shard_ops 0 (Array.length s.shard_ops) 0)
+        !states)
+
+(* Merged views, exact at quiescence only (same caveat as
+   {!Metrics.snapshot}). *)
+
+type site_stats = { site : site; wait : Histogram.t; hold : Histogram.t }
+
+let report () =
+  let snap = Mutex.protect states_mu (fun () -> !states) in
+  List.map
+    (fun site ->
+      let i = site_index site in
+      {
+        site;
+        wait = Histogram.merged (List.map (fun (s : state) -> s.wait.(i)) snap);
+        hold = Histogram.merged (List.map (fun (s : state) -> s.hold.(i)) snap);
+      })
+    all_sites
+
+let shard_ops_totals () =
+  let snap = Mutex.protect states_mu (fun () -> !states) in
+  let len = List.fold_left (fun m s -> max m (Array.length s.shard_ops)) 0 snap in
+  let out = Array.make (max len 1) 0 in
+  List.iter
+    (fun s -> Array.iteri (fun i v -> out.(i) <- out.(i) + v) s.shard_ops)
+    snap;
+  out
+
+(* Highest-traffic shards, [(shard, ops)] sorted by descending ops, zeros
+   omitted. *)
+let hot_shards ?(top = 8) () =
+  let totals = shard_ops_totals () in
+  let ranked = ref [] in
+  Array.iteri (fun i v -> if v > 0 then ranked := (i, v) :: !ranked) totals;
+  let sorted = List.sort (fun (_, a) (_, b) -> compare b a) !ranked in
+  List.filteri (fun i _ -> i < top) sorted
+
+(* Rendering ------------------------------------------------------------ *)
+
+let ns_pretty v =
+  if Float.is_nan v then "-"
+  else if v >= 1e6 then Printf.sprintf "%.2fms" (v /. 1e6)
+  else if v >= 1e3 then Printf.sprintf "%.2fus" (v /. 1e3)
+  else Printf.sprintf "%.0fns" v
+
+(* Wait-time breakdown by acquisition site.  Sites that never fired are
+   dropped from the table but the header is always printed, so a profiled
+   run with no contention still shows where the probes are. *)
+let render_site_table () =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf "%-20s %10s %10s %10s %10s %10s %10s %10s\n" "site" "acquires"
+       "wait-mean" "wait-p50" "wait-p99" "wait-p999" "wait-max" "hold-p99");
+  List.iter
+    (fun { site; wait; hold } ->
+      if Histogram.count wait > 0 || Histogram.count hold > 0 then
+        Buffer.add_string b
+          (Printf.sprintf "%-20s %10d %10s %10s %10s %10s %10s %10s\n"
+             (site_label site) (Histogram.count wait)
+             (ns_pretty (Histogram.mean wait))
+             (ns_pretty (Histogram.percentile wait 50.))
+             (ns_pretty (Histogram.percentile wait 99.))
+             (ns_pretty (Histogram.percentile wait 99.9))
+             (ns_pretty (Histogram.max_value wait))
+             (ns_pretty (Histogram.percentile hold 99.))))
+    (report ());
+  Buffer.contents b
+
+(* Hot-shard ranking plus load-skew summary (max/mean over shards that saw
+   any traffic).  Empty string when nothing was routed through a sharded
+   frontend, so unsharded profiles do not print a misleading header. *)
+let render_hot_shards ?(top = 8) () =
+  let totals = shard_ops_totals () in
+  let total = Array.fold_left ( + ) 0 totals in
+  if total = 0 then ""
+  else begin
+    let active = Array.fold_left (fun n v -> if v > 0 then n + 1 else n) 0 totals in
+    let mean = float_of_int total /. float_of_int (max active 1) in
+    let b = Buffer.create 256 in
+    Buffer.add_string b
+      (Printf.sprintf "hot shards (%d ops over %d active shards, skew max/mean %.2f):\n"
+         total active
+         (float_of_int (Array.fold_left max 0 totals) /. Float.max mean 1e-9));
+    List.iter
+      (fun (shard, ops) ->
+        Buffer.add_string b
+          (Printf.sprintf "  %-8s %10d  %5.1f%%\n"
+             (Metrics.shard_label shard)
+             ops
+             (100. *. float_of_int ops /. float_of_int total)))
+      (hot_shards ~top ());
+    Buffer.contents b
+  end

@@ -1,0 +1,59 @@
+(** Contention profiler: lock wait/hold-time attribution by acquisition
+    site, plus per-shard operation accounting for hot-shard ranking.
+
+    Disabled (the default), every probe costs one load-and-branch on
+    [!profiling] at the call site.  Enabled, a timed site costs two
+    monotonic-clock reads and an O(1) per-domain histogram record — the
+    same single-writer discipline as {!Metrics}, so profiling perturbs
+    but never synchronizes the measured schedules.  Merged views
+    ({!report}, {!shard_ops_totals}) are exact at quiescence only. *)
+
+type site =
+  | Lock_next_at  (** validated identity acquisition in [insert]/[remove] *)
+  | Lock_next_at_value  (** validated value acquisition in [remove] *)
+  | Blocking_acquire  (** contended spin in [Try_lock.lock] *)
+  | Shard_stripe  (** CAS loop on a striped shard size counter *)
+
+val all_sites : site list
+val site_label : site -> string
+
+val profiling : bool ref
+(** Guard every probe with [if !profiling then ...] at the call site, so a
+    disabled probe compiles to a single branch. *)
+
+val enable : unit -> unit
+val disable : unit -> unit
+
+val now_ns : unit -> int
+(** Monotonic clock in nanoseconds. *)
+
+val record_wait : site -> int -> unit
+(** Time spent waiting to acquire (call with a [now_ns] delta). *)
+
+val record_hold : site -> int -> unit
+(** Time the lock was held after a successful validated acquisition. *)
+
+val shard_op : int -> unit
+(** Count one operation routed to the given shard index. *)
+
+val reset : unit -> unit
+(** Clear every domain's recorded state.  Call at quiescence. *)
+
+type site_stats = { site : site; wait : Histogram.t; hold : Histogram.t }
+
+val report : unit -> site_stats list
+(** Merged wait/hold histograms per site, in [all_sites] order. *)
+
+val shard_ops_totals : unit -> int array
+(** Per-shard operation counts merged over all domains. *)
+
+val hot_shards : ?top:int -> unit -> (int * int) list
+(** [(shard, ops)] ranked by descending traffic, zeros omitted;
+    default [top] 8. *)
+
+val render_site_table : unit -> string
+(** Wait-time breakdown table by acquisition site. *)
+
+val render_hot_shards : ?top:int -> unit -> string
+(** Hot-shard ranking with a load-skew summary; [""] when no sharded
+    traffic was recorded. *)

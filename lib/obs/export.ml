@@ -1,0 +1,428 @@
+(** Exporters: Chrome trace-event (catapult) JSON and OpenMetrics text.
+
+    Two write-side formats and one read side:
+
+    - {!chrome_trace_of_entries} renders a flight-recorder timeline as a
+      Chrome trace-event JSON document ([about:tracing] / Perfetto), one
+      complete event ([ph:"X"]) per operation, microsecond timestamps
+      relative to the earliest entry.
+    - {!chrome_trace_of_trace} renders an instrumented-schedule event
+      ring the same way, with the step index as the timestamp, so a
+      deterministic schedule can be eyeballed as a timeline.
+    - {!render} produces OpenMetrics/Prometheus text exposition from
+      metric families (counters, gauges, histograms), terminated by
+      [# EOF] — the exact payload a future TCP tier can serve from
+      [/metrics].
+    - {!parse} / {!validate} read the exposition back.  They exist so
+      exporter output can be checked in-tree (round-trip tests,
+      [vbl-omcheck], the CI bench smoke) instead of trusting the writer.
+
+    Everything here is cold-path code: strings and lists are fine. *)
+
+(* ---------------- Chrome trace-event JSON ---------------- *)
+
+(* Times are printed in microseconds with fixed precision so golden tests
+   are byte-stable across platforms. *)
+let us f = Printf.sprintf "%.3f" (f /. 1e3)
+
+let chrome_trace_of_entries (entries : Recorder.entry list) =
+  let origin =
+    List.fold_left (fun m (e : Recorder.entry) -> min m e.t0_ns) max_int entries
+  in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  List.iteri
+    (fun i (e : Recorder.entry) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf
+           "\n\
+            {\"name\":\"%s\",\"cat\":\"op\",\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"ts\":%s,\"dur\":%s,\"args\":{\"key\":%d,\"shard\":%d,\"ok\":%d,\"restarts\":%d}}"
+           (Recorder.kind_label e.kind)
+           e.thread
+           (us (float_of_int (e.t0_ns - origin)))
+           (us (float_of_int (max 1 (e.t1_ns - e.t0_ns))))
+           e.key e.shard
+           (if e.ok then 1 else 0)
+           e.restarts))
+    entries;
+  Buffer.add_string b "\n]}\n";
+  Buffer.contents b
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* An instrumented schedule has no wall clock; the step index is the
+   timestamp (1 "microsecond" per step), which preserves ordering and
+   makes concurrent regions visually obvious. *)
+let chrome_trace_of_trace (t : Trace.t) =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  List.iteri
+    (fun i (ev : Trace.event) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf
+           "\n\
+            {\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"ts\":%d,\"dur\":1}"
+           (json_escape ev.step)
+           (json_escape (Trace.kind_to_string ev.kind))
+           ev.thread i))
+    (Trace.events t);
+  Buffer.add_string b "\n]}\n";
+  Buffer.contents b
+
+(* ---------------- OpenMetrics text exposition ---------------- *)
+
+type labels = (string * string) list
+
+type family =
+  | Counter of { name : string; help : string; samples : (labels * float) list }
+  | Gauge of { name : string; help : string; samples : (labels * float) list }
+  | Histogram_family of {
+      name : string;
+      help : string;
+      series : (labels * Histogram.t) list;
+    }
+
+let escape_label_value s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let render_labels = function
+  | [] -> ""
+  | ls ->
+      "{"
+      ^ String.concat ","
+          (List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label_value v)) ls)
+      ^ "}"
+
+(* Deterministic number formatting: integers print without an exponent or
+   decimal point whenever they fit exactly, so counter samples round-trip
+   bit-for-bit through the parser. *)
+let render_value v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.17g" v
+
+let render_le v = if v = Float.infinity then "+Inf" else render_value v
+
+let render families =
+  let b = Buffer.create 4096 in
+  let header name typ help =
+    Buffer.add_string b (Printf.sprintf "# HELP %s %s\n" name help);
+    Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" name typ)
+  in
+  let sample name labels v =
+    Buffer.add_string b
+      (Printf.sprintf "%s%s %s\n" name (render_labels labels) (render_value v))
+  in
+  List.iter
+    (fun f ->
+      match f with
+      | Counter { name; help; samples } ->
+          header name "counter" help;
+          List.iter (fun (ls, v) -> sample (name ^ "_total") ls v) samples
+      | Gauge { name; help; samples } ->
+          header name "gauge" help;
+          List.iter (fun (ls, v) -> sample name ls v) samples
+      | Histogram_family { name; help; series } ->
+          header name "histogram" help;
+          List.iter
+            (fun (ls, h) ->
+              let n = Histogram.count h in
+              List.iter
+                (fun (le, cum) ->
+                  sample (name ^ "_bucket") (ls @ [ ("le", render_le le) ]) (float_of_int cum))
+                (Histogram.cumulative_buckets h);
+              sample (name ^ "_bucket") (ls @ [ ("le", "+Inf") ]) (float_of_int n);
+              sample (name ^ "_sum") ls (Histogram.sum h);
+              sample (name ^ "_count") ls (float_of_int n))
+            series)
+    families;
+  Buffer.add_string b "# EOF\n";
+  Buffer.contents b
+
+(* Convenience builders used by the bench / synchrobench export paths. *)
+
+let counter_families (s : Metrics.snapshot) =
+  List.map
+    (fun c ->
+      Counter
+        {
+          name = "vbl_" ^ Metrics.label c;
+          help = Metrics.describe c;
+          samples = [ ([], float_of_int (Metrics.get s c)) ];
+        })
+    Metrics.all
+
+let contention_families (stats : Contention.site_stats list) =
+  let series field =
+    List.filter_map
+      (fun (st : Contention.site_stats) ->
+        let h = field st in
+        if Histogram.count h = 0 then None
+        else Some ([ ("site", Contention.site_label st.site) ], h))
+      stats
+  in
+  let wait = series (fun (st : Contention.site_stats) -> st.wait)
+  and hold = series (fun (st : Contention.site_stats) -> st.hold) in
+  List.concat
+    [
+      (if wait = [] then []
+       else
+         [
+           Histogram_family
+             {
+               name = "vbl_lock_wait_ns";
+               help = "lock wait time by acquisition site";
+               series = wait;
+             };
+         ]);
+      (if hold = [] then []
+       else
+         [
+           Histogram_family
+             {
+               name = "vbl_lock_hold_ns";
+               help = "lock hold time by acquisition site";
+               series = hold;
+             };
+         ]);
+    ]
+
+let shard_families (totals : int array) =
+  if Array.fold_left ( + ) 0 totals = 0 then []
+  else
+    [
+      Counter
+        {
+          name = "vbl_shard_ops";
+          help = "operations routed to each shard";
+          samples =
+            List.filter_map
+              (fun i ->
+                if totals.(i) = 0 then None
+                else
+                  Some ([ ("shard", string_of_int i) ], float_of_int totals.(i)))
+              (List.init (Array.length totals) Fun.id);
+        };
+    ]
+
+(* The full exposition for a profiled run: every counter, the contention
+   histograms, and the per-shard traffic. *)
+let openmetrics_of_run () =
+  render
+    (List.concat
+       [
+         counter_families (Metrics.snapshot ());
+         contention_families (Contention.report ());
+         shard_families (Contention.shard_ops_totals ());
+       ])
+
+(* ---------------- OpenMetrics parser ---------------- *)
+
+type sample = { name : string; labels : labels; value : float }
+
+let is_name_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':'
+let is_name_char c = is_name_start c || (c >= '0' && c <= '9')
+
+let parse_value tok =
+  match tok with
+  | "+Inf" | "Inf" -> Ok Float.infinity
+  | "-Inf" -> Ok Float.neg_infinity
+  | "NaN" -> Ok Float.nan
+  | _ -> ( match float_of_string_opt tok with
+      | Some v -> Ok v
+      | None -> Error (Printf.sprintf "invalid value %S" tok))
+
+exception Parse_error of string
+
+(* One sample line: [name{k="v",...} value] or [name value].  A trailing
+   timestamp token is tolerated and ignored. *)
+let parse_sample_line line =
+  let len = String.length line in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s in %S" msg line)) in
+  if len = 0 || not (is_name_start line.[0]) then fail "invalid metric name";
+  let i = ref 0 in
+  while !i < len && is_name_char line.[!i] do
+    incr i
+  done;
+  let name = String.sub line 0 !i in
+  let labels = ref [] in
+  if !i < len && line.[!i] = '{' then begin
+    incr i;
+    let stop = ref false in
+    if !i < len && line.[!i] = '}' then begin
+      incr i;
+      stop := true
+    end;
+    while not !stop do
+      if !i >= len || not (is_name_start line.[!i]) then fail "invalid label name";
+      let k0 = !i in
+      while !i < len && is_name_char line.[!i] do
+        incr i
+      done;
+      let k = String.sub line k0 (!i - k0) in
+      if !i >= len || line.[!i] <> '=' then fail "expected '='";
+      incr i;
+      if !i >= len || line.[!i] <> '"' then fail "expected '\"'";
+      incr i;
+      let b = Buffer.create 16 in
+      let closed = ref false in
+      while not !closed do
+        if !i >= len then fail "unterminated label value";
+        (match line.[!i] with
+        | '"' -> closed := true
+        | '\\' ->
+            if !i + 1 >= len then fail "dangling escape";
+            incr i;
+            Buffer.add_char b
+              (match line.[!i] with
+              | 'n' -> '\n'
+              | '\\' -> '\\'
+              | '"' -> '"'
+              | c -> fail (Printf.sprintf "bad escape '\\%c'" c))
+        | c -> Buffer.add_char b c);
+        incr i
+      done;
+      labels := (k, Buffer.contents b) :: !labels;
+      if !i < len && line.[!i] = ',' then incr i
+      else if !i < len && line.[!i] = '}' then begin
+        incr i;
+        stop := true
+      end
+      else fail "expected ',' or '}'"
+    done
+  end;
+  if !i >= len || line.[!i] <> ' ' then fail "expected space before value";
+  let rest = String.sub line (!i + 1) (len - !i - 1) in
+  let tok = match String.index_opt rest ' ' with
+    | None -> rest
+    | Some j -> String.sub rest 0 j
+  in
+  match parse_value tok with
+  | Error e -> fail e
+  | Ok v -> { name; labels = List.rev !labels; value = v }
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let eof_seen = ref false in
+  try
+    let samples =
+      List.filter_map
+        (fun line ->
+          let line = String.trim line in
+          if line = "" then None
+          else if !eof_seen then raise (Parse_error "content after # EOF")
+          else if line = "# EOF" then begin
+            eof_seen := true;
+            None
+          end
+          else if String.length line > 0 && line.[0] = '#' then None
+          else Some (parse_sample_line line))
+        lines
+    in
+    if not !eof_seen then Error "missing # EOF terminator" else Ok samples
+  with Parse_error msg -> Error msg
+
+(* ---------------- Validation ---------------- *)
+
+let strip_suffix s suf =
+  let ls = String.length s and lf = String.length suf in
+  if ls >= lf && String.sub s (ls - lf) lf = suf then Some (String.sub s 0 (ls - lf))
+  else None
+
+let le_value ls =
+  match List.assoc_opt "le" ls with
+  | None -> None
+  | Some "+Inf" -> Some Float.infinity
+  | Some s -> float_of_string_opt s
+
+(* Structural checks over a parsed exposition: counters are finite and
+   non-negative; every histogram bucket series has nondecreasing
+   cumulative counts, ends at le="+Inf", and agrees with its _count
+   sample.  This is what [vbl-omcheck] and the CI bench smoke run. *)
+let validate text =
+  match parse text with
+  | Error e -> Error e
+  | Ok samples ->
+      let problems = ref [] in
+      let problem fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+      (* counters *)
+      List.iter
+        (fun s ->
+          match strip_suffix s.name "_total" with
+          | Some _ ->
+              if Float.is_nan s.value || s.value < 0. || s.value = Float.infinity then
+                problem "counter %s has non-finite or negative value %g" s.name s.value
+          | None -> ())
+        samples;
+      (* histogram bucket series, grouped by (base name, labels sans le) *)
+      let groups : (string * labels, (float * float) list ref) Hashtbl.t =
+        Hashtbl.create 16
+      in
+      List.iter
+        (fun s ->
+          match strip_suffix s.name "_bucket" with
+          | None -> ()
+          | Some base -> (
+              let ls = List.remove_assoc "le" s.labels in
+              match le_value s.labels with
+              | None -> problem "bucket sample %s lacks a numeric le label" s.name
+              | Some le -> (
+                  let key = (base, ls) in
+                  match Hashtbl.find_opt groups key with
+                  | Some r -> r := (le, s.value) :: !r
+                  | None -> Hashtbl.add groups key (ref [ (le, s.value) ]))))
+        samples;
+      Hashtbl.iter
+        (fun (base, ls) series ->
+          let sorted = List.sort compare !series in
+          let rec check prev = function
+            | [] -> ()
+            | (le, v) :: rest ->
+                if v < prev then
+                  problem "%s%s buckets not cumulative at le=%s" base
+                    (render_labels ls) (render_le le);
+                check v rest
+          in
+          check 0. sorted;
+          (match List.rev sorted with
+          | (le, last) :: _ ->
+              if le <> Float.infinity then
+                problem "%s%s bucket series lacks le=\"+Inf\"" base (render_labels ls)
+              else begin
+                (* _count, when present, must equal the +Inf bucket *)
+                let count_name = base ^ "_count" in
+                List.iter
+                  (fun s ->
+                    if s.name = count_name && s.labels = ls && s.value <> last then
+                      problem "%s%s count %g disagrees with +Inf bucket %g" count_name
+                        (render_labels ls) s.value last)
+                  samples
+              end
+          | [] -> ()))
+        groups;
+      (match !problems with
+      | [] -> Ok (List.length samples)
+      | ps -> Error (String.concat "; " (List.rev ps)))

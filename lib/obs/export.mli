@@ -1,0 +1,61 @@
+(** Exporters: Chrome trace-event (catapult) JSON and OpenMetrics text,
+    plus a parser/validator for the latter so exporter output can be
+    checked in-tree.  Cold-path code only. *)
+
+(** {2 Chrome trace-event JSON} *)
+
+val chrome_trace_of_entries : Recorder.entry list -> string
+(** One complete event ([ph:"X"]) per flight-recorder entry, microsecond
+    timestamps relative to the earliest entry.  Loads in [about:tracing]
+    and Perfetto. *)
+
+val chrome_trace_of_trace : Trace.t -> string
+(** An instrumented-schedule event ring as a timeline; the step index is
+    the timestamp. *)
+
+(** {2 OpenMetrics text exposition} *)
+
+type labels = (string * string) list
+
+type family =
+  | Counter of { name : string; help : string; samples : (labels * float) list }
+  | Gauge of { name : string; help : string; samples : (labels * float) list }
+  | Histogram_family of {
+      name : string;
+      help : string;
+      series : (labels * Histogram.t) list;
+    }
+
+val render : family list -> string
+(** OpenMetrics text: [# HELP]/[# TYPE] per family, [_total] suffix on
+    counter samples, cumulative [_bucket]/[_sum]/[_count] series per
+    histogram, [# EOF] terminator. *)
+
+val counter_families : Metrics.snapshot -> family list
+(** One counter family per {!Metrics.counter} ([vbl_<label>]). *)
+
+val contention_families : Contention.site_stats list -> family list
+(** [vbl_lock_wait_ns] / [vbl_lock_hold_ns] histogram families with a
+    [site] label; sites without samples are omitted. *)
+
+val shard_families : int array -> family list
+(** [vbl_shard_ops] counter with a [shard] label; empty when no sharded
+    traffic was recorded. *)
+
+val openmetrics_of_run : unit -> string
+(** The full exposition for the current process state: every counter,
+    the contention histograms, and the per-shard traffic. *)
+
+(** {2 Parsing and validation} *)
+
+type sample = { name : string; labels : labels; value : float }
+
+val parse : string -> (sample list, string) result
+(** Parse OpenMetrics text into samples.  Requires the [# EOF]
+    terminator; tolerates and ignores timestamps. *)
+
+val validate : string -> (int, string) result
+(** Parse, then structurally check: counters finite and non-negative,
+    histogram bucket series cumulative and ending at [le="+Inf"], and
+    [_count] agreeing with the [+Inf] bucket.  [Ok n] gives the sample
+    count. *)

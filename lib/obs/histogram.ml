@@ -66,6 +66,13 @@ type t = {
 let create () =
   { counts = Array.make n_buckets 0; n = 0; max_v = 0; min_v = max_int; sum = 0. }
 
+let clear t =
+  Array.fill t.counts 0 n_buckets 0;
+  t.n <- 0;
+  t.max_v <- 0;
+  t.min_v <- max_int;
+  t.sum <- 0.
+
 let record t v =
   let v = if v < 0 then 0 else v in
   let b = bucket_of v in
@@ -77,6 +84,8 @@ let record t v =
 
 let count t = t.n
 
+let sum t = t.sum
+
 let merge ~into t =
   Array.iteri (fun i c -> into.counts.(i) <- into.counts.(i) + c) t.counts;
   into.n <- into.n + t.n;
@@ -84,12 +93,28 @@ let merge ~into t =
   if t.min_v < into.min_v then into.min_v <- t.min_v;
   into.sum <- into.sum +. t.sum
 
+let merged ts =
+  let out = create () in
+  List.iter (fun t -> merge ~into:out t) ts;
+  out
+
 let mean t = if t.n = 0 then Float.nan else t.sum /. float_of_int t.n
 
+let min_value t = if t.n = 0 then Float.nan else float_of_int t.min_v
+let max_value t = if t.n = 0 then Float.nan else float_of_int t.max_v
+
 (* Percentile by closest rank over the bucket counts.  Exact values are not
-   retained, so the answer is the representative of the bucket containing
-   the rank — within one sub-bucket (12.5%) of the true value.  The
-   extremes are exact: p0 returns the recorded minimum, p100 the maximum.
+   retained, so an interior rank answers with the representative of the
+   bucket containing it — within one sub-bucket (12.5%) of the true value.
+   The extremes are exact in both senses: p0/p100 return the recorded
+   min/max, and so do rank 1 and rank n — the 1st-smallest sample {e is}
+   the minimum and the nth {e is} the maximum, so extreme percentiles
+   (p99.9 of 1000 samples, p50 of 1 sample) no longer report a bucket
+   midpoint that can sit a whole sub-bucket away from the only sample they
+   can possibly name.  The rank itself is computed with a relative epsilon:
+   [p /. 100. *. n] accumulates float error (99.9/100*1000 evaluates just
+   above 999), and a bare [ceil] then overshoots the closest rank by one —
+   exactly at the sparse tail ranks where one sample is the whole answer.
    An empty histogram has no quantiles: the result is [nan], not an
    exception, so report code can format "no samples" without guarding
    every call site. *)
@@ -99,24 +124,61 @@ let percentile t p =
   else if p = 0. then float_of_int t.min_v
   else if p = 100. then float_of_int t.max_v
   else begin
-    let rank = int_of_float (Float.ceil (p /. 100. *. float_of_int t.n)) in
-    let rank = if rank < 1 then 1 else rank in
-    let rec walk b acc =
-      let acc = acc + t.counts.(b) in
-      if acc >= rank then b else walk (b + 1) acc
-    in
-    let b = walk 0 0 in
-    (* Clamp to the observed extremes so sparse histograms do not report a
-       bucket midpoint outside the recorded range. *)
-    Float.min (float_of_int t.max_v) (Float.max (float_of_int t.min_v) (bucket_mid b))
+    let n = float_of_int t.n in
+    let rank = int_of_float (Float.ceil ((p /. 100. *. n) -. (1e-9 *. n))) in
+    let rank = if rank < 1 then 1 else if rank > t.n then t.n else rank in
+    if rank = 1 then float_of_int t.min_v
+    else if rank = t.n then float_of_int t.max_v
+    else begin
+      let rec walk b acc =
+        let acc = acc + t.counts.(b) in
+        if acc >= rank then b else walk (b + 1) acc
+      in
+      let b = walk 0 0 in
+      (* Clamp to the observed extremes so sparse histograms do not report
+         a bucket midpoint outside the recorded range. *)
+      Float.min (float_of_int t.max_v) (Float.max (float_of_int t.min_v) (bucket_mid b))
+    end
   end
+
+(* Cumulative counts at octave boundaries, for OpenMetrics exposition:
+   (le, samples <= le) pairs with le = 8, 16, 32, ... up to the first
+   boundary covering the recorded maximum.  Leading all-empty octaves are
+   skipped (after the first emitted bound every subsequent one is kept so
+   the series stays contiguous); the final pair always covers every
+   sample.  Empty histogram: a single (8, 0) bucket, so an exporter still
+   emits a well-formed series. *)
+let cumulative_buckets t =
+  let out = ref [] in
+  let cum = ref 0 in
+  let idx = ref 0 in
+  let octave = ref sub_bits in
+  let stop = ref false in
+  while not !stop && !idx < n_buckets do
+    let next = if !octave = sub_bits then sub else !idx + sub in
+    let next = if next > n_buckets then n_buckets else next in
+    for i = !idx to next - 1 do
+      cum := !cum + t.counts.(i)
+    done;
+    let le = Float.ldexp 1. !octave in
+    if !cum > 0 || !out <> [] || le >= float_of_int (max 1 t.max_v) then
+      out := (le, !cum) :: !out;
+    if !cum >= t.n && le >= float_of_int t.max_v then stop := true;
+    idx := next;
+    incr octave
+  done;
+  (match !out with [] -> out := [ (float_of_int sub, 0) ] | _ -> ());
+  List.rev !out
 
 type summary = {
   n : int;
   mean : float;
+  min : float;
   p50 : float;
   p90 : float;
   p99 : float;
+  p999 : float;
+  p9999 : float;
   max : float;
 }
 
@@ -127,13 +189,17 @@ let summarize (h : t) =
       {
         n = h.n;
         mean = mean h;
+        min = float_of_int h.min_v;
         p50 = percentile h 50.;
         p90 = percentile h 90.;
         p99 = percentile h 99.;
+        p999 = percentile h 99.9;
+        p9999 = percentile h 99.99;
         max = float_of_int h.max_v;
       }
 
 let summary_to_json s =
   Printf.sprintf
-    "{\"n\": %d, \"mean_ns\": %.1f, \"p50_ns\": %.1f, \"p90_ns\": %.1f, \"p99_ns\": %.1f, \"max_ns\": %.1f}"
-    s.n s.mean s.p50 s.p90 s.p99 s.max
+    "{\"n\": %d, \"mean_ns\": %.1f, \"min_ns\": %.1f, \"p50_ns\": %.1f, \"p90_ns\": %.1f, \
+     \"p99_ns\": %.1f, \"p999_ns\": %.1f, \"p9999_ns\": %.1f, \"max_ns\": %.1f}"
+    s.n s.mean s.min s.p50 s.p90 s.p99 s.p999 s.p9999 s.max

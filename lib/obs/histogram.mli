@@ -10,29 +10,55 @@ type t
 
 val create : unit -> t
 
+val clear : t -> unit
+(** Reset to the empty state in place, keeping the bucket storage. *)
+
 val record : t -> int -> unit
 (** [record t v] adds one sample.  Negative values clamp to 0. *)
 
 val count : t -> int
 
+val sum : t -> float
+(** Sum of all recorded samples. *)
+
+val min_value : t -> float
+(** Exact recorded minimum (not bucketed); [nan] on an empty histogram. *)
+
+val max_value : t -> float
+(** Exact recorded maximum (not bucketed); [nan] on an empty histogram. *)
+
 val merge : into:t -> t -> unit
 (** Add every bucket of the second histogram into [into]. *)
+
+val merged : t list -> t
+(** Merge a list of histograms into a fresh one. *)
 
 val mean : t -> float
 (** [nan] on an empty histogram. *)
 
 val percentile : t -> float -> float
 (** [percentile t p] for [p] in [\[0, 100\]], closest-rank over buckets;
-    p0/p100 return the exact recorded extremes and every answer is
-    clamped to the recorded [min, max].  [nan] on an empty histogram;
-    raises [Invalid_argument] on an out-of-range [p]. *)
+    p0/p100 — and rank 1 / rank n, so any percentile sparse enough to
+    resolve to them, e.g. p99.9 of ten samples — return the exact
+    recorded extremes, and every answer is clamped to the recorded
+    [min, max].  [nan] on an empty histogram; raises [Invalid_argument]
+    on an out-of-range [p]. *)
+
+val cumulative_buckets : t -> (float * int) list
+(** Cumulative [(le, samples <= le)] pairs at octave boundaries
+    (8, 16, 32, ...) for OpenMetrics exposition.  Counts are
+    nondecreasing; the final pair covers every recorded sample; an empty
+    histogram yields a single [(8., 0)] pair. *)
 
 type summary = {
   n : int;
   mean : float;
+  min : float;
   p50 : float;
   p90 : float;
   p99 : float;
+  p999 : float;
+  p9999 : float;
   max : float;
 }
 
@@ -40,5 +66,5 @@ val summarize : t -> summary option
 (** [None] on an empty histogram. *)
 
 val summary_to_json : summary -> string
-(** Flat JSON object with [n], [mean_ns], [p50_ns], [p90_ns], [p99_ns],
-    [max_ns]. *)
+(** Flat JSON object with [n], [mean_ns], [min_ns], [p50_ns], [p90_ns],
+    [p99_ns], [p999_ns], [p9999_ns], [max_ns]. *)

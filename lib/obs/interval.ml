@@ -1,0 +1,82 @@
+(** Interval reporter: periodic snapshot deltas during long runs.
+
+    The harness's main thread (which otherwise just sleeps through a
+    timed phase) calls {!tick} every reporting interval; each tick
+    differences the metrics snapshot and the per-shard traffic against
+    the previous tick and formats one line — throughput, restart rate,
+    contention rate, per-shard load skew — so a long bench or stress run
+    shows progress and emerging skew while it happens rather than only in
+    the post-run report.
+
+    Snapshots taken mid-run are approximate (workers are still
+    incrementing their shards), which is fine for a progress line and is
+    why the final report still comes from the quiescent snapshot. *)
+
+type t = {
+  mutable last_ns : int;
+  mutable last_snap : Metrics.snapshot;
+  mutable last_shard_ops : int array;
+  mutable ticks : int;
+}
+
+let start () =
+  {
+    last_ns = Contention.now_ns ();
+    last_snap = Metrics.snapshot ();
+    last_shard_ops = Contention.shard_ops_totals ();
+    ticks = 0;
+  }
+
+let rate_per_op ops n = if ops = 0 then 0. else float_of_int n /. float_of_int ops
+
+let throughput_pretty ops dt_s =
+  let r = float_of_int ops /. dt_s in
+  if r >= 1e6 then Printf.sprintf "%.2fM ops/s" (r /. 1e6)
+  else if r >= 1e3 then Printf.sprintf "%.1fk ops/s" (r /. 1e3)
+  else Printf.sprintf "%.0f ops/s" r
+
+let tick t =
+  let now = Contention.now_ns () in
+  let snap = Metrics.snapshot () in
+  let shard_ops = Contention.shard_ops_totals () in
+  let d = Metrics.diff snap t.last_snap in
+  let dt_s = float_of_int (now - t.last_ns) /. 1e9 in
+  let dt_s = Float.max dt_s 1e-9 in
+  let ops = Metrics.get d Ops_completed in
+  let restarts = Metrics.get d Restarts in
+  let contended =
+    Metrics.get d Lock_contended
+    + Metrics.get d Lock_next_at_failures
+    + Metrics.get d Lock_next_at_value_failures
+    + Metrics.get d Validation_failures
+  in
+  (* Shard skew over this interval: max/mean of per-shard traffic deltas
+     across shards that saw any. *)
+  let skew =
+    let len = Array.length shard_ops in
+    let total = ref 0 and mx = ref 0 and active = ref 0 in
+    for i = 0 to len - 1 do
+      let prev = if i < Array.length t.last_shard_ops then t.last_shard_ops.(i) else 0 in
+      let dv = shard_ops.(i) - prev in
+      if dv > 0 then begin
+        total := !total + dv;
+        active := !active + 1;
+        if dv > !mx then mx := dv
+      end
+    done;
+    if !total = 0 then "-"
+    else
+      Printf.sprintf "%.2f"
+        (float_of_int !mx /. (float_of_int !total /. float_of_int !active))
+  in
+  t.last_ns <- now;
+  t.last_snap <- snap;
+  t.last_shard_ops <- shard_ops;
+  t.ticks <- t.ticks + 1;
+  Printf.sprintf
+    "[interval %d] +%.2fs  %s  restarts/op %.4f  contention/op %.4f  shard-skew %s"
+    t.ticks dt_s
+    (throughput_pretty ops dt_s)
+    (rate_per_op ops restarts)
+    (rate_per_op ops contended)
+    skew

@@ -1,0 +1,14 @@
+(** Interval reporter: periodic snapshot deltas (throughput, restart
+    rate, contention rate, per-shard load skew) during long runs.
+    Called from the harness main thread; mid-run snapshots are
+    approximate, which is fine for a progress line. *)
+
+type t
+
+val start : unit -> t
+(** Capture the baseline snapshot. *)
+
+val tick : t -> string
+(** Difference against the previous tick and format one progress line,
+    e.g. ["[interval 3] +1.00s  1.23M ops/s  restarts/op 0.0120
+    contention/op 0.0340  shard-skew 1.31"]. *)

@@ -32,6 +32,9 @@ type counter =
   | Analysis_lint_hits  (** lock-discipline lint reports *)
   | Shard_batches  (** [apply_batch] calls on a sharded set *)
   | Shard_batch_ops  (** operations applied through [apply_batch] *)
+  | Ops_completed  (** set operations completed by harness workers *)
+  | Trace_dropped  (** trace-ring events overwritten before being read *)
+  | Recorder_dropped  (** flight-recorder entries overwritten before a dump *)
 
 let all =
   [
@@ -52,6 +55,9 @@ let all =
     Analysis_lint_hits;
     Shard_batches;
     Shard_batch_ops;
+    Ops_completed;
+    Trace_dropped;
+    Recorder_dropped;
   ]
 
 let num_counters = List.length all
@@ -74,6 +80,9 @@ let index = function
   | Analysis_lint_hits -> 14
   | Shard_batches -> 15
   | Shard_batch_ops -> 16
+  | Ops_completed -> 17
+  | Trace_dropped -> 18
+  | Recorder_dropped -> 19
 
 let label = function
   | Traversal_steps -> "traversal_steps"
@@ -93,6 +102,9 @@ let label = function
   | Analysis_lint_hits -> "analysis_lint_hits"
   | Shard_batches -> "shard_batches"
   | Shard_batch_ops -> "shard_batch_ops"
+  | Ops_completed -> "ops_completed"
+  | Trace_dropped -> "trace_dropped"
+  | Recorder_dropped -> "recorder_dropped"
 
 let describe = function
   | Traversal_steps -> "node hops performed while searching"
@@ -112,6 +124,9 @@ let describe = function
   | Analysis_lint_hits -> "lock-discipline lint reports"
   | Shard_batches -> "apply_batch calls on sharded sets"
   | Shard_batch_ops -> "operations applied through apply_batch"
+  | Ops_completed -> "set operations completed by harness workers"
+  | Trace_dropped -> "trace-ring events overwritten before being read"
+  | Recorder_dropped -> "flight-recorder entries overwritten before a dump"
 
 (* Per-shard series labels ("shard0", "shard1", ...) for reports that break
    a sharded set's load out by shard.  Memoized so labelling a snapshot
@@ -153,6 +168,13 @@ let add c n =
   let a = Domain.DLS.get shard_key in
   let i = pad + index c in
   a.(i) <- a.(i) + n
+
+(* The calling domain's private count, without summing other shards: a
+   worker can difference this around one operation to learn how many
+   restarts (say) that single operation cost, with no synchronization. *)
+let local_get c =
+  let a = Domain.DLS.get shard_key in
+  a.(pad + index c)
 
 type snapshot = int array (* length num_counters, indexed by [index] *)
 

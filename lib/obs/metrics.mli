@@ -26,6 +26,9 @@ type counter =
   | Analysis_lint_hits  (** lock-discipline lint reports *)
   | Shard_batches  (** [apply_batch] calls on a sharded set *)
   | Shard_batch_ops  (** operations applied through [apply_batch] *)
+  | Ops_completed  (** set operations completed by harness workers *)
+  | Trace_dropped  (** trace-ring events overwritten before being read *)
+  | Recorder_dropped  (** flight-recorder entries overwritten before a dump *)
 
 val all : counter list
 (** Every counter, in reporting order. *)
@@ -50,6 +53,11 @@ val incr : counter -> unit
 (** Bump the calling domain's shard.  Unsynchronized and wait-free. *)
 
 val add : counter -> int -> unit
+
+val local_get : counter -> int
+(** The calling domain's private count only.  Difference around one
+    operation for an unsynchronized per-operation delta (e.g. how many
+    restarts that operation cost). *)
 
 type snapshot
 (** Immutable sum over all shards at one instant. *)

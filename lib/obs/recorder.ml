@@ -1,0 +1,138 @@
+(** Flight recorder: per-domain ring buffers of recent operations.
+
+    Every stress failure should ship a timeline, not just a seed.  Each
+    domain records its completed operations (kind, key, shard, outcome,
+    restart count, start/stop timestamps) into a private flat [int array]
+    ring — O(1), unsynchronized, allocation-free — and a dump merges the
+    rings into one timeline sorted by start time.  Dumps are triggered on
+    differential-oracle divergence, deadlock timeout, or explicit request.
+
+    Overwriting an entry that was never dumped bumps
+    {!Metrics.Recorder_dropped}, so truncated evidence is visible.
+
+    Like {!Metrics} and {!Contention}, merged views are exact at
+    quiescence only; the ring registry retains rings of finished domains
+    so a post-join dump still sees every worker's tail. *)
+
+type kind = Insert | Remove | Contains
+
+let kind_index = function Insert -> 0 | Remove -> 1 | Contains -> 2
+let kind_label = function Insert -> "insert" | Remove -> "remove" | Contains -> "contains"
+let kind_of_index = function 0 -> Insert | 1 -> Remove | _ -> Contains
+
+type entry = {
+  thread : int;  (** logical worker id supplied by the recorder *)
+  kind : kind;
+  key : int;
+  shard : int;  (** -1 when the set is not sharded *)
+  ok : bool;
+  restarts : int;
+  t0_ns : int;
+  t1_ns : int;
+}
+
+(* Ring layout: [fields] ints per entry, flat array, no per-entry boxes. *)
+let fields = 8
+
+type ring = { buf : int array; cap : int; mutable n : int }
+
+let enabled = ref false
+let set_enabled b = enabled := b
+
+let default_capacity = ref 4096
+let set_capacity c =
+  if c < 1 then invalid_arg "Recorder.set_capacity: capacity must be >= 1";
+  default_capacity := c
+
+let rings : ring list ref = ref []
+let rings_mu = Mutex.create ()
+
+let ring_key =
+  Domain.DLS.new_key (fun () ->
+      let cap = !default_capacity in
+      let r = { buf = Array.make (cap * fields) 0; cap; n = 0 } in
+      Mutex.protect rings_mu (fun () -> rings := r :: !rings);
+      r)
+
+let record ~thread ~kind ~key ~shard ~ok ~restarts ~t0_ns ~t1_ns =
+  let r = Domain.DLS.get ring_key in
+  if r.n >= r.cap then Metrics.incr Metrics.Recorder_dropped;
+  let off = r.n mod r.cap * fields in
+  let b = r.buf in
+  b.(off) <- thread;
+  b.(off + 1) <- kind_index kind;
+  b.(off + 2) <- key;
+  b.(off + 3) <- shard;
+  b.(off + 4) <- (if ok then 1 else 0);
+  b.(off + 5) <- restarts;
+  b.(off + 6) <- t0_ns;
+  b.(off + 7) <- t1_ns;
+  r.n <- r.n + 1
+
+let emitted () =
+  let snap = Mutex.protect rings_mu (fun () -> !rings) in
+  List.fold_left (fun acc r -> acc + r.n) 0 snap
+
+let dropped () =
+  let snap = Mutex.protect rings_mu (fun () -> !rings) in
+  List.fold_left (fun acc r -> acc + max 0 (r.n - r.cap)) 0 snap
+
+let reset () =
+  Mutex.protect rings_mu (fun () -> List.iter (fun r -> r.n <- 0) !rings)
+
+let ring_entries r =
+  let kept = min r.n r.cap in
+  let first = r.n - kept in
+  List.init kept (fun i ->
+      let off = (first + i) mod r.cap * fields in
+      let b = r.buf in
+      {
+        thread = b.(off);
+        kind = kind_of_index b.(off + 1);
+        key = b.(off + 2);
+        shard = b.(off + 3);
+        ok = b.(off + 4) = 1;
+        restarts = b.(off + 5);
+        t0_ns = b.(off + 6);
+        t1_ns = b.(off + 7);
+      })
+
+(* Retained entries over every ring, merged and sorted by start time. *)
+let entries () =
+  let snap = Mutex.protect rings_mu (fun () -> !rings) in
+  List.concat_map ring_entries snap
+  |> List.stable_sort (fun a b -> compare a.t0_ns b.t0_ns)
+
+let entry_to_string ~origin e =
+  Printf.sprintf "+%10.3fus t%-3d %-8s key=%-8d %s ok=%-5b restarts=%-3d dur=%.3fus"
+    (float_of_int (e.t0_ns - origin) /. 1e3)
+    e.thread (kind_label e.kind) e.key
+    (if e.shard >= 0 then Printf.sprintf "shard=%-4d" e.shard else "shard=-   ")
+    e.ok e.restarts
+    (float_of_int (e.t1_ns - e.t0_ns) /. 1e3)
+
+(* Human-readable timeline of the most recent [last] entries (default 40).
+   Timestamps are printed relative to the earliest retained entry. *)
+let dump ?(last = 40) () =
+  let all = entries () in
+  let total = emitted () and lost = dropped () in
+  match all with
+  | [] -> "flight recorder: empty (no operations recorded)\n"
+  | first :: _ ->
+      let origin = first.t0_ns in
+      let n = List.length all in
+      let tail =
+        if n <= last then all
+        else List.filteri (fun i _ -> i >= n - last) all
+      in
+      let b = Buffer.create 4096 in
+      Buffer.add_string b
+        (Printf.sprintf "flight recorder (last %d of %d ops, %d overwritten):\n"
+           (List.length tail) total lost);
+      List.iter
+        (fun e ->
+          Buffer.add_string b "  ";
+          Buffer.add_string b (entry_to_string ~origin e);
+          Buffer.add_char b '\n')
+        tail;
+      Buffer.contents b

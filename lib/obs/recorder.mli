@@ -1,0 +1,60 @@
+(** Flight recorder: per-domain ring buffers of recent operations, so
+    every stress failure ships a timeline, not just a seed.
+
+    {!record} is O(1), unsynchronized and allocation-free (a flat
+    [int array] ring per domain).  Guard call sites with [if !enabled]
+    so a disabled recorder costs one branch.  Merged views ({!entries},
+    {!dump}) are exact at quiescence only.  Ring overwrites bump
+    {!Metrics.Recorder_dropped}. *)
+
+type kind = Insert | Remove | Contains
+
+val kind_label : kind -> string
+
+type entry = {
+  thread : int;  (** logical worker id supplied by the recorder *)
+  kind : kind;
+  key : int;
+  shard : int;  (** -1 when the set is not sharded *)
+  ok : bool;
+  restarts : int;
+  t0_ns : int;
+  t1_ns : int;
+}
+
+val enabled : bool ref
+(** Guard for call sites; off by default. *)
+
+val set_enabled : bool -> unit
+
+val set_capacity : int -> unit
+(** Per-domain ring capacity in entries (default 4096).  Applies to rings
+    created after the call; raises [Invalid_argument] when < 1. *)
+
+val record :
+  thread:int ->
+  kind:kind ->
+  key:int ->
+  shard:int ->
+  ok:bool ->
+  restarts:int ->
+  t0_ns:int ->
+  t1_ns:int ->
+  unit
+(** Record one completed operation into the calling domain's ring. *)
+
+val emitted : unit -> int
+(** Total operations recorded (including overwritten ones). *)
+
+val dropped : unit -> int
+(** Entries overwritten before any dump. *)
+
+val reset : unit -> unit
+(** Empty every ring.  Call at quiescence. *)
+
+val entries : unit -> entry list
+(** Retained entries over every ring, merged, sorted by start time. *)
+
+val dump : ?last:int -> unit -> string
+(** Human-readable timeline of the most recent [last] entries (default
+    40), timestamps relative to the earliest retained entry. *)

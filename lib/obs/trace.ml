@@ -39,7 +39,11 @@ let create ?(capacity = 4096) () =
   if capacity < 1 then invalid_arg "Trace.create: capacity must be >= 1";
   { buf = Array.make capacity dummy; capacity; emitted = 0 }
 
+(* Overwriting an unread event is evidence loss; make it visible in the
+   metrics ({!Metrics.Trace_dropped}) rather than only discoverable by
+   comparing [emitted] against [capacity] after the fact. *)
 let emit t ev =
+  if t.emitted >= t.capacity then Metrics.incr Metrics.Trace_dropped;
   t.buf.(t.emitted mod t.capacity) <- ev;
   t.emitted <- t.emitted + 1
 

@@ -24,6 +24,8 @@ val create : ?capacity:int -> unit -> t
 (** Default capacity 4096 events. *)
 
 val emit : t -> event -> unit
+(** Record one event.  Overwriting a not-yet-read event also bumps
+    {!Metrics.Trace_dropped}, so truncated evidence is visible. *)
 
 val emitted : t -> int
 (** Total events emitted, including dropped ones. *)

@@ -33,6 +33,7 @@
 
 module Probe = Vbl_obs.Probe
 module C = Vbl_obs.Metrics
+module Prof = Vbl_obs.Contention
 
 type op = Insert of int | Remove of int | Contains of int
 
@@ -108,21 +109,39 @@ module Make (C_ : CONFIG) (B : Vbl_lists.Set_intf.MAKER) (M : Vbl_memops.Mem_int
     let old = M.get cell in
     if not (M.cas cell old (old + d)) then bump cell d
 
+  (* Profiled stripe bump: the CAS loop's total latency is the stripe's
+     contention signal (retries inflate it), attributed to the
+     [Shard_stripe] site. *)
+  let bump_profiled cell d =
+    let t0 = Prof.now_ns () in
+    bump cell d;
+    Prof.record_wait Prof.Shard_stripe (Prof.now_ns () - t0)
+
   let insert t v =
     let s = shard_of v in
+    if !Prof.profiling then Prof.shard_op s;
     let ok = Backend.insert (Array.unsafe_get t.shards s) v in
-    if ok then bump (Array.unsafe_get t.sizes s) 1;
+    if ok then
+      if !Prof.profiling then bump_profiled (Array.unsafe_get t.sizes s) 1
+      else bump (Array.unsafe_get t.sizes s) 1;
     ok
 
   let remove t v =
     let s = shard_of v in
+    if !Prof.profiling then Prof.shard_op s;
     let ok = Backend.remove (Array.unsafe_get t.shards s) v in
-    if ok then bump (Array.unsafe_get t.sizes s) (-1);
+    if ok then
+      if !Prof.profiling then bump_profiled (Array.unsafe_get t.sizes s) (-1)
+      else bump (Array.unsafe_get t.sizes s) (-1);
     ok
 
   (* The membership fast path: route and delegate, nothing allocated on
-     top of the backend's own wait-free traversal. *)
-  let[@hot] contains t v = Backend.contains (Array.unsafe_get t.shards (shard_of v)) v
+     top of the backend's own wait-free traversal; the profiler hook is
+     one load-and-branch when disabled. *)
+  let[@hot] contains t v =
+    let s = shard_of v in
+    if !Prof.profiling then Prof.shard_op s;
+    Backend.contains (Array.unsafe_get t.shards s) v
 
   let size t =
     let total = ref 0 in

@@ -19,7 +19,19 @@ let rec spin_lock t wait =
   let wait = Backoff.spin wait in
   if not (try_lock t) then spin_lock t wait
 
-let lock t = if not (try_lock t) then spin_lock t Backoff.default_min_wait
+(* Wait-time attribution for the contended path only: the uncontended
+   acquire stays a single CAS with no extra branch, and the profiling
+   check itself is only reached once the lock was observed held. *)
+let spin_lock_profiled t =
+  let t0 = Vbl_obs.Contention.now_ns () in
+  spin_lock t Backoff.default_min_wait;
+  Vbl_obs.Contention.record_wait Vbl_obs.Contention.Blocking_acquire
+    (Vbl_obs.Contention.now_ns () - t0)
+
+let lock t =
+  if not (try_lock t) then
+    if !Vbl_obs.Contention.profiling then spin_lock_profiled t
+    else spin_lock t Backoff.default_min_wait
 
 let[@inline] unlock t = Atomic.set t false
 

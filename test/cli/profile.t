@@ -1,0 +1,39 @@
+A profiled run prints the wait-time-by-site attribution table and the
+flight-recorder tail, and --export writes exporter files that the
+in-tree validator accepts (sample/event counts vary run to run, so only
+exit codes are asserted for those):
+
+  $ vbl-synchrobench -a vbl -t 2 -u 50 -r 64 -d 0.05 -w 0.01 -n 1 --profile --export out > run.txt
+  $ grep -c "^site " run.txt
+  1
+  $ grep -o "lock_next_at" run.txt | head -n 1
+  lock_next_at
+  $ grep -o "flight recorder" run.txt | head -n 1
+  flight recorder
+  $ vbl-omcheck out.metrics.txt > /dev/null
+  $ vbl-omcheck --chrome out.trace.json > /dev/null
+
+An invalid OpenMetrics file is rejected with a nonzero exit:
+
+  $ printf 'vbl_x_total -1\n# EOF\n' > bad.txt
+  $ vbl-omcheck bad.txt
+  bad.txt: INVALID: counter vbl_x_total has non-finite or negative value -1
+  [1]
+
+--trace-json exports the instrumented-schedule timeline of the short
+deterministic simulated run:
+
+  $ vbl-synchrobench -a vbl -t 2 --engine sim --horizon 500 -n 1 --trace-json sched.json > /dev/null
+  $ vbl-omcheck --chrome sched.json > /dev/null
+
+Flag validation:
+
+  $ vbl-synchrobench --export x
+  --export requires --profile (nothing to export otherwise)
+  [2]
+  $ vbl-synchrobench --engine sim --profile
+  --profile needs the wall clock; use --engine real
+  [2]
+  $ vbl-synchrobench --profile --matrix
+  --profile attributes one measured point; drop --matrix
+  [2]

@@ -24,6 +24,25 @@ module Rng = Vbl_util.Rng
 module Seq = Vbl_lists.Registry.Sequential
 module Instr = Vbl_memops.Instr_mem
 module Exec = Vbl_sched.Exec
+module Obs = Vbl_obs
+
+(* Every mode runs with the flight recorder on, so a divergence ships the
+   recent-operation timeline alongside the seed and log prefix. *)
+let with_recorder f =
+  Obs.Recorder.reset ();
+  Obs.Recorder.set_enabled true;
+  Fun.protect ~finally:(fun () -> Obs.Recorder.set_enabled false) f
+
+(* Alcotest.failf with the flight-recorder timeline appended; the dump is
+   taken while building the message, before the exception unwinds past
+   [with_recorder]'s disable. *)
+let failf_dump fmt =
+  Printf.ksprintf (fun msg -> Alcotest.fail (msg ^ "\n" ^ Obs.Recorder.dump ())) fmt
+
+let contains_sub hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
 
 (* An owner-keyed write: [ins]=true for insert.  Logs keep program order
    per thread; replaying thread logs in any thread order reconstructs the
@@ -67,14 +86,27 @@ let real_stress impl ~domains ~total_ops ~key_range ~update_percent ~seed =
       if roll < update_percent then begin
         let k = 1 + d + (domains * Rng.int rng slots) in
         let ins = Rng.bool rng in
+        let t0 = if !Obs.Recorder.enabled then Obs.Contention.now_ns () else 0 in
         let got = if ins then S.insert t k else S.remove t k in
+        if !Obs.Recorder.enabled then
+          Obs.Recorder.record ~thread:d
+            ~kind:(if ins then Obs.Recorder.Insert else Obs.Recorder.Remove)
+            ~key:k ~shard:(-1) ~ok:got ~restarts:0 ~t0_ns:t0
+            ~t1_ns:(Obs.Contention.now_ns ());
         let want = if ins then not model.(k) else model.(k) in
         model.(k) <- ins;
         log := { ins; key = k; got } :: !log;
         if got <> want && first_mismatch.(d) = None then
           first_mismatch.(d) <- Some (i, k, want, got)
       end
-      else ignore (S.contains t (1 + Rng.int rng key_range))
+      else begin
+        let k = 1 + Rng.int rng key_range in
+        let t0 = if !Obs.Recorder.enabled then Obs.Contention.now_ns () else 0 in
+        let got = S.contains t k in
+        if !Obs.Recorder.enabled then
+          Obs.Recorder.record ~thread:d ~kind:Obs.Recorder.Contains ~key:k ~shard:(-1)
+            ~ok:got ~restarts:0 ~t0_ns:t0 ~t1_ns:(Obs.Contention.now_ns ())
+      end
     done;
     logs.(d) <- List.rev !log
   in
@@ -83,7 +115,7 @@ let real_stress impl ~domains ~total_ops ~key_range ~update_percent ~seed =
     (fun d m ->
       match m with
       | Some (i, k, want, got) ->
-          Alcotest.failf
+          failf_dump
             "%s: seed %Ld: domain %d op %d on key %d returned %b, single-writer model \
              says %b\n  domain %d log prefix: %s"
             S.name seed d i k got want d (log_prefix logs.(d))
@@ -91,11 +123,11 @@ let real_stress impl ~domains ~total_ops ~key_range ~update_percent ~seed =
     first_mismatch;
   (match S.check_invariants t with
   | Ok () -> ()
-  | Error m -> Alcotest.failf "%s: seed %Ld: invariants after stress: %s" S.name seed m);
+  | Error m -> failf_dump "%s: seed %Ld: invariants after stress: %s" S.name seed m);
   let final = S.to_list t in
   let expected = replay_final logs in
   if final <> expected then
-    Alcotest.failf
+    failf_dump
       "%s: seed %Ld: surviving keys diverge from Seq_list replay of the per-key \
        last-write history\n  got     : %s\n  expected: %s\n  domain 0 log prefix: %s"
       S.name seed
@@ -106,8 +138,9 @@ let real_stress impl ~domains ~total_ops ~key_range ~update_percent ~seed =
 let real_case impl =
   let module S = (val impl : Vbl_lists.Set_intf.S) in
   Alcotest.test_case (S.name ^ ": 4-domain differential stress") `Quick (fun () ->
-      real_stress impl ~domains:4 ~total_ops:50_000 ~key_range:96 ~update_percent:40
-        ~seed:1337L)
+      with_recorder (fun () ->
+          real_stress impl ~domains:4 ~total_ops:50_000 ~key_range:96 ~update_percent:40
+            ~seed:1337L))
 
 (* ------------------------------------------------------------------ *)
 (* Mode 2: instrumented backend, seeded random scheduler               *)
@@ -138,10 +171,29 @@ let instr_run impl ~threads ~ops_per_thread ~key_range ~update_percent ~seed =
   let body d () =
     Array.iteri
       (fun i op ->
-        results.(d).(i) <-
-          (match op with I k -> S.insert t k | R k -> S.remove t k | C k -> S.contains t k))
+        let t0 = Obs.Contention.now_ns () in
+        let ok =
+          match op with I k -> S.insert t k | R k -> S.remove t k | C k -> S.contains t k
+        in
+        results.(d).(i) <- ok;
+        let kind, key =
+          match op with
+          | I k -> (Obs.Recorder.Insert, k)
+          | R k -> (Obs.Recorder.Remove, k)
+          | C k -> (Obs.Recorder.Contains, k)
+        in
+        (* Wall-clock stamps interleave across logical threads (one OS
+           domain runs them all), but stay monotonic, which is all the
+           dump's ordering needs. *)
+        Obs.Recorder.record ~thread:d ~kind ~key ~shard:(-1) ~ok ~restarts:0 ~t0_ns:t0
+          ~t1_ns:(Obs.Contention.now_ns ()))
       plans.(d)
   in
+  with_recorder @@ fun () ->
+  (* Every divergence below — deadlock, livelock, exception, result
+     mismatch, invariants, final-set replay — carries the timeline of the
+     operations that completed before it. *)
+  let fail fmt = Printf.ksprintf (fun m -> Error (m ^ "\n" ^ Obs.Recorder.dump ~last:20 ())) fmt in
   match
     let ex = Exec.create (List.init threads (fun d -> body d)) in
     let driver = Rng.create ~seed:(Int64.of_int ((seed * 7919) + 13)) () in
@@ -149,15 +201,16 @@ let instr_run impl ~threads ~ops_per_thread ~key_range ~update_percent ~seed =
     let rec drive steps =
       if Exec.finished ex then Ok ()
       else if Exec.deadlocked ex then
-        Error "deadlock: every unfinished thread is parked on a held lock"
-      else if steps > budget then Error "step budget exhausted (livelock?)"
+        fail "deadlock: every unfinished thread is parked on a held lock"
+      else if steps > budget then fail "step budget exhausted (livelock?)"
       else begin
         let runnable = Exec.runnable_threads ex in
         Exec.step ex (List.nth runnable (Rng.int driver (List.length runnable)));
         drive (steps + 1)
       end
     in
-    try drive 0 with e -> Error ("exception during execution: " ^ Printexc.to_string e)
+    try drive 0
+    with e -> fail "exception during execution: %s" (Printexc.to_string e)
   with
   | Error e -> Error e
   | Ok () -> (
@@ -184,21 +237,19 @@ let instr_run impl ~threads ~ops_per_thread ~key_range ~update_percent ~seed =
         plans;
       match !mismatch with
       | Some (d, i, k, want, got) ->
-          Error
-            (Printf.sprintf
-               "thread %d op %d on key %d returned %b, single-writer model says %b; log: %s"
-               d i k got want (log_prefix logs.(d)))
+          fail
+            "thread %d op %d on key %d returned %b, single-writer model says %b; log: %s"
+            d i k got want (log_prefix logs.(d))
       | None -> (
           match Instr.run_sequential (fun () -> S.check_invariants t) with
-          | Error m -> Error ("invariants: " ^ m)
+          | Error m -> fail "invariants: %s" m
           | Ok () ->
               let final = Instr.run_sequential (fun () -> S.to_list t) in
               let expected = replay_final logs in
               if final <> expected then
-                Error
-                  (Printf.sprintf "final set {%s} diverges from replay {%s}"
-                     (String.concat "," (List.map string_of_int final))
-                     (String.concat "," (List.map string_of_int expected)))
+                fail "final set {%s} diverges from replay {%s}"
+                  (String.concat "," (List.map string_of_int final))
+                  (String.concat "," (List.map string_of_int expected))
               else Ok ()))
 
 let instr_seeds = [ 1; 2; 3; 4; 5; 6; 7; 8 ]
@@ -239,6 +290,30 @@ let instr_mutant_case name impl =
       if not caught then
         Alcotest.failf "%s survived all %d random schedules" name (List.length instr_seeds))
 
+(* The divergence message itself must carry the flight-recorder timeline
+   — the contract every failure path above relies on.  A mutant forces a
+   real divergence, so this checks the wiring end to end. *)
+let mutant_dump_case =
+  Alcotest.test_case "mutant divergence carries the flight-recorder timeline" `Quick
+    (fun () ->
+      let errors =
+        List.filter_map
+          (fun seed ->
+            match
+              instr_run
+                (module Vbl_analysis.Mutants.Vbl_no_logical_delete : Vbl_lists.Set_intf.S)
+                ~threads:3 ~ops_per_thread:10 ~key_range:9 ~update_percent:70 ~seed
+            with
+            | Ok () -> None
+            | Error e -> Some e)
+          instr_seeds
+      in
+      match errors with
+      | [] -> Alcotest.fail "vbl-no-logical-delete survived every seed; nothing to check"
+      | e :: _ ->
+          if not (contains_sub e "flight recorder") then
+            Alcotest.failf "divergence message lacks the timeline:\n%s" e)
+
 (* ------------------------------------------------------------------ *)
 (* Mode 3: batched vs one-at-a-time application                        *)
 (* ------------------------------------------------------------------ *)
@@ -251,6 +326,7 @@ let batch_case (impl : (module Vbl_shard.Sharded_set.S)) =
   let module S = (val impl) in
   Alcotest.test_case (S.name ^ ": apply_batch matches sequential replay") `Quick
     (fun () ->
+      with_recorder @@ fun () ->
       let rng = Rng.create ~seed:4242L () in
       let key_range = 512 in
       let t = S.create () in
@@ -265,7 +341,22 @@ let batch_case (impl : (module Vbl_shard.Sharded_set.S)) =
               | 1 -> Vbl_shard.Sharded_set.Remove k
               | _ -> Vbl_shard.Sharded_set.Contains k)
         in
+        let t0 = Obs.Contention.now_ns () in
         let got = S.apply_batch t ops in
+        let t1 = Obs.Contention.now_ns () in
+        (* One timestamp pair per batch: per-op timing inside apply_batch
+           is the backend's business, not the oracle's. *)
+        Array.iteri
+          (fun i op ->
+            let kind, key =
+              match op with
+              | Vbl_shard.Sharded_set.Insert k -> (Obs.Recorder.Insert, k)
+              | Vbl_shard.Sharded_set.Remove k -> (Obs.Recorder.Remove, k)
+              | Vbl_shard.Sharded_set.Contains k -> (Obs.Recorder.Contains, k)
+            in
+            Obs.Recorder.record ~thread:0 ~kind ~key ~shard:(-1) ~ok:got.(i) ~restarts:0
+              ~t0_ns:t0 ~t1_ns:t1)
+          ops;
         Array.iteri
           (fun i op ->
             let want =
@@ -275,15 +366,15 @@ let batch_case (impl : (module Vbl_shard.Sharded_set.S)) =
               | Vbl_shard.Sharded_set.Contains k -> Seq.contains replica k
             in
             if got.(i) <> want then
-              Alcotest.failf "%s: round %d op %d: batch says %b, replay says %b" S.name
-                round i got.(i) want)
+              failf_dump "%s: round %d op %d: batch says %b, replay says %b" S.name round
+                i got.(i) want)
           ops
       done;
       Alcotest.(check (list int))
         "final contents match replica" (Seq.to_list replica) (S.to_list t);
       (match S.check_invariants t with
       | Ok () -> ()
-      | Error m -> Alcotest.failf "%s: invariants: %s" S.name m);
+      | Error m -> failf_dump "%s: invariants: %s" S.name m);
       Alcotest.(check int)
         "striped size agrees" (List.length (S.to_list t)) (S.size t))
 
@@ -309,6 +400,7 @@ let () =
         (module Vbl_analysis.Mutants.Vbl_leaky_lock : Vbl_lists.Set_intf.S);
       instr_mutant_case "vbl-no-logical-delete"
         (module Vbl_analysis.Mutants.Vbl_no_logical_delete);
+      mutant_dump_case;
     ]
   in
   Alcotest.run "differential"

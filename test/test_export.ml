@@ -1,0 +1,209 @@
+(* Exporter tests.
+
+   The Chrome trace exporter is checked against byte-exact golden
+   strings (timestamps are printed with fixed precision for exactly this
+   reason).  The OpenMetrics exporter is checked by round-tripping
+   through the in-tree parser: labels (including escaping), histogram
+   bucket series, and counter monotonicity across successive
+   expositions.  The validator must also reject structurally broken
+   expositions, since CI trusts it to gate exporter output. *)
+
+module Obs = Vbl_obs
+
+let entry ~thread ~kind ~key ~shard ~ok ~restarts ~t0 ~t1 =
+  { Obs.Recorder.thread; kind; key; shard; ok; restarts; t0_ns = t0; t1_ns = t1 }
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace golden files                                           *)
+(* ------------------------------------------------------------------ *)
+
+let golden_two_entries =
+  "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n\
+   {\"name\":\"insert\",\"cat\":\"op\",\"ph\":\"X\",\"pid\":1,\"tid\":0,\"ts\":0.000,\"dur\":2.500,\"args\":{\"key\":5,\"shard\":-1,\"ok\":1,\"restarts\":0}},\n\
+   {\"name\":\"contains\",\"cat\":\"op\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":1.000,\"dur\":0.100,\"args\":{\"key\":9,\"shard\":2,\"ok\":0,\"restarts\":1}}\n\
+   ]}\n"
+
+let test_chrome_golden () =
+  let entries =
+    [
+      entry ~thread:0 ~kind:Obs.Recorder.Insert ~key:5 ~shard:(-1) ~ok:true ~restarts:0
+        ~t0:1_000 ~t1:3_500;
+      entry ~thread:1 ~kind:Obs.Recorder.Contains ~key:9 ~shard:2 ~ok:false ~restarts:1
+        ~t0:2_000 ~t1:2_100;
+    ]
+  in
+  Alcotest.(check string)
+    "two-entry trace is byte-exact" golden_two_entries
+    (Obs.Export.chrome_trace_of_entries entries)
+
+let test_chrome_empty () =
+  Alcotest.(check string)
+    "empty trace still a valid document"
+    "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n]}\n"
+    (Obs.Export.chrome_trace_of_entries [])
+
+let test_chrome_sub_ns_duration () =
+  (* A zero-length span still gets a positive (1 ns) duration so the
+     viewer renders it. *)
+  let s =
+    Obs.Export.chrome_trace_of_entries
+      [
+        entry ~thread:0 ~kind:Obs.Recorder.Remove ~key:1 ~shard:0 ~ok:true ~restarts:0
+          ~t0:500 ~t1:500;
+      ]
+  in
+  Alcotest.(check string)
+    "1 ns floor" s
+    "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n\
+     {\"name\":\"remove\",\"cat\":\"op\",\"ph\":\"X\",\"pid\":1,\"tid\":0,\"ts\":0.000,\"dur\":0.001,\"args\":{\"key\":1,\"shard\":0,\"ok\":1,\"restarts\":0}}\n\
+     ]}\n"
+
+(* ------------------------------------------------------------------ *)
+(* OpenMetrics round-trip                                              *)
+(* ------------------------------------------------------------------ *)
+
+let parse_ok text =
+  match Obs.Export.parse text with
+  | Ok samples -> samples
+  | Error m -> Alcotest.failf "parse failed: %s\n%s" m text
+
+let find samples name labels =
+  match
+    List.find_opt
+      (fun (s : Obs.Export.sample) -> s.name = name && s.labels = labels)
+      samples
+  with
+  | Some s -> s.Obs.Export.value
+  | None ->
+      Alcotest.failf "no sample %s{%s}" name
+        (String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) labels))
+
+let test_labels_roundtrip () =
+  let nasty = "a\\b\"c\nd" in
+  let text =
+    Obs.Export.render
+      [
+        Obs.Export.Counter
+          {
+            name = "vbl_test_ops";
+            help = "with a \"nasty\" label";
+            samples = [ ([ ("path", nasty); ("kind", "x") ], 7.) ];
+          };
+        Obs.Export.Gauge
+          { name = "vbl_test_level"; help = "plain gauge"; samples = [ ([], 1.5) ] };
+      ]
+  in
+  let samples = parse_ok text in
+  Alcotest.(check (float 0.))
+    "escaped label value round-trips" 7.
+    (find samples "vbl_test_ops_total" [ ("path", nasty); ("kind", "x") ]);
+  Alcotest.(check (float 0.)) "gauge value" 1.5 (find samples "vbl_test_level" []);
+  match Obs.Export.validate text with
+  | Ok n -> Alcotest.(check int) "validator counts both samples" 2 n
+  | Error m -> Alcotest.failf "validate rejected the exposition: %s" m
+
+let test_histogram_roundtrip () =
+  let h = Obs.Histogram.create () in
+  List.iter (Obs.Histogram.record h) [ 100; 200; 300_000 ];
+  let labels = [ ("site", "lock_next_at") ] in
+  let text =
+    Obs.Export.render
+      [
+        Obs.Export.Histogram_family
+          { name = "vbl_test_wait_ns"; help = "wait"; series = [ (labels, h) ] };
+      ]
+  in
+  let samples = parse_ok text in
+  let buckets =
+    List.filter (fun (s : Obs.Export.sample) -> s.name = "vbl_test_wait_ns_bucket") samples
+  in
+  Alcotest.(check bool) "has buckets" true (buckets <> []);
+  (* Cumulative and non-decreasing, ending at le="+Inf" = count. *)
+  let prev = ref 0. in
+  List.iter
+    (fun (s : Obs.Export.sample) ->
+      Alcotest.(check bool) "bucket cumulative" true (s.value >= !prev);
+      prev := s.value)
+    buckets;
+  let last = List.nth buckets (List.length buckets - 1) in
+  Alcotest.(check (list (pair string string)))
+    "last bucket is +Inf"
+    (labels @ [ ("le", "+Inf") ])
+    last.Obs.Export.labels;
+  Alcotest.(check (float 0.)) "+Inf bucket = n" 3. last.Obs.Export.value;
+  Alcotest.(check (float 0.)) "sum" 300_300. (find samples "vbl_test_wait_ns_sum" labels);
+  Alcotest.(check (float 0.)) "count" 3. (find samples "vbl_test_wait_ns_count" labels);
+  match Obs.Export.validate text with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "validate rejected the histogram exposition: %s" m
+
+let test_counter_monotonic_across_renders () =
+  Obs.Metrics.reset ();
+  Obs.Metrics.incr Obs.Metrics.Restarts;
+  Obs.Metrics.incr Obs.Metrics.Restarts;
+  let read () =
+    find
+      (parse_ok (Obs.Export.render (Obs.Export.counter_families (Obs.Metrics.snapshot ()))))
+      "vbl_restarts_total" []
+  in
+  let v1 = read () in
+  Obs.Metrics.incr Obs.Metrics.Restarts;
+  let v2 = read () in
+  Alcotest.(check (float 0.)) "first exposition" 2. v1;
+  Alcotest.(check bool) "counter never decreases across expositions" true (v2 >= v1);
+  Alcotest.(check (float 0.)) "second exposition" 3. v2
+
+let test_openmetrics_of_run_validates () =
+  match Obs.Export.validate (Obs.Export.openmetrics_of_run ()) with
+  | Ok n -> Alcotest.(check bool) "non-empty exposition" true (n > 0)
+  | Error m -> Alcotest.failf "openmetrics_of_run invalid: %s" m
+
+(* ------------------------------------------------------------------ *)
+(* Validator rejections                                                *)
+(* ------------------------------------------------------------------ *)
+
+let expect_error name text =
+  match Obs.Export.validate text with
+  | Ok _ -> Alcotest.failf "%s: validator accepted a broken exposition" name
+  | Error _ -> ()
+
+let test_validator_rejects () =
+  expect_error "missing EOF" "# TYPE vbl_x counter\nvbl_x_total 1\n";
+  expect_error "negative counter" "# TYPE vbl_x counter\nvbl_x_total -1\n# EOF\n";
+  expect_error "non-cumulative buckets"
+    "# TYPE x histogram\n\
+     x_bucket{le=\"8\"} 5\n\
+     x_bucket{le=\"+Inf\"} 3\n\
+     x_sum 1\n\
+     x_count 3\n\
+     # EOF\n";
+  expect_error "count disagrees with +Inf bucket"
+    "# TYPE x histogram\n\
+     x_bucket{le=\"8\"} 1\n\
+     x_bucket{le=\"+Inf\"} 3\n\
+     x_sum 1\n\
+     x_count 4\n\
+     # EOF\n";
+  expect_error "bucket series not ending at +Inf"
+    "# TYPE x histogram\nx_bucket{le=\"8\"} 1\nx_sum 1\nx_count 1\n# EOF\n"
+
+let () =
+  Alcotest.run "export"
+    [
+      ( "chrome-trace",
+        [
+          Alcotest.test_case "golden two-entry trace" `Quick test_chrome_golden;
+          Alcotest.test_case "golden empty trace" `Quick test_chrome_empty;
+          Alcotest.test_case "zero-length span gets 1 ns" `Quick test_chrome_sub_ns_duration;
+        ] );
+      ( "openmetrics",
+        [
+          Alcotest.test_case "label escaping round-trips" `Quick test_labels_roundtrip;
+          Alcotest.test_case "histogram buckets round-trip" `Quick test_histogram_roundtrip;
+          Alcotest.test_case "counters monotone across renders" `Quick
+            test_counter_monotonic_across_renders;
+          Alcotest.test_case "openmetrics_of_run validates" `Quick
+            test_openmetrics_of_run_validates;
+          Alcotest.test_case "validator rejects broken input" `Quick test_validator_rejects;
+        ] );
+    ]

@@ -209,6 +209,84 @@ let histogram_tests =
           (Histogram.percentile h 100.);
         Alcotest.(check bool) "mean in the top octave" true
           (Histogram.mean h >= Float.ldexp 1. 62));
+    Alcotest.test_case "p99.9 on 1000 samples does not overshoot to max" `Quick
+      (fun () ->
+        (* 99.9/100*1000 = 999.00000000000006 in floats: a bare ceil gave
+           rank 1000 and returned the outlier max.  The closest rank is
+           999, which must land in the bulk. *)
+        let h = Histogram.create () in
+        for _ = 1 to 999 do
+          Histogram.record h 100
+        done;
+        Histogram.record h 1_000_000;
+        Alcotest.(check bool) "p99.9 in the bulk" true (Histogram.percentile h 99.9 <= 113.);
+        Alcotest.check (Alcotest.float 1e-9) "p99.99 is the exact max" 1_000_000.
+          (Histogram.percentile h 99.99));
+    Alcotest.test_case "sparse two-sample histogram: extreme percentiles exact" `Quick
+      (fun () ->
+        let h = Histogram.create () in
+        Histogram.record h 10;
+        Histogram.record h 1_000_000;
+        (* rank 1 -> exact min, rank n -> exact max, no bucket smearing *)
+        Alcotest.check (Alcotest.float 1e-9) "p0.1 = min" 10. (Histogram.percentile h 0.1);
+        Alcotest.check (Alcotest.float 1e-9) "p50 = min" 10. (Histogram.percentile h 50.);
+        Alcotest.check (Alcotest.float 1e-9) "p99.9 = max" 1_000_000.
+          (Histogram.percentile h 99.9));
+    Alcotest.test_case "summary carries min, p999, p9999" `Quick (fun () ->
+        let h = Histogram.create () in
+        for v = 1 to 10_000 do
+          Histogram.record h v
+        done;
+        match Histogram.summarize h with
+        | None -> Alcotest.fail "expected a summary"
+        | Some s ->
+            Alcotest.check (Alcotest.float 1e-9) "min exact" 1. s.Histogram.min;
+            Alcotest.(check bool) "p99 <= p999" true (s.Histogram.p99 <= s.Histogram.p999);
+            Alcotest.(check bool) "p999 <= p9999" true
+              (s.Histogram.p999 <= s.Histogram.p9999);
+            Alcotest.(check bool) "p9999 <= max" true (s.Histogram.p9999 <= s.Histogram.max);
+            Alcotest.(check bool)
+              (Printf.sprintf "p999 %.0f within 12.5%% of 9990" s.Histogram.p999)
+              true
+              (abs_float (s.Histogram.p999 -. 9_990.) <= 1_300.));
+    Alcotest.test_case "min_value / max_value / sum / clear" `Quick (fun () ->
+        let h = Histogram.create () in
+        Alcotest.(check bool) "empty min nan" true (Float.is_nan (Histogram.min_value h));
+        Alcotest.(check bool) "empty max nan" true (Float.is_nan (Histogram.max_value h));
+        List.iter (Histogram.record h) [ 3; 500; 100 ];
+        Alcotest.check (Alcotest.float 1e-9) "min" 3. (Histogram.min_value h);
+        Alcotest.check (Alcotest.float 1e-9) "max" 500. (Histogram.max_value h);
+        Alcotest.check (Alcotest.float 1e-9) "sum" 603. (Histogram.sum h);
+        Histogram.clear h;
+        Alcotest.(check int) "cleared" 0 (Histogram.count h);
+        Alcotest.(check bool) "no summary" true (Histogram.summarize h = None));
+    Alcotest.test_case "merged combines counts and extremes" `Quick (fun () ->
+        let a = Histogram.create () and b = Histogram.create () and c = Histogram.create () in
+        Histogram.record a 10;
+        Histogram.record b 20;
+        Histogram.record c 1_000_000;
+        let m = Histogram.merged [ a; b; c ] in
+        Alcotest.(check int) "n" 3 (Histogram.count m);
+        Alcotest.check (Alcotest.float 1e-9) "min" 10. (Histogram.min_value m);
+        Alcotest.check (Alcotest.float 1e-9) "max" 1_000_000. (Histogram.max_value m);
+        (* sources untouched *)
+        Alcotest.(check int) "a intact" 1 (Histogram.count a));
+    Alcotest.test_case "cumulative_buckets covers all samples" `Quick (fun () ->
+        let h = Histogram.create () in
+        Alcotest.(check bool) "empty has a bucket" true
+          (Histogram.cumulative_buckets h = [ (8., 0) ]);
+        List.iter (Histogram.record h) [ 1; 2; 3 ];
+        Alcotest.(check bool) "small values in first bucket" true
+          (Histogram.cumulative_buckets h = [ (8., 3) ]);
+        Histogram.record h 100_000;
+        let buckets = Histogram.cumulative_buckets h in
+        let prev = ref 0 in
+        List.iter
+          (fun (_, c) ->
+            Alcotest.(check bool) "non-decreasing" true (c >= !prev);
+            prev := c)
+          buckets;
+        Alcotest.(check int) "last covers everything" 4 (snd (List.nth buckets (List.length buckets - 1))));
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -240,6 +318,113 @@ let trace_tests =
             in
             Alcotest.(check bool) ("has " ^ needle) true (find 0))
           [ "t3"; "X5.next"; Trace.kind_to_string Trace.Write ]);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Contention profiler, flight recorder, interval reporter.            *)
+(* ------------------------------------------------------------------ *)
+
+let contention_tests =
+  [
+    Alcotest.test_case "ring-overflow count reaches the metrics registry" `Quick
+      (fun () ->
+        Metrics.reset ();
+        let t = Trace.create ~capacity:4 () in
+        for i = 1 to 6 do
+          Trace.emit t (ev 0 (Printf.sprintf "s%d" i) Trace.Read)
+        done;
+        Alcotest.(check int) "trace_dropped counter" 2
+          (Metrics.get (Metrics.snapshot ()) Metrics.Trace_dropped));
+    Alcotest.test_case "contention: per-site attribution and hot shards" `Quick
+      (fun () ->
+        Obs.Contention.reset ();
+        Obs.Contention.enable ();
+        Fun.protect ~finally:Obs.Contention.disable (fun () ->
+            Obs.Contention.record_wait Obs.Contention.Lock_next_at 100;
+            Obs.Contention.record_wait Obs.Contention.Lock_next_at 300;
+            Obs.Contention.record_hold Obs.Contention.Lock_next_at 50;
+            Obs.Contention.record_wait Obs.Contention.Blocking_acquire 1_000;
+            Obs.Contention.shard_op 3;
+            Obs.Contention.shard_op 3;
+            Obs.Contention.shard_op 1);
+        let stats = Obs.Contention.report () in
+        let by site =
+          List.find (fun (s : Obs.Contention.site_stats) -> s.site = site) stats
+        in
+        Alcotest.(check int) "two lock_next_at waits" 2
+          (Histogram.count (by Obs.Contention.Lock_next_at).wait);
+        Alcotest.(check int) "one lock_next_at hold" 1
+          (Histogram.count (by Obs.Contention.Lock_next_at).hold);
+        Alcotest.(check int) "one blocking acquire" 1
+          (Histogram.count (by Obs.Contention.Blocking_acquire).wait);
+        (match Obs.Contention.hot_shards () with
+        | (s, n) :: _ ->
+            Alcotest.(check int) "hottest shard" 3 s;
+            Alcotest.(check int) "its traffic" 2 n
+        | [] -> Alcotest.fail "expected sharded traffic");
+        let table = Obs.Contention.render_site_table () in
+        Alcotest.(check bool) "table names the site" true
+          (let needle = "lock_next_at" in
+           let rec find i =
+             i + String.length needle <= String.length table
+             && (String.sub table i (String.length needle) = needle || find (i + 1))
+           in
+           find 0);
+        Obs.Contention.reset ();
+        Alcotest.(check (list (pair int int))) "reset clears shards" []
+          (Obs.Contention.hot_shards ()));
+    Alcotest.test_case "recorder: ring keeps most recent, overflow counted" `Quick
+      (fun () ->
+        Metrics.reset ();
+        Obs.Recorder.reset ();
+        Obs.Recorder.set_capacity 2;
+        Obs.Recorder.set_enabled true;
+        (* A fresh domain gets a fresh ring at the new capacity. *)
+        Domain.join
+          (Domain.spawn (fun () ->
+               for i = 1 to 3 do
+                 Obs.Recorder.record ~thread:9 ~kind:Obs.Recorder.Insert ~key:i
+                   ~shard:(-1) ~ok:true ~restarts:0 ~t0_ns:(i * 10)
+                   ~t1_ns:((i * 10) + 5)
+               done));
+        Obs.Recorder.set_enabled false;
+        Obs.Recorder.set_capacity 4096;
+        let mine =
+          List.filter
+            (fun (e : Obs.Recorder.entry) -> e.thread = 9)
+            (Obs.Recorder.entries ())
+        in
+        Alcotest.(check (list int))
+          "two most recent survive, start-time order" [ 2; 3 ]
+          (List.map (fun (e : Obs.Recorder.entry) -> e.key) mine);
+        Alcotest.(check bool) "overflow counted" true (Obs.Recorder.dropped () >= 1);
+        Alcotest.(check bool) "overflow reaches metrics" true
+          (Metrics.get (Metrics.snapshot ()) Metrics.Recorder_dropped >= 1);
+        let dump = Obs.Recorder.dump () in
+        Alcotest.(check bool) "dump has the header" true
+          (String.length dump >= 15 && String.sub dump 0 15 = "flight recorder");
+        Obs.Recorder.reset ();
+        Alcotest.(check (list int)) "reset empties" []
+          (List.map
+             (fun (e : Obs.Recorder.entry) -> e.key)
+             (Obs.Recorder.entries ())));
+    Alcotest.test_case "interval reporter: snapshot-delta lines" `Quick (fun () ->
+        Metrics.reset ();
+        let r = Obs.Interval.start () in
+        Metrics.add Metrics.Ops_completed 100;
+        let l1 = Obs.Interval.tick r in
+        Metrics.add Metrics.Ops_completed 50;
+        let l2 = Obs.Interval.tick r in
+        let has needle hay =
+          let rec find i =
+            i + String.length needle <= String.length hay
+            && (String.sub hay i (String.length needle) = needle || find (i + 1))
+          in
+          find 0
+        in
+        Alcotest.(check bool) "first tick numbered" true (has "[interval 1]" l1);
+        Alcotest.(check bool) "second tick numbered" true (has "[interval 2]" l2);
+        Alcotest.(check bool) "reports restart rate" true (has "restarts/op" l1));
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -422,6 +607,7 @@ let () =
       ("metrics", metrics_tests);
       ("histogram", histogram_tests);
       ("trace", trace_tests);
+      ("contention-recorder-interval", contention_tests);
       ("probe", probe_tests);
       ( "end-to-end",
         [ single_threaded_readonly_test; forced_contention_test; exec_trace_test ] );
