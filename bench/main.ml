@@ -28,8 +28,14 @@
           --matrix [--json FILE]   real-engine scaling matrix
                                    (threads x update%% x key range) over the
                                    measured algorithms plus the vbl-direct
-                                   ablation baseline; JSON in the BENCH_*.json
-                                   schema
+                                   ablation baseline and the reclamation
+                                   on/off churn ablation; JSON in the
+                                   BENCH_*.json schema
+          --churn [--json FILE]    churn preset: update-heavy traffic on a
+                                   small key range, each algorithm with
+                                   reclamation off and on — throughput,
+                                   retire/recycle counters, limbo depth and
+                                   GC words per operation
           --profile [--algos a,b]  contention profile: wait-time-by-site
                                    table, hot-shard ranking, flight-recorder
                                    tail ([--interval S] adds periodic
@@ -50,6 +56,7 @@ let metrics_mode = Array.exists (( = ) "--metrics") Sys.argv
 let trace_mode = Array.exists (( = ) "--trace") Sys.argv
 let smoke = Array.exists (( = ) "--smoke") Sys.argv
 let matrix_mode = Array.exists (( = ) "--matrix") Sys.argv
+let churn_mode = Array.exists (( = ) "--churn") Sys.argv
 let profile_mode = Array.exists (( = ) "--profile") Sys.argv
 
 let flag_value name =
@@ -639,6 +646,91 @@ let run_batch_ablation () =
   | Error m -> failwith ("sharded invariants after ablation: " ^ m));
   print_newline ()
 
+(* ------------------------------------------------------------------ *)
+(* Churn preset (--churn; also the --matrix reclamation ablation)      *)
+(* ------------------------------------------------------------------ *)
+
+(* Update-heavy traffic on a small key range: nodes churn through
+   unlink/retire/recycle continuously, the workload the reclamation
+   layer exists for.  Each algorithm runs with reclamation off and on
+   (same sources, different MEM backend), so the delta prices the epoch
+   brackets and the recycling win together.  GC words per operation come
+   from the {!Vbl_obs.Gcstats} delta the runner rebases around the
+   measured trials. *)
+let churn_update_percent = 90
+let churn_key_range = 256
+
+let churn_pairs =
+  [
+    ("vbl", "vbl-reclaim");
+    ("lazy", "lazy-reclaim");
+    ("harris-michael", "harris-michael-reclaim");
+  ]
+
+let run_churn () =
+  Printf.printf "== Churn: %s threads, %d%% updates, key range %d ==\n\n"
+    (String.concat "/" (List.map string_of_int real_threads))
+    churn_update_percent churn_key_range;
+  let points = ref [] in
+  let measure algorithm threads =
+    let p =
+      Vbl_harness.Sweep.measure ~metrics:true real_engine ~algorithm ~threads
+        ~update_percent:churn_update_percent ~key_range:churn_key_range ~seed
+    in
+    let gc = Vbl_obs.Gcstats.delta () in
+    points := p :: !points;
+    Printf.printf "  %-24s t=%d  %s ops/s\n%!" algorithm threads
+      (Vbl_util.Table.si_cell (Vbl_harness.Sweep.point_mean p));
+    (p, gc.Vbl_obs.Gcstats.minor_words /. float_of_int (max 1 p.Vbl_harness.Sweep.ops))
+  in
+  let table =
+    Vbl_util.Table.create
+      [
+        "threads"; "algorithm"; "ops/s"; "vs plain"; "retired"; "recycled"; "limbo";
+        "minor words/op";
+      ]
+  in
+  List.iter
+    (fun threads ->
+      List.iter
+        (fun (plain, reclaiming) ->
+          let pp, plain_words = measure plain threads in
+          let pr, reclaim_words = measure reclaiming threads in
+          let mp = Vbl_harness.Sweep.point_mean pp
+          and mr = Vbl_harness.Sweep.point_mean pr in
+          let counter c =
+            match pr.Vbl_harness.Sweep.metrics with
+            | Some s -> Vbl_obs.Metrics.get s c
+            | None -> 0
+          in
+          let retired = counter Vbl_obs.Metrics.Reclaim_retired
+          and recycled = counter Vbl_obs.Metrics.Reclaim_recycled
+          and freed = counter Vbl_obs.Metrics.Reclaim_freed in
+          Vbl_util.Table.add_row table
+            [
+              string_of_int threads; plain; Vbl_util.Table.si_cell mp; "-"; "-"; "-"; "-";
+              Printf.sprintf "%.1f" plain_words;
+            ];
+          Vbl_util.Table.add_row table
+            [
+              string_of_int threads;
+              reclaiming;
+              Vbl_util.Table.si_cell mr;
+              Printf.sprintf "%+.1f%%" ((mr -. mp) /. mp *. 100.);
+              Vbl_util.Table.si_cell (float_of_int retired);
+              Vbl_util.Table.si_cell (float_of_int recycled);
+              string_of_int (retired - freed);
+              Printf.sprintf "%.1f" reclaim_words;
+            ])
+        churn_pairs)
+    real_threads;
+  print_newline ();
+  print_endline "== Ablation: reclamation off vs on (churn workload) ==";
+  print_newline ();
+  print_endline (Vbl_util.Table.render table);
+  print_newline ();
+  List.rev !points
+
 (* vbl-direct must agree with the functorised vbl on every operation
    result — the ablation is meaningless if the baseline drifts.  Driven
    under --smoke so `dune runtest` asserts it. *)
@@ -829,10 +921,23 @@ let () =
     print_endline "vbl benchmark harness (matrix mode)\n";
     let points = run_matrix () in
     let shard_points = run_shard_matrix () in
+    let churn_points = run_churn () in
     run_batch_ablation ();
     match json_file with
     | Some file ->
-        let points = points @ shard_points in
+        let points = points @ shard_points @ churn_points in
+        let oc = open_out file in
+        output_string oc (Vbl_harness.Report.points_json ~engine:real_engine points);
+        output_string oc "\n";
+        close_out oc;
+        Printf.printf "(wrote %s: %d points)\n" file (List.length points)
+    | None -> ()
+  end
+  else if churn_mode then begin
+    print_endline "vbl benchmark harness (churn mode)\n";
+    let points = run_churn () in
+    match json_file with
+    | Some file ->
         let oc = open_out file in
         output_string oc (Vbl_harness.Report.points_json ~engine:real_engine points);
         output_string oc "\n";

@@ -162,6 +162,18 @@ let shards_arg =
            $(b,--matrix); $(b,--metrics-json) then collects every cell across \
            the axis.")
 
+let churn_arg =
+  Arg.(
+    value & flag
+    & info [ "churn" ]
+        ~doc:
+          "Churn preset: override $(b,-u) to 90 and $(b,-r) to 256 — \
+           update-heavy traffic on a small key range, where nodes cycle \
+           through unlink, retire and recycle continuously.  The target \
+           workload of the reclaiming backends (pair with $(b,-a) \
+           vbl-reclaim / lazy-reclaim / harris-michael-reclaim and compare \
+           against the plain algorithm).")
+
 let matrix_arg =
   Arg.(
     value & flag
@@ -254,7 +266,13 @@ let run_single ~algo ~threads ~update ~range ~engine_v ~metrics ~profile ~interv
   point
 
 let run algo threads update range duration warmup trials seed horizon engine csv metrics
-    metrics_json trace_n trace_json profile export interval_s matrix shards =
+    metrics_json trace_n trace_json profile export interval_s matrix shards churn =
+  let update = if churn then 90 else update
+  and range = if churn then 256 else range in
+  if churn && matrix then begin
+    Printf.eprintf "--churn fixes one workload cell; drop --matrix\n";
+    exit 2
+  end;
   if profile && engine = `Sim then begin
     Printf.eprintf "--profile needs the wall clock; use --engine real\n";
     exit 2
@@ -366,6 +384,6 @@ let cmd =
       const run $ algo_arg $ threads_arg $ update_arg $ range_arg $ duration_arg $ warmup_arg
       $ trials_arg $ seed_arg $ horizon_arg $ engine_arg $ csv_arg $ metrics_arg
       $ metrics_json_arg $ trace_arg $ trace_json_arg $ profile_arg $ export_arg
-      $ interval_arg $ matrix_arg $ shards_arg)
+      $ interval_arg $ matrix_arg $ shards_arg $ churn_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -182,6 +182,7 @@ let run ?(metrics = false) ?(profile = false) ?interval_s
      measured trials. *)
   if metrics then begin
     Obs.Metrics.reset ();
+    Obs.Gcstats.rebase ();
     Obs.Probe.install (Obs.Probe.metrics ())
   end;
   (* Profiling state is global (like the metrics shards): reset and enable

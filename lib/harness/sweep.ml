@@ -112,6 +112,7 @@ let measure ?(metrics = false) ?(profile = false) ?interval_s engine ~algorithm 
          has no wall clock). *)
       if metrics then begin
         Vbl_obs.Metrics.reset ();
+        Vbl_obs.Gcstats.rebase ();
         Vbl_obs.Probe.install (Vbl_obs.Probe.metrics ())
       end;
       let ops = ref 0 in

@@ -33,7 +33,7 @@ module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
      code. *)
   and pair = { p_next : node; p_marked : bool; p_line : int }
 
-  type t = { head : node }
+  type t = { head : node; pool : node M.pool }
 
   let amr_cell_exn = function Node n -> n.amr | Tail _ -> assert false
 
@@ -84,11 +84,30 @@ module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
             amr = M.make ~line:hl (make_pair tail false);
           }
     in
-    { head }
+    (* The head sentinel doubles as the pool's miss sentinel: it can never
+       be retired. *)
+    { head; pool = M.make_pool ~dummy:head }
 
   let check_key v =
     if v = min_int || v = max_int then
       invalid_arg "list-based set: key must be strictly between min_int and max_int"
+
+  (* Reclaiming insert path: reuse an aged-out node's record and cells; a
+     recycled insert still allocates its AMR pair (the pair is immutable
+     by design — it is what the CAS swaps), so recycling saves the node
+     record and both cells but not the pair.  Miss check is one physical
+     comparison against the head sentinel. *)
+  let recycle_node t v next =
+    let x = M.recycle t.pool in
+    if x == t.head then make_node v next
+    else begin
+      (match x with
+      | Node n ->
+          M.set n.value v;
+          M.set n.amr (make_pair next false)
+      | Tail _ -> assert false);
+      x
+    end
 
   (* Michael's find: locate the first unmarked node with value >= v,
      physically unlinking every marked node encountered on the way; a failed
@@ -119,6 +138,10 @@ module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
           Probe.count C.Cas_attempts;
           if M.cas (amr_cell_exn prev) prev_pair replacement then begin
             Probe.count C.Physical_unlinks;
+            (* Exactly one unlinking CAS can succeed for [curr] (pairs are
+               compared by identity and never reused), so this is the
+               single retire point for a helped node. *)
+            if M.reclaiming then M.retire t.pool curr;
             advance t v prev replacement curr_pair.p_next (hops + 1)
           end
           else begin
@@ -137,24 +160,34 @@ module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
           else advance t v curr curr_pair curr_pair.p_next (hops + 1)
         end
 
-  let rec insert t v =
-    check_key v;
+  let rec insert_loop t v =
     let prev, prev_pair, curr, cv = find t v in
     if cv = v then false
     else begin
-      let x = make_node v curr in
+      let x = if M.reclaiming then recycle_node t v curr else make_node v curr in
       let linked = make_pair x false in
       Probe.count C.Cas_attempts;
       if M.cas (amr_cell_exn prev) prev_pair linked then true
       else begin
         Probe.count C.Cas_failures;
         Probe.count C.Restarts;
-        insert t v
+        (* [x] was never published; route it back through the pool. *)
+        if M.reclaiming then M.retire t.pool x;
+        insert_loop t v
       end
     end
 
-  let rec remove t v =
+  let insert t v =
     check_key v;
+    if M.reclaiming then begin
+      let h = M.op_enter t.pool in
+      let r = insert_loop t v in
+      M.op_exit t.pool h;
+      r
+    end
+    else insert_loop t v
+
+  let rec remove_loop t v =
     let prev, prev_pair, curr, cv = find t v in
     if cv <> v then false
     else begin
@@ -162,7 +195,7 @@ module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
       if M.named then M.touch ~line:curr_pair.p_line ~name:"pair";
       if curr_pair.p_marked then begin
         Probe.count C.Restarts;
-        remove t v
+        remove_loop t v
       end
       else begin
         let marked = make_pair curr_pair.p_next true in
@@ -172,21 +205,33 @@ module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
              concurrent remove of curr): restart the operation. *)
           Probe.count C.Cas_failures;
           Probe.count C.Restarts;
-          remove t v
+          remove_loop t v
         end
         else begin
           Probe.count C.Logical_deletes;
           (* Physical unlink is best-effort; on failure the node is left for
-             a future traversal's helping step. *)
+             a future traversal's helping step (which then retires it). *)
           let unlinked = make_pair curr_pair.p_next false in
           Probe.count C.Cas_attempts;
-          if M.cas (amr_cell_exn prev) prev_pair unlinked then
-            Probe.count C.Physical_unlinks
+          if M.cas (amr_cell_exn prev) prev_pair unlinked then begin
+            Probe.count C.Physical_unlinks;
+            if M.reclaiming then M.retire t.pool curr
+          end
           else Probe.count C.Cas_failures;
           true
         end
       end
     end
+
+  let remove t v =
+    check_key v;
+    if M.reclaiming then begin
+      let h = M.op_enter t.pool in
+      let r = remove_loop t v in
+      M.op_exit t.pool h;
+      r
+    end
+    else remove_loop t v
 
   (* Wait-free contains: traverse without helping, check the final mark.
      Closed top-level walk: zero allocation per call on the real backend. *)
@@ -205,14 +250,23 @@ module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
           cv = v && not pair.p_marked
         end
 
-  let contains t v =
-    check_key v;
+  let contains_start t v =
     match t.head with
     | Node n ->
         let head_pair = M.get n.amr in
         if M.named then M.touch ~line:head_pair.p_line ~name:"pair";
         contains_walk v head_pair.p_next 0
     | Tail _ -> assert false
+
+  let contains t v =
+    check_key v;
+    if M.reclaiming then begin
+      let h = M.op_enter t.pool in
+      let r = contains_start t v in
+      M.op_exit t.pool h;
+      r
+    end
+    else contains_start t v
 
   let fold f init t =
     let rec loop acc node =

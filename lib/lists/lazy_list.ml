@@ -28,7 +28,7 @@ module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
       }
     | Tail of { value : int M.cell; marked : bool M.cell; lock : M.lock }
 
-  type t = { head : node }
+  type t = { head : node; pool : node M.pool }
 
   let node_value = function Node n -> M.get n.value | Tail n -> M.get n.value
   let node_marked = function Node n -> M.get n.marked | Tail n -> M.get n.marked
@@ -79,7 +79,9 @@ module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
       else M.make ~line:hl tail
     in
     let head = Node { value = hv; next; marked = hm; lock = hlk } in
-    { head }
+    (* The head sentinel doubles as the pool's miss sentinel: it can never
+       be retired. *)
+    { head; pool = M.make_pool ~dummy:head }
 
   let check_key v =
     if v = min_int || v = max_int then
@@ -93,6 +95,23 @@ module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
      flush in one probe call per traversal; the shared-memory access
      sequence is exactly that of the former locate/with_locked_pair pair,
      so instrumented schedules are unchanged. *)
+
+  (* Reclaiming insert path: reinitialize an aged-out retired node in
+     place (it is unreachable and its lock long released) instead of
+     allocating; one physical miss-check against the head sentinel, no
+     option under [@hot]. *)
+  let[@hot] recycle_node t v next =
+    let x = M.recycle t.pool in
+    if x == t.head then make_node v next
+    else begin
+      (match x with
+      | Node n ->
+          M.set n.value v;
+          M.set n.next next;
+          M.set n.marked false
+      | Tail _ -> assert false);
+      x
+    end
 
   (* O(1) validation under both locks (Heller et al. fig. 4). *)
   let[@hot] validate prev curr =
@@ -114,7 +133,8 @@ module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
         let result =
           if tval = v then false
           else begin
-            M.set (next_cell_exn prev) (make_node v curr);
+            M.set (next_cell_exn prev)
+              (if M.reclaiming then recycle_node t v curr else make_node v curr);
             true
           end
         in
@@ -131,9 +151,17 @@ module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
       end
     end
 
+  (* Epoch brackets on reclaiming backends; plain backends take the
+     unchanged direct path (one immutable-flag branch, like [M.named]). *)
   let insert t v =
     check_key v;
-    insert_walk t v t.head (M.get (next_cell_exn t.head)) 1
+    if M.reclaiming then begin
+      let h = M.op_enter t.pool in
+      let r = insert_walk t v t.head (M.get (next_cell_exn t.head)) 1 in
+      M.op_exit t.pool h;
+      r
+    end
+    else insert_walk t v t.head (M.get (next_cell_exn t.head)) 1
 
   let[@hot] rec remove_walk t v prev curr hops =
     if node_value curr < v then remove_walk t v curr (M.get (next_cell_exn curr)) (hops + 1)
@@ -152,6 +180,10 @@ module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
             Probe.count C.Logical_deletes;
             M.set (next_cell_exn prev) (M.get (next_cell_exn curr));
             Probe.count C.Physical_unlinks;
+            (* Unlinked exactly once (validated, under both locks); its
+               lock is released just below, long before the grace period
+               can pass while this bracket pins the epoch. *)
+            if M.reclaiming then M.retire t.pool curr;
             true
           end
         in
@@ -170,7 +202,13 @@ module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
 
   let remove t v =
     check_key v;
-    remove_walk t v t.head (M.get (next_cell_exn t.head)) 1
+    if M.reclaiming then begin
+      let h = M.op_enter t.pool in
+      let r = remove_walk t v t.head (M.get (next_cell_exn t.head)) 1 in
+      M.op_exit t.pool h;
+      r
+    end
+    else remove_walk t v t.head (M.get (next_cell_exn t.head)) 1
 
   let[@hot] rec contains_walk v curr hops =
     if node_value curr < v then contains_walk v (M.get (next_cell_exn curr)) (hops + 1)
@@ -181,7 +219,13 @@ module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
 
   let contains t v =
     check_key v;
-    contains_walk v (M.get (next_cell_exn t.head)) 1
+    if M.reclaiming then begin
+      let h = M.op_enter t.pool in
+      let r = contains_walk v (M.get (next_cell_exn t.head)) 1 in
+      M.op_exit t.pool h;
+      r
+    end
+    else contains_walk v (M.get (next_cell_exn t.head)) 1
 
   let fold f init t =
     let rec loop acc node =

@@ -3,6 +3,7 @@
     harness select implementations from. *)
 
 module R = Vbl_memops.Real_mem
+module RR = Vbl_memops.Reclaim_mem
 
 module Sequential = Seq_list.Make (R)
 module Coarse = Coarse_list.Make (R)
@@ -15,6 +16,28 @@ module Fomitchev_ruppert_list = Fomitchev_ruppert.Make (R)
 module Vbl = Vbl_list.Make (R)
 module Vbl_postlock_ablation = Vbl_postlock.Make (R)
 module Vbl_versioned_variant = Vbl_versioned.Make (R)
+
+(* Reclaiming variants: the same algorithm sources instantiated on the
+   epoch-based reclamation backend.  Node unlinks feed per-domain limbo
+   bags and the insert hot path recycles aged-out nodes instead of
+   allocating. *)
+module Lazy_reclaim = struct
+  include Lazy_list.Make (RR)
+
+  let name = "lazy-reclaim"
+end
+
+module Harris_michael_reclaim = struct
+  include Harris_michael.Make (RR)
+
+  let name = "harris-michael-reclaim"
+end
+
+module Vbl_reclaim = struct
+  include Vbl_list.Make (RR)
+
+  let name = "vbl-reclaim"
+end
 
 type impl = (module Set_intf.S)
 
@@ -33,6 +56,9 @@ let concurrent : impl list =
     (module Vbl_postlock_ablation);
     (module Vbl_versioned_variant);
     (module Vbl);
+    (module Lazy_reclaim);
+    (module Harris_michael_reclaim);
+    (module Vbl_reclaim);
   ]
 
 let all : impl list = (module Sequential : Set_intf.S) :: concurrent

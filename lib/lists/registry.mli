@@ -14,6 +14,15 @@ module Vbl : Set_intf.S
 module Vbl_postlock_ablation : Set_intf.S
 module Vbl_versioned_variant : Set_intf.S
 
+(** The same algorithm sources on the epoch-based reclamation backend
+    ({!Vbl_memops.Reclaim_mem}): unlinked nodes are retired into limbo
+    bags and recycled on the insert hot path once a grace period has
+    passed. *)
+
+module Lazy_reclaim : Set_intf.S
+module Harris_michael_reclaim : Set_intf.S
+module Vbl_reclaim : Set_intf.S
+
 type impl = (module Set_intf.S)
 
 val concurrent : impl list

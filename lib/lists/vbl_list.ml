@@ -39,7 +39,7 @@ module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
       }
     | Tail of { value : int M.cell; deleted : bool M.cell; lock : M.lock }
 
-  type t = { head : node }
+  type t = { head : node; pool : node M.pool }
 
   let node_value = function Node n -> M.get n.value | Tail n -> M.get n.value
   let node_deleted = function Node n -> M.get n.deleted | Tail n -> M.get n.deleted
@@ -107,7 +107,9 @@ module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
             lock = M.make_lock ~line:hl ();
           }
     in
-    { head }
+    (* The head sentinel doubles as the pool's miss sentinel: it can never
+       be retired, so [x == t.head] is an unambiguous "free-list empty". *)
+    { head; pool = M.make_pool ~dummy:head }
 
   let check_key v =
     if v = min_int || v = max_int then
@@ -162,6 +164,25 @@ module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
       false
     end
 
+  (* Reclaiming insert path: serve the node from the free-list when some
+     retired node's grace period has passed, reinitializing its cells in
+     place (it is unreachable, so the order of the three stores is
+     irrelevant and its lock is long released); allocate fresh on a miss.
+     The miss check is one physical comparison against the head sentinel
+     — never an option, which would allocate under [@hot]. *)
+  let[@hot] recycle_node t v next =
+    let x = M.recycle t.pool in
+    if x == t.head then make_node v next
+    else begin
+      (match x with
+      | Node n ->
+          M.set n.value v;
+          M.set n.next next;
+          M.set n.deleted false
+      | Tail _ -> assert false);
+      x
+    end
+
   (* Lines 22-32; restarts resume from [prev] (line 24). *)
   let[@hot] rec insert_attempt t v prev =
     let prev = if node_deleted prev then t.head else prev in
@@ -174,7 +195,7 @@ module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
       if !Probe.enabled then Probe.add C.Traversal_steps hops;
       if node_value curr = v then false
       else begin
-        let x = make_node v curr in
+        let x = if M.reclaiming then recycle_node t v curr else make_node v curr in
         if lock_next_at prev curr then begin
           let t_acq = if !Prof.profiling then Prof.now_ns () else 0 in
           M.set (next_cell_exn prev) x;
@@ -185,14 +206,28 @@ module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
         end
         else begin
           Probe.count C.Restarts;
+          (* [x] was never published; route it back through the pool so a
+             restart storm cannot leak recycled nodes. *)
+          if M.reclaiming then M.retire t.pool x;
           insert_attempt t v prev (* goto line 24 *)
         end
       end
     end
 
+  (* On reclaiming backends every operation runs inside an epoch bracket:
+     while it is open, nothing the operation can reach may be recycled.
+     The [M.reclaiming] guard keeps the plain backends' code paths
+     byte-for-byte unchanged (one immutable-flag branch, like
+     [M.named]). *)
   let insert t v =
     check_key v;
-    insert_attempt t v t.head
+    if M.reclaiming then begin
+      let h = M.op_enter t.pool in
+      let r = insert_attempt t v t.head in
+      M.op_exit t.pool h;
+      r
+    end
+    else insert_attempt t v t.head
 
   (* Lines 33-48; restarts resume from [prev] (line 35). *)
   let[@hot] rec remove_attempt t v prev =
@@ -238,6 +273,10 @@ module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
               Prof.record_hold Prof.Lock_next_at (stop - t_curr);
               Prof.record_hold Prof.Lock_next_at_value (stop - t_prev)
             end;
+            (* [curr] is unlinked (exactly once, under both locks) and its
+               lock released above: quarantine it until the grace period
+               passes. *)
+            if M.reclaiming then M.retire t.pool curr;
             true
           end
         end
@@ -246,7 +285,13 @@ module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
 
   let remove t v =
     check_key v;
-    remove_attempt t v t.head
+    if M.reclaiming then begin
+      let h = M.op_enter t.pool in
+      let r = remove_attempt t v t.head in
+      M.op_exit t.pool h;
+      r
+    end
+    else remove_attempt t v t.head
 
   (* Lines 9-13: value-only wait-free membership test. *)
   let[@hot] rec contains_walk v curr hops =
@@ -258,7 +303,13 @@ module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
 
   let contains t v =
     check_key v;
-    contains_walk v t.head 0
+    if M.reclaiming then begin
+      let h = M.op_enter t.pool in
+      let r = contains_walk v t.head 0 in
+      M.op_exit t.pool h;
+      r
+    end
+    else contains_walk v t.head 0
 
   let fold f init t =
     let rec loop acc node =

@@ -139,6 +139,23 @@ let touch ~line ~name = yield ~line ~name ~shadow:no_shadow Touch
 
 let new_node ~name ~line = yield ~line ~name ~shadow:no_shadow New_node
 
+(* No reclamation on the plain instrumented backend: schedules and their
+   golden step sequences predate the reclaim layer and must not change.
+   {!Instr_reclaim} layers the live hooks over these same cells. *)
+let reclaiming = false
+
+type 'a pool = 'a
+
+let make_pool ~dummy = dummy
+
+let op_enter _ = 0
+
+let op_exit _ _ = ()
+
+let retire _ _ = ()
+
+let recycle p = p
+
 let make_lock ?(name = "") ~line () =
   { l_line = line; l_name = name; held = false; l_shadow = fresh_shadow () }
 

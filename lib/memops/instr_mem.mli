@@ -92,6 +92,23 @@ val touch : line:int -> name:string -> unit
 
 val new_node : name:string -> line:int -> unit
 
+val reclaiming : bool
+(** [false]: the plain instrumented backend never recycles, so golden
+    schedule step sequences are unchanged.  {!Instr_reclaim} provides the
+    reclaiming variant over these same cells. *)
+
+type 'a pool
+
+val make_pool : dummy:'a -> 'a pool
+
+val op_enter : 'a pool -> int
+
+val op_exit : 'a pool -> int -> unit
+
+val retire : 'a pool -> 'a -> unit
+
+val recycle : 'a pool -> 'a
+
 val make_lock : ?name:string -> line:int -> unit -> lock
 
 val try_lock : lock -> bool

@@ -1,0 +1,15 @@
+(** Instrumented reclaiming backends over {!Instr_mem}'s cells: the epoch
+    counter is itself an instrumented cell, so DPOR interleaves the
+    reclamation protocol against traversals.  [Safe] enforces the grace
+    period; [Eager] is the seeded use-after-reclaim mutant the analysis
+    suite must catch.  See instr_reclaim.ml for the atomicity model. *)
+
+module type CONFIG = sig
+  val eager : bool
+end
+
+module Make (_ : CONFIG) : Mem_intf.S
+
+module Safe : Mem_intf.S
+
+module Eager : Mem_intf.S

@@ -8,7 +8,11 @@
     - {!Instr_mem}: cells whose every access performs an effect, so a
       single-domain handler can interleave threads deterministically — what
       the schedule framework (paper §2), the bounded-exploration checker and
-      the multicore cost simulator run on.
+      the multicore cost simulator run on;
+    - {!Reclaim_mem} / {!Instr_reclaim}: the same two engines with the
+      epoch-based reclamation hooks ({!S.reclaiming} and friends) live, so
+      unlinked nodes are quarantined until their grace period passes and
+      then recycled into later inserts instead of leaking to the GC.
 
     The vocabulary matches what the paper's schedules are made of: [get] /
     [set] / [cas] on node fields, node-creation events, and per-node locks.
@@ -65,6 +69,47 @@ module type S = sig
   val new_node : name:string -> line:int -> unit
   (** Record a node-creation step (the [new(X)] events of the paper's
       schedules, e.g. Figure 2).  No-op on the real backend. *)
+
+  val reclaiming : bool
+  (** Whether this backend reclaims retired nodes.  Like {!named}, this is
+      a branch-compile-time flag algorithms guard on: when [false] (the
+      plain real and instrumented backends) every reclamation hook below
+      is a no-op and algorithms skip the epoch brackets and free-list
+      probes entirely, so the non-reclaiming hot paths are byte-for-byte
+      the pre-reclamation code.  When [true], operations must be
+      bracketed with {!op_enter}/{!op_exit}, unlinked nodes handed to
+      {!retire}, and inserts may ask {!recycle} for an aged-out node
+      before allocating a fresh one. *)
+
+  type 'a pool
+  (** Per-structure recycling state for nodes of type ['a] (limbo bags +
+      free-lists on reclaiming backends; just the dummy sentinel on the
+      others). *)
+
+  val make_pool : dummy:'a -> 'a pool
+  (** [dummy] is what {!recycle} returns on a miss; callers compare with
+      [==] (never an option — the insert path is [[@hot]]).  Use a node
+      that can never be retired; list head sentinels are ideal. *)
+
+  val op_enter : 'a pool -> int
+  (** Open an epoch-protected critical section around one set operation;
+      returns a handle for the matching {!op_exit}.  While a domain is
+      inside a bracket, no node it can reach may be recycled.  No-op
+      returning [0] on non-reclaiming backends. *)
+
+  val op_exit : 'a pool -> int -> unit
+
+  val retire : 'a pool -> 'a -> unit
+  (** Hand over a node that was just physically unlinked (or never
+      published).  At most once per node, from within the operation's
+      bracket.  The node's cells must be left in a state where
+      reinitialization by a later recycler is safe — in particular its
+      lock (if any) released by the end of the retiring operation. *)
+
+  val recycle : 'a pool -> 'a
+  (** A node whose grace period has verifiably passed, or the pool's
+      dummy.  Allocation-free on reclaiming real backends (the free-list
+      pop the [@hot] lint rule is pointed at). *)
 
   type lock
   (** A per-node mutex. *)

@@ -33,6 +33,24 @@ let[@inline] touch ~line:_ ~name:_ = ()
 
 let[@inline] new_node ~name:_ ~line:_ = ()
 
+(* No reclamation: the pool is just the dummy sentinel, so [recycle]
+   always "misses" and algorithms always allocate fresh nodes — the
+   pre-reclamation behaviour, at zero cost (every hook below is a
+   constant or the identity). *)
+let reclaiming = false
+
+type 'a pool = 'a
+
+let[@inline] make_pool ~dummy = dummy
+
+let[@inline] op_enter _ = 0
+
+let[@inline] op_exit _ _ = ()
+
+let[@inline] retire _ _ = ()
+
+let[@inline] recycle p = p
+
 type lock = Vbl_sync.Try_lock.t
 
 (* Opt-in cache-line padding for per-node lock words (curbs false sharing

@@ -1,0 +1,8 @@
+(** The reclaiming production backend: {!Real_mem} cells and locks with
+    epoch-based reclamation and per-domain node recycling live.  See
+    {!Mem_intf.S} for the contract and [lib/reclaim] for the protocol. *)
+
+include Mem_intf.S with type 'a pool = 'a Vbl_reclaim.Pool.t
+
+val stats : 'a pool -> Vbl_reclaim.Pool.stats
+(** Racy limbo/free depths for reports; exact only at quiescence. *)

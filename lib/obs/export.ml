@@ -228,13 +228,42 @@ let shard_families (totals : int array) =
         };
     ]
 
-(* The full exposition for a profiled run: every counter, the contention
-   histograms, and the per-shard traffic. *)
+(* Gauges, not counters: a delta can shrink when the baseline is rebased
+   between expositions. *)
+let gc_families (d : Gcstats.delta) =
+  [
+    Gauge
+      {
+        name = "vbl_gc_words";
+        help = "GC words allocated since the harness rebased the baseline";
+        samples =
+          [
+            ([ ("kind", "minor") ], d.minor_words);
+            ([ ("kind", "promoted") ], d.promoted_words);
+            ([ ("kind", "major") ], d.major_words);
+          ];
+      };
+    Gauge
+      {
+        name = "vbl_gc_collections";
+        help = "GC cycles since the harness rebased the baseline";
+        samples =
+          [
+            ([ ("kind", "minor") ], float_of_int d.minor_collections);
+            ([ ("kind", "major") ], float_of_int d.major_collections);
+            ([ ("kind", "compaction") ], float_of_int d.compactions);
+          ];
+      };
+  ]
+
+(* The full exposition for a profiled run: every counter, the GC
+   footprint, the contention histograms, and the per-shard traffic. *)
 let openmetrics_of_run () =
   render
     (List.concat
        [
          counter_families (Metrics.snapshot ());
+         gc_families (Gcstats.delta ());
          contention_families (Contention.report ());
          shard_families (Contention.shard_ops_totals ());
        ])

@@ -42,9 +42,14 @@ val shard_families : int array -> family list
 (** [vbl_shard_ops] counter with a [shard] label; empty when no sharded
     traffic was recorded. *)
 
+val gc_families : Gcstats.delta -> family list
+(** [vbl_gc_words] / [vbl_gc_collections] gauge families with a [kind]
+    label. *)
+
 val openmetrics_of_run : unit -> string
 (** The full exposition for the current process state: every counter,
-    the contention histograms, and the per-shard traffic. *)
+    the GC footprint, the contention histograms, and the per-shard
+    traffic. *)
 
 (** {2 Parsing and validation} *)
 

@@ -1,0 +1,44 @@
+(** GC pressure as observability data: deltas of [Gc.quick_stat] against
+    a rebasable baseline, so a run's allocation footprint (minor words,
+    promotions, major words, collection counts) can sit next to the
+    operation counters in the exporters.
+
+    [Gc.quick_stat] is cheap (no heap traversal) but in a multi-domain
+    program its word counters are an approximation: each domain buffers
+    its contribution and flushes at collection boundaries, so deltas
+    taken mid-run can lag.  The harness takes them at quiescence (after
+    joining the worker domains), where they are exact.
+
+    The baseline is plain mutable state like {!Metrics}' shards: rebase
+    and read from the coordinating domain only. *)
+
+type delta = {
+  minor_words : float;
+  promoted_words : float;
+  major_words : float;
+  minor_collections : int;
+  major_collections : int;
+  compactions : int;
+}
+
+let baseline : Gc.stat ref = ref (Gc.quick_stat ())
+
+let rebase () = baseline := Gc.quick_stat ()
+
+let delta () =
+  let now = Gc.quick_stat () and b = !baseline in
+  {
+    minor_words = now.minor_words -. b.minor_words;
+    promoted_words = now.promoted_words -. b.promoted_words;
+    major_words = now.major_words -. b.major_words;
+    minor_collections = now.minor_collections - b.minor_collections;
+    major_collections = now.major_collections - b.major_collections;
+    compactions = now.compactions - b.compactions;
+  }
+
+let pp ppf d =
+  Format.fprintf ppf
+    "minor_words=%.0f promoted_words=%.0f major_words=%.0f minor_gcs=%d \
+     major_gcs=%d compactions=%d"
+    d.minor_words d.promoted_words d.major_words d.minor_collections
+    d.major_collections d.compactions

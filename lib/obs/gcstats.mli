@@ -1,0 +1,23 @@
+(** Deltas of [Gc.quick_stat] against a rebasable baseline, for exporting
+    a run's allocation footprint next to its operation counters.  Rebase
+    and read from the coordinating domain only; see gcstats.ml for the
+    multi-domain approximation caveat. *)
+
+type delta = {
+  minor_words : float;
+  promoted_words : float;
+  major_words : float;
+  minor_collections : int;
+  major_collections : int;
+  compactions : int;
+}
+
+val rebase : unit -> unit
+(** Reset the baseline to the current [Gc.quick_stat].  The harness calls
+    this where it resets {!Metrics}, so the delta covers exactly the
+    measured trials. *)
+
+val delta : unit -> delta
+(** Counters accumulated since the last {!rebase} (or module load). *)
+
+val pp : Format.formatter -> delta -> unit

@@ -35,6 +35,10 @@ type counter =
   | Ops_completed  (** set operations completed by harness workers *)
   | Trace_dropped  (** trace-ring events overwritten before being read *)
   | Recorder_dropped  (** flight-recorder entries overwritten before a dump *)
+  | Reclaim_retired  (** unlinked nodes handed to the reclamation limbo bags *)
+  | Reclaim_recycled  (** inserts served from a reclamation free-list *)
+  | Reclaim_freed  (** limbo nodes whose grace period passed (now recyclable) *)
+  | Reclaim_epoch_advances  (** successful global reclamation-epoch advances *)
 
 let all =
   [
@@ -58,6 +62,10 @@ let all =
     Ops_completed;
     Trace_dropped;
     Recorder_dropped;
+    Reclaim_retired;
+    Reclaim_recycled;
+    Reclaim_freed;
+    Reclaim_epoch_advances;
   ]
 
 let num_counters = List.length all
@@ -83,6 +91,10 @@ let index = function
   | Ops_completed -> 17
   | Trace_dropped -> 18
   | Recorder_dropped -> 19
+  | Reclaim_retired -> 20
+  | Reclaim_recycled -> 21
+  | Reclaim_freed -> 22
+  | Reclaim_epoch_advances -> 23
 
 let label = function
   | Traversal_steps -> "traversal_steps"
@@ -105,6 +117,10 @@ let label = function
   | Ops_completed -> "ops_completed"
   | Trace_dropped -> "trace_dropped"
   | Recorder_dropped -> "recorder_dropped"
+  | Reclaim_retired -> "reclaim_retired"
+  | Reclaim_recycled -> "reclaim_recycled"
+  | Reclaim_freed -> "reclaim_freed"
+  | Reclaim_epoch_advances -> "reclaim_epoch_advances"
 
 let describe = function
   | Traversal_steps -> "node hops performed while searching"
@@ -127,6 +143,10 @@ let describe = function
   | Ops_completed -> "set operations completed by harness workers"
   | Trace_dropped -> "trace-ring events overwritten before being read"
   | Recorder_dropped -> "flight-recorder entries overwritten before a dump"
+  | Reclaim_retired -> "unlinked nodes handed to the reclamation limbo bags"
+  | Reclaim_recycled -> "inserts served from a reclamation free-list"
+  | Reclaim_freed -> "limbo nodes whose grace period passed"
+  | Reclaim_epoch_advances -> "successful global reclamation-epoch advances"
 
 (* Per-shard series labels ("shard0", "shard1", ...) for reports that break
    a sharded set's load out by shard.  Memoized so labelling a snapshot

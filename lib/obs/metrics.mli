@@ -29,6 +29,10 @@ type counter =
   | Ops_completed  (** set operations completed by harness workers *)
   | Trace_dropped  (** trace-ring events overwritten before being read *)
   | Recorder_dropped  (** flight-recorder entries overwritten before a dump *)
+  | Reclaim_retired  (** unlinked nodes handed to the reclamation limbo bags *)
+  | Reclaim_recycled  (** inserts served from a reclamation free-list *)
+  | Reclaim_freed  (** limbo nodes whose grace period passed (now recyclable) *)
+  | Reclaim_epoch_advances  (** successful global reclamation-epoch advances *)
 
 val all : counter list
 (** Every counter, in reporting order. *)

@@ -1,0 +1,86 @@
+(* Epoch-based grace-period detection for the real (multi-domain) engine.
+
+   The protocol is Fraser-style three-epoch EBR, the same scheme GCList
+   applies to concurrent list-based sets:
+
+   - one process-wide epoch counter, monotonically increasing;
+   - one padded announcement slot per domain (0 = quiescent, e = "I am
+     inside an operation that began while the epoch was e");
+   - the epoch may advance from [e] to [e+1] only when every announced
+     slot equals [e], so once the counter reaches [e+2] every operation
+     that was in flight when it was [e] has finished.
+
+   A node unlinked and retired while the epoch read [e] can therefore be
+   handed back to an allocation free-list as soon as the counter reaches
+   [e+2]: no traversal can still hold a reference to it (per-domain limbo
+   bags and the free-lists themselves live in {!Pool}).
+
+   Announcing validates: store the observed epoch, then re-read the
+   counter and retry if it moved.  Without the re-read a domain could
+   observe [e], stall, and publish the stale announcement after the epoch
+   had already advanced past [e+1] — too late to stop a concurrent
+   reclaimer.  With it, a successful announce guarantees the counter
+   cannot reach [e+2] (and so nothing retired at [e] can be recycled)
+   until the domain leaves.
+
+   Slot registration is a lock-free push on an atomic list, so
+   {!try_advance} never blocks and never allocates.  The push-then-
+   announce order makes a scan that misses a just-registered domain
+   benign: the missed domain validated its announcement against an epoch
+   no older than the scan's, so the *next* advance sees it — exactly the
+   one-epoch slip the two-epoch grace period absorbs. *)
+
+module Probe = Vbl_obs.Probe
+module C = Vbl_obs.Metrics
+
+(* Epochs start at 1 so that announcement slot value 0 always means
+   quiescent. *)
+let global = Atomic.make 1
+
+type slot = int Atomic.t
+
+(* Every slot that ever existed, for {!try_advance} scans.  Domains are
+   never unregistered: a dead domain's slot reads 0 forever, which never
+   blocks an advance. *)
+let slots : slot list Atomic.t = Atomic.make []
+
+let rec register (s : slot) =
+  let old = Atomic.get slots in
+  if not (Atomic.compare_and_set slots old (s :: old)) then register s
+
+let slot_key =
+  Domain.DLS.new_key (fun () ->
+      let s = Vbl_sync.Padding.copy_as_padded (Atomic.make 0) in
+      register s;
+      s)
+
+let current () = Atomic.get global
+
+(* A closed top-level loop, not a closure over the slot: [enter] sits on
+   every operation's path and must not allocate (test_alloc pins this). *)
+let rec announce s =
+  let e = Atomic.get global in
+  Atomic.set s e;
+  (* Validate: if the counter moved between the read and the store, the
+     announcement may be too stale to pin anything — redo it. *)
+  if Atomic.get global = e then e else announce s
+
+let enter () = announce (Domain.DLS.get slot_key)
+
+let leave () = Atomic.set (Domain.DLS.get slot_key) 0
+
+(* One advance attempt: scan every announcement and bump the counter if
+   no domain is still inside an older epoch.  Returns the (possibly just
+   advanced) current epoch.  Allocation-free: the scan walks the existing
+   slot list. *)
+let rec all_current e = function
+  | [] -> true
+  | s :: rest ->
+      let a = Atomic.get s in
+      (a = 0 || a = e) && all_current e rest
+
+let try_advance () =
+  let e = Atomic.get global in
+  if all_current e (Atomic.get slots) then
+    if Atomic.compare_and_set global e (e + 1) then Probe.count C.Reclaim_epoch_advances;
+  Atomic.get global

@@ -1,0 +1,22 @@
+(** Process-wide epoch counter with per-domain announcement slots — the
+    grace-period detector behind {!Pool}.
+
+    Protocol: a domain brackets every set operation with {!enter} /
+    {!leave}.  The epoch can only advance past [e] once no announcement
+    older than [e] remains, so when the counter reads [e + 2] every
+    operation in flight at [e] has finished and anything unlinked at [e]
+    is unreachable.  See epoch.ml for the validated-announce subtlety. *)
+
+val current : unit -> int
+(** The current global epoch (≥ 1; announcement value 0 means quiescent). *)
+
+val enter : unit -> int
+(** Announce the calling domain as active and return the epoch it pinned.
+    Allocation-free after the domain's first call. *)
+
+val leave : unit -> unit
+(** Clear the calling domain's announcement. *)
+
+val try_advance : unit -> int
+(** One advance attempt; returns the current epoch afterwards.  Never
+    blocks, never allocates. *)

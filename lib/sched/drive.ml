@@ -21,6 +21,31 @@ module Vbl_postlock_i = Vbl_lists.Vbl_postlock.Make (Instr)
 module Fr_i = Vbl_lists.Fomitchev_ruppert.Make (Instr)
 module Vbl_versioned_i = Vbl_lists.Vbl_versioned.Make (Instr)
 
+(* Reclaiming variants on the instrumented reclaim backend: the epoch
+   counter is an instrumented cell, so DPOR interleaves epoch
+   announcements, retires and recycles against traversals.  Only the
+   grace-respecting [Safe] backend is registered here; the seeded
+   use-after-reclaim [Eager] mutant is reserved for the analysis tests. *)
+module Instr_safe = Vbl_memops.Instr_reclaim.Safe
+
+module Vbl_reclaim_i = struct
+  include Vbl_lists.Vbl_list.Make (Instr_safe)
+
+  let name = "vbl-reclaim"
+end
+
+module Lazy_reclaim_i = struct
+  include Vbl_lists.Lazy_list.Make (Instr_safe)
+
+  let name = "lazy-reclaim"
+end
+
+module Hm_reclaim_i = struct
+  include Vbl_lists.Harris_michael.Make (Instr_safe)
+
+  let name = "harris-michael-reclaim"
+end
+
 type impl = (module Vbl_lists.Set_intf.S)
 
 let instrumented : impl list =
@@ -36,6 +61,9 @@ let instrumented : impl list =
     (module Vbl_postlock_i);
     (module Vbl_versioned_i);
     (module Vbl_i);
+    (module Lazy_reclaim_i);
+    (module Hm_reclaim_i);
+    (module Vbl_reclaim_i);
   ]
 
 let find_instrumented nm : impl =

@@ -16,6 +16,13 @@ module Vbl_postlock_i : Vbl_lists.Set_intf.S
 module Fr_i : Vbl_lists.Set_intf.S
 module Vbl_versioned_i : Vbl_lists.Set_intf.S
 
+(** Reclaiming variants on {!Vbl_memops.Instr_reclaim.Safe}: DPOR
+    interleaves the epoch protocol against traversals. *)
+
+module Vbl_reclaim_i : Vbl_lists.Set_intf.S
+module Lazy_reclaim_i : Vbl_lists.Set_intf.S
+module Hm_reclaim_i : Vbl_lists.Set_intf.S
+
 type impl = (module Vbl_lists.Set_intf.S)
 
 val instrumented : impl list

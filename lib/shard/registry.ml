@@ -5,6 +5,7 @@
     {!Vbl_lists.Set_intf.S} like every other implementation. *)
 
 module R = Vbl_memops.Real_mem
+module RR = Vbl_memops.Reclaim_mem
 module I = Vbl_memops.Instr_mem
 
 module Vbl_sharded_2 =
@@ -18,6 +19,14 @@ module Vbl_sharded_8 =
 
 module Vbl_sharded_16 =
   Sharded_set.Make (struct let shard_bits = 4 end) (Vbl_lists.Vbl_list.Make) (R)
+
+(* Reclaiming frontend at the headline shard count: each shard gets its
+   own pool, all sharing the global epoch. *)
+module Vbl_sharded_8_reclaim = struct
+  include Sharded_set.Make (struct let shard_bits = 3 end) (Vbl_lists.Vbl_list.Make) (RR)
+
+  let name = "vbl-sharded-8-reclaim"
+end
 
 module Vbl_sharded_2_i =
   Sharded_set.Make (struct let shard_bits = 1 end) (Vbl_lists.Vbl_list.Make) (I)
@@ -39,6 +48,7 @@ let all : impl list =
     (module Vbl_sharded_4);
     (module Vbl_sharded_8);
     (module Vbl_sharded_16);
+    (module Vbl_sharded_8_reclaim);
   ]
 
 let instrumented : impl list =
@@ -55,6 +65,7 @@ let batched : (module Sharded_set.S) list =
     (module Vbl_sharded_4);
     (module Vbl_sharded_8);
     (module Vbl_sharded_16);
+    (module Vbl_sharded_8_reclaim);
   ]
 
 let find_exn nm : impl =

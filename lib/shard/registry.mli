@@ -6,6 +6,10 @@ module Vbl_sharded_2 : Sharded_set.S
 module Vbl_sharded_4 : Sharded_set.S
 module Vbl_sharded_8 : Sharded_set.S
 module Vbl_sharded_16 : Sharded_set.S
+
+(** The 8-shard frontend on the reclaiming backend: per-shard pools over
+    one global epoch. *)
+module Vbl_sharded_8_reclaim : Sharded_set.S
 module Vbl_sharded_2_i : Sharded_set.S
 module Vbl_sharded_4_i : Sharded_set.S
 module Vbl_sharded_8_i : Sharded_set.S

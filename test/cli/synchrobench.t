@@ -2,3 +2,15 @@ One simulated data point, deterministic for a fixed seed:
 
   $ vbl-synchrobench --engine sim -a vbl -t 4 -u 20 -r 64 -n 2 --horizon 20000 --csv
   vbl,4,20,64,simulated-multicore,63.9750,2.6517
+
+The churn preset pins the update rate to 90 and the key range to 256
+(the reclamation layer's target workload), visible in the CSV columns:
+
+  $ vbl-synchrobench --engine sim -a vbl-reclaim -t 4 --churn -n 2 --horizon 20000 --csv
+  vbl-reclaim,4,90,256,simulated-multicore,15.7715,0.0691
+
+It fixes a single workload cell, so combining it with the sweep is refused:
+
+  $ vbl-synchrobench --churn --matrix
+  --churn fixes one workload cell; drop --matrix
+  [2]

@@ -1,0 +1,25 @@
+(* Reclamation fixture: a free-list pop on the [@hot] insert path that
+   allocates.  Boxing the popped node in an option (or re-consing the
+   tail) defeats recycling's zero-allocation point; the disciplined
+   shape returns the pool's dummy sentinel, compared with [==], and
+   must stay clean. *)
+let[@hot] bad_recycle pool =
+  match pool.free with
+  | x :: tl ->
+      pool.free <- tl;
+      Some x
+  | [] -> None
+
+let[@hot] bad_recycle_consing pool =
+  match pool.free with
+  | x :: tl ->
+      pool.free <- x :: tl;
+      x
+  | [] -> pool.dummy
+
+let[@hot] clean_recycle pool =
+  match pool.free with
+  | x :: tl ->
+      pool.free <- tl;
+      x
+  | [] -> pool.dummy

@@ -51,6 +51,14 @@ let l4_hot () =
     [ ("L4", 4, 13); ("L4", 5, 10); ("L4", 6, 10); ("L4", 10, 2) ]
     (spans ~rules:[ F.L4 ] "bad_l4_hot.ml")
 
+let l4_reclaim () =
+  check_spans
+    "option-boxing and consing in a [@hot] recycle flagged; dummy-sentinel twin clean"
+    (* the cons doubles as constructor application and list allocation,
+       so its span reports twice *)
+    [ ("L4", 10, 6); ("L4", 16, 19); ("L4", 16, 19) ]
+    (spans ~rules:[ F.L4 ] "bad_reclaim.ml")
+
 let clean_fixtures () =
   check_spans "disciplined miniature list is clean under all rules" []
     (spans "clean_list.ml");
@@ -85,6 +93,7 @@ let () =
           Alcotest.test_case "L2 naming" `Quick l2_naming;
           Alcotest.test_case "L3 lock pairing" `Quick l3_leak;
           Alcotest.test_case "L4 hot allocation" `Quick l4_hot;
+          Alcotest.test_case "L4 reclaim recycle" `Quick l4_reclaim;
         ] );
       ( "driver",
         [

@@ -91,12 +91,44 @@ let failed_updates_are_allocation_free () =
   if per_op > 0.01 then
     Alcotest.failf "vbl failed updates allocate %.3f minor words/op (expected 0)" per_op
 
+(* The reclaiming backend's claim is the inverse of the node budget
+   above: once a churn warm-up has aged retired nodes into the domain's
+   free-list, an insert is served by reinitializing a recycled node and
+   allocates (nearly) nothing — against the 13-word budget of a fresh
+   vbl node.  "Nearly": the first few measured inserts may miss while
+   the final bags age out, each miss costing one fresh node. *)
+let recycled_insert_reuses_nodes () =
+  let module S = Vbl_lists.Registry.Vbl_reclaim in
+  let t = S.create () in
+  let n = 20_000 in
+  (* Descending inserts and ascending removes both hit right behind the
+     head, so the warm-up is O(n) and retires 2n nodes. *)
+  for _round = 1 to 2 do
+    for v = n downto 1 do
+      ignore (S.insert t v : bool)
+    done;
+    for v = 1 to n do
+      ignore (S.remove t v : bool)
+    done
+  done;
+  let before = Gc.minor_words () in
+  for v = n downto 1 do
+    ignore (S.insert t v : bool)
+  done;
+  let after = Gc.minor_words () in
+  let per_op = (after -. before) /. float_of_int n in
+  if per_op > 1.0 then
+    Alcotest.failf
+      "vbl-reclaim recycled insert allocates %.2f minor words/op (expected < 1, \
+       fresh node is 13)"
+      per_op
+
 let contains_cases =
   List.map
     (fun name ->
       Alcotest.test_case (name ^ ": contains allocates nothing") `Quick
         (contains_is_allocation_free name))
-    [ "vbl"; "lazy"; "harris-michael"; "harris-michael-tagged" ]
+    [ "vbl"; "lazy"; "harris-michael"; "harris-michael-tagged"; "vbl-reclaim" ]
 
 (* vbl / lazy node: 5-word record (header + value/next/deleted/lock) plus
    four 2-word Atomic cells = 13 words. *)
@@ -106,6 +138,8 @@ let insert_cases =
       (insert_allocates_only_the_node "vbl" ~budget:13);
     Alcotest.test_case "lazy: insert allocates only the node" `Quick
       (insert_allocates_only_the_node "lazy" ~budget:13);
+    Alcotest.test_case "vbl-reclaim: recycled insert allocates no node" `Quick
+      recycled_insert_reuses_nodes;
   ]
 
 let () =

@@ -142,6 +142,22 @@ let real_case impl =
           real_stress impl ~domains:4 ~total_ops:50_000 ~key_range:96 ~update_percent:40
             ~seed:1337L))
 
+(* Churn-heavy stress for the reclaiming implementations: 90% updates on
+   a small key range retires and recycles the same nodes continuously
+   across 4 domains, the workload where a reclamation bug (premature
+   recycle, double retire, stale free-list entry) diverges from the
+   single-writer model.  Two seeds for schedule diversity. *)
+let churn_case impl =
+  let module S = (val impl : Vbl_lists.Set_intf.S) in
+  Alcotest.test_case (S.name ^ ": 4-domain churn-heavy reclaim stress") `Quick
+    (fun () ->
+      with_recorder (fun () ->
+          List.iter
+            (fun seed ->
+              real_stress impl ~domains:4 ~total_ops:60_000 ~key_range:32
+                ~update_percent:90 ~seed)
+            [ 7L; 90210L ]))
+
 (* ------------------------------------------------------------------ *)
 (* Mode 2: instrumented backend, seeded random scheduler               *)
 (* ------------------------------------------------------------------ *)
@@ -384,6 +400,15 @@ let () =
   let impl_cases =
     List.map real_case (Vbl_lists.Registry.concurrent @ Vbl_shard.Registry.all)
   in
+  let churn_cases =
+    List.map churn_case
+      [
+        (module Vbl_lists.Registry.Lazy_reclaim : Vbl_lists.Set_intf.S);
+        (module Vbl_lists.Registry.Harris_michael_reclaim);
+        (module Vbl_lists.Registry.Vbl_reclaim);
+        (module Vbl_shard.Registry.Vbl_sharded_8_reclaim);
+      ]
+  in
   let clean_instr =
     List.map instr_clean_case
       [
@@ -406,6 +431,7 @@ let () =
   Alcotest.run "differential"
     [
       ("real-domains", impl_cases);
+      ("real-domains-churn", churn_cases);
       ("instr-random-scheduler", clean_instr);
       ("instr-mutants", mutants);
       ("batch", List.map batch_case Vbl_shard.Registry.batched);
