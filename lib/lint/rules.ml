@@ -1,9 +1,11 @@
-(* The four concurrency-discipline rules, implemented over the parsetree.
+(* The seven concurrency-discipline rules, implemented over the parsetree.
    See rules.mli for the contract of each rule and the exact approximations
    this pass makes.  The walk is a single Ast_iterator traversal for the
-   scoped rules (L1/L2) with per-function analyses (L3/L4) triggered from
-   the value-binding hook, so nested [let rec attempt ... in] loops are
-   checked exactly like top-level bindings. *)
+   scoped rules (L1/L2) with per-function analyses (L3/L4/L6/L7 and L5's
+   bracket balance) triggered from the value-binding hook, so nested
+   [let rec attempt ... in] loops are checked exactly like top-level
+   bindings.  L5's interprocedural part runs off the {!Summaries} pass
+   after the traversal. *)
 
 open Parsetree
 
@@ -15,9 +17,13 @@ type ctx = {
   l2 : bool;
   l3 : bool;
   l4 : bool;
+  l5 : bool;
+  l6 : bool;
+  l7 : bool;
+  summary : Summaries.file_info;
   mutable env : string list SMap.t;  (** local module aliases, name -> canonical path *)
   mutable guarded : bool;  (** inside the then-branch of an [if M.named] *)
-  mutable exempt : int;  (** depth of enclosing [@acquires] bindings (L3 off) *)
+  mutable exempt : int;  (** depth of enclosing [@acquires]/inferred-release bindings (L3 off) *)
   mutable ref_ok : (int * int) list;  (** locs of [ref] idents in local let binders *)
   mutable findings : Finding.t list;
 }
@@ -27,6 +33,10 @@ let report ctx rule (loc : Location.t) msg =
   ctx.findings <-
     Finding.v ~rule ~file:ctx.file ~line:p.pos_lnum ~col:(p.pos_cnum - p.pos_bol) msg
     :: ctx.findings
+
+let report_pos ctx rule (pos : Summaries.pos) msg =
+  ctx.findings <-
+    Finding.v ~rule ~file:ctx.file ~line:pos.line ~col:pos.col msg :: ctx.findings
 
 let flatten lid = try Longident.flatten lid with _ -> []
 
@@ -81,33 +91,80 @@ let mentions_named e =
   !found
 
 (* ------------------------------------------------------------------ *)
-(* L3: static lock pairing                                            *)
+(* Paired-operation balance (L3 locks, L5 epoch brackets)             *)
 (* ------------------------------------------------------------------ *)
 
-(* Qualified backend lock operations: [M.lock] / [M.unlock] /
-   [M.try_lock] (any one-module qualifier).  Unqualified calls are
-   helper functions ([node_lock], wrappers) and are not tracked. *)
-type lock_op = Acquire | Release | Try_acquire
+(* L3 tracks qualified backend lock operations: [M.lock] / [M.unlock] /
+   [M.try_lock] (any one-module qualifier); unqualified calls to local
+   functions the summary pass knows as [@acquires] count as try-style
+   acquisitions in [if] conditions.  L5 reuses the same machinery for
+   [M.op_enter] / [M.op_exit] epoch brackets.  Only the classifier and
+   the report text differ, so both are parameters. *)
+type pair_kind = Acquire | Release | Try_acquire
 
-let lock_op_of_expr f =
-  match f.pexp_desc with
-  | Pexp_ident { txt; _ } -> (
-      match flatten txt with
-      | [ _; "lock" ] -> Some Acquire
-      | [ _; "unlock" ] -> Some Release
-      | [ _; "try_lock" ] -> Some Try_acquire
-      | _ -> None)
-  | _ -> None
+type pair_ops = {
+  po_classify : expression -> pair_kind option;  (** on the function position of an apply *)
+  po_rule : Finding.rule;
+  po_branch : string -> int -> int -> string;  (** construct word, branch balances *)
+  po_loop : int -> string;
+  po_implicit : int -> string;
+  po_exit : int -> string;
+}
+
+let lock_ops ctx =
+  {
+    po_classify =
+      (fun f ->
+        match f.pexp_desc with
+        | Pexp_ident { txt; _ } -> (
+            match flatten txt with
+            | [ _; "lock" ] -> Some Acquire
+            | [ _; "unlock" ] -> Some Release
+            | [ _; "try_lock" ] -> Some Try_acquire
+            | [ name ] when Summaries.is_acquires ctx.summary name -> Some Try_acquire
+            | _ -> None)
+        | _ -> None);
+    po_rule = Finding.L3;
+    po_branch =
+      (fun word a b -> Printf.sprintf "lock balance differs across %s branches (%+d vs %+d)" word a b);
+    po_loop =
+      Printf.sprintf "loop body acquires %d lock(s) not released within the iteration";
+    po_implicit = Printf.sprintf "implicit else branch exits holding %d lock(s)";
+    po_exit =
+      Printf.sprintf "exits holding %d lock(s); release on every path or tag the binding [@acquires]";
+  }
+
+let bracket_ops =
+  {
+    po_classify =
+      (fun f ->
+        match f.pexp_desc with
+        | Pexp_ident { txt; _ } -> (
+            match flatten txt with
+            | [ _; "op_enter" ] -> Some Acquire
+            | [ _; "op_exit" ] -> Some Release
+            | _ -> None)
+        | _ -> None);
+    po_rule = Finding.L5;
+    po_branch =
+      (fun word a b ->
+        Printf.sprintf "epoch-bracket balance differs across %s branches (%+d vs %+d)" word a b);
+    po_loop =
+      Printf.sprintf "loop body opens %d epoch bracket(s) not closed within the iteration";
+    po_implicit = Printf.sprintf "implicit else branch exits with %d open epoch bracket(s)";
+    po_exit =
+      Printf.sprintf "exits with %d open epoch bracket(s); close the bracket on every path";
+  }
 
 let is_fun_protect f =
   match f.pexp_desc with
   | Pexp_ident { txt; _ } -> flatten txt = [ "Fun"; "protect" ]
   | _ -> false
 
-(* Count [*.unlock] applications anywhere in [e], including inside
+(* Count release applications anywhere in [e], including inside
    closures — used for [Fun.protect ~finally:(fun () -> M.unlock ...)],
    whose release runs on every exit including exceptional ones. *)
-let count_unlocks e =
+let count_releases ops e =
   let n = ref 0 in
   let it =
     {
@@ -115,7 +172,7 @@ let count_unlocks e =
       expr =
         (fun it e ->
           (match e.pexp_desc with
-          | Pexp_apply (f, _) when lock_op_of_expr f = Some Release -> incr n
+          | Pexp_apply (f, _) when ops.po_classify f = Some Release -> incr n
           | _ -> ());
           Ast_iterator.default_iterator.expr it e);
     }
@@ -124,7 +181,7 @@ let count_unlocks e =
   !n
 
 (* An expression that leaves the function by raising rather than
-   returning; lock balance on exceptional exits is out of scope. *)
+   returning; balance on exceptional exits is out of scope. *)
 let is_exception_exit e =
   match e.pexp_desc with
   | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) -> (
@@ -134,15 +191,15 @@ let is_exception_exit e =
   | Pexp_assert { pexp_desc = Pexp_construct ({ txt = Lident "false"; _ }, None); _ } -> true
   | _ -> false
 
-(* If the condition of an [if] is a try-lock attempt, the then/else
-   branches start with different lock balances. *)
-let cond_acquire c =
+(* If the condition of an [if] is a try-acquire attempt, the then/else
+   branches start with different balances. *)
+let cond_acquire ops c =
   match c.pexp_desc with
-  | Pexp_apply (f, _) when lock_op_of_expr f = Some Try_acquire -> (1, 0)
+  | Pexp_apply (f, _) when ops.po_classify f = Some Try_acquire -> (1, 0)
   | Pexp_apply
       ( { pexp_desc = Pexp_ident { txt = Lident "not"; _ }; _ },
         [ (_, { pexp_desc = Pexp_apply (f, _); _ }) ] )
-    when lock_op_of_expr f = Some Try_acquire ->
+    when ops.po_classify f = Some Try_acquire ->
       (0, 1)
   | _ -> (0, 0)
 
@@ -151,114 +208,102 @@ let is_function_expr e =
   | Pexp_fun _ | Pexp_function _ | Pexp_newtype _ -> true
   | _ -> false
 
-(* Net lock-balance change of evaluating [e] in statement position.
+(* Net balance change of evaluating [e] in statement position.
    Branch constructs whose arms disagree while acquiring are reported;
    the larger (more-held) arm is propagated so a leak is still caught at
    the exit.  Closures contribute zero: their bodies run later. *)
-let rec delta ctx e =
+let rec delta ctx ops e =
   match e.pexp_desc with
   | Pexp_apply (f, args) ->
       if is_fun_protect f then
         List.fold_left
           (fun acc (label, arg) ->
             match label with
-            | Asttypes.Labelled "finally" -> acc - count_unlocks arg
-            | _ -> acc + delta ctx arg)
+            | Asttypes.Labelled "finally" -> acc - count_releases ops arg
+            | _ -> acc + delta ctx ops arg)
           0 args
       else
-        let base = List.fold_left (fun acc (_, arg) -> acc + delta ctx arg) 0 args in
-        (match lock_op_of_expr f with
+        let base = List.fold_left (fun acc (_, arg) -> acc + delta ctx ops arg) 0 args in
+        (match ops.po_classify f with
         | Some Acquire -> base + 1
         | Some Release -> base - 1
-        | Some Try_acquire | None -> base + delta ctx f)
-  | Pexp_sequence (a, b) -> delta ctx a + delta ctx b
+        | Some Try_acquire | None -> base + delta ctx ops f)
+  | Pexp_sequence (a, b) -> delta ctx ops a + delta ctx ops b
   | Pexp_let (_, vbs, body) ->
       List.fold_left
-        (fun acc vb -> if is_function_expr vb.pvb_expr then acc else acc + delta ctx vb.pvb_expr)
+        (fun acc vb ->
+          if is_function_expr vb.pvb_expr then acc else acc + delta ctx ops vb.pvb_expr)
         0 vbs
-      + delta ctx body
+      + delta ctx ops body
   | Pexp_ifthenelse (c, t, eo) ->
-      let base = delta ctx c in
-      let ta, ea = cond_acquire c in
-      let dt = ta + delta ctx t in
-      let de = ea + match eo with Some e2 -> delta ctx e2 | None -> 0 in
+      let base = delta ctx ops c in
+      let ta, ea = cond_acquire ops c in
+      let dt = ta + delta ctx ops t in
+      let de = ea + match eo with Some e2 -> delta ctx ops e2 | None -> 0 in
       if dt <> de && max dt de > 0 then
-        report ctx Finding.L3 e.pexp_loc
-          (Printf.sprintf "lock balance differs across if branches (%+d vs %+d)" dt de);
+        report ctx ops.po_rule e.pexp_loc (ops.po_branch "if" dt de);
       base + max dt de
   | Pexp_match (scr, cases) | Pexp_try (scr, cases) ->
-      let base = delta ctx scr in
-      let ds = List.map (fun c -> delta ctx c.pc_rhs) cases in
+      let base = delta ctx ops scr in
+      let ds = List.map (fun c -> delta ctx ops c.pc_rhs) cases in
       let mx = List.fold_left max min_int ds and mn = List.fold_left min max_int ds in
       if mx <> mn && mx > 0 then
-        report ctx Finding.L3 e.pexp_loc
-          (Printf.sprintf "lock balance differs across match branches (%+d vs %+d)" mn mx);
+        report ctx ops.po_rule e.pexp_loc (ops.po_branch "match" mn mx);
       base + if cases = [] then 0 else mx
   | Pexp_while (c, body) ->
-      let db = delta ctx body in
-      if db > 0 then
-        report ctx Finding.L3 e.pexp_loc
-          (Printf.sprintf "loop body acquires %d lock(s) not released within the iteration" db);
-      delta ctx c
+      let db = delta ctx ops body in
+      if db > 0 then report ctx ops.po_rule e.pexp_loc (ops.po_loop db);
+      delta ctx ops c
   | Pexp_for (_, lo, hi, _, body) ->
-      let db = delta ctx body in
-      if db > 0 then
-        report ctx Finding.L3 e.pexp_loc
-          (Printf.sprintf "loop body acquires %d lock(s) not released within the iteration" db);
-      delta ctx lo + delta ctx hi
+      let db = delta ctx ops body in
+      if db > 0 then report ctx ops.po_rule e.pexp_loc (ops.po_loop db);
+      delta ctx ops lo + delta ctx ops hi
   | Pexp_constraint (e, _) | Pexp_coerce (e, _, _) | Pexp_open (_, e)
   | Pexp_letmodule (_, _, e) | Pexp_newtype (_, e) ->
-      delta ctx e
+      delta ctx ops e
   | Pexp_construct (_, Some e) | Pexp_variant (_, Some e) | Pexp_field (e, _)
   | Pexp_assert e | Pexp_letexception (_, e) ->
-      delta ctx e
-  | Pexp_setfield (a, _, b) -> delta ctx a + delta ctx b
-  | Pexp_tuple es | Pexp_array es -> List.fold_left (fun acc e -> acc + delta ctx e) 0 es
+      delta ctx ops e
+  | Pexp_setfield (a, _, b) -> delta ctx ops a + delta ctx ops b
+  | Pexp_tuple es | Pexp_array es -> List.fold_left (fun acc e -> acc + delta ctx ops e) 0 es
   | Pexp_record (fields, base) ->
-      List.fold_left (fun acc (_, e) -> acc + delta ctx e) 0 fields
-      + (match base with Some e -> delta ctx e | None -> 0)
+      List.fold_left (fun acc (_, e) -> acc + delta ctx ops e) 0 fields
+      + (match base with Some e -> delta ctx ops e | None -> 0)
   | Pexp_fun _ | Pexp_function _ | Pexp_lazy _ -> 0
   | _ -> 0
 
-(* Check [e] in tail position of a function whose current syntactic lock
+(* Check [e] in tail position of a function whose current syntactic
    balance is [bal]; every exit with a positive balance is a finding. *)
-let rec check_tail ctx bal e =
+let rec check_tail ctx ops bal e =
   match e.pexp_desc with
-  | Pexp_sequence (a, b) -> check_tail ctx (bal + delta ctx a) b
+  | Pexp_sequence (a, b) -> check_tail ctx ops (bal + delta ctx ops a) b
   | Pexp_let (_, vbs, body) ->
       let bal =
         List.fold_left
           (fun acc vb ->
-            if is_function_expr vb.pvb_expr then acc else acc + delta ctx vb.pvb_expr)
+            if is_function_expr vb.pvb_expr then acc else acc + delta ctx ops vb.pvb_expr)
           bal vbs
       in
-      check_tail ctx bal body
+      check_tail ctx ops bal body
   | Pexp_ifthenelse (c, t, eo) -> (
-      let bal = bal + delta ctx c in
-      let ta, ea = cond_acquire c in
-      check_tail ctx (bal + ta) t;
+      let bal = bal + delta ctx ops c in
+      let ta, ea = cond_acquire ops c in
+      check_tail ctx ops (bal + ta) t;
       match eo with
-      | Some e2 -> check_tail ctx (bal + ea) e2
-      | None ->
-          if bal + ea > 0 then
-            report ctx Finding.L3 e.pexp_loc
-              (Printf.sprintf "implicit else branch exits holding %d lock(s)" (bal + ea)))
+      | Some e2 -> check_tail ctx ops (bal + ea) e2
+      | None -> if bal + ea > 0 then report ctx ops.po_rule e.pexp_loc (ops.po_implicit (bal + ea)))
   | Pexp_match (scr, cases) ->
-      let bal = bal + delta ctx scr in
-      List.iter (fun c -> check_tail ctx bal c.pc_rhs) cases
+      let bal = bal + delta ctx ops scr in
+      List.iter (fun c -> check_tail ctx ops bal c.pc_rhs) cases
   | Pexp_try (body, cases) ->
-      check_tail ctx bal body;
-      List.iter (fun c -> check_tail ctx bal c.pc_rhs) cases
+      check_tail ctx ops bal body;
+      List.iter (fun c -> check_tail ctx ops bal c.pc_rhs) cases
   | Pexp_constraint (e, _) | Pexp_open (_, e) | Pexp_letmodule (_, _, e) ->
-      check_tail ctx bal e
+      check_tail ctx ops bal e
   | _ ->
       if not (is_exception_exit e) then begin
-        let final = bal + delta ctx e in
-        if final > 0 then
-          report ctx Finding.L3 e.pexp_loc
-            (Printf.sprintf
-               "exits holding %d lock(s); release on every path or tag the binding [@acquires]"
-               final)
+        let final = bal + delta ctx ops e in
+        if final > 0 then report ctx ops.po_rule e.pexp_loc (ops.po_exit final)
       end
 
 let rec strip_params e =
@@ -267,12 +312,34 @@ let rec strip_params e =
   | Pexp_newtype (_, body) -> strip_params body
   | _ -> e
 
-let l3_check ctx vb =
+let pair_check ctx ops vb =
   if is_function_expr vb.pvb_expr then
     match (strip_params vb.pvb_expr).pexp_desc with
     | Pexp_function cases ->
-        List.iter (fun c -> check_tail ctx 0 c.pc_rhs) cases
-    | _ -> check_tail ctx 0 (strip_params vb.pvb_expr)
+        List.iter (fun c -> check_tail ctx ops 0 c.pc_rhs) cases
+    | _ -> check_tail ctx ops 0 (strip_params vb.pvb_expr)
+
+(* A function whose body releases through a local releaser helper
+   ([unlock_distinct] over an array of predecessors) cannot be tracked
+   syntactically; it gets the same exemption as an explicit [@acquires]
+   tag, inferred from the summary pass. *)
+let calls_releaser ctx e =
+  let found = ref false in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          (match e.pexp_desc with
+          | Pexp_apply ({ pexp_desc = Pexp_ident { txt = Lident name; _ }; _ }, _)
+            when Summaries.is_releaser ctx.summary name ->
+              found := true
+          | _ -> ());
+          Ast_iterator.default_iterator.expr it e);
+    }
+  in
+  it.expr it e;
+  !found
 
 (* ------------------------------------------------------------------ *)
 (* L4: hot-path allocation lint                                       *)
@@ -307,13 +374,341 @@ let l4_check ctx vb =
   it.expr it body
 
 (* ------------------------------------------------------------------ *)
+(* L6: retire/use discipline                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Intraprocedural forward dataflow over the statement walk: a value
+   passed to [M.retire] is poisoned — any later mention (field read,
+   lock call, re-retire) in the same function is a finding.  A retire of
+   a value the function did not allocate itself (a parameter or
+   traversal result) must additionally be preceded by an unlinking
+   [M.set]/[M.cas] on some path walked earlier.  Poison is branch-local:
+   each if/match arm starts from the state before the construct and the
+   arms union at the join, so a retire in one arm never taints its
+   siblings — only the code after the construct.  Closures and nested
+   functions are their own scope. *)
+let l6_check ctx vb =
+  if is_function_expr vb.pvb_expr then begin
+    let poisoned : (string, unit) Hashtbl.t ref = ref (Hashtbl.create 4) in
+    let local : (string, unit) Hashtbl.t = Hashtbl.create 4 in
+    let unlink_seen = ref false in
+    let rec bind_pat p =
+      match p.ppat_desc with
+      | Ppat_var { txt; _ } -> Hashtbl.replace local txt ()
+      | Ppat_tuple ps -> List.iter bind_pat ps
+      | Ppat_constraint (p, _) | Ppat_alias (p, _) -> bind_pat p
+      | _ -> ()
+    in
+    (* Walk each arm from a copy of the pre-construct state, then union
+       the arms' poison into the state after the construct. *)
+    let rec branches thunks =
+      let base = !poisoned in
+      let outcomes =
+        List.map
+          (fun thunk ->
+            poisoned := Hashtbl.copy base;
+            thunk ();
+            !poisoned)
+          thunks
+      in
+      List.iter (fun tbl -> Hashtbl.iter (fun k () -> Hashtbl.replace base k ()) tbl) outcomes;
+      poisoned := base
+    and go e =
+      match e.pexp_desc with
+      | Pexp_ident { txt = Lident x; loc } ->
+          if Hashtbl.mem !poisoned x then
+            report ctx Finding.L6 loc
+              (Printf.sprintf "use of %s after M.retire (the node may already be recycled)" x)
+      | Pexp_apply (f, args) -> (
+          let path =
+            match f.pexp_desc with Pexp_ident { txt; _ } -> flatten txt | _ -> []
+          in
+          match (path, List.rev args) with
+          | [ _; "retire" ], (_, { pexp_desc = Pexp_ident { txt = Lident x; loc }; _ }) :: rest
+            ->
+              List.iter (fun (_, a) -> go a) (List.rev rest);
+              if Hashtbl.mem !poisoned x then
+                report ctx Finding.L6 loc
+                  (Printf.sprintf "%s retired twice (retire happens at most once per unlink)" x)
+              else begin
+                if (not (Hashtbl.mem local x)) && not !unlink_seen then
+                  report ctx Finding.L6 loc
+                    (Printf.sprintf
+                       "retire of %s is not dominated by an unlinking store/CAS (only unlinked \
+                        or never-published nodes may be retired)"
+                       x);
+                Hashtbl.replace !poisoned x ()
+              end
+          | _ ->
+              go f;
+              List.iter (fun (_, a) -> go a) args;
+              (match path with [ _; ("set" | "cas") ] -> unlink_seen := true | _ -> ()))
+      | Pexp_let (_, vbs, body) ->
+          List.iter
+            (fun b ->
+              if not (is_function_expr b.pvb_expr) then begin
+                go b.pvb_expr;
+                bind_pat b.pvb_pat
+              end)
+            vbs;
+          go body
+      | Pexp_sequence (a, b) -> go a; go b
+      | Pexp_ifthenelse (c, t, eo) ->
+          go c;
+          branches [ (fun () -> go t); (fun () -> Option.iter go eo) ]
+      | Pexp_match (s, cs) | Pexp_try (s, cs) ->
+          go s;
+          branches
+            (List.map
+               (fun c () ->
+                 Option.iter go c.pc_guard;
+                 go c.pc_rhs)
+               cs)
+      | Pexp_while (c, b) -> go c; go b
+      | Pexp_for (_, a, b, _, body) -> go a; go b; go body
+      | Pexp_fun _ | Pexp_function _ -> ()
+      | Pexp_construct (_, Some e) | Pexp_variant (_, Some e) | Pexp_field (e, _)
+      | Pexp_constraint (e, _) | Pexp_coerce (e, _, _) | Pexp_assert e | Pexp_lazy e
+      | Pexp_open (_, e) | Pexp_newtype (_, e) | Pexp_letmodule (_, _, e)
+      | Pexp_letexception (_, e) ->
+          go e
+      | Pexp_setfield (a, _, b) -> go a; go b
+      | Pexp_tuple es | Pexp_array es -> List.iter go es
+      | Pexp_record (fs, base) ->
+          List.iter (fun (_, e) -> go e) fs;
+          Option.iter go base
+      | _ -> ()
+    in
+    go (strip_params vb.pvb_expr)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* L7: publish-before-reachable                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Once a node is published — its name appears in the stored value of an
+   [M.set]/[M.cas], or its [version] field is bumped — writing a direct
+   field cell of it with a non-constant value is a finding: other
+   threads can already reach the node, so initialization came too late.
+   Constant stores ([M.set n.fully_linked true]) are the deliberate
+   post-publish flag idiom and stay exempt.  Cells reached through
+   accessor helpers ([next_cell_exn prev]) are list surgery on already
+   reachable nodes, never initialization, so only direct [n.field] cells
+   can violate.  [match x with Node n -> ...] aliases [n] to [x]. *)
+let l7_check ctx vb =
+  if is_function_expr vb.pvb_expr then begin
+    let alias : (string, string) Hashtbl.t = Hashtbl.create 4 in
+    let published : (string, [ `Store | `Version ]) Hashtbl.t = Hashtbl.create 4 in
+    let rec resolve_root fuel x =
+      if fuel = 0 then x
+      else
+        match Hashtbl.find_opt alias x with
+        | Some y when y <> x -> resolve_root (fuel - 1) y
+        | _ -> x
+    in
+    let resolve_root = resolve_root 8 in
+    (* Idents mentioned in value position (function positions excluded). *)
+    let rec mentions acc e =
+      match e.pexp_desc with
+      | Pexp_ident { txt = Lident x; _ } -> x :: acc
+      | Pexp_ident _ -> acc
+      | Pexp_apply (f, args) ->
+          let acc =
+            match f.pexp_desc with Pexp_ident _ -> acc | _ -> mentions acc f
+          in
+          List.fold_left (fun acc (_, a) -> mentions acc a) acc args
+      | Pexp_construct (_, Some e) | Pexp_variant (_, Some e) | Pexp_field (e, _)
+      | Pexp_constraint (e, _) | Pexp_lazy e | Pexp_open (_, e) ->
+          mentions acc e
+      | Pexp_tuple es | Pexp_array es -> List.fold_left mentions acc es
+      | Pexp_record (fs, base) ->
+          let acc = List.fold_left (fun acc (_, e) -> mentions acc e) acc fs in
+          (match base with Some e -> mentions acc e | None -> acc)
+      | Pexp_ifthenelse (c, t, eo) ->
+          let acc = mentions (mentions acc c) t in
+          (match eo with Some e -> mentions acc e | None -> acc)
+      | Pexp_sequence (a, b) -> mentions (mentions acc a) b
+      | _ -> acc
+    in
+    let is_const v =
+      match v.pexp_desc with
+      | Pexp_constant _ | Pexp_construct (_, None) | Pexp_variant (_, None) -> true
+      | _ -> false
+    in
+    let register_aliases root pat =
+      let rec binders p =
+        match p.ppat_desc with
+        | Ppat_var { txt; _ } -> [ txt ]
+        | Ppat_alias (p, { txt; _ }) -> txt :: binders p
+        | Ppat_tuple ps | Ppat_array ps -> List.concat_map binders ps
+        | Ppat_record (fields, _) -> List.concat_map (fun (_, p) -> binders p) fields
+        | Ppat_constraint (p, _) -> binders p
+        | _ -> []
+      in
+      match pat.ppat_desc with
+      | Ppat_construct (_, Some (_, arg)) ->
+          List.iter (fun b -> Hashtbl.replace alias b root) (binders arg)
+      | _ -> ()
+    in
+    let handle_store cell v loc =
+      let field_cell =
+        match cell.pexp_desc with
+        | Pexp_field ({ pexp_desc = Pexp_ident { txt = Lident n; _ }; _ }, { txt = fld; _ }) ->
+            Some (resolve_root n, (match List.rev (flatten fld) with f :: _ -> f | [] -> ""))
+        | _ -> None
+      in
+      (* Violation: non-constant store to a field of an already published root. *)
+      (match field_cell with
+      | Some (root, fld) when not (is_const v) -> (
+          match Hashtbl.find_opt published root with
+          | Some `Store ->
+              report ctx Finding.L7 loc
+                (Printf.sprintf
+                   "field '%s' of %s written after the node was published by a store/CAS \
+                    (initialize every cell before publishing)"
+                   fld root)
+          | Some `Version ->
+              report ctx Finding.L7 loc
+                (Printf.sprintf
+                   "field '%s' of %s written after its version bump (the bump publishes the \
+                    node's pending writes; write data fields first)"
+                   fld root)
+          | None -> ())
+      | _ -> ());
+      (* Publish effects of this store. *)
+      let cell_root = Option.map fst field_cell in
+      List.iter
+        (fun y ->
+          let y = resolve_root y in
+          if Some y <> cell_root then
+            if not (Hashtbl.mem published y) then Hashtbl.replace published y `Store)
+        (mentions [] v);
+      match field_cell with
+      | Some (root, "version") ->
+          if not (Hashtbl.mem published root) then Hashtbl.replace published root `Version
+      | _ -> ()
+    in
+    let rec go e =
+      match e.pexp_desc with
+      | Pexp_apply (f, args) -> (
+          go f;
+          List.iter (fun (_, a) -> go a) args;
+          let path =
+            match f.pexp_desc with Pexp_ident { txt; _ } -> flatten txt | _ -> []
+          in
+          match (path, args) with
+          | [ _; "set" ], [ (_, cell); (_, v) ] -> handle_store cell v e.pexp_loc
+          | [ _; "cas" ], [ (_, cell); _; (_, v) ] -> handle_store cell v e.pexp_loc
+          | _ -> ())
+      | Pexp_let (_, vbs, body) ->
+          List.iter
+            (fun b ->
+              if not (is_function_expr b.pvb_expr) then begin
+                go b.pvb_expr;
+                match b.pvb_pat.ppat_desc with
+                | Ppat_var { txt; _ } ->
+                    (* rebinding starts a fresh, unpublished value *)
+                    Hashtbl.remove published txt;
+                    Hashtbl.remove alias txt
+                | _ -> ()
+              end)
+            vbs;
+          go body
+      | Pexp_match (scr, cases) ->
+          go scr;
+          (match scr.pexp_desc with
+          | Pexp_ident { txt = Lident x; _ } ->
+              List.iter (fun c -> register_aliases (resolve_root x) c.pc_lhs) cases
+          | _ -> ());
+          List.iter
+            (fun c ->
+              Option.iter go c.pc_guard;
+              go c.pc_rhs)
+            cases
+      | Pexp_try (s, cs) ->
+          go s;
+          List.iter
+            (fun c ->
+              Option.iter go c.pc_guard;
+              go c.pc_rhs)
+            cs
+      | Pexp_sequence (a, b) -> go a; go b
+      | Pexp_ifthenelse (c, t, eo) -> go c; go t; Option.iter go eo
+      | Pexp_while (c, b) -> go c; go b
+      | Pexp_for (_, a, b, _, body) -> go a; go b; go body
+      | Pexp_fun _ | Pexp_function _ -> ()
+      | Pexp_construct (_, Some e) | Pexp_variant (_, Some e) | Pexp_field (e, _)
+      | Pexp_constraint (e, _) | Pexp_coerce (e, _, _) | Pexp_assert e | Pexp_lazy e
+      | Pexp_open (_, e) | Pexp_newtype (_, e) | Pexp_letmodule (_, _, e)
+      | Pexp_letexception (_, e) ->
+          go e
+      | Pexp_setfield (a, _, b) -> go a; go b
+      | Pexp_tuple es | Pexp_array es -> List.iter go es
+      | Pexp_record (fs, base) ->
+          List.iter (fun (_, e) -> go e) fs;
+          Option.iter go base
+      | _ -> ()
+    in
+    go (strip_params vb.pvb_expr)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* L5: interprocedural epoch-bracket reachability                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Runs off the summary pass after the traversal: in a reclaiming
+   module, an unprotected function may not reach shared cells outside a
+   bracket — neither by direct dereference (reported on roots, where the
+   protocol obligation sits) nor by calling an in-file function that
+   touches shared cells without its own protection. *)
+let l5_reachability ctx =
+  let s = ctx.summary in
+  if Summaries.reclaiming s then
+    List.iter
+      (fun (fn : Summaries.fn) ->
+        let unprotected =
+          Summaries.status s fn.Summaries.fn_name = Summaries.Unprotected
+          && not fn.Summaries.fn_quiescent
+        in
+        if unprotected then begin
+          List.iter
+            (fun (c : Summaries.call) ->
+              if
+                (not c.Summaries.c_site.s_bracketed)
+                && (not c.Summaries.c_site.s_unreclaiming)
+                && Summaries.touches_shared s c.Summaries.c_callee
+              then
+                report_pos ctx Finding.L5 c.Summaries.c_site.s_pos
+                  (Printf.sprintf
+                     "call to %s, which touches shared cells, outside an op_enter/op_exit \
+                      bracket (bracket the call, tag %s [@protected], or the caller \
+                      [@quiescent])"
+                     c.Summaries.c_callee c.Summaries.c_callee))
+            fn.Summaries.fn_calls;
+          if Summaries.is_root s fn.Summaries.fn_name then
+            List.iter
+              (fun (d : Summaries.deref) ->
+                if
+                  (not d.Summaries.d_site.s_bracketed)
+                  && not d.Summaries.d_site.s_unreclaiming
+                then
+                  report_pos ctx Finding.L5 d.Summaries.d_site.s_pos
+                    (Printf.sprintf
+                       "M.%s outside an op_enter/op_exit bracket in a reclaiming module (open \
+                        a bracket, or tag the function [@protected] or [@quiescent])"
+                       d.Summaries.d_op))
+              fn.Summaries.fn_derefs
+        end)
+      (Summaries.fns s)
+
+(* ------------------------------------------------------------------ *)
 (* The traversal                                                       *)
 (* ------------------------------------------------------------------ *)
 
 let module_expr_path me =
   match me.pmod_desc with Pmod_ident { txt; _ } -> Some (flatten txt) | _ -> None
 
-let file ~rules ~file:fname (str : structure) : Finding.t list =
+let file ?(summaries = Summaries.empty) ~rules ~file:fname (str : structure) : Finding.t list =
   let has r = List.mem r rules in
   let ctx =
     {
@@ -322,6 +717,10 @@ let file ~rules ~file:fname (str : structure) : Finding.t list =
       l2 = has Finding.L2;
       l3 = has Finding.L3;
       l4 = has Finding.L4;
+      l5 = has Finding.L5;
+      l6 = has Finding.L6;
+      l7 = has Finding.L7;
+      summary = summaries;
       env = SMap.empty;
       guarded = false;
       exempt = 0;
@@ -329,6 +728,7 @@ let file ~rules ~file:fname (str : structure) : Finding.t list =
       findings = [];
     }
   in
+  let lops = lock_ops ctx in
   let scoped_env f =
     let saved = ctx.env in
     f ();
@@ -419,8 +819,16 @@ let file ~rules ~file:fname (str : structure) : Finding.t list =
         (fun it vb ->
           if ctx.l4 && has_attr "hot" vb.pvb_attributes then l4_check ctx vb;
           let acquires = has_attr "acquires" vb.pvb_attributes in
-          if ctx.l3 && ctx.exempt = 0 && not acquires then l3_check ctx vb;
-          if acquires then begin
+          let inferred =
+            (not acquires) && ctx.l3 && is_function_expr vb.pvb_expr
+            && calls_releaser ctx vb.pvb_expr
+          in
+          if ctx.l3 && ctx.exempt = 0 && (not acquires) && not inferred then
+            pair_check ctx lops vb;
+          if ctx.l5 && Summaries.reclaiming ctx.summary then pair_check ctx bracket_ops vb;
+          if ctx.l6 then l6_check ctx vb;
+          if ctx.l7 then l7_check ctx vb;
+          if acquires || inferred then begin
             ctx.exempt <- ctx.exempt + 1;
             default.value_binding it vb;
             ctx.exempt <- ctx.exempt - 1
@@ -463,4 +871,5 @@ let file ~rules ~file:fname (str : structure) : Finding.t list =
     }
   in
   it.structure it str;
+  if ctx.l5 then l5_reachability ctx;
   List.sort Finding.compare ctx.findings

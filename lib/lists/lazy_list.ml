@@ -180,15 +180,16 @@ module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
             Probe.count C.Logical_deletes;
             M.set (next_cell_exn prev) (M.get (next_cell_exn curr));
             Probe.count C.Physical_unlinks;
-            (* Unlinked exactly once (validated, under both locks); its
-               lock is released just below, long before the grace period
-               can pass while this bracket pins the epoch. *)
-            if M.reclaiming then M.retire t.pool curr;
             true
           end
         in
         M.unlock (node_lock curr);
         M.unlock (node_lock prev);
+        (* Unlinked exactly once (validated, under both locks), and
+           retired only after its lock is handed back — L6 forbids
+           touching [curr] past the retire.  Still inside the operation's
+           bracket, so the grace period cannot pass before we return. *)
+        if M.reclaiming && result then M.retire t.pool curr;
         result
       end
       else begin
@@ -227,7 +228,10 @@ module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
     end
     else contains_walk v (M.get (next_cell_exn t.head)) 1
 
-  let fold f init t =
+  (* Quiescent observers: callers guarantee no concurrent mutators, so
+     these read outside any epoch bracket — [@quiescent] records that
+     for L5. *)
+  let[@quiescent] fold f init t =
     let rec loop acc node =
       match node with
       | Tail _ -> acc
@@ -242,7 +246,7 @@ module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
   let to_list t = List.rev (fold (fun acc v -> v :: acc) [] t)
   let size t = fold (fun acc _ -> acc + 1) 0 t
 
-  let check_invariants t =
+  let[@quiescent] check_invariants t =
     let rec loop last node steps =
       if steps > 10_000_000 then Error "traversal did not terminate (cycle?)"
       else

@@ -311,7 +311,10 @@ module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
     end
     else contains_walk v t.head 0
 
-  let fold f init t =
+  (* Quiescent observers: callers guarantee no concurrent mutators, so
+     these read outside any epoch bracket — [@quiescent] records that
+     for L5. *)
+  let[@quiescent] fold f init t =
     let rec loop acc node =
       match node with
       | Tail _ -> acc
@@ -326,7 +329,7 @@ module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
   let to_list t = List.rev (fold (fun acc v -> v :: acc) [] t)
   let size t = fold (fun acc _ -> acc + 1) 0 t
 
-  let check_invariants t =
+  let[@quiescent] check_invariants t =
     let rec loop last node steps =
       if steps > 10_000_000 then Error "traversal did not terminate (cycle?)"
       else

@@ -1,15 +1,26 @@
 The AST concurrency-discipline linter, driven against a synthetic tree.
 
-A clean tree — every algorithm directory present, disciplined code only:
+A clean tree — every algorithm directory present (lib/reclaim included,
+linted with the backend subset L3..L7), disciplined code only:
 
-  $ mkdir -p proj/lib/lists proj/lib/skiplists proj/lib/trees proj/lib/shard
+  $ mkdir -p proj/lib/lists proj/lib/skiplists proj/lib/trees proj/lib/shard proj/lib/reclaim
   $ cat > proj/lib/lists/good.ml <<'EOF'
   > (* mentions Atomic.get and Mutex.lock in a comment, which is fine *)
   > let doc = "even strings may say Atomic.set"
   > let add a b = a + b
   > EOF
   $ vbl-lint proj
-  lint: clean (lib/lists lib/skiplists lib/trees lib/shard)
+  lint: clean (lib/lists lib/skiplists lib/trees lib/shard lib/reclaim)
+
+Backend code may use raw atomics and mutable fields — L1 does not apply
+under lib/reclaim:
+
+  $ cat > proj/lib/reclaim/backend.ml <<'EOF'
+  > type slot = { mutable free : int list }
+  > let c = Atomic.make 0
+  > EOF
+  $ vbl-lint proj
+  lint: clean (lib/lists lib/skiplists lib/trees lib/shard lib/reclaim)
 
 A seeded violation is reported with its file:line:col span and exit 1:
 
@@ -24,12 +35,55 @@ A seeded violation is reported with its file:line:col span and exit 1:
 Rule selection drops findings outside the requested subset:
 
   $ vbl-lint --rule L2,L3 proj
-  lint: clean (lib/lists lib/skiplists lib/trees lib/shard)
+  lint: clean (lib/lists lib/skiplists lib/trees lib/shard lib/reclaim)
+
+The reclamation rules: an epoch-bracket leak (L5), a use-after-retire
+(L6) and a publish-before-init (L7) in one reclaiming module, selected
+by their lowercase names:
+
+  $ cat > proj/lib/lists/reclaimer.ml <<'EOF'
+  > let leaky t cond =
+  >   let h = M.op_enter t.pool in
+  >   if cond then begin M.op_exit t.pool h; true end
+  >   else false
+  > let unlock_after_retire t prev curr =
+  >   let h = M.op_enter t.pool in
+  >   M.set (next_cell prev) (M.get (next_cell curr));
+  >   M.retire t.pool curr;
+  >   M.unlock (node_lock curr);
+  >   M.op_exit t.pool h
+  > let publish_then_init t v =
+  >   let h = M.op_enter t.pool in
+  >   let x = M.recycle t.pool in
+  >   M.set (next_cell t.head) x;
+  >   (match x with Node n -> M.set n.value v | Tail -> ());
+  >   M.op_exit t.pool h
+  > EOF
+  $ vbl-lint --rule l5,l6,l7 proj
+  lib/lists/reclaimer.ml:4:7: [L5] exits with 1 open epoch bracket(s); close the bracket on every path
+  lib/lists/reclaimer.ml:9:22: [L6] use of curr after M.retire (the node may already be recycled)
+  lib/lists/reclaimer.ml:15:26: [L7] field 'value' of x written after the node was published by a store/CAS (initialize every cell before publishing)
+  lint: 3 finding(s)
+  [1]
+
+SARIF output (what GitHub code scanning ingests) carries the same
+findings with 1-based columns:
+
+  $ rm proj/lib/lists/reclaimer.ml
+  $ vbl-lint --format sarif proj
+  {"$schema":"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json","version":"2.1.0","runs":[{"tool":{"driver":{"name":"vbl-lint","informationUri":"https://example.invalid/vbl-lint","rules":[{"id":"L1","shortDescription":{"text":"backend confinement: shared accesses only through the memory-backend functor"}},{"id":"L2","shortDescription":{"text":"named-guard discipline: Naming.* only under an [if M.named] guard"}},{"id":"L3","shortDescription":{"text":"static lock pairing: every acquisition released on all syntactic exits"}},{"id":"L4","shortDescription":{"text":"hot-path allocation: no closures, tuples, records or staged applications under [@hot]"}},{"id":"L5","shortDescription":{"text":"epoch-bracket discipline: in reclaiming modules, shared cells are touched only from a balanced op_enter/op_exit bracket"}},{"id":"L6","shortDescription":{"text":"retire/use discipline: a retired node is poisoned (no later use, unlock or re-retire) and retire follows the unlinking store/CAS"}},{"id":"L7","shortDescription":{"text":"publish-before-reachable: every cell of a fresh or recycled node is written before the store/CAS (or version bump) that publishes it"}}]}},"results":[{"ruleId":"L1","level":"error","message":{"text":"raw Atomic.make access outside the memory backend (use the M.* functor argument)"},"locations":[{"physicalLocation":{"artifactLocation":{"uri":"lib/skiplists/bad.ml"},"region":{"startLine":1,"startColumn":9}}}]}]}]}
+  [1]
+
+An unknown rule name is a usage error:
+
+  $ vbl-lint --rule L9 proj
+  lint: unknown rule: L9 (expected L1..L7)
+  [2]
 
 JSON output carries the same findings, machine-readably:
 
   $ vbl-lint --format json proj
-  {"target": "lib/lists lib/skiplists lib/trees lib/shard", "count": 1, "findings": [{"rule":"L1","file":"lib/skiplists/bad.ml","line":1,"col":8,"message":"raw Atomic.make access outside the memory backend (use the M.* functor argument)"}]}
+  {"target": "lib/lists lib/skiplists lib/trees lib/shard lib/reclaim", "count": 1, "findings": [{"rule":"L1","file":"lib/skiplists/bad.ml","line":1,"col":8,"message":"raw Atomic.make access outside the memory backend (use the M.* functor argument)"}]}
   [1]
 
 A missing algorithm directory is an error, never a silent skip:

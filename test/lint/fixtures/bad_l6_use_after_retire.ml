@@ -1,0 +1,30 @@
+(* L6 fixture: retire/use discipline.  A retired node is poisoned — the
+   unlock after the retire, the re-retire, and the retire with no prior
+   unlinking store are the violations.  The unlink-then-retire and
+   never-published shapes are negative controls and must stay clean. *)
+let use_after_retire t prev curr =
+  M.set (next_cell prev) (M.get (next_cell curr));
+  M.retire t.pool curr;
+  M.unlock (node_lock curr)
+
+let double_retire t curr =
+  M.cas (amr_cell t) curr curr;
+  M.retire t.pool curr;
+  M.retire t.pool curr
+
+let undominated_retire t curr =
+  M.retire t.pool curr
+
+let clean_unlink_then_retire t prev curr =
+  M.set (next_cell prev) (M.get (next_cell curr));
+  M.retire t.pool curr;
+  true
+
+let clean_fresh_retire t v =
+  let x = make_node v in
+  M.retire t.pool x
+
+let clean_branch_isolated t prev curr cond =
+  M.set (next_cell prev) (M.get (next_cell curr));
+  if cond then M.retire t.pool curr
+  else M.unlock (node_lock curr)

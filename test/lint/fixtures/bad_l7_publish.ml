@@ -1,0 +1,27 @@
+(* L7 fixture: publish-before-reachable.  Once the store into the list
+   makes [x] reachable, late field initialization races with readers.
+   The init-then-publish twin and the constant fully-linked flag (the
+   deliberate post-publish idiom) are negative controls. *)
+let publish_then_init t v curr =
+  let x = M.recycle t.pool in
+  M.set (next_cell t.head) x;
+  match x with
+  | Node n ->
+      M.set n.value v;
+      M.set n.next curr
+  | Tail -> ()
+
+let clean_init_then_publish t v curr =
+  let x = M.recycle t.pool in
+  (match x with
+  | Node n ->
+      M.set n.value v;
+      M.set n.next curr
+  | Tail -> ());
+  M.set (next_cell t.head) x
+
+let clean_flag_after_publish t x =
+  M.set (next_cell t.head) x;
+  match x with
+  | Node n -> M.set n.fully_linked true
+  | Tail -> ()

@@ -1,0 +1,45 @@
+(* Negative control for L5/L6/L7: the disciplined reclaiming shape —
+   operations bracketed by op_enter/op_exit (helpers inherit protection
+   through the call graph, no tags needed), unlink before retire,
+   initialize before publish, constant-flag store after.  Must be clean
+   under every rule. *)
+let walk_unlink t prev curr =
+  M.set (next_cell prev) (M.get (next_cell curr));
+  M.retire t.pool curr;
+  true
+
+let recycle_node t v next =
+  let x = M.recycle t.pool in
+  (match x with
+  | Node n ->
+      M.set n.value v;
+      M.set n.next next
+  | Tail -> ());
+  x
+
+let insert t v =
+  if M.reclaiming then begin
+    let h = M.op_enter t.pool in
+    let x = recycle_node t v t.head in
+    M.set (next_cell t.head) x;
+    M.op_exit t.pool h;
+    true
+  end
+  else false
+
+let remove t v =
+  if M.reclaiming then begin
+    let h = M.op_enter t.pool in
+    let r = walk_unlink t t.head (M.get (next_cell t.head)) in
+    M.op_exit t.pool h;
+    r
+  end
+  else false
+
+let[@quiescent] fold f init t =
+  let rec loop acc node =
+    match node with
+    | Tail -> acc
+    | Node n -> loop (f acc (M.get n.value)) (M.get n.next)
+  in
+  loop init t.head

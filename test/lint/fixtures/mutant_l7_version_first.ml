@@ -1,0 +1,19 @@
+(* Mutant fixture: the PR 6 vbl_versioned bug shape.  [set_next] must
+   write the next pointer before bumping the version — the bump is the
+   publication witness optimistic readers validate against, so a
+   version-first order lets a traversal observe the new version with the
+   old next pointer.  L7 must flag the late next write; the corrected
+   twin (the shape lib/lists/vbl_versioned.ml ships) stays clean. *)
+let set_next_version_first n target =
+  match n with
+  | Node r ->
+      M.set r.version (M.get r.version + 1);
+      M.set r.next target
+  | Tail -> ()
+
+let set_next_correct n target =
+  match n with
+  | Node r ->
+      M.set r.next target;
+      M.set r.version (M.get r.version + 1)
+  | Tail -> ()

@@ -2,7 +2,9 @@
    bad_* fixture seeds violations whose rule, line and column are
    asserted exactly; the clean_* fixtures are negative controls —
    including [clean_comments.ml], the regression for the grep lint's
-   false positives on comments and string literals. *)
+   false positives on comments and string literals, and
+   [clean_reclaim.ml], the disciplined reclaiming shape that must stay
+   clean under L5/L6/L7 without any [@protected] annotations. *)
 
 module F = Vbl_lint.Finding
 module L = Vbl_lint.Lint
@@ -59,6 +61,41 @@ let l4_reclaim () =
     [ ("L4", 10, 6); ("L4", 16, 19); ("L4", 16, 19) ]
     (spans ~rules:[ F.L4 ] "bad_reclaim.ml")
 
+let l5_bracket () =
+  check_spans
+    "unbracketed root deref, unsafe call to a touching helper, and a leaked bracket flagged; \
+     bracketed, unreclaiming-guarded and [@quiescent] shapes clean"
+    [ ("L5", 8, 10); ("L5", 9, 10); ("L5", 18, 7) ]
+    (spans ~rules:[ F.L5 ] "bad_l5_bracket.ml")
+
+let l6_retire () =
+  check_spans
+    "unlock-after-retire, double retire and undominated retire flagged; unlink-then-retire, \
+     fresh-node retire and sibling-branch use clean"
+    [ ("L6", 8, 22); ("L6", 13, 18); ("L6", 16, 18) ]
+    (spans ~rules:[ F.L6 ] "bad_l6_use_after_retire.ml")
+
+let l7_publish () =
+  check_spans
+    "field initialization after the publishing store flagged; init-then-publish and the \
+     constant fully-linked flag clean"
+    [ ("L7", 10, 6); ("L7", 11, 6) ]
+    (spans ~rules:[ F.L7 ] "bad_l7_publish.ml")
+
+let l7_version_mutant () =
+  (* The PR 6 vbl_versioned bug shape, under every rule: the only
+     finding is L7 on the next write that trails the version bump. *)
+  check_spans "the version-before-next mutant is caught statically, and only it"
+    [ ("L7", 11, 6) ]
+    (spans "mutant_l7_version_first.ml")
+
+let clean_reclaim () =
+  check_spans
+    "disciplined reclaiming module (bracketed ops, helpers inheriting protection through the \
+     call graph, unlink-then-retire, init-then-publish) is clean under all rules"
+    []
+    (spans "clean_reclaim.ml")
+
 let clean_fixtures () =
   check_spans "disciplined miniature list is clean under all rules" []
     (spans "clean_list.ml");
@@ -69,7 +106,9 @@ let rule_selection () =
   check_spans "an L1-riddled file is clean when only L2 is requested" []
     (spans ~rules:[ F.L2 ] "bad_l1_atomic.ml");
   check_spans "an L4-riddled file is clean when only L3 is requested" []
-    (spans ~rules:[ F.L3 ] "bad_l4_hot.ml")
+    (spans ~rules:[ F.L3 ] "bad_l4_hot.ml");
+  check_spans "an L5-riddled file is clean when only L6 is requested" []
+    (spans ~rules:[ F.L6 ] "bad_l5_bracket.ml")
 
 let parse_failure () =
   match L.lint_file (fixture "bad_parse.ml") with
@@ -79,7 +118,7 @@ let parse_failure () =
   | fs -> Alcotest.failf "expected exactly one parse finding, got %d" (List.length fs)
 
 let missing_dir () =
-  match L.lint_root ~dirs:[ "no/such/dir" ] "." with
+  match L.lint_root ~targets:[ ("no/such/dir", F.all_rules) ] "." with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "lint_root must refuse a missing directory, not skip it"
 
@@ -93,7 +132,15 @@ let () =
           Alcotest.test_case "L2 naming" `Quick l2_naming;
           Alcotest.test_case "L3 lock pairing" `Quick l3_leak;
           Alcotest.test_case "L4 hot allocation" `Quick l4_hot;
+        ] );
+      ( "reclaim",
+        [
           Alcotest.test_case "L4 reclaim recycle" `Quick l4_reclaim;
+          Alcotest.test_case "L5 epoch bracket" `Quick l5_bracket;
+          Alcotest.test_case "L6 retire/use" `Quick l6_retire;
+          Alcotest.test_case "L7 publish order" `Quick l7_publish;
+          Alcotest.test_case "L7 version-first mutant" `Quick l7_version_mutant;
+          Alcotest.test_case "clean reclaiming module" `Quick clean_reclaim;
         ] );
       ( "driver",
         [
