@@ -1,21 +1,40 @@
 (* explore — bounded model checking of an algorithm from the command line.
 
      explore -a vbl --ops "insert 1, remove 2" --initial "2" [--preemptions 3]
-             [--analyze] [--dfs] [--stats]
+             [--bound preempt:3|delay:2|none] [--sct random:SEED:ITERS]
+             [--shrink] [--analyze] [--dfs] [--stats]
 
    Explores interleavings of the given operations on the instrumented
    backend, checking every complete execution for linearizability (with the
    sigma-bar contains-extension) and structural invariants.  By default the
    explorer uses sleep-set DPOR; --dfs selects the naive brute-force search
-   (mainly to measure the reduction), --analyze additionally attaches the
-   happens-before race detector and lock-discipline linter, --analyze also
-   accepts the seeded mutants from vbl.analysis by name (e.g.
-   vbl-unlocked-unlink), and --stats prints explorer statistics.          *)
+   (mainly to measure the reduction), --bound picks the schedule bound the
+   systematic strategies apply (preemption, delay, or none), --sct switches
+   to the randomized swarm scheduler (weights and preemption probabilities
+   re-drawn per run from the seed), --shrink delta-debugs any failing
+   schedule down to a locally minimal counterexample, --analyze attaches
+   the happens-before race detector and lock-discipline linter (and also
+   accepts the seeded mutants from vbl.analysis by name, e.g.
+   vbl-unlocked-unlink), and --stats prints explorer statistics.
+
+   Exit status: 0 all explored executions pass, 1 a violation was found,
+   2 malformed command line (unparseable --bound/--sct/--preemptions). *)
+
+module Explore = Vbl_sched.Explore
+module Shrink = Vbl_sched.Shrink
 
 let usage =
   "usage: explore [-a ALGO] [--initial \"v1, v2\"] [--ops \"insert 1, remove 2\"]\n\
-  \               [--preemptions N|none] [--max-executions N] [--analyze] [--dfs]\n\
-  \               [--stats]"
+  \               [--preemptions N|none] [--bound preempt:N|delay:N|none]\n\
+  \               [--sct random:SEED:ITERS] [--shrink] [--max-executions N]\n\
+  \               [--analyze] [--dfs] [--stats]"
+
+let bad fmt =
+  Printf.ksprintf
+    (fun msg ->
+      prerr_endline ("explore: " ^ msg);
+      exit 2)
+    fmt
 
 let parse_ops s =
   s |> String.split_on_char ','
@@ -33,6 +52,26 @@ let parse_ints s =
          let x = String.trim x in
          if x = "" then None else Some (int_of_string x))
 
+let parse_bound s =
+  let budget kind n =
+    match int_of_string_opt n with
+    | Some k when k >= 0 -> k
+    | _ -> bad "invalid --bound %S: the %s budget must be a non-negative integer" s kind
+  in
+  match String.split_on_char ':' s with
+  | [ "none" ] -> Explore.none
+  | [ "preempt"; n ] -> Explore.preempt (budget "preempt" n)
+  | [ "delay"; n ] -> Explore.delay (budget "delay" n)
+  | _ -> bad "invalid --bound %S (expected preempt:N, delay:N, or none)" s
+
+let parse_sct s =
+  match String.split_on_char ':' s with
+  | [ "random"; seed; iters ] -> (
+      match (Int64.of_string_opt seed, int_of_string_opt iters) with
+      | Some seed, Some iters when iters > 0 -> { Explore.seed; iters }
+      | _ -> bad "invalid --sct %S: need an integer seed and a positive iteration count" s)
+  | _ -> bad "invalid --sct %S (expected random:SEED:ITERS)" s
+
 let find_impl nm =
   try Vbl_harness.Sweep.find_instrumented nm
   with Invalid_argument _ -> Vbl_analysis.Mutants.find nm
@@ -42,6 +81,9 @@ let () =
   let initial = ref "" in
   let ops = ref "insert 1, insert 2" in
   let preemptions = ref "3" in
+  let bound_spec = ref None in
+  let sct_spec = ref None in
+  let shrink = ref false in
   let max_executions = ref 200_000 in
   let analyze = ref false in
   let dfs = ref false in
@@ -52,6 +94,13 @@ let () =
       ("--initial", Arg.Set_string initial, "initial values, comma-separated");
       ("--ops", Arg.Set_string ops, "operations, e.g. \"insert 1, remove 2\"");
       ("--preemptions", Arg.Set_string preemptions, "preemption bound, or 'none'");
+      ( "--bound",
+        Arg.String (fun s -> bound_spec := Some s),
+        "schedule bound: preempt:N, delay:N, or none (overrides --preemptions)" );
+      ( "--sct",
+        Arg.String (fun s -> sct_spec := Some s),
+        "randomized swarm scheduling: random:SEED:ITERS" );
+      ("--shrink", Arg.Set shrink, "shrink any failing schedule to a local minimum");
       ("--max-executions", Arg.Set_int max_executions, "execution cap");
       ( "--analyze",
         Arg.Set analyze,
@@ -61,51 +110,82 @@ let () =
     ]
   in
   Arg.parse spec (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) usage;
-  let impl = if !analyze then find_impl !algo else Vbl_harness.Sweep.find_instrumented !algo in
+  let impl = find_impl !algo in
   let ops = parse_ops !ops in
   let initial = parse_ints !initial in
-  let config =
-    {
-      Vbl_sched.Explore.max_executions = !max_executions;
-      preemption_bound = (if !preemptions = "none" then None else Some (int_of_string !preemptions));
-      max_steps = 20_000;
-    }
+  let preemption_bound =
+    if !preemptions = "none" then None
+    else
+      match int_of_string_opt !preemptions with
+      | Some n when n >= 0 -> Some n
+      | _ -> bad "invalid --preemptions %S (expected a non-negative integer or 'none')" !preemptions
   in
-  Format.printf "exploring %s: initial {%s}, ops [%a], preemption bound %s%s%s@." !algo
+  let config =
+    { Vbl_sched.Explore.max_executions = !max_executions; preemption_bound; max_steps = 20_000 }
+  in
+  let strategy =
+    match !sct_spec with
+    | Some s ->
+        if !dfs then bad "--sct cannot be combined with --dfs";
+        if !bound_spec <> None then bad "--sct cannot be combined with --bound";
+        Explore.Random (parse_sct s)
+    | None ->
+        let b =
+          match !bound_spec with
+          | Some s -> parse_bound s
+          | None -> Explore.bound_of_config config
+        in
+        if !dfs then Explore.Dfs b else Explore.Dpor b
+  in
+  let mode =
+    match !sct_spec with
+    | Some s -> "sct " ^ s
+    | None ->
+        (match !bound_spec with
+        | Some s -> "bound " ^ s
+        | None -> "preemption bound " ^ !preemptions)
+        ^ (if !dfs then ", naive dfs" else ", dpor")
+  in
+  Format.printf "exploring %s: initial {%s}, ops [%a], %s%s@." !algo
     (String.concat ", " (List.map string_of_int initial))
     (Format.pp_print_list
        ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
        Vbl_sched.Ll_abstract.pp_opspec)
-    ops !preemptions
-    (if !dfs then ", naive dfs" else ", dpor")
+    ops mode
     (if !analyze then ", analysis on" else "");
   let scenario = Vbl_sched.Drive.explore_scenario impl ~initial ~ops in
   let monitor =
-    if !analyze then
-      Some (Vbl_analysis.Monitor.make ~threads:(max 2 (List.length ops)) ())
+    if !analyze then Some (Vbl_analysis.Monitor.make ~threads:(max 2 (List.length ops)) ())
     else None
   in
   let started = Unix.gettimeofday () in
-  let report =
-    (if !dfs then Vbl_sched.Explore.run_naive else Vbl_sched.Explore.run)
-      ~config ?monitor scenario
-  in
+  let report = Explore.run ~config ?monitor ~strategy scenario in
   let dt = Unix.gettimeofday () -. started in
-  Printf.printf "executions explored : %d%s  (%.2fs)\n" report.Vbl_sched.Explore.executions
-    (if report.Vbl_sched.Explore.truncated then " (truncated)" else "")
+  Printf.printf "executions explored : %d%s  (%.2fs)\n" report.Explore.executions
+    (if report.Explore.truncated then " (truncated)" else "")
     dt;
   if !stats then begin
-    Printf.printf "sleep-set blocked   : %d\n" report.Vbl_sched.Explore.sleep_blocked;
-    Printf.printf "backtrack races     : %d\n" report.Vbl_sched.Explore.races
+    Printf.printf "sleep-set blocked   : %d\n" report.Explore.sleep_blocked;
+    Printf.printf "backtrack races     : %d\n" report.Explore.races;
+    Printf.printf "bound prunes        : %d\n" report.Explore.bound_prunes;
+    Printf.printf "distinct schedules  : %d\n" report.Explore.distinct_schedules
   end;
-  match report.Vbl_sched.Explore.failure with
+  match report.Explore.failure with
   | None ->
       print_endline
         (if !analyze then "verdict             : linearizable, race-free, lock-disciplined"
          else "verdict             : all explored executions linearizable")
   | Some f ->
-      Format.printf "verdict             : FAILURE@.%a@." Vbl_sched.Explore.pp_failure f;
+      Format.printf "verdict             : FAILURE@.%a@." Explore.pp_failure f;
       Printf.printf "schedule            : [%s]\n"
-        (String.concat "; "
-           (List.map string_of_int (Vbl_sched.Explore.failure_schedule f)));
+        (String.concat "; " (List.map string_of_int (Explore.failure_schedule f)));
+      if !shrink then begin
+        let r = Shrink.shrink ?monitor ~max_steps:config.Explore.max_steps scenario f in
+        Printf.printf "shrink              : %d -> %d steps (%d replays)\n"
+          (List.length r.Shrink.original) (List.length r.Shrink.shrunk) r.Shrink.attempts;
+        Format.printf "shrunk schedule     : %a@." Shrink.pp_steps r.Shrink.shrunk;
+        match r.Shrink.failure with
+        | Some sf -> Format.printf "shrunk verdict      : %a@." Explore.pp_failure sf
+        | None -> ()
+      end;
       exit 1

@@ -5,27 +5,42 @@
     come back empty-handed on the clean algorithms. *)
 
 module Explore = Vbl_sched.Explore
+module Shrink = Vbl_sched.Shrink
 module Drive = Vbl_sched.Drive
 module Ll = Vbl_sched.Ll_abstract
 
 let default_config =
   { Explore.max_executions = 200_000; preemption_bound = Some 3; max_steps = 5_000 }
 
-(** Explore [impl] on [initial]/[ops] with the race detector and
-    lock-discipline linter attached. *)
-let analyze ?(config = default_config) impl ~initial ~ops =
+let monitored_scenario impl ~ops ~initial =
   let threads = max 2 (List.length ops) in
-  Explore.run ~config
-    ~monitor:(Monitor.make ~threads ())
-    (Drive.explore_scenario impl ~initial ~ops)
+  (Drive.explore_scenario impl ~initial ~ops, Monitor.make ~threads ())
+
+(** Explore [impl] on [initial]/[ops] with the race detector and
+    lock-discipline linter attached.  [strategy] defaults to DPOR under
+    the bound [config] encodes, exactly as {!Explore.run}. *)
+let analyze ?(config = default_config) ?strategy impl ~initial ~ops =
+  let scenario, monitor = monitored_scenario impl ~ops ~initial in
+  Explore.run ~config ~monitor ?strategy scenario
 
 (** Same scenario through the naive DFS — for DPOR parity and reduction
     measurements. *)
 let analyze_naive ?(config = default_config) impl ~initial ~ops =
-  let threads = max 2 (List.length ops) in
-  Explore.run_naive ~config
-    ~monitor:(Monitor.make ~threads ())
-    (Drive.explore_scenario impl ~initial ~ops)
+  let scenario, monitor = monitored_scenario impl ~ops ~initial in
+  Explore.run_naive ~config ~monitor scenario
+
+(** {!analyze}, plus a shrunk counterexample when a failure is found: the
+    failing schedule is delta-debugged under the same monitor to a
+    locally minimal reproduction. *)
+let analyze_shrunk ?(config = default_config) ?strategy impl ~initial ~ops =
+  let scenario, monitor = monitored_scenario impl ~ops ~initial in
+  let report = Explore.run ~config ~monitor ?strategy scenario in
+  let shrunk =
+    Option.map
+      (fun f -> Shrink.shrink ~monitor ~max_steps:config.Explore.max_steps scenario f)
+      report.Explore.failure
+  in
+  (report, shrunk)
 
 type case = { mutant : string; initial : int list; ops : Ll.opspec list }
 (** A mutant plus a scenario small enough to explore exhaustively yet
@@ -40,20 +55,33 @@ let mutation_cases : case list =
     { mutant = "vbl-no-logical-delete"; initial = [ 5 ]; ops = [ Ll.remove 5; Ll.insert 7 ] };
     { mutant = "vbl-leaky-lock"; initial = []; ops = [ Ll.insert 1; Ll.insert 2 ] };
     { mutant = "lazy-no-validation"; initial = [ 5 ]; ops = [ Ll.remove 5; Ll.remove 5 ] };
+    (* use-after-reclaim: remove retires a node, insert recycles it under
+       a contains parked on it (see test_reclaim.ml for the full shape) *)
+    { mutant = "vbl-reclaim-eager";
+      initial = [ 1; 2 ];
+      ops = [ Ll.remove 1; Ll.insert 3; Ll.contains 2 ] };
   ]
 
-type mutation_result = { case : case; report : Explore.report }
+type mutation_result = {
+  case : case;
+  report : Explore.report;
+  shrunk : Shrink.result option;  (** minimal counterexample, when caught *)
+}
 
 let caught (r : mutation_result) = r.report.Explore.failure <> None
 
 (** Run every seeded mutant under the full analysis; a mutant counts as
     caught if {e any} failure (race, lint, non-linearizable history, broken
-    invariant, deadlock) is reported with its schedule. *)
-let mutation_suite ?config () : mutation_result list =
+    invariant, deadlock) is reported — with its schedule, shrunk to a
+    locally minimal reproduction. *)
+let mutation_suite ?config ?strategy () : mutation_result list =
   List.map
     (fun case ->
       let impl = Mutants.find case.mutant in
-      { case; report = analyze ?config impl ~initial:case.initial ~ops:case.ops })
+      let report, shrunk =
+        analyze_shrunk ?config ?strategy impl ~initial:case.initial ~ops:case.ops
+      in
+      { case; report; shrunk })
     mutation_cases
 
 (* Conflict-heavy scenarios over the clean implementations that must pass
@@ -69,8 +97,8 @@ let clean_cases : (string * int list * Ll.opspec list) list =
     ("harris-michael", [ 5 ], [ Ll.remove 5; Ll.insert 7 ]);
   ]
 
-let clean_suite ?config () : (string * Explore.report) list =
+let clean_suite ?config ?strategy () : (string * Explore.report) list =
   List.map
     (fun (nm, initial, ops) ->
-      (nm, analyze ?config (Drive.find_instrumented nm) ~initial ~ops))
+      (nm, analyze ?config ?strategy (Drive.find_instrumented nm) ~initial ~ops))
     clean_cases

@@ -496,6 +496,16 @@ module Lazy_no_validation =
     end)
     (Instr)
 
+(* Unlike the knob mutants above, this one leaves the algorithm alone and
+   mutates the *backend*: the clean VBL list over the reclaiming
+   instrumented memory with the grace period disabled, so a recycled node
+   can be reinitialized under a parked traversal (use-after-reclaim). *)
+module Vbl_reclaim_eager = struct
+  include Vbl_lists.Vbl_list.Make (Vbl_memops.Instr_reclaim.Eager)
+
+  let name = "vbl-reclaim-eager"
+end
+
 let all : (module Vbl_lists.Set_intf.S) list =
   [
     (module Vbl_no_deleted_check);
@@ -503,6 +513,7 @@ let all : (module Vbl_lists.Set_intf.S) list =
     (module Vbl_no_logical_delete);
     (module Vbl_leaky_lock);
     (module Lazy_no_validation);
+    (module Vbl_reclaim_eager);
   ]
 
 let find nm : (module Vbl_lists.Set_intf.S) =

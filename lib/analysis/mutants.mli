@@ -46,6 +46,11 @@ module Vbl_no_logical_delete : Vbl_lists.Set_intf.S
 module Vbl_leaky_lock : Vbl_lists.Set_intf.S
 module Lazy_no_validation : Vbl_lists.Set_intf.S
 
+module Vbl_reclaim_eager : Vbl_lists.Set_intf.S
+(** The clean VBL list over {!Vbl_memops.Instr_reclaim.Eager}: a backend
+    mutant whose reclamation skips the grace period, so recycled nodes
+    are reinitialized under parked traversals (use-after-reclaim). *)
+
 val all : (module Vbl_lists.Set_intf.S) list
 (** Every registered mutant instance (over the instrumented backend). *)
 

@@ -30,6 +30,11 @@ type counter =
   | Dpor_sleep_blocked  (** executions abandoned because every enabled thread slept *)
   | Analysis_races  (** unordered conflicting plain-write pairs reported *)
   | Analysis_lint_hits  (** lock-discipline lint reports *)
+  | Sct_runs  (** executions driven by the randomized (swarm) scheduler *)
+  | Sct_distinct_schedules  (** distinct schedules seen across randomized runs *)
+  | Shrink_attempts  (** candidate replays tried by the schedule shrinker *)
+  | Shrink_removed_steps  (** schedule steps deleted by accepted shrinks *)
+  | Bound_prunes  (** scheduling choices rejected by the active bound's budget *)
   | Shard_batches  (** [apply_batch] calls on a sharded set *)
   | Shard_batch_ops  (** operations applied through [apply_batch] *)
   | Ops_completed  (** set operations completed by harness workers *)
@@ -57,6 +62,11 @@ let all =
     Dpor_sleep_blocked;
     Analysis_races;
     Analysis_lint_hits;
+    Sct_runs;
+    Sct_distinct_schedules;
+    Shrink_attempts;
+    Shrink_removed_steps;
+    Bound_prunes;
     Shard_batches;
     Shard_batch_ops;
     Ops_completed;
@@ -95,6 +105,11 @@ let index = function
   | Reclaim_recycled -> 21
   | Reclaim_freed -> 22
   | Reclaim_epoch_advances -> 23
+  | Sct_runs -> 24
+  | Sct_distinct_schedules -> 25
+  | Shrink_attempts -> 26
+  | Shrink_removed_steps -> 27
+  | Bound_prunes -> 28
 
 let label = function
   | Traversal_steps -> "traversal_steps"
@@ -121,6 +136,11 @@ let label = function
   | Reclaim_recycled -> "reclaim_recycled"
   | Reclaim_freed -> "reclaim_freed"
   | Reclaim_epoch_advances -> "reclaim_epoch_advances"
+  | Sct_runs -> "sct_runs"
+  | Sct_distinct_schedules -> "sct_distinct_schedules"
+  | Shrink_attempts -> "shrink_attempts"
+  | Shrink_removed_steps -> "shrink_removed_steps"
+  | Bound_prunes -> "bound_prunes"
 
 let describe = function
   | Traversal_steps -> "node hops performed while searching"
@@ -147,6 +167,11 @@ let describe = function
   | Reclaim_recycled -> "inserts served from a reclamation free-list"
   | Reclaim_freed -> "limbo nodes whose grace period passed"
   | Reclaim_epoch_advances -> "successful global reclamation-epoch advances"
+  | Sct_runs -> "executions driven by the randomized (swarm) scheduler"
+  | Sct_distinct_schedules -> "distinct schedules seen across randomized runs"
+  | Shrink_attempts -> "candidate replays tried by the schedule shrinker"
+  | Shrink_removed_steps -> "schedule steps deleted by accepted shrinks"
+  | Bound_prunes -> "scheduling choices rejected by the active bound's budget"
 
 (* Per-shard series labels ("shard0", "shard1", ...) for reports that break
    a sharded set's load out by shard.  Memoized so labelling a snapshot

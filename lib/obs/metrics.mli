@@ -24,6 +24,11 @@ type counter =
   | Dpor_sleep_blocked  (** executions abandoned: every enabled thread asleep *)
   | Analysis_races  (** unordered conflicting plain-write pairs reported *)
   | Analysis_lint_hits  (** lock-discipline lint reports *)
+  | Sct_runs  (** executions driven by the randomized (swarm) scheduler *)
+  | Sct_distinct_schedules  (** distinct schedules seen across randomized runs *)
+  | Shrink_attempts  (** candidate replays tried by the schedule shrinker *)
+  | Shrink_removed_steps  (** schedule steps deleted by accepted shrinks *)
+  | Bound_prunes  (** scheduling choices rejected by the active bound's budget *)
   | Shard_batches  (** [apply_batch] calls on a sharded set *)
   | Shard_batch_ops  (** operations applied through [apply_batch] *)
   | Ops_completed  (** set operations completed by harness workers *)

@@ -1,14 +1,29 @@
-(** Bounded exhaustive exploration of interleavings with dynamic
-    partial-order reduction (dscheck-style re-execution, Flanagan–Godefroid
-    backtracking, sleep sets).
+(** Systematic concurrency testing over the instrumented backend: bounded
+    exhaustive exploration (DPOR or naive DFS) behind a pluggable schedule
+    bound, plus a weighted-random swarm scheduler for schedule spaces too
+    large to enumerate.
 
     Executions are deterministic functions of the scheduling choice
-    sequence, so the explorer needs no state snapshots: to branch it simply
-    re-executes a fresh scenario instance along the choice prefix and
-    diverges at the recorded decision.  Every complete execution's
-    high-level history is checked for linearizability against the set
-    specification and the structure is checked via the scenario's invariant
-    hook — an executable, bounded version of the paper's Theorem 1.
+    sequence, so no strategy needs state snapshots: to branch (or to
+    replay) it simply re-executes a fresh scenario instance along the
+    choice prefix and diverges at the recorded decision.  Every complete
+    execution's high-level history is checked for linearizability against
+    the set specification and the structure is checked via the scenario's
+    invariant hook — an executable, bounded version of the paper's
+    Theorem 1.
+
+    {b Schedule bounding.}  Following dejafu's [sctPreBound] /
+    [sctDelayBound], bounding is a policy ({!BOUND}), not a special case:
+    a bound assigns each scheduling choice an admission cost (given the
+    previously running thread and the enabled set) and a priority used to
+    order backtrack points; exploration never exceeds the cost budget.
+    {!preempt} charges switching away from a runnable thread (the
+    classic preemption bound), {!delay} charges every deviation from the
+    deterministic baseline scheduler (run the previous thread while it
+    can run, else the lowest-numbered enabled thread), and {!none} admits
+    everything.  Delay bounding is the coarser knife: [delay:N] explores
+    O(steps^N) schedules regardless of thread count, which is what makes
+    3–4 domain reclamation scenarios tractable.
 
     {b DPOR.}  Two steps are {e dependent} when they touch the same
     location (cell or lock shadow identity) and at least one writes, or
@@ -24,20 +39,28 @@
     sets carry the set of already-explored choices into sibling subtrees
     and prune executions that would only permute independent steps;
     executions whose every enabled thread is asleep are abandoned unchecked
-    ([sleep_blocked] counts them).
+    ([sleep_blocked] counts them).  With the {!none} bound the reduction
+    is sound and complete: at least one representative of every trace is
+    explored, so a failure existing in any interleaving is found in some
+    explored one.  Under a bound the search is a heuristic bounded search:
+    backtrack points whose admission cost would exceed the budget are
+    pruned ([bound_prunes]).
 
-    Exploration remains optionally {e preemption-bounded}: switching away
-    from a thread that could still run costs one unit of budget, and
-    backtrack points that would exceed the budget are skipped.  With
-    [preemption_bound = None] the reduction is sound and complete: at least
-    one representative of every trace is explored, so a failure existing in
-    any interleaving is found in some explored one.
+    {b Swarm SCT.}  {!Random} runs [iters] independent executions; each
+    run draws its own {e swarm configuration} from the seeded stream —
+    per-thread weights, a stay-with-the-running-thread probability, and a
+    fairness window — so distinct runs probe very differently shaped
+    schedules (swarm testing).  The scheduler is fair in the dejafu
+    sense: a thread that monopolises the processor past the fairness
+    window is forcibly descheduled whenever another thread is runnable,
+    so spin-wait loops waiting on another thread's store terminate.
 
     {!run_naive} keeps the pre-DPOR brute-force DFS (every enabled thread
     branches at every step) for comparison and for the DFS-vs-DPOR parity
-    suite. *)
+    suite; it is [run ~strategy:(Dfs bound)]. *)
 
 module Instr = Vbl_memops.Instr_mem
+module Metrics = Vbl_obs.Metrics
 
 type scenario = {
   make : unit -> instance;
@@ -59,6 +82,83 @@ type config = {
 
 let default_config = { max_executions = 50_000; preemption_bound = Some 3; max_steps = 5_000 }
 
+(* ------------------------------------------------------------------ *)
+(* Schedule bounds.                                                    *)
+(* ------------------------------------------------------------------ *)
+
+module type BOUND = sig
+  val name : string
+
+  val budget : int option
+  (** Total admission cost a single execution may spend; [None] = no cap. *)
+
+  val cost : last:int -> enabled:int list -> choice:int -> int
+  (** Admission cost of scheduling [choice] when [last] ran previously
+      ([-1] at the initial state) and [enabled] are runnable. *)
+
+  val priority : last:int -> enabled:int list -> choice:int -> int
+  (** Exploration priority among sibling backtrack points: lower values
+      are explored first.  A constant priority preserves the insertion
+      order of the underlying search. *)
+end
+
+type bound = (module BOUND)
+
+let bound_name (b : bound) =
+  let module B = (val b) in
+  B.name
+
+let preempt n : bound =
+  (module struct
+    let name = "preempt:" ^ string_of_int n
+    let budget = Some n
+
+    let cost ~last ~enabled ~choice =
+      if last >= 0 && choice <> last && List.mem last enabled then 1 else 0
+
+    (* Constant: keeps the historic backtrack order of the preemption-
+       bounded explorer, which pins the execution counts recorded in
+       EXPERIMENTS.md. *)
+    let priority ~last:_ ~enabled:_ ~choice:_ = 0
+  end)
+
+let delay n : bound =
+  (module struct
+    let name = "delay:" ^ string_of_int n
+    let budget = Some n
+
+    (* The deterministic baseline scheduler: keep running the previous
+       thread while it can run, else the lowest-numbered enabled thread.
+       Every deviation from it costs one delay (dejafu's sctDelayBound). *)
+    let baseline ~last ~enabled =
+      if List.mem last enabled then last else List.hd enabled
+
+    let cost ~last ~enabled ~choice =
+      if enabled <> [] && choice = baseline ~last ~enabled then 0 else 1
+
+    let priority = cost
+  end)
+
+let none : bound =
+  (module struct
+    let name = "none"
+    let budget = None
+    let cost ~last:_ ~enabled:_ ~choice:_ = 0
+    let priority ~last:_ ~enabled:_ ~choice:_ = 0
+  end)
+
+let bound_of_config config =
+  match config.preemption_bound with None -> none | Some b -> preempt b
+
+type random_config = { seed : int64; iters : int }
+
+type strategy = Dpor of bound | Dfs of bound | Random of random_config
+
+let strategy_name = function
+  | Dpor b -> "dpor/" ^ bound_name b
+  | Dfs b -> "dfs/" ^ bound_name b
+  | Random { seed; iters } -> Printf.sprintf "random:%Ld:%d" seed iters
+
 type failure =
   | Not_linearizable of { schedule : int list; history : string }
   | Invariant_broken of { schedule : int list; msg : string }
@@ -68,9 +168,11 @@ type failure =
   | Analysis_violation of { schedule : int list; kind : string; msg : string }
 
 type report = {
-  executions : int;  (** completed executions checked *)
+  executions : int;  (** executions run to quiescence and checked *)
   sleep_blocked : int;  (** executions pruned by the sleep set *)
   races : int;  (** dependent unordered step pairs that seeded backtrack points *)
+  bound_prunes : int;  (** scheduling choices rejected by the bound's budget *)
+  distinct_schedules : int;  (** distinct complete schedules observed *)
   truncated : bool;  (** true if the execution cap stopped exploration early *)
   failure : failure option;  (** first failure found, if any *)
 }
@@ -156,31 +258,69 @@ let notify_monitor monitor exec tid (a : Instr.access) =
           ev_completed = Exec.pending exec tid = Exec.Done;
         }
 
+(* Execute one scheduling choice, feeding the step to the monitor.  This
+   is the one legal way to advance an execution that an attached monitor
+   observes; the shrinker replays through it too. *)
+let step_with_monitor exec monitor c =
+  let pend = Exec.pending exec c in
+  Exec.step exec c;
+  match pend with Exec.Access a -> notify_monitor monitor exec c a | _ -> ()
+
+(* The verdict shared by every strategy at quiescence of a complete
+   execution.  The monitor speaks first: the analysis layer is more
+   specific about *why* an execution is wrong than the history check. *)
+let verdict_at_quiescence (inst : instance) monitor schedule : failure option =
+  match (match monitor with None -> None | Some m -> m.at_end ()) with
+  | Some (kind, msg) -> Some (Analysis_violation { schedule; kind; msg })
+  | None ->
+      let h = inst.history () in
+      if not (Vbl_spec.Linearizability.check h) then
+        Some (Not_linearizable { schedule; history = Vbl_spec.History.to_string h })
+      else (
+        match inst.invariants () with
+        | Ok () -> None
+        | Error msg -> Some (Invariant_broken { schedule; msg }))
+
+(* Rank sibling backtrack candidates by the bound's priority, highest
+   first: both searches below consume candidates LIFO (prepend to a
+   backtrack list / push on a worklist stack), so emitting the
+   lowest-priority candidate last makes it the first one explored.  The
+   sort is stable, so a constant priority preserves the underlying
+   search order exactly. *)
+let rank_candidates (type a) (b : bound) ~last ~enabled (cands : (int * a) list) =
+  let module B = (val b) in
+  List.stable_sort
+    (fun (c1, _) (c2, _) ->
+      compare (B.priority ~last ~enabled ~choice:c2) (B.priority ~last ~enabled ~choice:c1))
+    cands
+
 (* ------------------------------------------------------------------ *)
 (* DPOR exploration.                                                   *)
 (* ------------------------------------------------------------------ *)
 
 (* One state of the current exploration prefix, together with the choice
-   taken from it.  [enabled] and [preemptions] are refreshed on every
+   taken from it.  [enabled] and [spent] are refreshed on every
    (re-)execution; [dn_done] and [backtrack] persist across the subtree. *)
 type dnode = {
   mutable chosen : int;
   mutable dn_done : int list;  (** choices explored or in progress *)
   mutable backtrack : int list;  (** choices still to explore *)
   mutable enabled : int list;  (** threads runnable at this state *)
-  mutable preemptions : int;  (** preemptions consumed before this state *)
+  mutable spent : int;  (** bound budget consumed before this state *)
 }
 
 exception Sleep_blocked
 
-let run ?(config = default_config) ?monitor scenario =
+let run_dpor ~config ~monitor (b : bound) scenario =
+  let module B = (val b) in
   let completed = ref 0 in
   let blocked = ref 0 in
   let races = ref 0 in
+  let prunes = ref 0 in
   let truncated = ref false in
   let failure = ref None in
   (* Growable stack of exploration states (OCaml 5.1: no Dynarray). *)
-  let dummy = { chosen = -1; dn_done = []; backtrack = []; enabled = []; preemptions = 0 } in
+  let dummy = { chosen = -1; dn_done = []; backtrack = []; enabled = []; spent = 0 } in
   let stack = ref (Array.make 64 dummy) in
   let len = ref 0 in
   let push n =
@@ -193,30 +333,33 @@ let run ?(config = default_config) ?monitor scenario =
     incr len
   in
   (* Insert a backtrack point at state [i]: thread [q]'s step raced with the
-     step taken there.  Flanagan–Godefroid rule, filtered by the preemption
-     budget. *)
+     step taken there.  Flanagan–Godefroid rule, filtered by the bound's
+     admission cost and ordered by its priority. *)
   let add_backtrack i q =
     incr races;
     let st = !stack.(i) in
+    let last = if i > 0 then !stack.(i - 1).chosen else -1 in
     let candidates = if List.mem q st.enabled then [ q ] else st.enabled in
-    List.iter
-      (fun p ->
-        if (not (List.mem p st.dn_done)) && not (List.mem p st.backtrack) then begin
-          let cost =
-            if i > 0 then begin
-              let prev = !stack.(i - 1).chosen in
-              if prev <> p && List.mem prev st.enabled then 1 else 0
+    let admitted =
+      List.filter_map
+        (fun p ->
+          if List.mem p st.dn_done || List.mem p st.backtrack then None
+          else begin
+            let cost = B.cost ~last ~enabled:st.enabled ~choice:p in
+            let within =
+              match B.budget with None -> true | Some bd -> st.spent + cost <= bd
+            in
+            if within then Some (p, ())
+            else begin
+              incr prunes;
+              None
             end
-            else 0
-          in
-          let within =
-            match config.preemption_bound with
-            | None -> true
-            | Some b -> st.preemptions + cost <= b
-          in
-          if within then st.backtrack <- p :: st.backtrack
-        end)
-      candidates
+          end)
+        candidates
+    in
+    List.iter
+      (fun (p, ()) -> st.backtrack <- p :: st.backtrack)
+      (rank_candidates b ~last ~enabled:st.enabled admitted)
   in
   (* Execute one run: replay the choices recorded on the stack, then extend
      with the default policy (keep running the last thread, avoid sleeping
@@ -278,31 +421,16 @@ let run ?(config = default_config) ?monitor scenario =
     in
     let zset = ref [] (* sleep set in effect at the frontier *) in
     let last = ref (-1) in
-    let preempt = ref 0 in
+    let spent = ref 0 in
     let idx = ref 0 in
     try
       let rec go () =
         if !failure <> None then ()
         else if Exec.finished exec then begin
           incr completed;
-          (* Monitor verdict first: the analysis layer is more specific
-             about *why* an execution is wrong than the history check. *)
-          (match mon with
-          | Some m -> (
-              match m.at_end () with
-              | Some (kind, msg) -> fail (fun s -> Analysis_violation { schedule = s; kind; msg })
-              | None -> ())
-          | None -> ());
-          if !failure = None then begin
-            let h = inst.history () in
-            if not (Vbl_spec.Linearizability.check h) then
-              fail (fun s ->
-                  Not_linearizable { schedule = s; history = Vbl_spec.History.to_string h })
-            else
-              match inst.invariants () with
-              | Ok () -> ()
-              | Error msg -> fail (fun s -> Invariant_broken { schedule = s; msg })
-          end
+          match verdict_at_quiescence inst mon (List.rev !schedule) with
+          | Some f -> failure := Some f
+          | None -> ()
         end
         else begin
           let enabled = Exec.runnable_threads exec in
@@ -315,7 +443,7 @@ let run ?(config = default_config) ?monitor scenario =
                   (* Replay: refresh the state-dependent fields. *)
                   let node = !stack.(!idx) in
                   node.enabled <- enabled;
-                  node.preemptions <- !preempt;
+                  node.spent <- !spent;
                   node
                 end
                 else begin
@@ -332,7 +460,7 @@ let run ?(config = default_config) ?monitor scenario =
                           dn_done = [ c ];
                           backtrack = [];
                           enabled;
-                          preemptions = !preempt;
+                          spent = !spent;
                         }
                       in
                       push node;
@@ -365,7 +493,7 @@ let run ?(config = default_config) ?monitor scenario =
                 List.filter_map
                   (fun (t, psig) -> if conflict step_sig psig then None else Some t)
                   z_pend;
-              if !last >= 0 && c <> !last && List.mem !last enabled then incr preempt;
+              spent := !spent + B.cost ~last:!last ~enabled ~choice:c;
               last := c;
               incr idx;
               go ()
@@ -406,26 +534,31 @@ let run ?(config = default_config) ?monitor scenario =
   in
   explore ();
   if !Vbl_obs.Probe.enabled then begin
-    Vbl_obs.Probe.add Vbl_obs.Metrics.Dpor_executions !completed;
-    Vbl_obs.Probe.add Vbl_obs.Metrics.Dpor_sleep_blocked !blocked
+    Vbl_obs.Probe.add Metrics.Dpor_executions !completed;
+    Vbl_obs.Probe.add Metrics.Dpor_sleep_blocked !blocked;
+    Vbl_obs.Probe.add Metrics.Bound_prunes !prunes
   end;
   {
     executions = !completed;
     sleep_blocked = !blocked;
     races = !races;
+    bound_prunes = !prunes;
+    distinct_schedules = !completed;
     truncated = !truncated;
     failure = !failure;
   }
 
 (* ------------------------------------------------------------------ *)
-(* Naive DFS (the pre-DPOR explorer), kept for comparison.             *)
+(* Naive DFS (the pre-DPOR explorer), behind the same bounds.          *)
 (* ------------------------------------------------------------------ *)
 
 (* A branch left to explore: re-run along [prefix], then choose [choice]. *)
-type branch = { prefix : int list (* reversed *); choice : int; preemptions : int }
+type branch = { prefix : int list (* reversed *); choice : int; b_spent : int }
 
-let run_naive ?(config = default_config) ?monitor scenario =
+let run_dfs ~config ~monitor (b : bound) scenario =
+  let module B = (val b) in
   let executions = ref 0 in
+  let prunes = ref 0 in
   let truncated = ref false in
   let failure = ref None in
   let worklist = Stack.create () in
@@ -433,7 +566,7 @@ let run_naive ?(config = default_config) ?monitor scenario =
      with the default policy (keep running the last thread; at each decision
      point push the untried alternatives).  Returns unit; failures land in
      [failure]. *)
-  let execute prefix0 preemptions0 =
+  let execute prefix0 spent0 =
     incr executions;
     let inst = scenario.make () in
     let mon = Option.map (fun f -> f ()) monitor in
@@ -442,36 +575,22 @@ let run_naive ?(config = default_config) ?monitor scenario =
     let prefix = List.rev prefix0 in
     let fail f = failure := Some (f (List.rev !schedule)) in
     let step_choice c =
-      let pend = Exec.pending exec c in
       schedule := c :: !schedule;
-      Exec.step exec c;
-      match pend with Exec.Access a -> notify_monitor mon exec c a | _ -> ()
+      step_with_monitor exec mon c
     in
     try
       (* Replay the committed prefix. *)
       List.iter step_choice prefix;
-      (* Extend: default policy runs the lowest-numbered enabled thread,
-         preferring the previously running one (no preemption); alternatives
-         are pushed for later exploration. *)
-      let rec extend last preemptions steps =
+      (* Extend: the default policy runs the previous thread while it can
+         run, else the lowest-numbered enabled thread (this is exactly the
+         delay bound's baseline scheduler); alternatives within the bound's
+         budget are pushed for later exploration. *)
+      let rec extend last spent steps =
         if steps > config.max_steps then fail (fun s -> Step_limit { schedule = s })
         else if Exec.finished exec then begin
-          (match mon with
-          | Some m -> (
-              match m.at_end () with
-              | Some (kind, msg) -> fail (fun s -> Analysis_violation { schedule = s; kind; msg })
-              | None -> ())
-          | None -> ());
-          if !failure = None then begin
-            let h = inst.history () in
-            if not (Vbl_spec.Linearizability.check h) then
-              fail (fun s ->
-                  Not_linearizable { schedule = s; history = Vbl_spec.History.to_string h })
-            else
-              match inst.invariants () with
-              | Ok () -> ()
-              | Error msg -> fail (fun s -> Invariant_broken { schedule = s; msg })
-          end
+          match verdict_at_quiescence inst mon (List.rev !schedule) with
+          | Some f -> failure := Some f
+          | None -> ()
         end
         else begin
           let enabled = Exec.runnable_threads exec in
@@ -480,27 +599,37 @@ let run_naive ?(config = default_config) ?monitor scenario =
           | _ ->
               let continue_last = List.mem last enabled in
               let chosen = if continue_last then last else List.hd enabled in
-              (* Alternatives: switching to [c] preempts iff the previous
-                 thread could have continued. *)
+              (* Alternatives: admitted iff the bound's budget covers their
+                 admission cost; ranked so the lowest-priority alternative
+                 is popped first from the LIFO worklist. *)
+              let admitted =
+                List.filter_map
+                  (fun c ->
+                    if c = chosen then None
+                    else begin
+                      let cost = B.cost ~last ~enabled ~choice:c in
+                      let within =
+                        match B.budget with None -> true | Some bd -> spent + cost <= bd
+                      in
+                      if within then Some (c, spent + cost)
+                      else begin
+                        incr prunes;
+                        None
+                      end
+                    end)
+                  enabled
+              in
               List.iter
-                (fun c ->
-                  if c <> chosen then begin
-                    let cost = if continue_last then 1 else 0 in
-                    let p = preemptions + cost in
-                    let within =
-                      match config.preemption_bound with None -> true | Some b -> p <= b
-                    in
-                    if within then
-                      Stack.push { prefix = !schedule; choice = c; preemptions = p } worklist
-                  end)
-                enabled;
-              let preemptions' = preemptions in
+                (fun (c, sp) ->
+                  Stack.push { prefix = !schedule; choice = c; b_spent = sp } worklist)
+                (rank_candidates b ~last ~enabled admitted);
+              let spent' = spent + B.cost ~last ~enabled ~choice:chosen in
               step_choice chosen;
-              extend chosen preemptions' (steps + 1)
+              extend chosen spent' (steps + 1)
         end
       in
       let last = match prefix with [] -> -1 | _ -> List.hd (List.rev prefix) in
-      extend last preemptions0 (List.length prefix)
+      extend last spent0 (List.length prefix)
     with
     | Exec.Stuck msg -> fail (fun s -> Crashed { schedule = s; exn = msg })
     | e -> fail (fun s -> Crashed { schedule = s; exn = Printexc.to_string e })
@@ -511,16 +640,128 @@ let run_naive ?(config = default_config) ?monitor scenario =
     else if Stack.is_empty worklist then ()
     else if !executions >= config.max_executions then truncated := true
     else begin
-      let b = Stack.pop worklist in
-      execute (b.choice :: b.prefix) b.preemptions;
+      let br = Stack.pop worklist in
+      execute (br.choice :: br.prefix) br.b_spent;
       drain ()
     end
   in
   drain ();
+  if !Vbl_obs.Probe.enabled then Vbl_obs.Probe.add Metrics.Bound_prunes !prunes;
   {
     executions = !executions;
     sleep_blocked = 0;
     races = 0;
+    bound_prunes = !prunes;
+    distinct_schedules = !executions;
     truncated = !truncated;
     failure = !failure;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Weighted-random swarm scheduler.                                    *)
+(* ------------------------------------------------------------------ *)
+
+module Rng = Vbl_util.Rng
+
+let run_random ~config ~monitor { seed; iters } scenario =
+  let runs = ref 0 in
+  let truncated = ref false in
+  let failure = ref None in
+  let seen : (int list, unit) Hashtbl.t = Hashtbl.create 64 in
+  let i = ref 0 in
+  while !failure = None && !i < iters && not !truncated do
+    if !runs >= config.max_executions then truncated := true
+    else begin
+      incr runs;
+      (* One independent stream per run: the whole swarm is a pure function
+         of (seed, run index), so failures replay deterministically. *)
+      let rng = Rng.stream ~seed ~index:!i in
+      let inst = scenario.make () in
+      let mon = Option.map (fun f -> f ()) monitor in
+      let exec = Exec.create inst.bodies in
+      let n = List.length inst.bodies in
+      (* Swarm configuration: this run's personality.  Weights skew which
+         threads win contended choices; [p_stay] sets the preemption
+         probability; [streak_cap] is the fairness window after which a
+         running thread is forcibly descheduled if anyone else can run. *)
+      let weights = Array.init n (fun _ -> 1 + Rng.int rng 8) in
+      let p_stay = 0.4 +. (0.5 *. Rng.float rng) in
+      let streak_cap = 4 + Rng.int rng 29 in
+      let weighted pool =
+        let total = List.fold_left (fun acc t -> acc + weights.(t)) 0 pool in
+        let r = Rng.int rng total in
+        let rec go acc = function
+          | [] -> assert false
+          | [ t ] -> t
+          | t :: tl ->
+              let acc = acc + weights.(t) in
+              if r < acc then t else go acc tl
+        in
+        go 0 pool
+      in
+      let pick enabled last streak =
+        let others = List.filter (fun t -> t <> last) enabled in
+        if others = [] then List.hd enabled
+        else if last >= 0 && List.mem last enabled then
+          if streak >= streak_cap then weighted others (* fairness: forced switch *)
+          else if Rng.float rng < p_stay then last
+          else weighted enabled
+        else weighted enabled
+      in
+      let schedule = ref [] in
+      let fail f = failure := Some (f (List.rev !schedule)) in
+      (try
+         let rec drive last streak steps =
+           if Exec.finished exec then (
+             match verdict_at_quiescence inst mon (List.rev !schedule) with
+             | Some f -> failure := Some f
+             | None -> ())
+           else
+             match Exec.runnable_threads exec with
+             | [] -> fail (fun s -> Deadlock { schedule = s })
+             | _ when steps >= config.max_steps ->
+                 fail (fun s -> Step_limit { schedule = s })
+             | enabled ->
+                 let c = pick enabled last streak in
+                 schedule := c :: !schedule;
+                 step_with_monitor exec mon c;
+                 drive c (if c = last then streak + 1 else 1) (steps + 1)
+         in
+         drive (-1) 0 0
+       with
+      | Exec.Stuck msg -> fail (fun s -> Crashed { schedule = s; exn = msg })
+      | e -> fail (fun s -> Crashed { schedule = s; exn = Printexc.to_string e }));
+      Hashtbl.replace seen (List.rev !schedule) ();
+      incr i
+    end
+  done;
+  let distinct = Hashtbl.length seen in
+  if !Vbl_obs.Probe.enabled then begin
+    Vbl_obs.Probe.add Metrics.Sct_runs !runs;
+    Vbl_obs.Probe.add Metrics.Sct_distinct_schedules distinct
+  end;
+  {
+    executions = !runs;
+    sleep_blocked = 0;
+    races = 0;
+    bound_prunes = 0;
+    distinct_schedules = distinct;
+    truncated = !truncated;
+    failure = !failure;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Entry points.                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let run ?(config = default_config) ?monitor ?strategy scenario =
+  let strategy =
+    match strategy with Some s -> s | None -> Dpor (bound_of_config config)
+  in
+  match strategy with
+  | Dpor b -> run_dpor ~config ~monitor b scenario
+  | Dfs b -> run_dfs ~config ~monitor b scenario
+  | Random rc -> run_random ~config ~monitor rc scenario
+
+let run_naive ?(config = default_config) ?monitor scenario =
+  run ~config ?monitor ~strategy:(Dfs (bound_of_config config)) scenario

@@ -1,0 +1,234 @@
+(** Counterexample shrinking for failing schedules.
+
+    Every failure a strategy in {!Explore} reports carries the schedule
+    (thread-choice sequence) that produced it, but a schedule found by a
+    randomized or deeply-backtracked search is rarely minimal: it is
+    padded with irrelevant operations and gratuitous context switches
+    that obscure the actual race.  The shrinker greedily reduces it while
+    replaying under {!Exec} after each edit, keeping an edit only when
+    the replay still exhibits {e the same} violation ({!same_violation}:
+    same failure constructor, and for analysis violations the same kind).
+
+    {b Replay semantics.}  A schedule is replayed as a list of {e hints}:
+    each hint steps its thread if that thread is currently runnable and
+    is silently dropped otherwise (the shrunk prefix may have diverged);
+    once the hints run out, the deterministic baseline scheduler (keep
+    running the previous thread, else the lowest-numbered runnable one)
+    finishes the execution.  Everything in the conductor is
+    deterministic, so a shrunk schedule replays to the same violation on
+    every run — which is also what makes the greedy search sound: each
+    accepted candidate has been {e observed} to fail, not assumed to.
+
+    {b Passes}, iterated to a fixpoint:
+    - {e deletion} — ddmin-style: delete chunks of the schedule, halving
+      the chunk size down to single steps;
+    - {e segment merge} — swap an interior run of thread [B] with the
+      following run of thread [A] when the preceding run is also [A]'s,
+      merging two same-thread segments and removing one preemption.
+
+    The result is locally minimal: no single chunk deletion or adjacent
+    segment transposition preserves the violation.  Local minimality is
+    the practical sweet spot (dejafu, QuickCheck shrinking): globally
+    minimal counterexamples would need another exponential search. *)
+
+module Metrics = Vbl_obs.Metrics
+
+type result = {
+  original : int list;
+  shrunk : int list;
+  failure : Explore.failure option;
+      (** verdict of replaying [shrunk]; [None] only when the input
+          schedule already passed (no-op shrink) *)
+  attempts : int;  (** candidate replays performed, the accepted ones included *)
+  removed : int;  (** [length original - length shrunk] *)
+}
+
+(* Hint-list replay: see the header.  The failure returned carries the
+   schedule actually executed (hints minus stale ones plus the baseline
+   tail), so it is self-contained for display; the shrinker's bookkeeping
+   stays in hint space. *)
+let replay ?monitor ?(max_steps = 5_000) (scenario : Explore.scenario) hints :
+    Explore.failure option =
+  let inst = scenario.Explore.make () in
+  let mon = Option.map (fun f -> f ()) monitor in
+  let exec = Exec.create inst.Explore.bodies in
+  let schedule = ref [] in
+  let steps = ref 0 in
+  let step c =
+    schedule := c :: !schedule;
+    incr steps;
+    Explore.step_with_monitor exec mon c
+  in
+  let fail mk = Some (mk (List.rev !schedule)) in
+  try
+    let rec follow hints =
+      if Exec.finished exec then
+        Explore.verdict_at_quiescence inst mon (List.rev !schedule)
+      else if Exec.deadlocked exec then fail (fun s -> Explore.Deadlock { schedule = s })
+      else if !steps >= max_steps then fail (fun s -> Explore.Step_limit { schedule = s })
+      else
+        match hints with
+        | h :: rest ->
+            (* A stale hint (thread done, or parked on a held lock) is
+               dropped; the edit that made it stale already happened. *)
+            if h >= 0 && h < Exec.n_threads exec && Exec.runnable exec h then step h;
+            follow rest
+        | [] ->
+            let enabled = Exec.runnable_threads exec in
+            let last = match !schedule with c :: _ -> c | [] -> -1 in
+            let c = if List.mem last enabled then last else List.hd enabled in
+            step c;
+            follow []
+    in
+    follow hints
+  with
+  | Exec.Stuck msg -> fail (fun s -> Explore.Crashed { schedule = s; exn = msg })
+  | e -> fail (fun s -> Explore.Crashed { schedule = s; exn = Printexc.to_string e })
+
+(* Two failures count as the same violation when they fail the same way;
+   schedules and messages differ freely under shrinking (a shorter
+   counterexample words its history differently), but the failure class —
+   and for monitor verdicts the violation kind — must survive. *)
+let same_violation (a : Explore.failure) (b : Explore.failure) =
+  match (a, b) with
+  | Explore.Not_linearizable _, Explore.Not_linearizable _
+  | Explore.Invariant_broken _, Explore.Invariant_broken _
+  | Explore.Deadlock _, Explore.Deadlock _
+  | Explore.Step_limit _, Explore.Step_limit _
+  | Explore.Crashed _, Explore.Crashed _ -> true
+  | ( Explore.Analysis_violation { kind = k1; _ },
+      Explore.Analysis_violation { kind = k2; _ } ) -> k1 = k2
+  | _ -> false
+
+(* Maximal same-thread runs of a schedule, as (thread, run) pairs. *)
+let segments sched =
+  let rec go acc cur = function
+    | [] -> List.rev (match cur with [] -> acc | _ -> List.rev cur :: acc)
+    | c :: rest -> (
+        match cur with
+        | x :: _ when x = c -> go acc (c :: cur) rest
+        | [] -> go acc [ c ] rest
+        | _ -> go (List.rev cur :: acc) [ c ] rest)
+  in
+  go [] [] sched
+
+let delete_range l i n =
+  List.filteri (fun k _ -> k < i || k >= i + n) l
+
+(* Budget on candidate replays: shrinking is O(len^2) replays in the
+   worst case; the cap keeps pathological schedules from hijacking a test
+   run.  2000 replays of a <= max_steps execution is well under a second
+   for the scenarios the harness explores. *)
+let default_max_attempts = 2_000
+
+let shrink_from ?monitor ?max_steps ?(max_attempts = default_max_attempts) scenario
+    ~(target : Explore.failure) hints0 =
+  let attempts = ref 0 in
+  let last_failure = ref None in
+  (* [Some f] when replaying [cand] still exhibits the target violation. *)
+  let still_fails cand =
+    if !attempts >= max_attempts then None
+    else begin
+      incr attempts;
+      match replay ?monitor ?max_steps scenario cand with
+      | Some f when same_violation target f ->
+          last_failure := Some f;
+          Some f
+      | _ -> None
+    end
+  in
+  (* Pass 1: chunk deletion, halving chunk sizes (ddmin-style). *)
+  let delete_pass sched =
+    let changed = ref false in
+    let sched = ref sched in
+    let size = ref (max 1 (List.length !sched / 2)) in
+    while !size >= 1 do
+      let i = ref 0 in
+      while !i + !size <= List.length !sched do
+        let cand = delete_range !sched !i !size in
+        match still_fails cand with
+        | Some _ ->
+            sched := cand;
+            changed := true
+            (* same position now holds the next chunk: retry without advancing *)
+        | None -> i := !i + !size
+      done;
+      size := (if !size = 1 then 0 else !size / 2)
+    done;
+    (!sched, !changed)
+  in
+  (* Pass 2: merge same-thread segments separated by one other-thread
+     segment, i.e. A B A -> A A B: one preemption fewer if accepted. *)
+  let merge_pass sched =
+    let changed = ref false in
+    let sched = ref sched in
+    let continue_ = ref true in
+    while !continue_ do
+      continue_ := false;
+      let segs = Array.of_list (segments !sched) in
+      let n = Array.length segs in
+      (try
+         for j = 1 to n - 2 do
+           let t_prev = List.hd segs.(j - 1) and t_next = List.hd segs.(j + 1) in
+           if t_prev = t_next && List.hd segs.(j) <> t_prev then begin
+             let swapped =
+               Array.to_list segs
+               |> List.mapi (fun k s ->
+                      if k = j then segs.(j + 1) else if k = j + 1 then segs.(j) else s)
+               |> List.concat
+             in
+             match still_fails swapped with
+             | Some _ ->
+                 sched := swapped;
+                 changed := true;
+                 continue_ := true;
+                 raise Exit (* segment array is stale: recompute *)
+             | None -> ()
+           end
+         done
+       with Exit -> ())
+    done;
+    (!sched, !changed)
+  in
+  let rec fixpoint sched =
+    let sched, d = delete_pass sched in
+    let sched, m = merge_pass sched in
+    if (d || m) && !attempts < max_attempts then fixpoint sched else sched
+  in
+  let shrunk = fixpoint hints0 in
+  let removed = List.length hints0 - List.length shrunk in
+  if !Vbl_obs.Probe.enabled then begin
+    Vbl_obs.Probe.add Metrics.Shrink_attempts !attempts;
+    Vbl_obs.Probe.add Metrics.Shrink_removed_steps removed
+  end;
+  {
+    original = hints0;
+    shrunk;
+    failure = (match !last_failure with Some f -> Some f | None -> Some target);
+    attempts = !attempts;
+    removed;
+  }
+
+let shrink ?monitor ?max_steps ?max_attempts scenario (failure : Explore.failure) =
+  let hints0 = Explore.failure_schedule failure in
+  (* Confirm the violation replays before shrinking anything: a schedule
+     that does not reproduce (it should always reproduce — the conductor
+     is deterministic) is returned untouched rather than "shrunk" against
+     a different bug. *)
+  match replay ?monitor ?max_steps scenario hints0 with
+  | Some f when same_violation failure f ->
+      let r = shrink_from ?monitor ?max_steps ?max_attempts scenario ~target:failure hints0 in
+      { r with attempts = r.attempts + 1 }
+  | _ -> { original = hints0; shrunk = hints0; failure = Some failure; attempts = 1; removed = 0 }
+
+let shrink_schedule ?monitor ?max_steps ?max_attempts scenario hints =
+  match replay ?monitor ?max_steps scenario hints with
+  | None ->
+      (* Passing schedule: shrinking is a no-op by construction. *)
+      { original = hints; shrunk = hints; failure = None; attempts = 1; removed = 0 }
+  | Some target ->
+      let r = shrink_from ?monitor ?max_steps ?max_attempts scenario ~target hints in
+      { r with attempts = r.attempts + 1 }
+
+let pp_steps ppf sched =
+  Format.fprintf ppf "[%s]" (String.concat "; " (List.map string_of_int sched))

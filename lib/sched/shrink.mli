@@ -1,0 +1,73 @@
+(** Counterexample shrinking for failing schedules.
+
+    Greedy delta-debugging over the thread-choice sequence of a
+    {!Explore.failure}: delete chunks (halving chunk size down to single
+    steps) and merge adjacent same-thread segments (removing
+    preemptions), keeping each edit only when replaying the edited
+    schedule under {!Exec} still exhibits the {e same} violation
+    ({!same_violation}).  Iterated to a fixpoint, this yields a locally
+    minimal deterministic counterexample: no single chunk deletion or
+    adjacent segment transposition preserves the violation.
+
+    Replay interprets a schedule as {e hints}: a hint naming a thread
+    that is not currently runnable is dropped (the shrunk prefix may
+    have diverged from the original execution), and once the hints are
+    exhausted the deterministic baseline scheduler — keep the previous
+    thread while it can run, else the lowest-numbered runnable one —
+    finishes the execution.  Because the conductor is deterministic,
+    every accepted candidate has been observed to fail, not assumed to.
+
+    Updates [Shrink_attempts] and [Shrink_removed_steps] when
+    {!Vbl_obs.Probe} is enabled. *)
+
+type result = {
+  original : int list;  (** the schedule shrinking started from *)
+  shrunk : int list;  (** locally minimal hint sequence *)
+  failure : Explore.failure option;
+      (** verdict of replaying [shrunk]; [None] only when the input
+          schedule already passed (no-op shrink) *)
+  attempts : int;  (** candidate replays performed *)
+  removed : int;  (** [length original - length shrunk] *)
+}
+
+val replay :
+  ?monitor:(unit -> Explore.step_monitor) ->
+  ?max_steps:int ->
+  Explore.scenario ->
+  int list ->
+  Explore.failure option
+(** Replay a hint sequence on a fresh instance of the scenario and
+    return its verdict ([None] = the execution passes).  The failure's
+    embedded schedule is the one actually executed — stale hints
+    dropped, baseline tail included — so it is self-contained. *)
+
+val same_violation : Explore.failure -> Explore.failure -> bool
+(** Same failure constructor; for [Analysis_violation], same [kind].
+    Schedules and messages are allowed to differ (a shorter
+    counterexample words its history differently). *)
+
+val shrink :
+  ?monitor:(unit -> Explore.step_monitor) ->
+  ?max_steps:int ->
+  ?max_attempts:int ->
+  Explore.scenario ->
+  Explore.failure ->
+  result
+(** Shrink the schedule embedded in a failure.  If the schedule does not
+    reproduce the violation on replay (it always should — the conductor
+    is deterministic), the failure is returned untouched rather than
+    shrunk against a different bug. *)
+
+val shrink_schedule :
+  ?monitor:(unit -> Explore.step_monitor) ->
+  ?max_steps:int ->
+  ?max_attempts:int ->
+  Explore.scenario ->
+  int list ->
+  result
+(** Like {!shrink} but starting from a bare schedule: replays it first
+    and shrinks whatever violation it exhibits.  A passing schedule is a
+    no-op ([shrunk = original], [failure = None], [removed = 0]). *)
+
+val pp_steps : Format.formatter -> int list -> unit
+(** ["[0; 1; 2]"] — the schedule rendering used by failure reports. *)

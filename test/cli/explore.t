@@ -33,3 +33,64 @@ reproducing schedule:
   verdict             : FAILURE
   race: unordered plain writes to h.next: thread 0's store is not ordered after thread 1's
   schedule            : [0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 1; 1; 1; 1; 1; 1; 1; 1; 1; 1; 0; 0]
+
+--bound selects the schedule bound the systematic strategies search
+under: delay bounding charges deviations from the deterministic baseline
+scheduler instead of preemptions (its schedule space does not grow with
+the thread count), and none lifts the bound entirely.  --stats breaks
+out the bound's prunes and the distinct schedules seen:
+
+  $ vbl-explore -a vbl --initial "2" --ops "insert 1, remove 2" --bound delay:2 --stats | sed 's/([0-9.]*s)//'
+  exploring vbl: initial {2}, ops [insert(1); remove(2)], bound delay:2, dpor
+  executions explored : 13  
+  sleep-set blocked   : 0
+  backtrack races     : 29
+  bound prunes        : 7
+  distinct schedules  : 13
+  verdict             : all explored executions linearizable
+
+--sct switches to randomized swarm scheduling: per-run weights,
+preemption probability and fairness window are drawn from the seed, so
+the run count is exactly the requested iterations (collisions show up as
+distinct < explored):
+
+  $ vbl-explore -a vbl --initial "2" --ops "insert 1, remove 2" --sct random:42:64 --stats | sed 's/([0-9.]*s)//'
+  exploring vbl: initial {2}, ops [insert(1); remove(2)], sct random:42:64
+  executions explored : 64  
+  sleep-set blocked   : 0
+  backtrack races     : 0
+  bound prunes        : 0
+  distinct schedules  : 52
+  verdict             : all explored executions linearizable
+
+--shrink delta-debugs a failing schedule to a locally minimal
+counterexample that reproduces the same violation:
+
+  $ vbl-explore -a vbl-unlocked-unlink --analyze --initial "5" --ops "remove 5, insert 3" --shrink > shrunk.out 2>&1; echo "exit=$?"
+  exit=1
+  $ sed 's/([0-9.]*s)//' shrunk.out | tail -n 3
+  shrink              : 22 -> 3 steps (15 replays)
+  shrunk schedule     : [0; 0; 1]
+  shrunk verdict      : race: unordered plain writes to h.next: thread 0's store is not ordered after thread 1's
+
+Malformed --bound and --sct specs, and contradictory strategy requests,
+are rejected with exit 2 before anything runs:
+
+  $ vbl-explore --bound preempt
+  explore: invalid --bound "preempt" (expected preempt:N, delay:N, or none)
+  [2]
+  $ vbl-explore --bound delay:-1
+  explore: invalid --bound "delay:-1": the delay budget must be a non-negative integer
+  [2]
+  $ vbl-explore --sct random:42
+  explore: invalid --sct "random:42" (expected random:SEED:ITERS)
+  [2]
+  $ vbl-explore --sct random:abc:10
+  explore: invalid --sct "random:abc:10": need an integer seed and a positive iteration count
+  [2]
+  $ vbl-explore --sct random:42:64 --dfs
+  explore: --sct cannot be combined with --dfs
+  [2]
+  $ vbl-explore --sct random:42:64 --bound delay:2
+  explore: --sct cannot be combined with --bound
+  [2]

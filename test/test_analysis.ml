@@ -1,7 +1,8 @@
 (* Tests for the concurrency-analysis layer: DPOR exploration (failure
    variants with reproducing schedules, DFS parity, reduction factor), the
-   happens-before race detector and lock-discipline linter, and the seeded
-   mutation suite. *)
+   pluggable schedule bounds (preempt/delay/none) and the randomized swarm
+   strategy, the counterexample shrinker, the happens-before race detector
+   and lock-discipline linter, and the seeded mutation suite. *)
 
 open Vbl_sched
 module Instr = Vbl_memops.Instr_mem
@@ -204,6 +205,11 @@ let verdict_parity_tests =
     let ops = [ gen_op st; gen_op st ] in
     (nm, mk (), initial, ops)
   in
+  (* The bounds the parity sweep runs under: each must yield the same
+     ok/failure verdict from DPOR and the brute-force DFS. *)
+  let parity_bounds =
+    [ ("preempt:3", Explore.preempt 3); ("delay:3", Explore.delay 3); ("none", Explore.none) ]
+  in
   [
     Alcotest.test_case "random scenarios: run and run_naive verdicts agree" `Slow
       (fun () ->
@@ -217,6 +223,56 @@ let verdict_parity_tests =
             (Printf.sprintf "scenario %d (%s): verdicts agree" i nm)
             (naive.Explore.failure = None)
             (dpor.Explore.failure = None)
+        done);
+    Alcotest.test_case "random scenarios: Dpor and Dfs agree under every bound" `Slow
+      (fun () ->
+        (* Same seed as above, so the sweep covers the same three
+           scenarios — once per bound instance. *)
+        let st = Random.State.make [| 0x5eed |] in
+        for i = 1 to 3 do
+          let nm, impl, initial, ops = gen_scenario st in
+          let scenario = Drive.explore_scenario impl ~initial ~ops in
+          List.iter
+            (fun (bname, b) ->
+              let dpor = Explore.run ~config:quick_config ~strategy:(Explore.Dpor b) scenario in
+              let dfs = Explore.run ~config:quick_config ~strategy:(Explore.Dfs b) scenario in
+              Alcotest.(check bool)
+                (Printf.sprintf "scenario %d (%s) under %s: verdicts agree" i nm bname)
+                (dfs.Explore.failure = None)
+                (dpor.Explore.failure = None);
+              Alcotest.(check bool)
+                (Printf.sprintf "scenario %d (%s) under %s: dpor not above dfs" i nm bname)
+                true
+                (dpor.Explore.executions <= dfs.Explore.executions))
+            parity_bounds
+        done);
+    Alcotest.test_case "swarm scheduling agrees with DPOR on clean scenarios" `Slow
+      (fun () ->
+        (* The random strategy is incomplete by design, so agreement is
+           asserted one-sided: it must not report a failure DPOR (sound
+           and complete up to the bound) rules out. *)
+        let st = Random.State.make [| 0x5eed |] in
+        for i = 1 to 3 do
+          let nm, impl, initial, ops = gen_scenario st in
+          let scenario = Drive.explore_scenario impl ~initial ~ops in
+          let dpor = Explore.run ~config:quick_config ~strategy:(Explore.Dpor Explore.none) scenario in
+          let rand =
+            Explore.run ~config:quick_config
+              ~strategy:(Explore.Random { Explore.seed = Int64.of_int (0xbeef + i); iters = 50 })
+              scenario
+          in
+          if dpor.Explore.failure = None then
+            Alcotest.(check bool)
+              (Printf.sprintf "scenario %d (%s): no false alarm from swarm" i nm)
+              true (rand.Explore.failure = None);
+          Alcotest.(check bool)
+            (Printf.sprintf "scenario %d (%s): swarm ran all iterations or failed" i nm)
+            true
+            (rand.Explore.failure <> None || rand.Explore.executions = 50);
+          Alcotest.(check bool)
+            (Printf.sprintf "scenario %d (%s): distinct <= runs" i nm)
+            true
+            (rand.Explore.distinct_schedules <= rand.Explore.executions)
         done);
   ]
 
@@ -440,6 +496,195 @@ let mutation_tests =
           (Check.clean_suite ~config:quick_config ()));
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Counterexample shrinking.                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Locally minimal hint-schedule length for every mutation case, pinned:
+   a regression here means the shrinker got weaker (longer) or the
+   violation changed (shorter).  Zero steps means the violation already
+   manifests under the deterministic baseline scheduler. *)
+let expected_shrunk_steps =
+  [
+    ("vbl-no-deleted-check", 11);
+    ("vbl-unlocked-unlink", 3);
+    ("vbl-no-logical-delete", 12);
+    ("vbl-leaky-lock", 0);
+    ("lazy-no-validation", 2);
+    ("vbl-reclaim-eager", 0);
+  ]
+
+let shrink_tests =
+  [
+    Alcotest.test_case "mutation counterexamples shrink to pinned minima" `Slow (fun () ->
+        List.iter
+          (fun (r : Check.mutation_result) ->
+            let name = r.Check.case.Check.mutant in
+            let orig =
+              match r.Check.report.Explore.failure with
+              | Some f -> f
+              | None -> Alcotest.failf "mutant %s escaped the analysis" name
+            in
+            match r.Check.shrunk with
+            | None -> Alcotest.failf "mutant %s: no shrink result" name
+            | Some s ->
+                Alcotest.(check int)
+                  (Printf.sprintf "%s: locally minimal step count" name)
+                  (List.assoc name expected_shrunk_steps)
+                  (List.length s.Shrink.shrunk);
+                Alcotest.(check int)
+                  (Printf.sprintf "%s: removed = original - shrunk" name)
+                  (List.length s.Shrink.original - List.length s.Shrink.shrunk)
+                  s.Shrink.removed;
+                Alcotest.(check bool)
+                  (Printf.sprintf "%s: at least one replay attempted" name)
+                  true (s.Shrink.attempts >= 1);
+                (* The shrunk schedule reproduces the *same* violation. *)
+                (match s.Shrink.failure with
+                | Some f ->
+                    Alcotest.(check bool)
+                      (Printf.sprintf "%s: same violation after shrinking" name)
+                      true
+                      (Shrink.same_violation orig f)
+                | None -> Alcotest.failf "mutant %s: shrunk schedule passes" name))
+          (Check.mutation_suite ~config:quick_config ()));
+    Alcotest.test_case "shrinking is deterministic (same seed, same minimum)" `Quick
+      (fun () ->
+        let strategy = Explore.Random { Explore.seed = 7L; iters = 100 } in
+        let go () =
+          Check.analyze_shrunk ~config:quick_config ~strategy
+            (Mutants.find "vbl-no-logical-delete") ~initial:[ 5 ]
+            ~ops:[ Ll.remove 5; Ll.insert 7; Ll.contains 5; Ll.insert 3 ]
+        in
+        let r1, s1 = go () and r2, s2 = go () in
+        let sched = function
+          | Some s -> s.Shrink.shrunk
+          | None -> Alcotest.fail "swarm missed the seeded bug"
+        in
+        Alcotest.(check bool) "both runs fail" true
+          (r1.Explore.failure <> None && r2.Explore.failure <> None);
+        Alcotest.(check (list int)) "identical shrunk schedules" (sched s1) (sched s2));
+    Alcotest.test_case "a passing schedule is a no-op shrink" `Quick (fun () ->
+        let impl = Drive.find_instrumented "vbl" in
+        let scenario =
+          Drive.explore_scenario impl ~initial:[ 2 ] ~ops:[ Ll.insert 1; Ll.remove 2 ]
+        in
+        (* An interleaved but correct hint schedule: baseline fills in the
+           rest, the execution passes, nothing must be "shrunk". *)
+        let hints = [ 0; 1; 0; 1; 0; 1 ] in
+        let r = Shrink.shrink_schedule ~max_steps:5_000 scenario hints in
+        Alcotest.(check (list int)) "schedule untouched" hints r.Shrink.shrunk;
+        Alcotest.(check bool) "no failure" true (r.Shrink.failure = None);
+        Alcotest.(check int) "nothing removed" 0 r.Shrink.removed;
+        Alcotest.(check int) "exactly the confirming replay" 1 r.Shrink.attempts);
+    Alcotest.test_case "replay drops stale hints and stays deterministic" `Quick
+      (fun () ->
+        let impl = Mutants.find "vbl-unlocked-unlink" in
+        let scenario =
+          Drive.explore_scenario impl ~initial:[ 5 ] ~ops:[ Ll.remove 5; Ll.insert 3 ]
+        in
+        (* Thread 7 does not exist and thread 0 finishes long before the
+           tail of hints runs out; replay must ignore both quietly. *)
+        let noisy = [ 7; 0; 0; 9; 1; 0; 0; 0; 1; 7 ] in
+        let v1 = Shrink.replay ~max_steps:5_000 scenario noisy in
+        let v2 = Shrink.replay ~max_steps:5_000 scenario noisy in
+        Alcotest.(check bool) "replay is reproducible" true
+          ((v1 = None) = (v2 = None)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Scale: budgeted DPOR misses, delay bounding and swarm catch.        *)
+(* ------------------------------------------------------------------ *)
+
+(* The documented scale demonstration (see EXPERIMENTS.md): on 4-5 domain
+   scenarios the preemption-bounded DPOR exhausts a 100-execution budget
+   without finding the seeded bug, while delay bounding and the swarm
+   scheduler catch it well inside the same budget, and the shrinker
+   reduces the counterexample to a few steps. *)
+let scale_budget = { quick_config with Explore.max_executions = 100 }
+
+(* 5 domains against the eager (grace-period-free) reclaiming backend:
+   remove retires a node, insert recycles it under a parked contains. *)
+let eager5 () =
+  Drive.explore_scenario
+    (Mutants.find "vbl-reclaim-eager")
+    ~initial:[ 1; 2 ]
+    ~ops:[ Ll.remove 1; Ll.insert 3; Ll.contains 2; Ll.insert 4; Ll.remove 2 ]
+
+let scale_tests =
+  [
+    Alcotest.test_case "eager reclaim x5: preempt-DPOR exhausts the budget uncaught"
+      `Slow (fun () ->
+        let r =
+          Explore.run ~config:scale_budget
+            ~strategy:(Explore.Dpor (Explore.preempt 3))
+            (eager5 ())
+        in
+        Alcotest.(check bool) "budget exhausted" true r.Explore.truncated;
+        Alcotest.(check bool) "bug not found" true (r.Explore.failure = None));
+    Alcotest.test_case "eager reclaim x5: delay bounding catches in-budget" `Slow
+      (fun () ->
+        let r =
+          Explore.run ~config:scale_budget
+            ~strategy:(Explore.Dpor (Explore.delay 2))
+            (eager5 ())
+        in
+        match r.Explore.failure with
+        | Some (Explore.Not_linearizable _) | Some (Explore.Invariant_broken _) ->
+            Alcotest.(check bool) "within budget" true (not r.Explore.truncated)
+        | Some f -> Alcotest.failf "unexpected failure %a" Explore.pp_failure f
+        | None -> Alcotest.fail "delay:2 missed the use-after-reclaim");
+    Alcotest.test_case "eager reclaim x5: swarm catches and shrinks in-budget" `Slow
+      (fun () ->
+        let scenario = eager5 () in
+        let r =
+          Explore.run ~config:scale_budget
+            ~strategy:(Explore.Random { Explore.seed = 7L; iters = 100 })
+            scenario
+        in
+        match r.Explore.failure with
+        | Some ((Explore.Not_linearizable _ | Explore.Invariant_broken _) as f) ->
+            Alcotest.(check bool) "found within a handful of runs" true
+              (r.Explore.executions <= 10);
+            let s = Shrink.shrink ~max_steps:5_000 scenario f in
+            Alcotest.(check bool) "shrunk strictly smaller" true
+              (List.length s.Shrink.shrunk < List.length s.Shrink.original);
+            Alcotest.(check int) "four-step counterexample" 4
+              (List.length s.Shrink.shrunk);
+            Alcotest.(check bool) "same violation" true
+              (match s.Shrink.failure with
+              | Some f' -> Shrink.same_violation f f'
+              | None -> false)
+        | Some f -> Alcotest.failf "unexpected failure %a" Explore.pp_failure f
+        | None -> Alcotest.fail "swarm missed the use-after-reclaim");
+    Alcotest.test_case
+      "no-logical-delete x4: DPOR misses, delay and swarm agree on a 3-step bug" `Slow
+      (fun () ->
+        let impl = Mutants.find "vbl-no-logical-delete" in
+        let initial = [ 5 ] and ops = [ Ll.remove 5; Ll.insert 7; Ll.contains 5; Ll.insert 3 ] in
+        let dpor =
+          Check.analyze ~config:scale_budget
+            ~strategy:(Explore.Dpor (Explore.preempt 3))
+            impl ~initial ~ops
+        in
+        Alcotest.(check bool) "preempt-DPOR exhausts the budget uncaught" true
+          (dpor.Explore.truncated && dpor.Explore.failure = None);
+        let shrunk_of strategy =
+          let report, shrunk =
+            Check.analyze_shrunk ~config:scale_budget ~strategy impl ~initial ~ops
+          in
+          match (report.Explore.failure, shrunk) with
+          | Some _, Some s -> s.Shrink.shrunk
+          | _ -> Alcotest.failf "%s missed the seeded bug" (Explore.strategy_name strategy)
+        in
+        let via_delay = shrunk_of (Explore.Dpor (Explore.delay 2)) in
+        let via_swarm = shrunk_of (Explore.Random { Explore.seed = 7L; iters = 100 }) in
+        (* Both search strategies reduce to the *same* minimal schedule:
+           two steps of the insert(7) thread, one of the insert(3) thread. *)
+        Alcotest.(check (list int)) "delay-bounded counterexample" [ 1; 1; 3 ] via_delay;
+        Alcotest.(check (list int)) "swarm counterexample" [ 1; 1; 3 ] via_swarm);
+  ]
+
 let () =
   Alcotest.run "analysis"
     [
@@ -449,4 +694,6 @@ let () =
       ("monitor", monitor_tests);
       ("integration", integration_tests);
       ("mutation", mutation_tests);
+      ("shrink", shrink_tests);
+      ("scale", scale_tests);
     ]

@@ -167,7 +167,9 @@ type iop = I of int | R of int | C of int
 (* One execution under a random schedule.  [Ok ()] when the run completes
    and matches both oracles; [Error description] on any divergence.  The
    step budget bounds livelock; genuine algorithms finish 3x10 ops within
-   a few hundred steps. *)
+   a few hundred steps.  On divergence the failing schedule is shrunk
+   (see {!Vbl_sched.Shrink}) by replaying fresh instances of the same
+   plan, and the locally minimal schedule is appended to the message. *)
 let instr_run impl ~threads ~ops_per_thread ~key_range ~update_percent ~seed =
   let module S = (val impl : Vbl_lists.Set_intf.S) in
   let gen = Rng.create ~seed:(Int64.of_int (0x5eed + (seed * 2654435761))) () in
@@ -182,55 +184,35 @@ let instr_run impl ~threads ~ops_per_thread ~key_range ~update_percent ~seed =
             end
             else C (1 + Rng.int gen key_range)))
   in
-  let t = Instr.run_sequential (fun () -> S.create ()) in
-  let results = Array.map (fun plan -> Array.make (Array.length plan) false) plans in
-  let body d () =
-    Array.iteri
-      (fun i op ->
-        let t0 = Obs.Contention.now_ns () in
-        let ok =
-          match op with I k -> S.insert t k | R k -> S.remove t k | C k -> S.contains t k
-        in
-        results.(d).(i) <- ok;
-        let kind, key =
-          match op with
-          | I k -> (Obs.Recorder.Insert, k)
-          | R k -> (Obs.Recorder.Remove, k)
-          | C k -> (Obs.Recorder.Contains, k)
-        in
-        (* Wall-clock stamps interleave across logical threads (one OS
-           domain runs them all), but stay monotonic, which is all the
-           dump's ordering needs. *)
-        Obs.Recorder.record ~thread:d ~kind ~key ~shard:(-1) ~ok ~restarts:0 ~t0_ns:t0
-          ~t1_ns:(Obs.Contention.now_ns ()))
-      plans.(d)
-  in
-  with_recorder @@ fun () ->
-  (* Every divergence below — deadlock, livelock, exception, result
-     mismatch, invariants, final-set replay — carries the timeline of the
-     operations that completed before it. *)
-  let fail fmt = Printf.ksprintf (fun m -> Error (m ^ "\n" ^ Obs.Recorder.dump ~last:20 ())) fmt in
-  match
-    let ex = Exec.create (List.init threads (fun d -> body d)) in
-    let driver = Rng.create ~seed:(Int64.of_int ((seed * 7919) + 13)) () in
-    let budget = 100_000 in
-    let rec drive steps =
-      if Exec.finished ex then Ok ()
-      else if Exec.deadlocked ex then
-        fail "deadlock: every unfinished thread is parked on a held lock"
-      else if steps > budget then fail "step budget exhausted (livelock?)"
-      else begin
-        let runnable = Exec.runnable_threads ex in
-        Exec.step ex (List.nth runnable (Rng.int driver (List.length runnable)));
-        drive (steps + 1)
-      end
+  (* Fresh bodies + the differential oracle over their results: one call
+     per execution, so the shrinker can replay edited schedules against
+     independent instances of the same plan. *)
+  let make_instance () =
+    let t = Instr.run_sequential (fun () -> S.create ()) in
+    let results = Array.map (fun plan -> Array.make (Array.length plan) false) plans in
+    let body d () =
+      Array.iteri
+        (fun i op ->
+          let t0 = Obs.Contention.now_ns () in
+          let ok =
+            match op with I k -> S.insert t k | R k -> S.remove t k | C k -> S.contains t k
+          in
+          results.(d).(i) <- ok;
+          let kind, key =
+            match op with
+            | I k -> (Obs.Recorder.Insert, k)
+            | R k -> (Obs.Recorder.Remove, k)
+            | C k -> (Obs.Recorder.Contains, k)
+          in
+          (* Wall-clock stamps interleave across logical threads (one OS
+             domain runs them all), but stay monotonic, which is all the
+             dump's ordering needs. *)
+          Obs.Recorder.record ~thread:d ~kind ~key ~shard:(-1) ~ok ~restarts:0 ~t0_ns:t0
+            ~t1_ns:(Obs.Contention.now_ns ()))
+        plans.(d)
     in
-    try drive 0
-    with e -> fail "exception during execution: %s" (Printexc.to_string e)
-  with
-  | Error e -> Error e
-  | Ok () -> (
-      (* Oracle 1: single-writer results.  Oracle 2: final set = replay. *)
+    (* Oracle 1: single-writer results.  Oracle 2: final set = replay. *)
+    let oracle () =
       let logs = Array.make threads [] in
       let mismatch = ref None in
       Array.iteri
@@ -253,20 +235,82 @@ let instr_run impl ~threads ~ops_per_thread ~key_range ~update_percent ~seed =
         plans;
       match !mismatch with
       | Some (d, i, k, want, got) ->
-          fail
-            "thread %d op %d on key %d returned %b, single-writer model says %b; log: %s"
-            d i k got want (log_prefix logs.(d))
+          Error
+            (Printf.sprintf
+               "thread %d op %d on key %d returned %b, single-writer model says %b; log: %s"
+               d i k got want (log_prefix logs.(d)))
       | None -> (
           match Instr.run_sequential (fun () -> S.check_invariants t) with
-          | Error m -> fail "invariants: %s" m
+          | Error m -> Error (Printf.sprintf "invariants: %s" m)
           | Ok () ->
               let final = Instr.run_sequential (fun () -> S.to_list t) in
               let expected = replay_final logs in
               if final <> expected then
-                fail "final set {%s} diverges from replay {%s}"
-                  (String.concat "," (List.map string_of_int final))
-                  (String.concat "," (List.map string_of_int expected))
-              else Ok ()))
+                Error
+                  (Printf.sprintf "final set {%s} diverges from replay {%s}"
+                     (String.concat "," (List.map string_of_int final))
+                     (String.concat "," (List.map string_of_int expected)))
+              else Ok ())
+    in
+    (List.init threads (fun d -> body d), oracle)
+  in
+  with_recorder @@ fun () ->
+  (* Every divergence below — deadlock, livelock, exception, result
+     mismatch, invariants, final-set replay — carries the timeline of the
+     operations that completed before it. *)
+  let fail fmt = Printf.ksprintf (fun m -> Error (m ^ "\n" ^ Obs.Recorder.dump ~last:20 ())) fmt in
+  let schedule = ref [] in
+  let budget = 100_000 in
+  let outcome =
+    let bodies, oracle = make_instance () in
+    match
+      let ex = Exec.create bodies in
+      let driver = Rng.create ~seed:(Int64.of_int ((seed * 7919) + 13)) () in
+      let rec drive steps =
+        if Exec.finished ex then Ok ()
+        else if Exec.deadlocked ex then
+          fail "deadlock: every unfinished thread is parked on a held lock"
+        else if steps > budget then fail "step budget exhausted (livelock?)"
+        else begin
+          let runnable = Exec.runnable_threads ex in
+          let c = List.nth runnable (Rng.int driver (List.length runnable)) in
+          schedule := c :: !schedule;
+          Exec.step ex c;
+          drive (steps + 1)
+        end
+      in
+      try drive 0
+      with e -> fail "exception during execution: %s" (Printexc.to_string e)
+    with
+    | Error e -> Error e
+    | Ok () -> ( match oracle () with Ok () -> Ok () | Error m -> fail "%s" m)
+  in
+  match outcome with
+  | Ok () -> Ok ()
+  | Error e ->
+      (* The divergence is deterministic in (plan, schedule), so shrink it
+         before reporting: the oracle rides along as the scenario's
+         invariant check, making every divergence class an Explore
+         failure the shrinker knows how to preserve. *)
+      let scenario =
+        {
+          Vbl_sched.Explore.make =
+            (fun () ->
+              let bodies, oracle = make_instance () in
+              {
+                Vbl_sched.Explore.bodies;
+                history = (fun () -> Vbl_spec.History.of_list []);
+                invariants = oracle;
+              });
+        }
+      in
+      let r = Vbl_sched.Shrink.shrink_schedule ~max_steps:budget scenario (List.rev !schedule) in
+      Error
+        (Printf.sprintf "%s\nshrunk schedule (%d -> %d steps, %d replays): [%s]" e
+           (List.length r.Vbl_sched.Shrink.original)
+           (List.length r.Vbl_sched.Shrink.shrunk)
+           r.Vbl_sched.Shrink.attempts
+           (String.concat "; " (List.map string_of_int r.Vbl_sched.Shrink.shrunk)))
 
 let instr_seeds = [ 1; 2; 3; 4; 5; 6; 7; 8 ]
 
@@ -328,7 +372,9 @@ let mutant_dump_case =
       | [] -> Alcotest.fail "vbl-no-logical-delete survived every seed; nothing to check"
       | e :: _ ->
           if not (contains_sub e "flight recorder") then
-            Alcotest.failf "divergence message lacks the timeline:\n%s" e)
+            Alcotest.failf "divergence message lacks the timeline:\n%s" e;
+          if not (contains_sub e "shrunk schedule") then
+            Alcotest.failf "divergence message lacks the shrunk counterexample:\n%s" e)
 
 (* ------------------------------------------------------------------ *)
 (* Mode 3: batched vs one-at-a-time application                        *)
