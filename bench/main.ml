@@ -402,7 +402,21 @@ let vbl_direct_impl : (module Vbl_lists.Set_intf.S) = (module Vbl_direct)
    Counters and latency are collected as in --metrics so the JSON matches
    the BENCH_*.json schema of earlier snapshots and bench/compare_bench
    can diff two of them. *)
-let matrix_algorithms = [ "vbl"; "lazy"; "harris-michael"; "harris-michael-tagged" ]
+let matrix_algorithms =
+  [
+    "vbl";
+    "lazy";
+    "harris-michael";
+    "harris-michael-tagged";
+    (* skiplist family *)
+    "vbl-skiplist";
+    "lazy-skiplist";
+    "lockfree-skiplist";
+    (* tree family *)
+    "vbl-bst";
+    "lazy-bst";
+    "lockfree-bst";
+  ]
 
 let matrix_updates = [ 0; 20; 100 ]
 let matrix_ranges = [ 50; 200; 2_000; 20_000 ]

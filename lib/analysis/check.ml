@@ -55,6 +55,14 @@ let mutation_cases : case list =
     { mutant = "vbl-no-logical-delete"; initial = [ 5 ]; ops = [ Ll.remove 5; Ll.insert 7 ] };
     { mutant = "vbl-leaky-lock"; initial = []; ops = [ Ll.insert 1; Ll.insert 2 ] };
     { mutant = "lazy-no-validation"; initial = [ 5 ]; ops = [ Ll.remove 5; Ll.remove 5 ] };
+    (* both inserts fall off the empty root slot; without the version
+       recheck the second link overwrites the first (lost update) *)
+    { mutant = "bst-no-version-recheck"; initial = []; ops = [ Ll.insert 1; Ll.insert 2 ] };
+    (* the splice reads the victim's children unlocked, so the insert can
+       link key 2 under node 1 inside the splice window and lose it *)
+    { mutant = "bst-unlocked-rotation-window";
+      initial = [ 1 ];
+      ops = [ Ll.remove 1; Ll.insert 2 ] };
     (* use-after-reclaim: remove retires a node, insert recycles it under
        a contains parked on it (see test_reclaim.ml for the full shape) *)
     { mutant = "vbl-reclaim-eager";
@@ -85,7 +93,9 @@ let mutation_suite ?config ?strategy () : mutation_result list =
     mutation_cases
 
 (* Conflict-heavy scenarios over the clean implementations that must pass
-   the full analysis with no failure of any kind. *)
+   the full analysis with no failure of any kind.  The BST entries mirror
+   the two BST mutant scenarios: the clean versioned-lock tree must
+   survive exactly the schedules its mutants lose updates on. *)
 let clean_cases : (string * int list * Ll.opspec list) list =
   [
     ("vbl", [ 2 ], [ Ll.insert 1; Ll.remove 2 ]);
@@ -95,10 +105,24 @@ let clean_cases : (string * int list * Ll.opspec list) list =
     ("lazy", [ 5 ], [ Ll.remove 5; Ll.remove 5 ]);
     ("harris-michael", [ 2 ], [ Ll.insert 1; Ll.remove 2 ]);
     ("harris-michael", [ 5 ], [ Ll.remove 5; Ll.insert 7 ]);
+    ("vbl-bst", [], [ Ll.insert 1; Ll.insert 2 ]);
+    ("vbl-bst", [ 1 ], [ Ll.remove 1; Ll.insert 2 ]);
   ]
+
+(* Clean-case lookup across the list and tree instrumented registries. *)
+let find_clean nm : (module Vbl_lists.Set_intf.S) =
+  match
+    List.find_opt
+      (fun i ->
+        let module S = (val i : Vbl_lists.Set_intf.S) in
+        S.name = nm)
+      Vbl_trees.Registry.instrumented
+  with
+  | Some i -> i
+  | None -> Drive.find_instrumented nm
 
 let clean_suite ?config ?strategy () : (string * Explore.report) list =
   List.map
     (fun (nm, initial, ops) ->
-      (nm, analyze ?config ?strategy (Drive.find_instrumented nm) ~initial ~ops))
+      (nm, analyze ?config ?strategy (find_clean nm) ~initial ~ops))
     clean_cases

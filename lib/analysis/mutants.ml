@@ -24,6 +24,15 @@
       short-circuited, resurrecting the Heller et al. algorithm's whole
       reason for validating — unlinked predecessors and double removes;
       caught as a non-linearizable history.
+    - {!Bst_no_version_recheck}: the versioned-lock BST's insert links
+      into its descent window without re-checking the window version, so
+      two inserts racing for one empty slot both link and the second
+      overwrites the first — a lost update caught by σ̄.
+    - {!Bst_unlocked_rotation_window}: the BST's physical splice decides
+      its restructuring window from the victim's children read {e before}
+      the victim's tree lock is taken, letting a concurrent insert link a
+      fresh leaf under the victim inside the window — the stale splice
+      drops the new key with the victim, again caught by σ̄.
 
     To add a mutation: add a knob defaulting to the clean behaviour, guard
     the single deviating statement on it, instantiate, and register the
@@ -228,6 +237,12 @@ module Make_vbl (K : VBL_KNOBS) (M : Vbl_memops.Mem_intf.S) : Vbl_lists.Set_intf
   let to_list t = List.rev (fold (fun acc v -> v :: acc) [] t)
   let size t = fold (fun acc _ -> acc + 1) 0 t
 
+  include Vbl_lists.Set_intf.Derive (struct
+    type nonrec t = t
+
+    let fold = fold
+  end)
+
   let check_invariants t =
     let rec loop last node steps =
       if steps > 10_000_000 then Error "traversal did not terminate (cycle?)"
@@ -418,6 +433,12 @@ module Make_lazy (K : LAZY_KNOBS) (M : Vbl_memops.Mem_intf.S) : Vbl_lists.Set_in
   let to_list t = List.rev (fold (fun acc v -> v :: acc) [] t)
   let size t = fold (fun acc _ -> acc + 1) 0 t
 
+  include Vbl_lists.Set_intf.Derive (struct
+    type nonrec t = t
+
+    let fold = fold
+  end)
+
   let check_invariants t =
     let rec loop last node steps =
       if steps > 10_000_000 then Error "traversal did not terminate (cycle?)"
@@ -438,6 +459,264 @@ module Make_lazy (K : LAZY_KNOBS) (M : Vbl_memops.Mem_intf.S) : Vbl_lists.Set_in
     match t.head with
     | Node n when M.get n.value = min_int -> loop min_int t.head 0
     | _ -> Error "head sentinel does not store min_int"
+end
+
+module type BST_KNOBS = sig
+  val name : string
+
+  val version_recheck : bool
+  (** insert validates the window version under the tree lock (clean: [true]) *)
+
+  val locked_window : bool
+  (** the splice holds the victim's tree lock across the window (clean: [true]) *)
+end
+
+(** The partially-external versioned-lock BST (verbatim from
+    [Vbl_trees.Vbl_bst]) with the discipline edits of [K] applied:
+
+    - [version_recheck = false]: the link after a failed descent skips
+      the [p.ver = s] comparison, so two inserts racing for one empty
+      slot both link and the second overwrites the first — a lost update
+      the σ̄-extended check exposes;
+    - [locked_window = false]: the physical splice decides its
+      restructuring window from the victim's children read before the
+      victim's tree lock is taken, so a concurrent insert can link a
+      fresh leaf under the victim inside the window and the stale
+      splice drops the new key with it — lost update again. *)
+module Make_bst (K : BST_KNOBS) (M : Vbl_memops.Mem_intf.S) : Vbl_lists.Set_intf.S = struct
+  let name = K.name
+
+  type node = {
+    key : int;
+    deleted : bool M.cell;
+    unlinked : bool M.cell;
+    left : node option M.cell;
+    right : node option M.cell;
+    ver : int M.cell;
+    slock : M.lock;
+    tlock : M.lock;
+  }
+
+  type t = { root : node }
+
+  let node_name k = if k = max_int then "rt" else "N" ^ string_of_int k
+
+  let make_node k =
+    let line = M.fresh_line () in
+    if M.named then begin
+      let nm = node_name k in
+      M.new_node ~name:nm ~line;
+      {
+        key = k;
+        deleted = M.make ~name:(nm ^ ".del") ~line false;
+        unlinked = M.make ~name:(nm ^ ".ulk") ~line false;
+        left = M.make ~name:(nm ^ ".left") ~line None;
+        right = M.make ~name:(nm ^ ".right") ~line None;
+        ver = M.make ~name:(nm ^ ".ver") ~line 0;
+        slock = M.make_lock ~name:(nm ^ ".slock") ~line ();
+        tlock = M.make_lock ~name:(nm ^ ".lock") ~line ();
+      }
+    end
+    else
+      {
+        key = k;
+        deleted = M.make ~line false;
+        unlinked = M.make ~line false;
+        left = M.make ~line None;
+        right = M.make ~line None;
+        ver = M.make ~line 0;
+        slock = M.make_lock ~line ();
+        tlock = M.make_lock ~line ();
+      }
+
+  let create () = { root = make_node max_int }
+
+  let check_key v =
+    if v = min_int || v = max_int then
+      invalid_arg "bst: key must be strictly between min_int and max_int"
+
+  let child n v = if v < n.key then n.left else n.right
+
+  let rec contains_walk n v =
+    if v = n.key then not (M.get n.deleted)
+    else
+      match M.get (if v < n.key then n.left else n.right) with
+      | Some c -> contains_walk c v
+      | None -> false
+
+  let contains t v =
+    check_key v;
+    contains_walk t.root v
+
+  type where = Found of node * node | Missing of node * int
+
+  let locate t v =
+    let rec go p n =
+      if v = n.key then Found (p, n)
+      else
+        let c = child n v in
+        match M.get c with
+        | Some m -> go n m
+        | None -> (
+            let s = M.get n.ver in
+            match M.get c with Some m -> go n m | None -> Missing (n, s))
+    in
+    go t.root t.root
+
+  let insert t v =
+    check_key v;
+    let rec attempt () =
+      match locate t v with
+      | Found (_, n) ->
+          if not (M.get n.deleted) then false
+          else begin
+            M.lock n.slock;
+            if M.get n.unlinked then begin
+              M.unlock n.slock;
+              attempt ()
+            end
+            else if M.get n.deleted then begin
+              M.set n.deleted false;
+              M.unlock n.slock;
+              true
+            end
+            else begin
+              M.unlock n.slock;
+              false
+            end
+          end
+      | Missing (p, s) ->
+          let x = make_node v in
+          M.lock p.tlock;
+          if
+            (not (M.get p.unlinked))
+            && ((not K.version_recheck)
+                (* seeded mutant: link into a window whose version moved *)
+               || M.get p.ver = s)
+          then begin
+            M.set (child p v) (Some x);
+            M.set p.ver (s + 1);
+            M.unlock p.tlock;
+            true
+          end
+          else begin
+            M.unlock p.tlock;
+            attempt ()
+          end
+    in
+    attempt ()
+
+  let cleanup p n =
+    M.lock n.slock;
+    if M.get n.deleted && not (M.get n.unlinked) then begin
+      (* seeded mutant: the splice window is read before the victim's
+         tree lock is taken, so a concurrent insert can still link a
+         fresh leaf under [n] and the stale window splices it away *)
+      let stale_window =
+        if K.locked_window then None else Some (M.get n.left, M.get n.right)
+      in
+      M.lock p.tlock;
+      M.lock n.tlock;
+      let pc = child p n.key in
+      let still_child =
+        match M.get pc with Some m -> m == n | None -> false
+      in
+      if still_child && not (M.get p.unlinked) then begin
+        let window =
+          match stale_window with
+          | Some w -> w
+          | None -> (M.get n.left, M.get n.right)
+        in
+        match window with
+        | Some _, Some _ -> ()
+        | (Some _ as only), None | None, (Some _ as only) | (None as only), None
+          ->
+            M.set n.unlinked true;
+            M.set pc only;
+            M.set p.ver (M.get p.ver + 1)
+      end;
+      M.unlock n.tlock;
+      M.unlock p.tlock
+    end;
+    M.unlock n.slock
+
+  let remove t v =
+    check_key v;
+    let rec attempt () =
+      match locate t v with
+      | Missing _ -> false
+      | Found (p, n) ->
+          if M.get n.deleted then false
+          else begin
+            M.lock n.slock;
+            if M.get n.unlinked then begin
+              M.unlock n.slock;
+              attempt ()
+            end
+            else if M.get n.deleted then begin
+              M.unlock n.slock;
+              false
+            end
+            else begin
+              M.set n.deleted true;
+              M.unlock n.slock;
+              cleanup p n;
+              true
+            end
+          end
+    in
+    attempt ()
+
+  let fold f init t =
+    let rec go acc n =
+      let acc = match M.get n.left with Some c -> go acc c | None -> acc in
+      let acc =
+        if n.key <> max_int && not (M.get n.deleted) then f acc n.key else acc
+      in
+      match M.get n.right with Some c -> go acc c | None -> acc
+    in
+    go init t.root
+
+  let to_list t = List.rev (fold (fun acc v -> v :: acc) [] t)
+  let size t = fold (fun acc _ -> acc + 1) 0 t
+
+  include Vbl_lists.Set_intf.Derive (struct
+    type nonrec t = t
+
+    let fold = fold
+  end)
+
+  let check_invariants t =
+    let exception Bad of string in
+    let check_node n =
+      if M.get n.unlinked then
+        raise (Bad (Printf.sprintf "reachable unlinked node %d" n.key));
+      if M.lock_held n.slock then
+        raise (Bad (Printf.sprintf "node %d state lock left held" n.key));
+      if M.lock_held n.tlock then
+        raise (Bad (Printf.sprintf "node %d tree lock left held" n.key))
+    in
+    let rec go n lo hi depth =
+      if depth > 1_000_000 then raise (Bad "descent did not terminate (cycle?)");
+      if not (lo < n.key && n.key < hi) then
+        raise (Bad (Printf.sprintf "node %d outside (%d, %d)" n.key lo hi));
+      check_node n;
+      (match M.get n.left with Some c -> go c lo n.key (depth + 1) | None -> ());
+      match M.get n.right with Some c -> go c n.key hi (depth + 1) | None -> ()
+    in
+    if t.root.key <> max_int then Error "root is not the max_int sentinel"
+    else
+      try
+        if M.get t.root.deleted then raise (Bad "root sentinel marked deleted");
+        check_node t.root;
+        (match M.get t.root.right with
+        | Some _ -> raise (Bad "root sentinel has a right child")
+        | None -> ());
+        (match M.get t.root.left with
+        | Some c -> go c min_int max_int 0
+        | None -> ());
+        Ok ()
+      with Bad msg -> Error msg
 end
 
 (* Clean knob settings, overridden one at a time below. *)
@@ -496,6 +775,31 @@ module Lazy_no_validation =
     end)
     (Instr)
 
+module Bst_clean_knobs = struct
+  let version_recheck = true
+  let locked_window = true
+end
+
+module Bst_no_version_recheck =
+  Make_bst
+    (struct
+      include Bst_clean_knobs
+
+      let name = "bst-no-version-recheck"
+      let version_recheck = false
+    end)
+    (Instr)
+
+module Bst_unlocked_rotation_window =
+  Make_bst
+    (struct
+      include Bst_clean_knobs
+
+      let name = "bst-unlocked-rotation-window"
+      let locked_window = false
+    end)
+    (Instr)
+
 (* Unlike the knob mutants above, this one leaves the algorithm alone and
    mutates the *backend*: the clean VBL list over the reclaiming
    instrumented memory with the grace period disabled, so a recycled node
@@ -513,6 +817,8 @@ let all : (module Vbl_lists.Set_intf.S) list =
     (module Vbl_no_logical_delete);
     (module Vbl_leaky_lock);
     (module Lazy_no_validation);
+    (module Bst_no_version_recheck);
+    (module Bst_unlocked_rotation_window);
     (module Vbl_reclaim_eager);
   ]
 

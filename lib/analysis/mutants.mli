@@ -40,11 +40,27 @@ module Make_lazy (_ : LAZY_KNOBS) (M : Vbl_memops.Mem_intf.S) : Vbl_lists.Set_in
 (** The lazy list (verbatim from [Vbl_lists.Lazy_list]) with the
     discipline edits of the knobs applied. *)
 
+module type BST_KNOBS = sig
+  val name : string
+
+  val version_recheck : bool
+  (** insert validates the window version under the tree lock (clean: [true]) *)
+
+  val locked_window : bool
+  (** the splice holds the victim's tree lock across the window (clean: [true]) *)
+end
+
+module Make_bst (_ : BST_KNOBS) (M : Vbl_memops.Mem_intf.S) : Vbl_lists.Set_intf.S
+(** The partially-external versioned-lock BST (verbatim from
+    [Vbl_trees.Vbl_bst]) with the discipline edits of the knobs applied. *)
+
 module Vbl_no_deleted_check : Vbl_lists.Set_intf.S
 module Vbl_unlocked_unlink : Vbl_lists.Set_intf.S
 module Vbl_no_logical_delete : Vbl_lists.Set_intf.S
 module Vbl_leaky_lock : Vbl_lists.Set_intf.S
 module Lazy_no_validation : Vbl_lists.Set_intf.S
+module Bst_no_version_recheck : Vbl_lists.Set_intf.S
+module Bst_unlocked_rotation_window : Vbl_lists.Set_intf.S
 
 module Vbl_reclaim_eager : Vbl_lists.Set_intf.S
 (** The clean VBL list over {!Vbl_memops.Instr_reclaim.Eager}: a backend

@@ -26,4 +26,11 @@ module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
   let to_list t = Seq.to_list t.inner
   let size t = Seq.size t.inner
   let check_invariants t = Seq.check_invariants t.inner
+  let fold f init t = Seq.fold f init t.inner
+  let iter f t = Seq.iter f t.inner
+
+  (* A single collection under the global lock is a true snapshot — no
+     double-collect needed. *)
+  let range_query t lo hi = critical t (fun () -> Seq.range_query t.inner lo hi)
+  let approx_size t = Seq.approx_size t.inner
 end

@@ -146,6 +146,12 @@ module Make (M : Vbl_memops.Mem_intf.S) : Set_intf.S = struct
   let to_list t = List.rev (fold (fun acc v -> v :: acc) [] t)
   let size t = fold (fun acc _ -> acc + 1) 0 t
 
+  include Set_intf.Derive (struct
+    type nonrec t = t
+
+    let fold = fold
+  end)
+
   let check_invariants t =
     let rec loop last node steps =
       if steps > 10_000_000 then Error "traversal did not terminate (cycle?)"

@@ -42,9 +42,76 @@ module type S = sig
       algorithm-specific conditions (e.g. VBL: no reachable node is marked
       deleted; lazy/Harris lists tolerate reachable marked nodes only where
       their semantics allow it).  [Error msg] pinpoints the violation. *)
+
+  val fold : ('a -> int -> 'a) -> 'a -> t -> 'a
+  (** In-order fold over the present values, ascending.  Concurrent-safe
+      in the same best-effort sense as a single collecting traversal: the
+      walk takes no locks and applies the algorithm's own notion of
+      presence, so under concurrent updates it sees some interleaving of
+      them (each visited value was present at the moment its node was
+      read).  At quiescence it is exact. *)
+
+  val iter : (int -> unit) -> t -> unit
+  (** [fold]-derived ordered iteration over the present values. *)
+
+  val range_query : t -> int -> int -> int list
+  (** [range_query t lo hi] returns the present values in the inclusive
+      window [lo, hi], ascending.  [lo > hi] yields [[]].  Linearizable
+      in the versioned/locked families via double-collect snapshots (the
+      traversal is repeated until two successive collections agree, so
+      the result is the window contents at a single point between the
+      two agreeing collections); best-effort atomic in the lock-free
+      family, where a bounded number of stabilisation retries may still
+      surrender to heavy churn and return the last collection.  Each
+      implementation documents which contract it provides. *)
+
+  val approx_size : t -> int
+  (** A cheap, possibly stale cardinality estimate.  Exact at
+      quiescence.  Structures with auxiliary counters (e.g. the sharded
+      frontend's striped counters) answer in O(1); plain structures fall
+      back to a counting traversal. *)
 end
 
 (** All algorithms are functors over the memory backend, so the same source
     runs under benchmarks ({!Real_mem}) and under deterministic schedule
     control ({!Instr_mem}). *)
 module type MAKER = functor (M : Vbl_memops.Mem_intf.S) -> S
+
+(** Derives the range operations from a presence-aware ascending [fold].
+
+    [range_query] uses the double-collect discipline: collect the window,
+    collect it again, and accept only when two successive collections
+    agree — the agreeing result is then the window contents at every
+    point between the two traversals, which makes the whole query
+    linearizable whenever the underlying fold only ever observes values
+    that were simultaneously present (true of the locked and versioned
+    families, where presence flips atomically under a lock or a single
+    write).  The retry budget bounds the cost under adversarial churn;
+    when it runs out we return the latest collection, which is the
+    documented best-effort contract of the lock-free variants. *)
+module Derive (Base : sig
+  type t
+
+  val fold : ('a -> int -> 'a) -> 'a -> t -> 'a
+end) =
+struct
+  let iter f t = Base.fold (fun () v -> f v) () t
+  let approx_size t = Base.fold (fun n _ -> n + 1) 0 t
+
+  (* Descending collection (no final reverse) — cheaper to compare across
+     retries; reversed once on acceptance. *)
+  let collect t lo hi =
+    Base.fold (fun acc v -> if lo <= v && v <= hi then v :: acc else acc) [] t
+
+  let stabilize_budget = 64
+
+  let range_query t lo hi =
+    if lo > hi then []
+    else
+      let rec stabilize prev budget =
+        let cur = collect t lo hi in
+        if cur = prev || budget <= 0 then List.rev cur
+        else stabilize cur (budget - 1)
+      in
+      stabilize (collect t lo hi) stabilize_budget
+end

@@ -76,7 +76,13 @@ let run ~(bodies : (unit -> unit) list) ~(results : bool option array)
   let is_invisible (a : Instr.access) =
     match a.kind with
     | Instr.Lock_release | Instr.Touch -> true
-    | Instr.Write | Instr.Cas -> Pattern.field_of_cell a.name = "del"
+    | Instr.Write | Instr.Cas -> (
+        (* Metadata writes: logical flags ([del], the skiplist's
+           [linked], the BST's [ulk]) and version bumps never appear in
+           exported schedules. *)
+        match Pattern.field_of_cell a.name with
+        | "del" | "ulk" | "ver" | "linked" -> true
+        | _ -> false)
     | Instr.Read | Instr.New_node | Instr.Lock_try -> false
   in
   let unblock_via_metadata lock =

@@ -68,3 +68,16 @@ val explore_scenario :
     values as completed inserts and appends one contains probe per
     relevant key reflecting the final contents (the paper's σ̄
     extension — this is what catches lost updates). *)
+
+val explore_range_scenario :
+  (module Vbl_lists.Set_intf.S) ->
+  initial:int list ->
+  range:int * int ->
+  ops:Ll_abstract.opspec list ->
+  Explore.scenario
+(** Thread 0 runs [range_query lo hi] concurrently with one thread per
+    op.  The verdict goes through {!Vbl_spec.Multikey.check} — the
+    whole-state linearizability search that can judge a multi-key read —
+    inside the scenario's [invariants] closure, with σ̄-style trailing
+    contains probes against the final contents.  The single-key history
+    fed to the per-key checker is left empty (subsumed). *)

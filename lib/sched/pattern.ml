@@ -34,8 +34,20 @@ let field_of_cell name =
   | Some i -> String.sub name (i + 1) (String.length name - i - 1)
   | None -> ""
 
-let is_data_field = function "val" | "next" | "amr" -> true | _ -> false
-let is_link_field = function "next" | "amr" -> true | _ -> false
+(* Skip-list towers name their per-level links ["next0"], ["next1"], … *)
+let is_level_link f =
+  String.length f > 4
+  && String.sub f 0 4 = "next"
+  && String.for_all (function '0' .. '9' -> true | _ -> false)
+       (String.sub f 4 (String.length f - 4))
+
+let is_data_field = function
+  | "val" | "next" | "amr" | "key" | "left" | "right" -> true
+  | f -> is_level_link f
+
+let is_link_field = function
+  | "next" | "amr" | "left" | "right" -> true
+  | f -> is_level_link f
 
 (** [matches pat access] — purely syntactic match; CAS success is checked
     by the driver after executing the step (see {!Directed}). *)

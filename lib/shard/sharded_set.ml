@@ -158,6 +158,26 @@ module Make (C_ : CONFIG) (B : Vbl_lists.Set_intf.MAKER) (M : Vbl_memops.Mem_int
     List.sort compare
       (List.concat_map Backend.to_list (Array.to_list t.shards))
 
+  (* Ordered traversal = gather-and-sort: shards partition by hash, so no
+     single shard walk yields ascending order. *)
+  let fold f init t = List.fold_left f init (to_list t)
+  let iter f t = List.iter f (to_list t)
+
+  (* Per-shard windows are each snapshot/best-effort per the backend's
+     contract; the composition is only per-shard atomic (two shards are
+     collected at different moments), which is the documented best-effort
+     semantics of the sharded frontend. *)
+  let range_query t lo hi =
+    if lo > hi then []
+    else
+      List.sort compare
+        (List.concat_map
+           (fun sh -> Backend.range_query sh lo hi)
+           (Array.to_list t.shards))
+
+  (* O(shards): the striped counters already are an approximate size. *)
+  let approx_size = size
+
   let key_of = function Insert v | Remove v | Contains v -> v
 
   let apply_batch t (ops : op array) : bool array =

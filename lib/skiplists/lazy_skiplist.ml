@@ -279,6 +279,12 @@ module Make (M : Vbl_memops.Mem_intf.S) : Vbl_lists.Set_intf.S = struct
   let to_list t = List.rev (fold (fun acc v -> v :: acc) [] t)
   let size t = fold (fun acc _ -> acc + 1) 0 t
 
+  include Vbl_lists.Set_intf.Derive (struct
+    type nonrec t = t
+
+    let fold = fold
+  end)
+
   let check_invariants t =
     (* Tower consistency: every node reachable at an upper level must also
        be reachable at the bottom level (upper levels are index sublists). *)

@@ -1,0 +1,114 @@
+(** Linearizability checking for histories that mix single-key set
+    operations with multi-key range reads.
+
+    {!Linearizability} exploits Herlihy & Wing compositionality to split
+    a history by key — sound because [insert]/[remove]/[contains] of [v]
+    touch only [v]'s one-bit membership object.  A [range_query] breaks
+    that decomposition: its result constrains {e every} key in the
+    window at one common linearization point.  So this checker runs the
+    same Wing-Gong depth-first search, but over the full integer-set
+    state instead of a single membership bit, memoised on
+    (linearized-mask, state).
+
+    Intended for the explorer's small quiescent verdicts (a handful of
+    operations per history): the state-space is tiny there, and the
+    memoisation keeps the search polynomial in practice.  All events
+    must be complete — the drive helpers record an event only when its
+    operation has returned, and quiescence closes every operation. *)
+
+module IntSet = Set.Make (Int)
+
+type op =
+  | Single of Set_model.op
+  | Range of { lo : int; hi : int }  (** inclusive window *)
+
+type result = Bool of bool | Values of int list
+
+type event = {
+  thread : int;
+  op : op;
+  result : result;
+  invoked_at : int;
+  returned_at : int;
+}
+
+let pp_op ppf = function
+  | Single o -> Set_model.pp_op ppf o
+  | Range { lo; hi } -> Format.fprintf ppf "range(%d, %d)" lo hi
+
+let pp_result ppf = function
+  | Bool b -> Format.fprintf ppf "%b" b
+  | Values vs ->
+      Format.fprintf ppf "[%a]" (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ") Format.pp_print_int) vs
+
+let pp_event ppf e =
+  Format.fprintf ppf "t%d:%a=%a@@[%d,%d]" e.thread pp_op e.op pp_result
+    e.result e.invoked_at e.returned_at
+
+let apply_single st = function
+  | Set_model.Insert v -> (IntSet.add v st, not (IntSet.mem v st))
+  | Set_model.Remove v -> (IntSet.remove v st, IntSet.mem v st)
+  | Set_model.Contains v -> (st, IntSet.mem v st)
+
+let window st lo hi =
+  IntSet.elements (IntSet.filter (fun v -> lo <= v && v <= hi) st)
+
+exception Found
+
+let check ?(initial = []) (events : event list) : bool =
+  let arr = Array.of_list events in
+  Array.sort (fun a b -> compare a.invoked_at b.invoked_at) arr;
+  let n = Array.length arr in
+  n = 0
+  ||
+  let visited = Hashtbl.create 256 in
+  let mask = Bytes.make n '\000' in
+  let linearized i = Bytes.get mask i = '\001' in
+  let rec dfs state remaining =
+    if remaining = 0 then raise Found;
+    let memo_key = (Bytes.to_string mask, IntSet.elements state) in
+    if not (Hashtbl.mem visited memo_key) then begin
+      Hashtbl.add visited memo_key ();
+      (* Wing-Gong candidate bound: an operation invoked after some
+         unlinearized operation returned cannot linearize yet. *)
+      let min_ret = ref max_int in
+      for i = 0 to n - 1 do
+        if not (linearized i) then min_ret := min !min_ret arr.(i).returned_at
+      done;
+      try
+        for i = 0 to n - 1 do
+          let e = arr.(i) in
+          if e.invoked_at > !min_ret then raise Exit (* sorted: none beyond *)
+          else if not (linearized i) then begin
+            let state', ok =
+              match (e.op, e.result) with
+              | Single o, Bool b ->
+                  let st', r = apply_single state o in
+                  (st', r = b)
+              | Range { lo; hi }, Values vs -> (state, window state lo hi = vs)
+              | Single _, Values _ | Range _, Bool _ -> (state, false)
+            in
+            if ok then begin
+              Bytes.set mask i '\001';
+              dfs state' (remaining - 1);
+              Bytes.set mask i '\000'
+            end
+          end
+        done
+      with Exit -> ()
+    end
+  in
+  try
+    dfs (IntSet.of_list initial) n;
+    false
+  with Found -> true
+
+let find_violation ?initial events =
+  if check ?initial events then None
+  else
+    Some
+      (Format.asprintf "@[<h>no linearization of {%a}@]"
+         (Format.pp_print_list
+            ~pp_sep:(fun ppf () -> Format.fprintf ppf " ")
+            pp_event)
+         events)

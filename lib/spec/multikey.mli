@@ -1,0 +1,31 @@
+(** Linearizability checking for histories mixing single-key operations
+    with multi-key range reads — the whole-state Wing-Gong search that
+    {!Linearizability}'s per-key decomposition cannot express.  Sized
+    for the explorer's quiescent verdicts (a handful of operations);
+    every event must be complete. *)
+
+type op =
+  | Single of Set_model.op
+  | Range of { lo : int; hi : int }  (** inclusive window *)
+
+type result = Bool of bool | Values of int list
+
+type event = {
+  thread : int;
+  op : op;
+  result : result;  (** [Values] must be ascending, as the structures return *)
+  invoked_at : int;
+  returned_at : int;
+}
+
+val pp_op : Format.formatter -> op -> unit
+val pp_event : Format.formatter -> event -> unit
+
+val check : ?initial:int list -> event list -> bool
+(** [check ~initial events] — is there a single sequential order of all
+    [events], consistent with their real-time intervals, under which
+    every boolean response and every range result matches the sequential
+    set semantics starting from [initial]? *)
+
+val find_violation : ?initial:int list -> event list -> string option
+(** [None] when linearizable, otherwise a rendering of the history. *)

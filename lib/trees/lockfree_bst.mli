@@ -1,0 +1,6 @@
+(** Lock-free external BST (Ellen, Fatourou, Ruppert, van Breugel, PODC
+    2010): flag-help-CAS updates via per-internal-node descriptor cells,
+    wait-free [contains].  The tree family's CAS baseline, as
+    Harris-Michael is the list family's. *)
+
+module Make (M : Vbl_memops.Mem_intf.S) : Vbl_lists.Set_intf.S

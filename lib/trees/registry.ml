@@ -5,20 +5,36 @@ module I = Vbl_memops.Instr_mem
 
 module Sequential_bst = Seq_bst.Make (R)
 module Coarse_bst_impl = Coarse_bst.Make (R)
+module Lazy_bst_impl = Lazy_bst.Make (R)
+module Lockfree_bst_impl = Lockfree_bst.Make (R)
 module Vbl_bst_impl = Vbl_bst.Make (R)
 module Seq_bst_i = Seq_bst.Make (I)
 module Coarse_bst_i = Coarse_bst.Make (I)
+module Lazy_bst_i = Lazy_bst.Make (I)
+module Lockfree_bst_i = Lockfree_bst.Make (I)
 module Vbl_bst_i = Vbl_bst.Make (I)
 
 type impl = (module Vbl_lists.Set_intf.S)
 
 (* The sequential tree is single-threaded only, like the sequential list. *)
-let concurrent : impl list = [ (module Coarse_bst_impl); (module Vbl_bst_impl) ]
+let concurrent : impl list =
+  [
+    (module Coarse_bst_impl);
+    (module Lazy_bst_impl);
+    (module Lockfree_bst_impl);
+    (module Vbl_bst_impl);
+  ]
 
 let all : impl list = (module Sequential_bst : Vbl_lists.Set_intf.S) :: concurrent
 
 let instrumented : impl list =
-  [ (module Seq_bst_i); (module Coarse_bst_i); (module Vbl_bst_i) ]
+  [
+    (module Seq_bst_i);
+    (module Coarse_bst_i);
+    (module Lazy_bst_i);
+    (module Lockfree_bst_i);
+    (module Vbl_bst_i);
+  ]
 
 let find_exn nm : impl =
   match

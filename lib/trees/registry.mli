@@ -3,9 +3,13 @@
 
 module Sequential_bst : Vbl_lists.Set_intf.S
 module Coarse_bst_impl : Vbl_lists.Set_intf.S
+module Lazy_bst_impl : Vbl_lists.Set_intf.S
+module Lockfree_bst_impl : Vbl_lists.Set_intf.S
 module Vbl_bst_impl : Vbl_lists.Set_intf.S
 module Seq_bst_i : Vbl_lists.Set_intf.S
 module Coarse_bst_i : Vbl_lists.Set_intf.S
+module Lazy_bst_i : Vbl_lists.Set_intf.S
+module Lockfree_bst_i : Vbl_lists.Set_intf.S
 module Vbl_bst_i : Vbl_lists.Set_intf.S
 
 type impl = (module Vbl_lists.Set_intf.S)

@@ -152,6 +152,12 @@ module Make (M : Vbl_memops.Mem_intf.S) : Vbl_lists.Set_intf.S = struct
   let to_list t = List.rev (fold (fun acc v -> v :: acc) [] t)
   let size t = fold (fun acc _ -> acc + 1) 0 t
 
+  include Vbl_lists.Set_intf.Derive (struct
+    type nonrec t = t
+
+    let fold = fold
+  end)
+
   (* Structural invariants: external shape, key ranges respected, no
      reachable deleted router, leaves strictly ordered left-to-right. *)
   let check_invariants t =

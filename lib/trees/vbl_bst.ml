@@ -1,215 +1,282 @@
-(** A VBL-style external binary search tree: the paper's concluding-remarks
-    direction for tree-based dictionaries (they cite their own
-    concurrency-optimal BST [9] as evidence it is possible), built with
-    the same ingredients as the VBL list:
+(** The concurrency-optimal partially-external BST of Aksenov, Gramoli,
+    Kuznetsov, Malova and Ravi ("A Concurrency-Optimal Binary Search
+    Tree"), built from the same ingredients the paper distils from the
+    VBL list:
 
-    - {b wait-free descents}: contains never touches locks or flags, and
-      update traversals read no metadata;
-    - {b value checks before any locking}: an insert of a present value or
-      a remove of an absent one returns with zero synchronisation;
-    - {b lock-then-validate-by-identity} on the one or two routers an
-      update actually writes: insert locks the parent only, remove locks
-      grandparent then parent (ancestor order — deadlock-free);
-    - {b logical deletion} of spliced routers (the [deleted] flag) so a
-      validation can tell a stale parent from a live one without
-      re-descending.
+    - {b wait-free descents}: [contains] reads only child pointers and
+      one [deleted] flag — no locks, no versions;
+    - {b value checks before any locking}: inserting a present value or
+      removing an absent one returns with zero synchronisation, and a
+      remove of a logically deleted node likewise refuses without locks;
+    - {b two locks per node}: a {e state} lock protecting the [deleted]
+      flag and a {e tree} lock protecting the child pointers, so an
+      insert reviving a routing node and an insert linking a fresh leaf
+      under the same node never contend;
+    - {b versioned windows}: a descent that falls off the tree at node
+      [p] records [p.ver], and the subsequent link validates {e by
+      version only} ([not p.unlinked && p.ver = s]) under [p]'s tree
+      lock — the window re-validation that makes the schedule in which
+      two inserts race for one empty slot rejectable without
+      re-descending blindly;
+    - {b deletion by state flag}: [remove] linearizes at a single
+      [deleted := true] under the state lock.  Nodes are spliced out
+      only when they have at most one child (the {e partially-external}
+      compromise: a deleted node with two children stays as a routing
+      node until a later restructuring finds it with fewer).  Physical
+      unlinking is one opportunistic attempt under parent-then-victim
+      tree locks in ancestor order; a failed validation just leaves the
+      routing node behind.
 
-    One list-side trick does not transfer: VBL's traversal resumes from
-    [prev] after a failed validation, but an external tree node does not
-    know its parent, so a failed validation here re-descends from the
-    root (as does the concurrency-optimal BST of [9]).
-
-    Leaves are immutable, which keeps every validation a single physical
-    equality on a child pointer. *)
+    Range operations come from {!Vbl_lists.Set_intf.Derive}'s
+    double-collect: presence here flips with a single [deleted]-flag
+    write or a single child-pointer link, so two agreeing collections
+    certify a true snapshot and [range_query] is linearizable. *)
 
 module Make (M : Vbl_memops.Mem_intf.S) : Vbl_lists.Set_intf.S = struct
   let name = "vbl-bst"
 
-  type node =
-    | Leaf of { value : int M.cell }
-    | Router of {
-        key : int M.cell;
-        left : node M.cell;
-        right : node M.cell;
-        deleted : bool M.cell;
-        lock : M.lock;
-      }
+  type node = {
+    key : int;  (** immutable: routing never re-keys a node *)
+    deleted : bool M.cell;  (** state flag — guarded by [slock] *)
+    unlinked : bool M.cell;  (** spliced out — guarded by [tlock] *)
+    left : node option M.cell;
+    right : node option M.cell;
+    ver : int M.cell;  (** bumped by every child write, under [tlock] *)
+    slock : M.lock;
+    tlock : M.lock;
+  }
 
-  type t = { root : node; inner : node }
+  type t = { root : node }
+  (** The root is a sentinel with key [max_int]; every real key routes
+      left of it, so the empty tree is [root.left = None] and the
+      sentinel itself is never deleted or unlinked. *)
 
-  let leaf_name v =
-    if v = min_int then "Lmin" else if v = max_int then "Lmax" else "L" ^ string_of_int v
+  let node_name k = if k = max_int then "rt" else "N" ^ string_of_int k
 
   (* Names are only built for instrumented backends ([M.named]). *)
-  let make_leaf value =
+  let make_node k =
     let line = M.fresh_line () in
     if M.named then begin
-      let nm = leaf_name value in
+      let nm = node_name k in
       M.new_node ~name:nm ~line;
-      Leaf { value = M.make ~name:(nm ^ ".val") ~line value }
-    end
-    else Leaf { value = M.make ~line value }
-
-  let router_name k = "R" ^ if k = max_int then "max" else string_of_int k
-
-  let make_router key left right =
-    let line = M.fresh_line () in
-    if M.named then begin
-      let nm = router_name key in
-      M.new_node ~name:nm ~line;
-      Router
-        {
-          key = M.make ~name:(nm ^ ".key") ~line key;
-          left = M.make ~name:(nm ^ ".left") ~line left;
-          right = M.make ~name:(nm ^ ".right") ~line right;
-          deleted = M.make ~name:(nm ^ ".del") ~line false;
-          lock = M.make_lock ~name:(nm ^ ".lock") ~line ();
-        }
+      {
+        key = k;
+        deleted = M.make ~name:(nm ^ ".del") ~line false;
+        unlinked = M.make ~name:(nm ^ ".ulk") ~line false;
+        left = M.make ~name:(nm ^ ".left") ~line None;
+        right = M.make ~name:(nm ^ ".right") ~line None;
+        ver = M.make ~name:(nm ^ ".ver") ~line 0;
+        slock = M.make_lock ~name:(nm ^ ".slock") ~line ();
+        tlock = M.make_lock ~name:(nm ^ ".lock") ~line ();
+      }
     end
     else
-      Router
-        {
-          key = M.make ~line key;
-          left = M.make ~line left;
-          right = M.make ~line right;
-          deleted = M.make ~line false;
-          lock = M.make_lock ~line ();
-        }
+      {
+        key = k;
+        deleted = M.make ~line false;
+        unlinked = M.make ~line false;
+        left = M.make ~line None;
+        right = M.make ~line None;
+        ver = M.make ~line 0;
+        slock = M.make_lock ~line ();
+        tlock = M.make_lock ~line ();
+      }
 
-  let create () =
-    let inner = make_router max_int (make_leaf min_int) (make_leaf max_int) in
-    { root = make_router max_int inner (make_leaf max_int); inner }
+  let create () = { root = make_node max_int }
 
   let check_key v =
     if v = min_int || v = max_int then
       invalid_arg "bst: key must be strictly between min_int and max_int"
 
-  let child_cell node v =
-    match node with
-    | Router r -> if v < M.get r.key then r.left else r.right
-    | Leaf _ -> assert false
+  let child n v = if v < n.key then n.left else n.right
 
-  let router_lock = function Router r -> r.lock | Leaf _ -> assert false
-  let router_deleted = function Router r -> M.get r.deleted | Leaf _ -> assert false
-  let leaf_value = function Leaf l -> M.get l.value | Router _ -> assert false
+  (* Membership: wait-free, allocation-free descent. *)
+  let[@hot] rec contains_walk n v =
+    if v = n.key then not (M.get n.deleted)
+    else
+      match M.get (if v < n.key then n.left else n.right) with
+      | Some c -> contains_walk c v
+      | None -> false
 
-  (* Wait-free descent to the leaf for [v]: (grandparent, parent, leaf). *)
+  let contains t v =
+    check_key v;
+    contains_walk t.root v
+
+  type where =
+    | Found of node * node  (** parent, node with the key *)
+    | Missing of node * int  (** node we fell off, its version *)
+
+  (* Update descent.  Falling off at [n] records a seqlock-style window:
+     read [n.ver], then re-check the slot is still empty — a later
+     [n.ver = s] comparison under [n]'s tree lock then certifies the
+     slot stayed empty from the re-check to the lock acquisition. *)
   let locate t v =
-    let rec go g p l =
-      match l with Leaf _ -> (g, p, l) | Router _ -> go p l (M.get (child_cell l v))
+    let rec go p n =
+      if v = n.key then Found (p, n)
+      else
+        let c = child n v in
+        match M.get c with
+        | Some m -> go n m
+        | None -> (
+            let s = M.get n.ver in
+            match M.get c with Some m -> go n m | None -> Missing (n, s))
     in
-    go t.root t.inner (M.get (child_cell t.inner v))
-
-  (* Lock [node] and check it is live and still the parent of [expected]
-     for value [v] — the tree-shaped lockNextAt (§3.1).  [@acquires]: on
-     success the lock is handed to the caller (lint L3 exemption). *)
-  let[@acquires] lock_child_at node v expected =
-    M.lock (router_lock node);
-    if (not (router_deleted node)) && M.get (child_cell node v) == expected then true
-    else begin
-      M.unlock (router_lock node);
-      false
-    end
+    go t.root t.root
 
   let insert t v =
     check_key v;
     let rec attempt () =
-      let _, p, l = locate t v in
-      let lv = leaf_value l in
-      if lv = v then false (* present: no lock was ever taken *)
-      else begin
-        let nl = make_leaf v in
-        let small, big, key = if v < lv then (nl, l, lv) else (l, nl, v) in
-        if lock_child_at p v l then begin
-          M.set (child_cell p v) (make_router key small big);
-          M.unlock (router_lock p);
-          true
-        end
-        else attempt ()
-      end
+      match locate t v with
+      | Found (_, n) ->
+          if not (M.get n.deleted) then false (* present: no lock ever taken *)
+          else begin
+            (* Revive the routing node under its state lock — deletion by
+               state flag makes this a one-flag write. *)
+            M.lock n.slock;
+            if M.get n.unlinked then begin
+              M.unlock n.slock;
+              attempt ()
+            end
+            else if M.get n.deleted then begin
+              M.set n.deleted false;
+              M.unlock n.slock;
+              true
+            end
+            else begin
+              M.unlock n.slock;
+              false
+            end
+          end
+      | Missing (p, s) ->
+          let x = make_node v in
+          M.lock p.tlock;
+          (* Version-only window validation: no pointer identity check is
+             needed (or taken) — [ver] unchanged means no link or splice
+             touched [p]'s children since the descent's empty re-check. *)
+          if (not (M.get p.unlinked)) && M.get p.ver = s then begin
+            M.set (child p v) (Some x);
+            M.set p.ver (s + 1);
+            M.unlock p.tlock;
+            true
+          end
+          else begin
+            M.unlock p.tlock;
+            attempt ()
+          end
     in
     attempt ()
+
+  (* One opportunistic physical-unlink attempt after a logical remove.
+     Lock order: victim state lock, then parent tree lock, then victim
+     tree lock.  Tree locks are always taken in ancestor order (the
+     ancestor relation between two live nodes never flips: splices only
+     remove intermediate nodes and links only add leaves), and the one
+     state lock is never waited for while a tree lock is held, so the
+     order is global and deadlock-free.  The state lock serialises the
+     splice against a concurrent revive-insert: without it, an insert
+     could resurrect [n] between our deleted-check and the splice, and
+     we would unlink a live key. *)
+  let cleanup p n =
+    M.lock n.slock;
+    if M.get n.deleted && not (M.get n.unlinked) then begin
+      M.lock p.tlock;
+      M.lock n.tlock;
+      let pc = child p n.key in
+      let still_child =
+        match M.get pc with Some m -> m == n | None -> false
+      in
+      if still_child && not (M.get p.unlinked) then begin
+        match (M.get n.left, M.get n.right) with
+        | Some _, Some _ -> () (* two children: stays as a routing node *)
+        | (Some _ as only), None | None, (Some _ as only) | (None as only), None
+          ->
+            M.set n.unlinked true;
+            M.set pc only;
+            M.set p.ver (M.get p.ver + 1)
+      end;
+      M.unlock n.tlock;
+      M.unlock p.tlock
+    end;
+    M.unlock n.slock
 
   let remove t v =
     check_key v;
     let rec attempt () =
-      let g, p, l = locate t v in
-      if leaf_value l <> v then false (* absent: no lock was ever taken *)
-      else if p == t.inner then begin
-        (* Last real leaf: restore the empty-tree marker under the
-           never-spliced inner sentinel. *)
-        if lock_child_at p v l then begin
-          M.set (child_cell p v) (make_leaf min_int);
-          M.unlock (router_lock p);
-          true
-        end
-        else attempt ()
-      end
-      else if not (lock_child_at g v p) then attempt ()
-      else if not (lock_child_at p v l) then begin
-        M.unlock (router_lock g);
-        attempt ()
-      end
-      else begin
-        (* Both ancestors pinned: p cannot be spliced (needs g's lock) and
-           p's children cannot change (needs p's lock). *)
-        let sibling =
-          match p with
-          | Router r -> if v < M.get r.key then M.get r.right else M.get r.left
-          | Leaf _ -> assert false
-        in
-        (match p with Router r -> M.set r.deleted true | Leaf _ -> assert false);
-        M.set (child_cell g v) sibling;
-        M.unlock (router_lock p);
-        M.unlock (router_lock g);
-        true
-      end
+      match locate t v with
+      | Missing _ -> false (* absent: no lock ever taken *)
+      | Found (p, n) ->
+          if M.get n.deleted then false (* already absent: still lock-free *)
+          else begin
+            M.lock n.slock;
+            if M.get n.unlinked then begin
+              M.unlock n.slock;
+              attempt ()
+            end
+            else if M.get n.deleted then begin
+              M.unlock n.slock;
+              false
+            end
+            else begin
+              M.set n.deleted true;
+              (* linearization point *)
+              M.unlock n.slock;
+              cleanup p n;
+              true
+            end
+          end
     in
     attempt ()
 
-  let contains t v =
-    check_key v;
-    let _, _, l = locate t v in
-    leaf_value l = v
-
+  (* In-order over live keys; deleted routing nodes are skipped, the
+     sentinel contributes nothing. *)
   let fold f init t =
-    let rec go acc node =
-      match node with
-      | Leaf l ->
-          let v = M.get l.value in
-          if v = min_int || v = max_int then acc else f acc v
-      | Router r ->
-          let acc = go acc (M.get r.left) in
-          go acc (M.get r.right)
+    let rec go acc n =
+      let acc = match M.get n.left with Some c -> go acc c | None -> acc in
+      let acc =
+        if n.key <> max_int && not (M.get n.deleted) then f acc n.key else acc
+      in
+      match M.get n.right with Some c -> go acc c | None -> acc
     in
     go init t.root
 
   let to_list t = List.rev (fold (fun acc v -> v :: acc) [] t)
   let size t = fold (fun acc _ -> acc + 1) 0 t
 
+  include Vbl_lists.Set_intf.Derive (struct
+    type nonrec t = t
+
+    let fold = fold
+  end)
+
   let check_invariants t =
     let exception Bad of string in
-    let rec go node lo hi depth =
-      if depth > 1_000_000 then raise (Bad "descent did not terminate (cycle?)");
-      match node with
-      | Leaf l ->
-          let v = M.get l.value in
-          if not (lo <= v && v < hi) && not (v = max_int && hi = max_int) then
-            raise (Bad (Printf.sprintf "leaf %d outside range [%d, %d)" v lo hi))
-      | Router r ->
-          if M.get r.deleted then raise (Bad "reachable deleted router");
-          if M.lock_held r.lock then raise (Bad "router left locked");
-          let k = M.get r.key in
-          if k <= lo || k > hi then
-            raise (Bad (Printf.sprintf "router key %d outside (%d, %d]" k lo hi));
-          go (M.get r.left) lo k (depth + 1);
-          go (M.get r.right) k hi (depth + 1)
+    let check_node n =
+      if M.get n.unlinked then
+        raise (Bad (Printf.sprintf "reachable unlinked node %d" n.key));
+      if M.lock_held n.slock then
+        raise (Bad (Printf.sprintf "node %d state lock left held" n.key));
+      if M.lock_held n.tlock then
+        raise (Bad (Printf.sprintf "node %d tree lock left held" n.key))
     in
-    match t.root with
-    | Router r when M.get r.key = max_int -> (
-        try
-          go (M.get r.left) min_int max_int 0;
-          Ok ()
-        with Bad msg -> Error msg)
-    | Router _ | Leaf _ -> Error "root is not the max_int sentinel router"
+    let rec go n lo hi depth =
+      if depth > 1_000_000 then raise (Bad "descent did not terminate (cycle?)");
+      if not (lo < n.key && n.key < hi) then
+        raise (Bad (Printf.sprintf "node %d outside (%d, %d)" n.key lo hi));
+      check_node n;
+      (match M.get n.left with Some c -> go c lo n.key (depth + 1) | None -> ());
+      match M.get n.right with Some c -> go c n.key hi (depth + 1) | None -> ()
+    in
+    if t.root.key <> max_int then Error "root is not the max_int sentinel"
+    else
+      try
+        if M.get t.root.deleted then raise (Bad "root sentinel marked deleted");
+        check_node t.root;
+        (match M.get t.root.right with
+        | Some _ -> raise (Bad "root sentinel has a right child")
+        | None -> ());
+        (match M.get t.root.left with
+        | Some c -> go c min_int max_int 0
+        | None -> ());
+        Ok ()
+      with Bad msg -> Error msg
 end

@@ -1,8 +1,10 @@
-(** VBL-style external BST (the paper's future-work direction for
-    tree-based dictionaries): wait-free descents, value checks before any
-    locking, identity validation under one (insert) or two (remove)
-    router locks taken in ancestor order, logical deletion of spliced
-    routers.  See the implementation header for the one list-side trick
-    that does not transfer. *)
+(** The concurrency-optimal partially-external BST (Aksenov et al., "A
+    Concurrency-Optimal Binary Search Tree"): wait-free descents, value
+    checks before any locking, per-node state/tree lock pairs, versioned
+    window re-validation for links, deletion by state flag with
+    opportunistic physical unlinking of nodes that have at most one
+    child.  Instrumented node names are ["N<key>"] with the root
+    sentinel ["rt"]; cells are [.del]/[.ulk]/[.left]/[.right]/[.ver]
+    and the two locks [.slock]/[.lock]. *)
 
 module Make (M : Vbl_memops.Mem_intf.S) : Vbl_lists.Set_intf.S

@@ -1,0 +1,5 @@
+(* See token.mli. *)
+
+type t = unit ref
+
+let fresh () = ref ()

@@ -1,0 +1,9 @@
+(** Fresh physical-identity tokens.  Every [fresh ()] allocates a new
+    box, so two tokens from different calls are never physically equal —
+    an ABA-proof "version" for CAS-expected values without maintaining a
+    counter.  Tokens carry no data and are only ever compared by the
+    runtime's pointer equality inside [compare_and_set]. *)
+
+type t
+
+val fresh : unit -> t

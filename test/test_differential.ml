@@ -377,6 +377,96 @@ let mutant_dump_case =
             Alcotest.failf "divergence message lacks the shrunk counterexample:\n%s" e)
 
 (* ------------------------------------------------------------------ *)
+(* Mode 4: range queries vs sequential replay                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Deterministic range differential: apply the same random updates to an
+   implementation and to a Seq_list replica, comparing a random window's
+   range_query after every batch.  Single-domain, so the derived
+   double-collect must agree with the replica exactly — this pins the
+   inclusive-bounds contract across every family. *)
+let range_replay_case impl =
+  let module S = (val impl : Vbl_lists.Set_intf.S) in
+  Alcotest.test_case (S.name ^ ": range_query matches sequential replay") `Quick
+    (fun () ->
+      let rng = Rng.create ~seed:2024L () in
+      let t = S.create () in
+      let replica = Seq.create () in
+      for round = 0 to 149 do
+        for _ = 1 to 16 do
+          let k = 1 + Rng.int rng 64 in
+          if Rng.bool rng then begin
+            let got = S.insert t k and want = Seq.insert replica k in
+            if got <> want then
+              Alcotest.failf "%s: round %d: insert %d diverges" S.name round k
+          end
+          else begin
+            let got = S.remove t k and want = Seq.remove replica k in
+            if got <> want then
+              Alcotest.failf "%s: round %d: remove %d diverges" S.name round k
+          end
+        done;
+        let lo = 1 + Rng.int rng 64 in
+        let hi = lo + Rng.int rng 32 - 8 (* sometimes inverted *) in
+        let got = S.range_query t lo hi in
+        let want = Seq.range_query replica lo hi in
+        if got <> want then
+          Alcotest.failf "%s: round %d: range [%d,%d] = {%s}, replay says {%s}" S.name
+            round lo hi
+            (String.concat "," (List.map string_of_int got))
+            (String.concat "," (List.map string_of_int want))
+      done;
+      Alcotest.(check int)
+        "approx_size agrees at rest" (List.length (S.to_list t)) (S.approx_size t))
+
+(* Concurrent range smoke under real parallelism: a reader domain runs
+   range queries while writers churn.  Snapshot atomicity is the DPOR
+   range scenarios' business; here each snapshot must merely be
+   well-formed — strictly ascending, deduplicated and inside the asked
+   window — i.e. the traversal never tears. *)
+let range_stress_case impl =
+  let module S = (val impl : Vbl_lists.Set_intf.S) in
+  Alcotest.test_case (S.name ^ ": concurrent range snapshots well-formed") `Quick
+    (fun () ->
+      let t = S.create () in
+      let writers = 4 and key_range = 64 in
+      let stop = Atomic.make false in
+      let bad = Atomic.make None in
+      let reader () =
+        let rng = Rng.create ~seed:99L () in
+        while not (Atomic.get stop) do
+          let lo = 1 + Rng.int rng key_range in
+          let hi = lo + Rng.int rng 16 in
+          let snap = S.range_query t lo hi in
+          let rec ascending = function
+            | a :: (b :: _ as rest) -> a < b && ascending rest
+            | [ _ ] | [] -> true
+          in
+          if not (ascending snap && List.for_all (fun v -> lo <= v && v <= hi) snap)
+          then ignore (Atomic.compare_and_set bad None (Some (lo, hi, snap)))
+        done
+      in
+      let writer d () =
+        let rng = Rng.stream ~seed:31337L ~index:d in
+        for _ = 1 to 20_000 do
+          let k = 1 + Rng.int rng key_range in
+          if Rng.bool rng then ignore (S.insert t k) else ignore (S.remove t k)
+        done
+      in
+      let rd = Domain.spawn reader in
+      List.iter Domain.join (List.init writers (fun d -> Domain.spawn (writer d)));
+      Atomic.set stop true;
+      Domain.join rd;
+      (match Atomic.get bad with
+      | None -> ()
+      | Some (lo, hi, snap) ->
+          Alcotest.failf "%s: torn range snapshot [%d,%d]: {%s}" S.name lo hi
+            (String.concat "," (List.map string_of_int snap)));
+      match S.check_invariants t with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "%s: invariants after range stress: %s" S.name m)
+
+(* ------------------------------------------------------------------ *)
 (* Mode 3: batched vs one-at-a-time application                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -444,7 +534,9 @@ let batch_case (impl : (module Vbl_shard.Sharded_set.S)) =
 
 let () =
   let impl_cases =
-    List.map real_case (Vbl_lists.Registry.concurrent @ Vbl_shard.Registry.all)
+    List.map real_case
+      (Vbl_lists.Registry.concurrent @ Vbl_shard.Registry.all
+      @ Vbl_skiplists.Registry.all @ Vbl_trees.Registry.concurrent)
   in
   let churn_cases =
     List.map churn_case
@@ -463,6 +555,9 @@ let () =
         (module Vbl_sched.Drive.Hm_tagged_i);
         (module Vbl_sched.Drive.Coarse_i);
         (module Vbl_shard.Registry.Vbl_sharded_4_i);
+        (module Vbl_skiplists.Registry.Vbl_skip_i);
+        (module Vbl_trees.Registry.Vbl_bst_i);
+        (module Vbl_trees.Registry.Lazy_bst_i);
       ]
   in
   let mutants =
@@ -471,8 +566,23 @@ let () =
         (module Vbl_analysis.Mutants.Vbl_leaky_lock : Vbl_lists.Set_intf.S);
       instr_mutant_case "vbl-no-logical-delete"
         (module Vbl_analysis.Mutants.Vbl_no_logical_delete);
+      instr_mutant_case "bst-no-version-recheck"
+        (module Vbl_analysis.Mutants.Bst_no_version_recheck);
       mutant_dump_case;
     ]
+  in
+  let range_cases =
+    List.map range_replay_case
+      (Vbl_lists.Registry.concurrent @ Vbl_skiplists.Registry.all
+      @ Vbl_trees.Registry.concurrent @ Vbl_shard.Registry.all)
+    @ List.map range_stress_case
+        [
+          (module Vbl_lists.Registry.Vbl : Vbl_lists.Set_intf.S);
+          (module Vbl_skiplists.Registry.Vbl_skip);
+          (module Vbl_skiplists.Registry.Lockfree_skip);
+          (module Vbl_trees.Registry.Vbl_bst_impl);
+          (module Vbl_trees.Registry.Lockfree_bst_impl);
+        ]
   in
   Alcotest.run "differential"
     [
@@ -481,4 +591,5 @@ let () =
       ("instr-random-scheduler", clean_instr);
       ("instr-mutants", mutants);
       ("batch", List.map batch_case Vbl_shard.Registry.batched);
+      ("range", range_cases);
     ]

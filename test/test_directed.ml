@@ -201,5 +201,153 @@ let driver_tests =
         Alcotest.(check bool) "accepted" true (Directed.accepted outcome));
   ]
 
+(* Optimality schedule suites for the tree and skip-list families: the
+   Figure-2 argument of the paper transplanted to the other structures.
+   Each accepted schedule pins the step names of a "decide while someone
+   else holds the window" interleaving and must complete verbatim on the
+   versioned-lock implementation; the same abstract schedule is refused
+   by the lock-first baseline with the pinned rejection kind. *)
+
+let vbl_bst : Drive.impl = (module Vbl_trees.Registry.Vbl_bst_i)
+let lazy_bst : Drive.impl = (module Vbl_trees.Registry.Lazy_bst_i)
+let vbl_skip : Drive.impl = (module Vbl_skiplists.Registry.Vbl_skip_i)
+let lazy_skip : Drive.impl = (module Vbl_skiplists.Registry.Lazy_skip_i)
+
+let check_accepted outcome =
+  match outcome with
+  | Directed.Accepted _ -> ()
+  | Directed.Rejected { at; reason; _ } ->
+      Alcotest.failf "rejected at directive %d: %a" at Directed.pp_rejection reason
+
+let bst_tests =
+  [
+    Alcotest.test_case "vbl-bst accepts the decide-without-locking schedule" `Quick
+      (fun () ->
+        (* Thread 1's insert 2 parks holding N1's tree lock; thread 0's
+           insert 1 still decides "already present" and returns with zero
+           lock acquisitions — the zero-locks read path the versioned
+           windows buy (paper section 2.2). *)
+        check_accepted
+          (Drive.run_script vbl_bst ~initial:[ 1 ]
+             ~ops:[ Ll_abstract.insert 1; Ll_abstract.insert 2 ]
+             [
+               Directed.Step (1, Pattern.New_node "N2");
+               Directed.Step (1, Pattern.Lock_node "N1");
+               Directed.Step (0, Pattern.Read_node "rt");
+               Directed.Step (0, Pattern.Exact (Instr.Read, "N1.del"));
+               Directed.Ret (0, false);
+               Directed.Ret (1, true);
+             ]));
+    Alcotest.test_case "lazy-bst refuses it: the present-check blocks" `Quick (fun () ->
+        (* The same abstract schedule on the lock-first baseline: thread 0
+           cannot decide "present" without R1's lock, which thread 1
+           holds — the schedule is rejected with Thread_blocked, exactly
+           the lazy list's Figure-2 argument. *)
+        match
+          Drive.run_script lazy_bst ~initial:[ 1 ]
+            ~ops:[ Ll_abstract.insert 1; Ll_abstract.insert 2 ]
+            [
+              Directed.Step (1, Pattern.Lock_node "R1");
+              Directed.Ret (0, false);
+            ]
+        with
+        | Directed.Rejected { reason = Directed.Thread_blocked { tid = 0; lock }; _ } ->
+            Alcotest.(check string) "blocking lock" "R1.lock" lock
+        | Directed.Accepted _ -> Alcotest.fail "lazy-bst accepted a blocked schedule"
+        | Directed.Rejected { reason; _ } ->
+            Alcotest.failf "wrong rejection: %a" Directed.pp_rejection reason);
+    Alcotest.test_case "vbl-bst refuses the lost-update schedule" `Quick (fun () ->
+        (* Both inserts fall off the empty root slot; after thread 0 links
+           N1 (bumping rt.ver), a script demanding thread 1 still link
+           into rt is refused: the version validation fails and thread 1
+           relocates, linking under N1 instead — it completes without
+           ever writing rt's window. *)
+        match
+          Drive.run_script vbl_bst ~initial:[]
+            ~ops:[ Ll_abstract.insert 1; Ll_abstract.insert 2 ]
+            [
+              Directed.Step (1, Pattern.New_node "N2");
+              Directed.Ret (0, true);
+              Directed.Step (1, Pattern.Write_node "rt");
+            ]
+        with
+        | Directed.Rejected { at = 2; reason = Directed.Completed_early { tid = 1; _ }; _ }
+          -> ()
+        | Directed.Accepted _ -> Alcotest.fail "vbl-bst performed a stale-window write"
+        | Directed.Rejected { reason; _ } ->
+            Alcotest.failf "wrong rejection: %a" Directed.pp_rejection reason);
+  ]
+
+let skiplist_tests =
+  [
+    Alcotest.test_case "vbl-skiplist accepts insert ahead of a marked victim" `Quick
+      (fun () ->
+        (* Thread 0 marks X2 and parks before splicing; thread 1's insert
+           of 1 validates the window with the marked successor still in
+           place (the relaxed validation tolerates it: the remover
+           re-routes through the new node) and links. The parked remove
+           then revalidates, re-finds and splices behind X1. *)
+        check_accepted
+          (Drive.run_script vbl_skip ~initial:[ 2 ]
+             ~ops:[ Ll_abstract.remove 2; Ll_abstract.insert 1 ]
+             [
+               Directed.Step (0, Pattern.Lock_node "X2");
+               Directed.Step (0, Pattern.Mark_node "X2");
+               Directed.Step (1, Pattern.Lock_node "h");
+               Directed.Step (1, Pattern.New_node "X1");
+               Directed.Step (1, Pattern.Write_node "h");
+               Directed.Ret (1, true);
+               Directed.Ret (0, true);
+             ]));
+    Alcotest.test_case "lazy-skiplist refuses it: validation wants unmarked succs" `Quick
+      (fun () ->
+        (* Same schedule on the lazy skip list: its insert validation also
+           requires the successor unmarked, so with X2 marked and its
+           remover parked, thread 1 retries forever and never reaches
+           new(X1). *)
+        match
+          Drive.run_script lazy_skip ~initial:[ 2 ]
+            ~ops:[ Ll_abstract.remove 2; Ll_abstract.insert 1 ]
+            [
+              Directed.Step (0, Pattern.Lock_node "X2");
+              Directed.Step (0, Pattern.Mark_node "X2");
+              Directed.Step (1, Pattern.Lock_node "h");
+              Directed.Step (1, Pattern.New_node "X1");
+            ]
+        with
+        | Directed.Rejected { at = 3; reason = Directed.No_matching_step { tid = 1; _ }; _ }
+          -> ()
+        | Directed.Accepted _ ->
+            Alcotest.fail "lazy-skiplist linked in front of a marked node"
+        | Directed.Rejected { reason; _ } ->
+            Alcotest.failf "wrong rejection: %a" Directed.pp_rejection reason);
+    Alcotest.test_case "head lock serialises concurrent skip-list inserts" `Quick
+      (fun () ->
+        (* Contrast with the list/BST lost-update scripts: in the tower
+           scheme both inserts must lock the shared predecessor h before
+           writing, so the overwrite schedule is not just invalidated, it
+           is structurally blocked. *)
+        match
+          Drive.run_script vbl_skip ~initial:[]
+            ~ops:[ Ll_abstract.insert 1; Ll_abstract.insert 2 ]
+            [
+              Directed.Step (0, Pattern.Lock_node "h");
+              Directed.Step (1, Pattern.Write_node "h");
+            ]
+        with
+        | Directed.Rejected { at = 1; reason = Directed.Thread_blocked { tid = 1; lock }; _ }
+          ->
+            Alcotest.(check string) "blocking lock" "h.lock" lock
+        | Directed.Accepted _ -> Alcotest.fail "insert wrote h without h's lock"
+        | Directed.Rejected { reason; _ } ->
+            Alcotest.failf "wrong rejection: %a" Directed.pp_rejection reason);
+  ]
+
 let () =
-  Alcotest.run "directed" [ ("pattern", pattern_tests); ("driver", driver_tests) ]
+  Alcotest.run "directed"
+    [
+      ("pattern", pattern_tests);
+      ("driver", driver_tests);
+      ("bst optimality", bst_tests);
+      ("skiplist optimality", skiplist_tests);
+    ]

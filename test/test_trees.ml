@@ -58,6 +58,32 @@ let unit_tests (impl : Vbl_trees.Registry.impl) =
           (fun () -> ignore (S.insert t min_int)));
   ]
 
+(* Range-operation semantics, derived for every implementation from the
+   presence-aware ascending fold (Set_intf.Derive). *)
+let range_tests (impl : Vbl_trees.Registry.impl) =
+  let module S = (val impl) in
+  let mk name fn = Alcotest.test_case (S.name ^ ": " ^ name) `Quick fn in
+  [
+    mk "range edge cases" (fun () ->
+        let t = S.create () in
+        Alcotest.(check (list int)) "empty tree" [] (S.range_query t min_int max_int);
+        List.iter (fun v -> ignore (S.insert t v)) [ 1; 3; 5; 7 ];
+        Alcotest.(check (list int)) "inverted bounds" [] (S.range_query t 5 3);
+        Alcotest.(check (list int)) "inclusive bounds" [ 3; 5 ] (S.range_query t 3 5);
+        Alcotest.(check (list int)) "straddling bounds" [ 3; 5 ] (S.range_query t 2 6);
+        Alcotest.(check (list int)) "singleton hit" [ 7 ] (S.range_query t 7 7);
+        Alcotest.(check (list int)) "gap" [] (S.range_query t 4 4);
+        Alcotest.(check (list int)) "full range equals to_list" (S.to_list t)
+          (S.range_query t min_int max_int));
+    mk "iter and approx_size agree with fold" (fun () ->
+        let t = S.create () in
+        List.iter (fun v -> ignore (S.insert t v)) [ 2; 9; 4 ];
+        let seen = ref [] in
+        S.iter (fun v -> seen := v :: !seen) t;
+        Alcotest.(check (list int)) "iter ascending" [ 2; 4; 9 ] (List.rev !seen);
+        Alcotest.(check int) "approx_size" 3 (S.approx_size t));
+  ]
+
 type op = Insert of int | Remove of int | Contains of int
 
 let pp_op = function
@@ -145,6 +171,45 @@ let explore_tests =
         | None -> Alcotest.fail "expected the unsynchronised BST to fail");
   ]
 
+(* Range queries under exploration: a 3-thread scenario per tree — the
+   range thread races two mutators and the whole-state Multikey checker
+   judges every interleaving (Drive.explore_range_scenario). *)
+let range_explore_tests =
+  let config =
+    { Vbl_sched.Explore.max_executions = 200_000; preemption_bound = Some 3; max_steps = 5_000 }
+  in
+  let range_ok name impl initial range ops =
+    Alcotest.test_case (name ^ ": range query linearizable") `Slow (fun () ->
+        let scenario = Vbl_sched.Drive.explore_range_scenario impl ~initial ~range ~ops in
+        let r = Vbl_sched.Explore.run ~config scenario in
+        Alcotest.(check bool) "not truncated" false r.Vbl_sched.Explore.truncated;
+        match r.Vbl_sched.Explore.failure with
+        | None -> ()
+        | Some f -> Alcotest.failf "%a" Vbl_sched.Explore.pp_failure f)
+  in
+  [
+    range_ok "vbl-bst"
+      (module Vbl_trees.Registry.Vbl_bst_i)
+      [ 1; 3 ] (1, 3)
+      [ Vbl_sched.Ll_abstract.remove 1; Vbl_sched.Ll_abstract.insert 2 ];
+    range_ok "coarse-bst"
+      (module Vbl_trees.Registry.Coarse_bst_i)
+      [ 2 ] (1, 3)
+      [ Vbl_sched.Ll_abstract.insert 1; Vbl_sched.Ll_abstract.remove 2 ];
+    Alcotest.test_case "sequential-bst range caught (canary)" `Slow (fun () ->
+        let scenario =
+          Vbl_sched.Drive.explore_range_scenario
+            (module Vbl_trees.Registry.Seq_bst_i)
+            ~initial:[] ~range:(1, 3)
+            ~ops:[ Vbl_sched.Ll_abstract.insert 1; Vbl_sched.Ll_abstract.insert 3 ]
+        in
+        let r = Vbl_sched.Explore.run ~config scenario in
+        match r.Vbl_sched.Explore.failure with
+        | Some (Vbl_sched.Explore.Invariant_broken _) -> ()
+        | Some f -> Alcotest.failf "unexpected failure: %a" Vbl_sched.Explore.pp_failure f
+        | None -> Alcotest.fail "expected the unsynchronised BST range to fail");
+  ]
+
 (* Real-domain stress with linearizability (same harness as the lists). *)
 let stress (impl : Vbl_trees.Registry.impl) ~domains ~ops_per_domain ~key_range ~update_percent
     ~seed =
@@ -228,6 +293,10 @@ let () =
     (List.map
        (fun impl ->
          let module S = (val impl : Vbl_lists.Set_intf.S) in
-         (S.name, unit_tests impl @ property_tests impl))
+         (S.name, unit_tests impl @ range_tests impl @ property_tests impl))
        impls
-    @ [ ("explore", explore_tests); ("stress", stress_tests) ])
+    @ [
+        ("explore", explore_tests);
+        ("range explore", range_explore_tests);
+        ("stress", stress_tests);
+      ])
