@@ -56,14 +56,18 @@ module type S = sig
 
   val range_query : t -> int -> int -> int list
   (** [range_query t lo hi] returns the present values in the inclusive
-      window [lo, hi], ascending.  [lo > hi] yields [[]].  Linearizable
-      in the versioned/locked families via double-collect snapshots (the
-      traversal is repeated until two successive collections agree, so
-      the result is the window contents at a single point between the
-      two agreeing collections); best-effort atomic in the lock-free
-      family, where a bounded number of stabilisation retries may still
-      surrender to heavy churn and return the last collection.  Each
-      implementation documents which contract it provides. *)
+      window [lo, hi], ascending.  [lo > hi] yields [[]].  Atomicity is
+      per-implementation: genuinely linearizable only where the
+      collection runs in mutual exclusion (the coarse wrappers collect
+      under their global lock).  Everywhere else the operation derives
+      from {!Derive} and is best-effort: the traversal repeats until two
+      successive collections agree (bounded retries), which filters most
+      torn windows but certifies nothing — a key removed and re-inserted
+      between the two collections (ABA) restores agreement, so the
+      result can be a window that no single instant ever contained, and
+      an agreeing result is indistinguishable from one returned because
+      the retry budget ran out.  Each implementation documents which
+      contract it provides. *)
 
   val approx_size : t -> int
   (** A cheap, possibly stale cardinality estimate.  Exact at
@@ -80,15 +84,27 @@ module type MAKER = functor (M : Vbl_memops.Mem_intf.S) -> S
 (** Derives the range operations from a presence-aware ascending [fold].
 
     [range_query] uses the double-collect discipline: collect the window,
-    collect it again, and accept only when two successive collections
-    agree — the agreeing result is then the window contents at every
-    point between the two traversals, which makes the whole query
-    linearizable whenever the underlying fold only ever observes values
-    that were simultaneously present (true of the locked and versioned
-    families, where presence flips atomically under a lock or a single
-    write).  The retry budget bounds the cost under adversarial churn;
-    when it runs out we return the latest collection, which is the
-    documented best-effort contract of the lock-free variants. *)
+    collect it again, retry until two successive collections agree.
+    This is a stabilisation heuristic, {e not} a snapshot certificate.
+    Agreement does not imply the window was stable: with initial [{1}],
+    a single updater running
+    [remove 1; insert 2; remove 2; insert 1; remove 1; insert 2]
+    concurrently with [range_query 1 2] can let both collections observe
+    [[1; 2]] even though [{1, 2}] never exists at any instant — the
+    removal and re-insertion between the two collections (ABA) restores
+    agreement.  Certifying stability would need per-node modification
+    stamps in the collected view (plus boundary-predecessor stamps for
+    the lists and routing-node stamps for the trees); no family carries
+    them, so {e every} structure deriving its range ops from this
+    functor — locked, versioned and lock-free alike — provides the
+    best-effort contract only.  The retry budget bounds the cost under
+    adversarial churn; when it runs out the latest collection is
+    returned as-is.  That surrender is deliberately not surfaced to the
+    caller: since agreement certifies nothing either, a flag separating
+    the two outcomes would carry no semantic weight.  Truly linearizable
+    range queries live where a single collection runs in mutual
+    exclusion — the coarse wrappers, which collect under their global
+    lock. *)
 module Derive (Base : sig
   type t
 

@@ -23,11 +23,16 @@ module Make (M : Vbl_memops.Mem_intf.S) : Vbl_lists.Set_intf.S = struct
   let to_list t = Seq.to_list t.inner
   let size t = Seq.size t.inner
   let check_invariants t = Seq.check_invariants t.inner
-  let fold f init t = Seq.fold f init t.inner
-  let iter f t = Seq.iter f t.inner
+  (* Reads serialize with writers too: Seq_bst is not built for
+     concurrent traversal (a walk racing a remove's splice can miss live
+     keys), and coarse is the zero-concurrency anchor, so fold/iter and
+     the derived approx_size take the global lock like everything else. *)
+  let fold f init t = critical t (fun () -> Seq.fold f init t.inner)
+  let iter f t = critical t (fun () -> Seq.iter f t.inner)
 
-  (* A single collection under the global lock is a true snapshot — no
-     double-collect needed. *)
+  (* A single collection under the global lock is a true snapshot, so
+     this is the one tree family member whose range_query is genuinely
+     linearizable (Set_intf.Derive's double-collect certifies nothing). *)
   let range_query t lo hi = critical t (fun () -> Seq.range_query t.inner lo hi)
-  let approx_size t = Seq.approx_size t.inner
+  let approx_size t = critical t (fun () -> Seq.approx_size t.inner)
 end

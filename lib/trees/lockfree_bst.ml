@@ -27,9 +27,10 @@
 
     Structure, sentinels and naming follow {!Seq_bst} (["R<key>"]
     internal nodes; leaves are immutable and unnamed cells-wise).  Range
-    operations derive from the shared double-collect, with the
-    lock-free family's documented best-effort contract: under churn the
-    stabilisation budget may expire and return the last collection. *)
+    operations derive from the shared double-collect and carry its
+    family-wide best-effort contract: agreement of two collections is a
+    stabilisation heuristic, not a snapshot certificate, and under churn
+    the budget may expire and return the last collection. *)
 
 module Make (M : Vbl_memops.Mem_intf.S) : Vbl_lists.Set_intf.S = struct
   let name = "lockfree-bst"

@@ -28,9 +28,13 @@
       routing node behind.
 
     Range operations come from {!Vbl_lists.Set_intf.Derive}'s
-    double-collect: presence here flips with a single [deleted]-flag
-    write or a single child-pointer link, so two agreeing collections
-    certify a true snapshot and [range_query] is linearizable. *)
+    double-collect and carry its family-wide best-effort contract:
+    presence here flips with a single [deleted]-flag write or a single
+    child-pointer link, so each collected value was present at the
+    moment its node was read, but two agreeing collections do not
+    certify a snapshot — an ABA toggle (remove + re-insert between the
+    collections) restores agreement — so [range_query] is not
+    linearizable under concurrent updates. *)
 
 module Make (M : Vbl_memops.Mem_intf.S) : Vbl_lists.Set_intf.S = struct
   let name = "vbl-bst"

@@ -140,10 +140,73 @@ let property_tests (impl : Vbl_lists.Registry.impl) =
          (agrees_with_model impl));
   ]
 
+(* Set_intf.Derive semantics, pinned against a scripted base whose
+   successive folds replay fixed views (the last view repeats once the
+   script runs out).  The first case is the reason the derived
+   range_query documents a best-effort contract for every family:
+   agreement of two collections is not a snapshot certificate, because
+   an ABA toggle between them restores agreement.  test_spec.ml holds
+   the matching Multikey rejection of the full history. *)
+module Scripted = struct
+  type t = int list list ref
+
+  let fold f init t =
+    let view =
+      match !t with
+      | [] -> []
+      | [ v ] -> v
+      | v :: rest ->
+          t := rest;
+          v
+    in
+    List.fold_left f init view
+end
+
+module Scripted_range = Vbl_lists.Set_intf.Derive (Scripted)
+
+let derive_tests =
+  [
+    Alcotest.test_case "agreement is not a snapshot certificate (ABA)" `Quick
+      (fun () ->
+        (* With initial {1} and an updater running remove 1; insert 2;
+           remove 2; insert 1; remove 1; insert 2 across the two
+           collections, each traversal reads 1 before a toggle and 2
+           after one, so both collect [1; 2] — a window {1, 2} that no
+           instant ever contained — and the query accepts it. *)
+        let t = ref [ [ 1; 2 ]; [ 1; 2 ] ] in
+        Alcotest.(check (list int))
+          "torn view accepted" [ 1; 2 ]
+          (Scripted_range.range_query t 1 2));
+    Alcotest.test_case "disagreement retries until stable" `Quick (fun () ->
+        let t = ref [ [ 1 ]; [ 2 ]; [ 2 ] ] in
+        Alcotest.(check (list int))
+          "stable view" [ 2 ]
+          (Scripted_range.range_query t 0 5));
+    Alcotest.test_case "budget exhaustion returns the last collection" `Quick
+      (fun () ->
+        (* Views alternate forever, so no two successive collections
+           agree; after the 64-retry budget the query surrenders and
+           returns the last collection (the documented, deliberately
+           unsurfaced degradation). *)
+        let t =
+          ref (List.init 68 (fun i -> if i mod 2 = 0 then [ 1 ] else [ 2 ]))
+        in
+        Alcotest.(check (list int))
+          "last collection" [ 2 ]
+          (Scripted_range.range_query t 0 5));
+    Alcotest.test_case "collections filter to the window" `Quick (fun () ->
+        let t = ref [ [ 1; 3; 5; 7 ] ] in
+        Alcotest.(check (list int))
+          "window" [ 3; 5 ]
+          (Scripted_range.range_query t 2 6);
+        Alcotest.(check int) "approx_size" 4 (Scripted_range.approx_size t));
+  ]
+
 let () =
   Alcotest.run "lists-sequential"
     (List.map
        (fun impl ->
          let module S = (val impl : Vbl_lists.Set_intf.S) in
          (S.name, unit_tests impl @ property_tests impl))
-       impls)
+       impls
+    @ [ ("derive", derive_tests) ])

@@ -515,7 +515,11 @@ let aba_test =
 (* ------------------------------------------------------------------ *)
 (* Range queries under exploration: thread 0 runs a range_query        *)
 (* against two mutator threads and the whole-state Multikey checker    *)
-(* must accept every interleaving on the clean lists.                  *)
+(* must accept every interleaving on the clean lists.  Bounded scope:  *)
+(* two mutators never reach the six-update ABA toggle that defeats the *)
+(* derived double-collect — that torn view is pinned by the scripted   *)
+(* Derive canary in test_lists_seq.ml and rejected by Multikey in      *)
+(* test_spec.ml.                                                       *)
 (* ------------------------------------------------------------------ *)
 
 let range_tests =

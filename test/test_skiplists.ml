@@ -233,8 +233,10 @@ let explore_tests =
       [ Vbl_sched.Ll_abstract.remove 1; Vbl_sched.Ll_abstract.remove 1 ];
   ]
 
-(* Range-operation semantics (Set_intf.Derive over the bottom level) and
-   a 3-thread range-query exploration on the versioned-lock variant. *)
+(* Range-operation semantics (Set_intf.Derive over the bottom level, so
+   the family-wide best-effort contract) and a 3-thread range-query
+   exploration on the versioned-lock variant — bounded scope, see the
+   Derive ABA canary in test_lists_seq.ml. *)
 let range_tests (impl : Vbl_skiplists.Registry.impl) =
   let module S = (val impl) in
   let mk name fn = Alcotest.test_case (S.name ^ ": " ^ name) `Quick fn in

@@ -173,7 +173,10 @@ let explore_tests =
 
 (* Range queries under exploration: a 3-thread scenario per tree — the
    range thread races two mutators and the whole-state Multikey checker
-   judges every interleaving (Drive.explore_range_scenario). *)
+   judges every interleaving (Drive.explore_range_scenario).  Bounded
+   scope: two mutators never reach the six-update ABA toggle that
+   defeats the derived double-collect (see the Derive canary in
+   test_lists_seq.ml). *)
 let range_explore_tests =
   let config =
     { Vbl_sched.Explore.max_executions = 200_000; preemption_bound = Some 3; max_steps = 5_000 }
